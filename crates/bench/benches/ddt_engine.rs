@@ -1,0 +1,120 @@
+//! Hot-path microbenchmarks of the datatype engine: the operations the
+//! simulated NIC handlers and the host baseline execute per packet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use nca_ddt::checkpoint::CheckpointTable;
+use nca_ddt::dataloop::compile;
+use nca_ddt::flatten::flatten;
+use nca_ddt::normalize::classify;
+use nca_ddt::pack::{buffer_span, pack, unpack};
+use nca_ddt::segment::Segment;
+use nca_ddt::sink::CountSink;
+use nca_ddt::types::{elem, Datatype, DatatypeExt};
+
+fn vector_1mib(block: u64) -> Datatype {
+    let elems = (block / 8) as u32;
+    let count = ((1u64 << 20) / block) as u32;
+    Datatype::vector(count, elems, 2 * elems as i64, &elem::double())
+}
+
+fn bench_segment_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_full_walk");
+    for block in [64u64, 512, 4096] {
+        let dl = compile(&vector_1mib(block), 1);
+        g.throughput(Throughput::Bytes(dl.size));
+        g.bench_with_input(BenchmarkId::from_parameter(block), &dl, |b, dl| {
+            b.iter(|| {
+                let mut seg = Segment::new(dl.clone());
+                let mut sink = CountSink::default();
+                seg.advance(u64::MAX, &mut sink);
+                sink.blocks
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_packetwise_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_packetwise_2kib");
+    for block in [64u64, 512] {
+        let dl = compile(&vector_1mib(block), 1);
+        g.throughput(Throughput::Bytes(dl.size));
+        g.bench_with_input(BenchmarkId::from_parameter(block), &dl, |b, dl| {
+            b.iter(|| {
+                let mut seg = Segment::new(dl.clone());
+                let mut sink = CountSink::default();
+                while !seg.finished() {
+                    seg.advance(2048, &mut sink);
+                }
+                sink.blocks
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_seek(c: &mut Criterion) {
+    let dl = compile(&vector_1mib(64), 1);
+    c.bench_function("segment_seek_random", |b| {
+        let mut seg = Segment::new(dl.clone());
+        let mut pos = 7u64;
+        b.iter(|| {
+            pos = (pos * 2654435761) % dl.size;
+            seg.seek(pos).expect("in range");
+            seg.position()
+        })
+    });
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let dt = vector_1mib(512);
+    let (origin, span) = buffer_span(&dt, 1);
+    let src: Vec<u8> = (0..span as usize).map(|i| i as u8).collect();
+    let packed = pack(&dt, 1, &src, origin).expect("packable");
+    let mut g = c.benchmark_group("pack_unpack_1mib");
+    g.throughput(Throughput::Bytes(dt.size));
+    g.bench_function("pack", |b| b.iter(|| pack(&dt, 1, &src, origin).expect("ok").len()));
+    g.bench_function("unpack", |b| {
+        let mut dst = vec![0u8; span as usize];
+        b.iter(|| {
+            unpack(&dt, 1, &packed, &mut dst, origin).expect("ok");
+            dst[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkpoints(c: &mut Criterion) {
+    let dl = compile(&vector_1mib(128), 1);
+    c.bench_function("checkpoint_table_build_64", |b| {
+        b.iter(|| CheckpointTable::build(&dl, dl.size / 64).expect("ok").len())
+    });
+    let table = CheckpointTable::build(&dl, dl.size / 64).expect("ok");
+    c.bench_function("checkpoint_materialize_and_resume", |b| {
+        b.iter(|| {
+            let cp = table.closest(dl.size / 2);
+            let mut seg = cp.materialize();
+            let mut sink = CountSink::default();
+            seg.process_range(dl.size / 2, dl.size / 2 + 2048, &mut sink).expect("ok");
+            sink.blocks
+        })
+    });
+}
+
+fn bench_flatten_classify(c: &mut Criterion) {
+    let dt = vector_1mib(64);
+    c.bench_function("flatten_16k_regions", |b| b.iter(|| flatten(&dt, 1).entries.len()));
+    c.bench_function("classify", |b| b.iter(|| classify(&dt)));
+}
+
+criterion_group!(
+    benches,
+    bench_segment_walk,
+    bench_packetwise_advance,
+    bench_seek,
+    bench_pack_unpack,
+    bench_checkpoints,
+    bench_flatten_classify
+);
+criterion_main!(benches);

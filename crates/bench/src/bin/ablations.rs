@@ -1,0 +1,7 @@
+//! Parameter ablations (ε, payload size, out-of-order degree); pass
+//! `--quick` for a reduced-size run.
+
+fn main() {
+    let quick = nca_bench::quick_from_env_args();
+    nca_bench::figures::ablations::print(quick);
+}

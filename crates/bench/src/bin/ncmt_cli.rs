@@ -1,0 +1,165 @@
+//! `ncmt_cli` — command-line experiment driver.
+//!
+//! Run custom datatype-offload experiments without writing code:
+//!
+//! ```sh
+//! # a strided vector receive: 4096 blocks of 32 doubles, stride 64
+//! ncmt_cli vector --count 4096 --blocklen 32 --stride 64 [--hpus 16] [--ooo 7]
+//!
+//! # irregular fixed-size blocks at seeded random offsets
+//! ncmt_cli indexed --blocks 8192 --blocklen 4 --seed 42
+//!
+//! # one of the Fig. 16 application workloads
+//! ncmt_cli app MILC/b
+//!
+//! # list application workloads
+//! ncmt_cli list
+//! ```
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_ddt::normalize::classify;
+use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_spin::params::NicParams;
+use nca_workloads::apps::all_workloads;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    flag(args, name).map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}")))).unwrap_or(default)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: ncmt_cli <vector|indexed|app|list> [flags]  (see --help)");
+    std::process::exit(2)
+}
+
+fn usage() -> ! {
+    println!(
+        "ncmt_cli — datatype-offload experiment driver
+
+subcommands:
+  vector   --count N --blocklen B --stride S   strided blocks (doubles)
+  indexed  --blocks N --blocklen B --seed K    irregular fixed-size blocks
+  app      <LABEL>                             a Fig. 16 workload (see `ncmt_cli list`)
+  list                                         list application workloads
+
+common flags:
+  --hpus N        handler processing units (default 16)
+  --copies N      datatype repetition count (default 1)
+  --ooo SEED      shuffle payload-packet arrival order
+  --epsilon E     RW-CP scheduling-overhead bound (default 0.2)"
+    );
+    std::process::exit(0)
+}
+
+fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
+    let hpus = flag_u64(args, "--hpus", 16) as usize;
+    let epsilon: f64 = flag(args, "--epsilon").map(|v| v.parse().unwrap_or(0.2)).unwrap_or(0.2);
+    let ooo = flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
+
+    let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
+    exp.epsilon = epsilon;
+    exp.out_of_order = ooo;
+    exp.verify = dt.size * copies as u64 <= 16 << 20;
+
+    println!("datatype : {}", dt.signature());
+    println!("shape    : {:?}", classify(&dt));
+    println!(
+        "message  : {:.1} KiB in {} regions (gamma = {:.1}), {} HPUs{}",
+        dt.size as f64 * copies as f64 / 1024.0,
+        nca_ddt::dataloop::compile(&dt, copies).blocks,
+        exp.gamma(),
+        hpus,
+        if ooo.is_some() { ", out-of-order" } else { "" }
+    );
+    println!();
+    println!("{:<14} {:>12} {:>10} {:>12}", "method", "time (us)", "Gbit/s", "NIC KiB");
+    for s in Strategy::ALL {
+        let r = exp.run(s);
+        println!(
+            "{:<14} {:>12.1} {:>10.1} {:>12.2}",
+            s.label(),
+            r.processing_time() as f64 / 1e6,
+            r.throughput_gbit(),
+            r.nic_mem_bytes as f64 / 1024.0
+        );
+    }
+    let host = exp.run_host();
+    println!(
+        "{:<14} {:>12.1} {:>10.1} {:>12.2}",
+        "Host unpack",
+        host.processing_time as f64 / 1e6,
+        host.throughput_gbit(),
+        0.0
+    );
+    let iov = exp.run_iovec();
+    println!(
+        "{:<14} {:>12.1} {:>10.1} {:>12.2}",
+        "Portals iovec",
+        iov.processing_time as f64 / 1e6,
+        iov.throughput_gbit(),
+        iov.nic_bytes as f64 / 1024.0
+    );
+    if exp.verify {
+        println!("\nreceive buffers byte-verified ✓");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let copies = |a: &[String]| flag_u64(a, "--copies", 1) as u32;
+    match args[0].as_str() {
+        "vector" => {
+            let count = flag_u64(&args, "--count", 4096) as u32;
+            let blocklen = flag_u64(&args, "--blocklen", 32) as u32;
+            let stride = flag_u64(&args, "--stride", 64) as i64;
+            let dt = Datatype::vector(count, blocklen, stride, &elem::double());
+            run_experiment(dt, copies(&args), &args);
+        }
+        "indexed" => {
+            let blocks = flag_u64(&args, "--blocks", 8192);
+            let blocklen = flag_u64(&args, "--blocklen", 4) as u32;
+            let seed = flag_u64(&args, "--seed", 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut displs = Vec::with_capacity(blocks as usize);
+            let mut at = 0i64;
+            for _ in 0..blocks {
+                displs.push(at);
+                at += blocklen as i64 + rng.random_range(1..=4i64);
+            }
+            let dt = Datatype::indexed_block(blocklen, &displs, &elem::double())
+                .unwrap_or_else(|e| die(&e.to_string()));
+            run_experiment(dt, copies(&args), &args);
+        }
+        "app" => {
+            let label = args.get(1).cloned().unwrap_or_else(|| die("app needs a label"));
+            let w = all_workloads()
+                .into_iter()
+                .find(|w| w.label() == label)
+                .unwrap_or_else(|| die(&format!("unknown workload {label}; try `ncmt_cli list`")));
+            println!("workload : {} ({})", w.label(), w.ddt_class);
+            run_experiment(w.dt.clone(), w.count, &args);
+        }
+        "list" => {
+            println!("{:<14} {:<20} {:>10} {:>8}", "workload", "class", "size KiB", "gamma");
+            for w in all_workloads() {
+                println!(
+                    "{:<14} {:<20} {:>10.1} {:>8.1}",
+                    w.label(),
+                    w.ddt_class,
+                    w.msg_bytes() as f64 / 1024.0,
+                    w.gamma(2048)
+                );
+            }
+        }
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}

@@ -1,0 +1,21 @@
+//! Extension experiment (paper Sec. 4.5 future work): static vs dynamic
+//! HER assignment on the PULP multicluster under skewed handler loads.
+
+use nca_pulp::arch::PulpConfig;
+use nca_pulp::runtime::{simulate_runtime, skewed_handlers, Assignment};
+
+fn main() {
+    let cfg = PulpConfig::default();
+    let dynamic = Assignment::Dynamic { dispatch_cycles: 40, migration_cycles: 300 };
+    println!("# sPIN-on-PULP runtime: static vs dynamic HER assignment (512 pkts, 2 KiB)");
+    println!("hot_frac\tstatic_gbit\tdynamic_gbit\tstatic_imb\tdyn_imb\tmigrations");
+    for hot in [0.0f64, 0.05, 0.1, 0.2, 0.4] {
+        let handlers = skewed_handlers(512, 800, hot, 20, 7);
+        let s = simulate_runtime(&cfg, &handlers, 2048, 4, Assignment::Static { chunk: 4 });
+        let d = simulate_runtime(&cfg, &handlers, 2048, 4, dynamic);
+        println!(
+            "{hot}\t{:.1}\t{:.1}\t{:.2}\t{:.2}\t{}",
+            s.throughput_gbit, d.throughput_gbit, s.imbalance, d.imbalance, d.migrations
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the corresponding paper figure; pass `--quick` for a
+//! reduced-size smoke run.
+
+fn main() {
+    let quick = nca_bench::quick_from_env_args();
+    nca_bench::figures::sender::print(quick);
+}

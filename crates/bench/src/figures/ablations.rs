@@ -1,0 +1,127 @@
+//! Ablations of the design parameters the paper exposes:
+//!
+//! * **ε** — the RW-CP scheduling-overhead bound (Sec. 3.2.4 lists it as
+//!   a user-settable type attribute): smaller ε ⇒ more checkpoints ⇒
+//!   more NIC memory but less blocked-RR serialization.
+//! * **payload size** — the simulations fix 2 KiB packets; this sweep
+//!   shows how the offload benefit shifts with packet size (γ scales
+//!   with the payload).
+//! * **out-of-order degree** — payload reordering exercises HPU-local
+//!   resets and RW-CP checkpoint reverts.
+
+use nca_core::baselines::host_pipelined_unpack;
+use nca_core::costmodel::HostCostModel;
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// ε sweep: `(epsilon, throughput Gbit/s, nic KiB)` for RW-CP.
+pub fn epsilon_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    [0.02, 0.05, 0.1, 0.2, 0.5, 1.0]
+        .iter()
+        .map(|&eps| {
+            let (dt, count) = vector_workload(msg, 256);
+            let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
+            exp.epsilon = eps;
+            exp.verify = false;
+            let r = exp.run(Strategy::RwCp);
+            let nic = Strategy::RwCp
+                .build(&dt, count, NicParams::with_hpus(16), eps)
+                .nic_mem_bytes() as f64
+                / 1024.0;
+            (eps, r.throughput_gbit(), nic)
+        })
+        .collect()
+}
+
+/// Payload-size sweep: `(payload, [throughput per strategy])`.
+pub fn payload_sweep(quick: bool) -> Vec<(u64, [f64; 4])> {
+    let msg: u64 = if quick { 256 << 10 } else { 2 << 20 };
+    [512u64, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&payload| {
+            let mut params = NicParams::with_hpus(16);
+            params.payload_size = payload;
+            let (dt, count) = vector_workload(msg, 128);
+            let mut exp = Experiment::new(dt, count, params);
+            exp.verify = false;
+            let mut t = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                t[i] = exp.run(*s).throughput_gbit();
+            }
+            (payload, t)
+        })
+        .collect()
+}
+
+/// Out-of-order sweep: `(seed?, [processing ms per strategy])`, first
+/// row in order.
+pub fn ooo_sweep(quick: bool) -> Vec<(Option<u64>, [f64; 4])> {
+    let msg: u64 = if quick { 128 << 10 } else { 1 << 20 };
+    [None, Some(1u64), Some(17), Some(99)]
+        .iter()
+        .map(|&seed| {
+            let (dt, count) = vector_workload(msg, 256);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+            exp.out_of_order = seed;
+            exp.verify = true; // correctness under reordering is the point
+            let mut t = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                t[i] = exp.run(*s).processing_time() as f64 / 1e9;
+            }
+            (seed, t)
+        })
+        .collect()
+}
+
+/// Pipelined-host ablation: `(block, host_gbit, pipelined_gbit,
+/// rwcp_gbit)` — how much of the offload win survives a smarter host
+/// baseline that overlaps unpack with reception.
+pub fn pipelined_host_sweep(quick: bool) -> Vec<(u64, f64, f64, f64)> {
+    let msg: u64 = if quick { 256 << 10 } else { 2 << 20 };
+    [64u64, 256, 1024, 4096]
+        .iter()
+        .map(|&block| {
+            let (dt, count) = vector_workload(msg, block);
+            let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
+            exp.verify = false;
+            let host = exp.run_host().throughput_gbit();
+            let piped = host_pipelined_unpack(
+                &dt,
+                count,
+                &NicParams::with_hpus(16),
+                &HostCostModel::default(),
+            )
+            .throughput_gbit();
+            let rwcp = exp.run(Strategy::RwCp).throughput_gbit();
+            (block, host, piped, rwcp)
+        })
+        .collect()
+}
+
+/// Print all four ablations.
+pub fn print(quick: bool) {
+    println!("# Ablation 1 — RW-CP ε bound (256 B blocks)");
+    println!("epsilon\tgbit\tnic_kib");
+    for (e, t, n) in epsilon_sweep(quick) {
+        println!("{e}\t{t:.1}\t{n:.1}");
+    }
+    println!("# Ablation 2 — packet payload size (128 B blocks)");
+    println!("payload\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
+    for (p, t) in payload_sweep(quick) {
+        println!("{p}\t{:.1}\t{:.1}\t{:.1}\t{:.1}", t[0], t[1], t[2], t[3]);
+    }
+    println!("# Ablation 3 — out-of-order delivery (processing ms)");
+    println!("seed\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
+    for (s, t) in ooo_sweep(quick) {
+        let label = s.map(|v| v.to_string()).unwrap_or_else(|| "in-order".into());
+        println!("{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}", t[0], t[1], t[2], t[3]);
+    }
+    println!("# Ablation 4 — pipelined host baseline (Gbit/s)");
+    println!("block\thost\thost_pipelined\tRW-CP");
+    for (b, h, pi, rw) in pipelined_host_sweep(quick) {
+        println!("{b}\t{h:.1}\t{pi:.1}\t{rw:.1}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 2 — latency of a one-byte put: RDMA vs sPIN, with the
+//! PCIe / NIC / network breakdown.
+
+use nca_sim::units::to_us;
+use nca_spin::builtin::ContigProcessor;
+use nca_spin::nic::{ReceiveSim, RunConfig};
+use nca_spin::params::NicParams;
+
+/// One bar of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// "RDMA" or "sPIN".
+    pub path: &'static str,
+    /// PCIe component (ps).
+    pub pcie: u64,
+    /// NIC component (ps).
+    pub nic: u64,
+    /// Network component (ps).
+    pub network: u64,
+}
+
+impl Row {
+    /// Total latency (ps).
+    pub fn total(&self) -> u64 {
+        self.pcie + self.nic + self.network
+    }
+}
+
+/// The two bars, from the model parameters.
+pub fn rows() -> Vec<Row> {
+    let p = NicParams::default();
+    vec![
+        Row {
+            path: "RDMA",
+            pcie: p.pcie_latency,
+            nic: p.nic_passthrough,
+            network: p.net_latency,
+        },
+        Row {
+            path: "sPIN",
+            pcie: p.pcie_latency,
+            nic: p.nic_passthrough + p.sched_dispatch + p.spin_min_handler(),
+            network: p.net_latency,
+        },
+    ]
+}
+
+/// End-to-end simulated 1-byte sPIN put (cross-check of the breakdown).
+pub fn simulated_spin_total() -> u64 {
+    let p = NicParams::default();
+    let handler = p.spin_min_handler();
+    let proc_ = Box::new(ContigProcessor::new(0, handler));
+    let report = ReceiveSim::run(proc_, vec![0xAB], 0, 1, &RunConfig::new(p));
+    report.t_complete
+}
+
+/// Print the figure table.
+pub fn print(_quick: bool) {
+    println!("# Fig. 2 — one-byte put latency (us)");
+    println!("path\tpcie\tnic\tnetwork\ttotal");
+    let r = rows();
+    for row in &r {
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            row.path,
+            to_us(row.pcie),
+            to_us(row.nic),
+            to_us(row.network),
+            to_us(row.total())
+        );
+    }
+    let overhead = r[1].total() as f64 / r[0].total() as f64 - 1.0;
+    println!("# sPIN overhead: {:.1}% (paper: +24.4%)", overhead * 100.0);
+    println!("# simulated sPIN end-to-end: {:.3} us", to_us(simulated_spin_total()));
+}

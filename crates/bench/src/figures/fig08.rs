@@ -1,0 +1,58 @@
+//! Fig. 8 — unpack throughput of an `MPI_Type_vector` message as a
+//! function of block size, for the four offloaded strategies and the
+//! host-based unpack (4 MiB message, stride = 2 x block size, 16 HPUs).
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// One table row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Block size in bytes.
+    pub block: u64,
+    /// Throughput per strategy (Gbit/s), indexed like [`Strategy::ALL`].
+    pub offloaded: [f64; 4],
+    /// Host-based unpack throughput (Gbit/s).
+    pub host: f64,
+}
+
+/// Block sizes of the figure's x axis.
+pub fn block_sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![16, 128, 2048]
+    } else {
+        vec![4, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    }
+}
+
+/// Compute the figure.
+pub fn rows(quick: bool) -> Vec<Row> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    block_sizes(quick)
+        .into_iter()
+        .map(|block| {
+            let (dt, count) = vector_workload(msg, block);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+            exp.verify = quick; // full-size runs skip the O(msg) compare
+            let mut offloaded = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                offloaded[i] = exp.run(*s).throughput_gbit();
+            }
+            Row { block, offloaded, host: exp.run_host().throughput_gbit() }
+        })
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    println!("# Fig. 8 — vector unpack throughput (Gbit/s), 16 HPUs");
+    println!("block\tSpecialized\tRW-CP\tRO-CP\tHPU-local\tHost");
+    for r in rows(quick) {
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            r.block, r.offloaded[0], r.offloaded[1], r.offloaded[2], r.offloaded[3], r.host
+        );
+    }
+}

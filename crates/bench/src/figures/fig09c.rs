@@ -1,0 +1,25 @@
+//! Fig. 9c — PULP DMA-chain bandwidth vs block size.
+
+use nca_pulp::arch::PulpConfig;
+use nca_pulp::bandwidth::dma_bandwidth_gbit;
+
+/// `(block_bytes, Gbit/s)` series.
+pub fn rows() -> Vec<(u64, f64)> {
+    let cfg = PulpConfig::default();
+    let mut v = Vec::new();
+    let mut b = 256u64;
+    while b <= 128 * 1024 {
+        v.push((b, dma_bandwidth_gbit(&cfg, b)));
+        b *= 2;
+    }
+    v
+}
+
+/// Print the figure table.
+pub fn print(_quick: bool) {
+    println!("# Fig. 9c — DMA bandwidth vs block size (line rate = 200 Gbit/s)");
+    println!("block_bytes\tgbit_per_s");
+    for (b, bw) in rows() {
+        println!("{b}\t{bw:.1}");
+    }
+}

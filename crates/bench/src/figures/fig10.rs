@@ -1,0 +1,30 @@
+//! Fig. 10 — RW-CP DDT-processing throughput: PULP (RTL model) vs
+//! ARM (gem5 model), 1 MiB vector message.
+
+use nca_pulp::arch::PulpConfig;
+use nca_pulp::ddtproc::{rwcp_on_arm, rwcp_on_pulp};
+
+/// `(block_bytes, pulp_gbit, arm_gbit)` series.
+pub fn rows() -> Vec<(u64, f64, f64)> {
+    let cfg = PulpConfig::default();
+    let msg = 1u64 << 20;
+    [32u64, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+        .iter()
+        .map(|&b| {
+            (
+                b,
+                rwcp_on_pulp(&cfg, msg, b, 2048).throughput_gbit,
+                rwcp_on_arm(32, 800, msg, b, 2048),
+            )
+        })
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(_quick: bool) {
+    println!("# Fig. 10 — RW-CP throughput on PULP vs ARM (1 MiB message)");
+    println!("block_bytes\tpulp_gbit\tarm_gbit");
+    for (b, p, a) in rows() {
+        println!("{b}\t{p:.1}\t{a:.1}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 11 — RW-CP handler instructions-per-cycle on PULP.
+
+use nca_pulp::arch::PulpConfig;
+use nca_pulp::ddtproc::rwcp_on_pulp;
+
+/// `(block_bytes, ipc)` series.
+pub fn rows() -> Vec<(u64, f64)> {
+    let cfg = PulpConfig::default();
+    [32u64, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+        .iter()
+        .map(|&b| (b, rwcp_on_pulp(&cfg, 1 << 20, b, 2048).ipc))
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(_quick: bool) {
+    println!("# Fig. 11 — RW-CP IPC on PULP (paper medians 0.14-0.26)");
+    println!("block_bytes\tipc");
+    for (b, ipc) in rows() {
+        println!("{b}\t{ipc:.3}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 12 — payload-handler runtime breakdown (init / setup /
+//! processing) per strategy, as a function of γ (contiguous regions per
+//! packet).
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// One (strategy, γ) cell: mean per-handler phase times in µs.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Contiguous regions per packet.
+    pub gamma: u64,
+    /// Mean init time (µs).
+    pub init_us: f64,
+    /// Mean setup time (µs), incl. catch-up.
+    pub setup_us: f64,
+    /// Mean processing time (µs).
+    pub proc_us: f64,
+}
+
+/// Compute the figure.
+pub fn rows(quick: bool) -> Vec<Row> {
+    let msg: u64 = if quick { 128 << 10 } else { 1 << 20 };
+    let gammas: &[u64] = if quick { &[1, 16] } else { &[1, 2, 4, 8, 16] };
+    let mut out = Vec::new();
+    for s in [Strategy::HpuLocal, Strategy::RoCp, Strategy::RwCp, Strategy::Specialized] {
+        for &gamma in gammas {
+            let block = 2048 / gamma;
+            let (dt, count) = vector_workload(msg, block);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+            exp.verify = false;
+            let report = exp.run(s);
+            let n = report.handler_costs.len().max(1) as f64;
+            let sum = report.handler_cost_sum();
+            out.push(Row {
+                strategy: s.label(),
+                gamma,
+                init_us: sum.init as f64 / n / 1e6,
+                setup_us: sum.setup as f64 / n / 1e6,
+                proc_us: sum.processing as f64 / n / 1e6,
+            });
+        }
+    }
+    out
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    println!("# Fig. 12 — payload handler runtime breakdown (us per handler)");
+    println!("strategy\tgamma\tinit\tsetup\tprocessing\ttotal");
+    for r in rows(quick) {
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            r.strategy,
+            r.gamma,
+            r.init_us,
+            r.setup_us,
+            r.proc_us,
+            r.init_us + r.setup_us + r.proc_us
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 13 — scalability: (a) receive throughput vs #HPUs (2 KiB
+//! blocks); (b) NIC memory occupancy vs block size (16 HPUs);
+//! (c) NIC memory occupancy vs #HPUs.
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// (a): `(hpus, [throughput per strategy])`.
+pub fn throughput_vs_hpus(quick: bool) -> Vec<(usize, [f64; 4])> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let hpus: &[usize] = if quick { &[2, 16] } else { &[2, 4, 8, 16, 32] };
+    hpus.iter()
+        .map(|&h| {
+            let (dt, count) = vector_workload(msg, 2048);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(h));
+            exp.verify = false;
+            let mut t = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                t[i] = exp.run(*s).throughput_gbit();
+            }
+            (h, t)
+        })
+        .collect()
+}
+
+/// (b): `(block, [nic KiB per strategy])` at 16 HPUs.
+pub fn nicmem_vs_block(quick: bool) -> Vec<(u64, [f64; 4])> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let blocks: &[u64] =
+        if quick { &[32, 2048] } else { &[4, 16, 32, 64, 128, 512, 2048, 8192] };
+    blocks
+        .iter()
+        .map(|&b| {
+            let (dt, count) = vector_workload(msg, b);
+            let mut m = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                let p = s.build(&dt, count, NicParams::with_hpus(16), 0.2);
+                m[i] = p.nic_mem_bytes() as f64 / 1024.0;
+            }
+            (b, m)
+        })
+        .collect()
+}
+
+/// (c): `(hpus, [nic KiB per strategy])` at 2 KiB blocks.
+pub fn nicmem_vs_hpus(quick: bool) -> Vec<(usize, [f64; 4])> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let hpus: &[usize] = if quick { &[4, 32] } else { &[4, 8, 16, 32] };
+    hpus.iter()
+        .map(|&h| {
+            let (dt, count) = vector_workload(msg, 2048);
+            let mut m = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                let p = s.build(&dt, count, NicParams::with_hpus(h), 0.2);
+                m[i] = p.nic_mem_bytes() as f64 / 1024.0;
+            }
+            (h, m)
+        })
+        .collect()
+}
+
+/// Print all three panels.
+pub fn print(quick: bool) {
+    println!("# Fig. 13a — receive throughput vs HPUs (2 KiB blocks, Gbit/s)");
+    println!("hpus\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
+    for (h, t) in throughput_vs_hpus(quick) {
+        println!("{h}\t{:.1}\t{:.1}\t{:.1}\t{:.1}", t[0], t[1], t[2], t[3]);
+    }
+    println!("# Fig. 13b — NIC memory vs block size (16 HPUs, KiB)");
+    println!("block\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
+    for (b, m) in nicmem_vs_block(quick) {
+        println!("{b}\t{:.2}\t{:.2}\t{:.2}\t{:.2}", m[0], m[1], m[2], m[3]);
+    }
+    println!("# Fig. 13c — NIC memory vs HPUs (2 KiB blocks, KiB)");
+    println!("hpus\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
+    for (h, m) in nicmem_vs_hpus(quick) {
+        println!("{h}\t{:.2}\t{:.2}\t{:.2}\t{:.2}", m[0], m[1], m[2], m[3]);
+    }
+}

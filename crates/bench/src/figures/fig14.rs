@@ -1,0 +1,53 @@
+//! Fig. 14 — maximum DMA-write queue occupancy vs γ, with the total
+//! number of DMA writes per message.
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// One row: γ, per-strategy max queue, and the total writes.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Regions per packet.
+    pub gamma: u64,
+    /// Max DMA queue occupancy per strategy ([`Strategy::ALL`] order).
+    pub max_queue: [usize; 4],
+    /// Total data DMA writes for the message.
+    pub total_writes: u64,
+}
+
+/// Compute the figure.
+pub fn rows(quick: bool) -> Vec<Row> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let gammas: &[u64] = if quick { &[1, 16] } else { &[1, 2, 4, 8, 16] };
+    gammas
+        .iter()
+        .map(|&gamma| {
+            let (dt, count) = vector_workload(msg, 2048 / gamma);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+            exp.verify = false;
+            exp.record_dma_history = false;
+            let mut max_queue = [0usize; 4];
+            let mut total = 0u64;
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                let r = exp.run(*s);
+                max_queue[i] = r.dma_max_queue;
+                total = r.dma_writes - 1; // minus the completion signal
+            }
+            Row { gamma, max_queue, total_writes: total }
+        })
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    println!("# Fig. 14 — max DMA queue occupancy (16 HPUs)");
+    println!("gamma\tSpecialized\tRW-CP\tRO-CP\tHPU-local\ttotal_writes");
+    for r in rows(quick) {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            r.gamma, r.max_queue[0], r.max_queue[1], r.max_queue[2], r.max_queue[3], r.total_writes
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 15 — DMA-write queue occupancy over time for γ = 16, per
+//! strategy, including the host checkpoint-creation overhead.
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+
+use super::vector_workload;
+
+/// One strategy's timeline.
+pub struct Timeline {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Host-side setup (checkpoint creation/copy), ps.
+    pub host_overhead: u64,
+    /// Sampled `(time_ps, queue_len)` series.
+    pub series: Vec<(u64, usize)>,
+}
+
+/// Compute the figure (γ=16, i.e. 128 B blocks).
+pub fn timelines(quick: bool) -> Vec<Timeline> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    [Strategy::HpuLocal, Strategy::RoCp, Strategy::RwCp, Strategy::Specialized]
+        .iter()
+        .map(|&s| {
+            let (dt, count) = vector_workload(msg, 128);
+            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+            exp.verify = false;
+            exp.record_dma_history = true;
+            let r = exp.run(s);
+            // Downsample to 48 points for the table.
+            let series = sample(&r.dma_history, 48);
+            Timeline { strategy: s.label(), host_overhead: r.host_setup_time, series }
+        })
+        .collect()
+}
+
+fn sample(h: &[(u64, usize)], n: usize) -> Vec<(u64, usize)> {
+    if h.len() <= n {
+        return h.to_vec();
+    }
+    let step = h.len() as f64 / n as f64;
+    (0..n).map(|i| h[(i as f64 * step) as usize]).collect()
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    println!("# Fig. 15 — DMA queue size over time (gamma = 16)");
+    for t in timelines(quick) {
+        println!("## {} (host overhead: {:.1} us)", t.strategy, t.host_overhead as f64 / 1e6);
+        println!("time_ms\tqueue");
+        for (time, q) in &t.series {
+            println!("{:.4}\t{}", *time as f64 / 1e9, q);
+        }
+    }
+}

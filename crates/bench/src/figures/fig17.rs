@@ -1,0 +1,39 @@
+//! Fig. 17 — data volume moved to/from main memory: RW-CP (offloaded)
+//! vs host-based unpack, over the Fig. 16 experiments (histogram +
+//! geometric means; paper reports a 3.8x geomean ratio).
+
+use nca_memsim::cache::CacheConfig;
+use nca_memsim::traffic::unpack_traffic;
+use nca_sim::stats::{geomean, log2_histogram};
+use nca_workloads::apps::all_workloads;
+
+/// Per-workload `(label, offload KiB, host KiB)`.
+pub fn rows(quick: bool) -> Vec<(String, f64, f64)> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
+        .map(|w| {
+            let r = unpack_traffic(&w.dt, w.count, CacheConfig::i7_4770_llc());
+            (w.label(), r.offload_bytes as f64 / 1024.0, r.host_bytes as f64 / 1024.0)
+        })
+        .collect()
+}
+
+/// Print the histogram and geomeans.
+pub fn print(quick: bool) {
+    let data = rows(quick);
+    println!("# Fig. 17 — memory transfer volumes (KiB)");
+    println!("app\toffload_kib\thost_kib\tratio");
+    for (label, o, h) in &data {
+        println!("{label}\t{o:.1}\t{h:.1}\t{:.2}", h / o);
+    }
+    let off: Vec<f64> = data.iter().map(|d| d.1).collect();
+    let host: Vec<f64> = data.iter().map(|d| d.2).collect();
+    let (go, gh) = (geomean(&off), geomean(&host));
+    println!("# geomean offload: {go:.1} KiB, host: {gh:.1} KiB, ratio {:.2}x (paper: 3.8x)", gh / go);
+    println!("# histogram (log2 buckets of KiB): offload | host");
+    let ho = log2_histogram(&off);
+    let hh = log2_histogram(&host);
+    println!("offload\t{:?}", ho.buckets);
+    println!("host\t{:?}", hh.buckets);
+}

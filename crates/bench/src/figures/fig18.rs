@@ -1,0 +1,45 @@
+//! Fig. 18 — number of datatype reuses needed to amortize the RW-CP
+//! checkpoint-creation cost (paper: 75% of cases need < 4 reuses).
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_spin::params::NicParams;
+use nca_workloads::apps::all_workloads;
+
+/// Per-workload `(label, reuses_to_amortize)`.
+pub fn rows(quick: bool) -> Vec<(String, f64)> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
+        .map(|w| {
+            let mut exp = Experiment::new(w.dt.clone(), w.count, NicParams::with_hpus(16));
+            exp.verify = false;
+            let host = exp.run_host().processing_time as f64;
+            let r = exp.run(Strategy::RwCp);
+            let gain = host - r.processing_time() as f64;
+            let reuses = if gain > 0.0 {
+                r.host_setup_time as f64 / gain
+            } else {
+                f64::INFINITY
+            };
+            (w.label(), reuses)
+        })
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    let data = rows(quick);
+    println!("# Fig. 18 — DDT reuses to amortize checkpoint creation");
+    println!("app\treuses");
+    for (label, n) in &data {
+        println!("{label}\t{n:.2}");
+    }
+    let finite: Vec<f64> = data.iter().map(|d| d.1).filter(|v| v.is_finite()).collect();
+    let under4 = finite.iter().filter(|&&v| v < 4.0).count();
+    println!(
+        "# {}/{} amortize in < 4 reuses ({:.0}%; paper: 75% of cases < 4)",
+        under4,
+        finite.len(),
+        100.0 * under4 as f64 / finite.len().max(1) as f64
+    );
+}

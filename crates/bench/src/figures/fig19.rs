@@ -1,0 +1,25 @@
+//! Fig. 19 — FFT2D strong scaling (n = 20480): runtime of host-based vs
+//! RW-CP-offloaded unpacking and the offload speedup.
+
+use nca_loggopsim::fft2d::{strong_scaling, Fft2dConfig};
+
+/// `(ranks, host_ms, rwcp_ms, speedup_percent)` series.
+pub fn rows(quick: bool) -> Vec<(u32, f64, f64, f64)> {
+    let cfg = Fft2dConfig::default();
+    let ps: &[u32] = if quick { &[64, 128] } else { &[64, 128, 256, 512, 1024] };
+    strong_scaling(&cfg, ps)
+        .into_iter()
+        .map(|(p, host, rwcp, s)| {
+            (p, host.runtime as f64 / 1e9, rwcp.runtime as f64 / 1e9, s)
+        })
+        .collect()
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    println!("# Fig. 19 — FFT2D strong scaling, n = 20480 (paper: ~26% at P=64)");
+    println!("nodes\thost_ms\trwcp_ms\tspeedup_pct");
+    for (p, h, r, s) in rows(quick) {
+        println!("{p}\t{h:.1}\t{r:.1}\t{s:.1}");
+    }
+}

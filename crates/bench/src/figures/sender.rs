@@ -1,0 +1,51 @@
+//! Sec. 3.1 — sender-side strategies: pack+send vs streaming puts vs
+//! outbound sPIN (`PtlProcessPut`). The paper describes these (Fig. 4)
+//! without a dedicated plot; this bench quantifies them on the Fig. 8
+//! vector workload.
+
+use nca_spin::outbound::{pack_and_send, process_put_send, streaming_put_send, SendWorkload};
+use nca_spin::params::NicParams;
+
+/// `(block_bytes, pack_us, streaming_us, spin_us, cpu_busy_us x3)`.
+pub fn rows(quick: bool) -> Vec<(u64, [f64; 3], [f64; 3])> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let p = NicParams::default();
+    [64u64, 256, 1024, 4096, 16384]
+        .iter()
+        .map(|&b| {
+            let w = SendWorkload {
+                msg_bytes: msg,
+                regions: msg / b,
+                cpu_pack_per_region: nca_sim::ns(60),
+                cpu_stream_per_region: nca_sim::ns(40),
+                nic_gather_per_region: nca_sim::ns(25),
+            };
+            let r = [pack_and_send(&p, &w), streaming_put_send(&p, &w), process_put_send(&p, &w)];
+            (
+                b,
+                [
+                    r[0].inject_time as f64 / 1e6,
+                    r[1].inject_time as f64 / 1e6,
+                    r[2].inject_time as f64 / 1e6,
+                ],
+                [
+                    r[0].cpu_busy as f64 / 1e6,
+                    r[1].cpu_busy as f64 / 1e6,
+                    r[2].cpu_busy as f64 / 1e6,
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Print the comparison.
+pub fn print(quick: bool) {
+    println!("# Sec. 3.1 — sender-side strategies (4 MiB vector message)");
+    println!("block\tpack_us\tstream_us\tspinout_us\tcpu_pack_us\tcpu_stream_us\tcpu_spin_us");
+    for (b, inject, cpu) in rows(quick) {
+        println!(
+            "{b}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            inject[0], inject[1], inject[2], cpu[0], cpu[1], cpu[2]
+        );
+    }
+}

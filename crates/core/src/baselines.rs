@@ -1,0 +1,217 @@
+//! The two baselines the paper compares against.
+//!
+//! * **Host-based unpack** (`RDMA + CPU unpack`): the NIC lands the
+//!   packed message in a staging buffer via the non-processing path; the
+//!   CPU then runs an MPITypes-style unpack with cold caches. Fig. 8's
+//!   "Host" line and the `T` baselines of Fig. 16.
+//! * **Portals 4 iovec offload**: the NIC scatters directly using an
+//!   input/output vector but can hold only `v = 32` scatter-gather
+//!   entries (ConnectX-3 limit); every `v` consumed regions cost one
+//!   500 ns PCIe read to refill. Assumes in-order arrival.
+
+use nca_ddt::dataloop::compile;
+use nca_ddt::flatten::flatten;
+use nca_ddt::types::Datatype;
+use nca_sim::Time;
+use nca_spin::params::NicParams;
+
+use crate::costmodel::HostCostModel;
+
+/// Paper's iovec NIC capacity (max scatter-gather entries of a Mellanox
+/// ConnectX-3).
+pub const IOVEC_NIC_ENTRIES: u64 = 32;
+
+/// PCIe read latency for one iovec refill (paper: 500 ns, after
+/// Neugebauer et al.).
+pub const IOVEC_REFILL_LATENCY: Time = nca_sim::ns(500);
+
+/// Outcome of a baseline receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// Merged contiguous regions in the receive layout.
+    pub regions: u64,
+    /// Message processing time (first byte at NIC → last byte placed).
+    pub processing_time: Time,
+    /// Portion spent in the CPU unpack (host baseline only).
+    pub unpack_time: Time,
+    /// Bytes that must be moved to the NIC to support the method
+    /// (iovec list for the iovec baseline; 0 for host unpack).
+    pub nic_bytes: u64,
+}
+
+impl BaselineReport {
+    /// Receive throughput over the processing time.
+    pub fn throughput_gbit(&self) -> f64 {
+        nca_sim::units::throughput_gbit(self.msg_bytes, self.processing_time)
+    }
+}
+
+/// Time for the packed message to be fully staged in host memory via the
+/// non-processing (RDMA) path, measured from the first byte at the NIC.
+fn staging_time(p: &NicParams, msg_bytes: u64) -> Time {
+    let npkt = msg_bytes.div_ceil(p.payload_size).max(1);
+    let wire = p.line_rate.time_for(msg_bytes + npkt * p.pkt_header_bytes);
+    // Last packet: passthrough parse + DMA injection + PCIe landing.
+    wire + p.nic_passthrough + p.dma_service_time(p.payload_size.min(msg_bytes)) + p.pcie_latency
+}
+
+/// Host-based unpack baseline (paper Fig. 4 left, receiver side).
+pub fn host_unpack(dt: &Datatype, count: u32, p: &NicParams, host: &HostCostModel) -> BaselineReport {
+    let dl = compile(dt, count);
+    let staged = staging_time(p, dl.size);
+    let unpack = host.unpack_time(dl.size, dl.blocks);
+    BaselineReport {
+        msg_bytes: dl.size,
+        regions: dl.blocks,
+        processing_time: staged + unpack,
+        unpack_time: unpack,
+        nic_bytes: 0,
+    }
+}
+
+/// Portals 4 iovec offload baseline.
+///
+/// The NIC consumes packets in order, issuing one DMA write per region
+/// fragment; after every [`IOVEC_NIC_ENTRIES`] regions it stalls for one
+/// PCIe round-trip to fetch the next entries. The pipeline time is the
+/// maximum of wire arrival and NIC consumption, plus tail latencies.
+pub fn iovec_offload(dt: &Datatype, count: u32, p: &NicParams) -> BaselineReport {
+    let iov = flatten(dt, count);
+    let msg_bytes = iov.total_bytes();
+    let regions = iov.entries.len() as u64;
+    let npkt = msg_bytes.div_ceil(p.payload_size).max(1);
+    let wire = p.line_rate.time_for(msg_bytes + npkt * p.pkt_header_bytes);
+
+    // NIC-side consumption: per-region DMA issue + refill stalls.
+    let refills = regions / IOVEC_NIC_ENTRIES;
+    let mut dma_busy: Time = 0;
+    for e in &iov.entries {
+        dma_busy += p.dma_service_time(e.len);
+    }
+    let consume = dma_busy + refills * IOVEC_REFILL_LATENCY;
+
+    let processing_time = p.nic_passthrough + wire.max(consume) + p.pcie_latency;
+    BaselineReport {
+        msg_bytes,
+        regions,
+        processing_time,
+        unpack_time: 0,
+        nic_bytes: iov.nic_bytes(),
+    }
+}
+
+
+/// Pipelined host unpack: instead of waiting for the full message, the
+/// CPU unpacks each packet's worth of stream as it lands in the staging
+/// buffer, overlapping reception with unpacking (the optimization the
+/// paper notes MPI can do when not forced through `MPI_Unpack`). Still
+/// not zero-copy: every byte crosses the memory hierarchy twice.
+pub fn host_pipelined_unpack(
+    dt: &Datatype,
+    count: u32,
+    p: &NicParams,
+    host: &HostCostModel,
+) -> BaselineReport {
+    let dl = compile(dt, count);
+    let msg = dl.size;
+    let npkt = msg.div_ceil(p.payload_size).max(1);
+    let blocks_per_pkt = (dl.blocks as f64 / npkt as f64).ceil() as u64;
+    // Per-packet unpack cost (cold stream, no amortized base).
+    let per_pkt = host.unpack_time(p.payload_size.min(msg), blocks_per_pkt)
+        .saturating_sub(host.base)
+        + host.base / npkt.max(1);
+    // Packet i is staged at t_arr(i); the CPU chains unpacks.
+    let t_pkt = p.t_pkt();
+    let stage_latency = p.nic_passthrough + p.dma_service_time(p.payload_size) + p.pcie_latency;
+    let mut cpu_free: Time = 0;
+    for i in 0..npkt {
+        let staged = (i + 1) * t_pkt + stage_latency;
+        cpu_free = cpu_free.max(staged) + per_pkt;
+    }
+    BaselineReport {
+        msg_bytes: msg,
+        regions: dl.blocks,
+        processing_time: cpu_free,
+        unpack_time: npkt * per_pkt,
+        nic_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nca_ddt::types::{elem, DatatypeExt};
+
+    fn p16() -> NicParams {
+        NicParams::with_hpus(16)
+    }
+
+    #[test]
+    fn host_unpack_dominated_by_blocks_when_tiny() {
+        let h = HostCostModel::default();
+        let fine = Datatype::vector(1 << 20, 1, 2, &elem::int()); // 4 MiB of 4 B blocks
+        let coarse = Datatype::vector(2048, 256, 512, &elem::double()); // 4 MiB of 2 KiB
+        let rf = host_unpack(&fine, 1, &p16(), &h);
+        let rc = host_unpack(&coarse, 1, &p16(), &h);
+        assert_eq!(rf.msg_bytes, rc.msg_bytes);
+        assert!(rf.processing_time > rc.processing_time);
+        assert!(rf.unpack_time as f64 > 1.5 * rc.unpack_time as f64);
+    }
+
+    #[test]
+    fn iovec_refills_hurt_many_regions() {
+        let p = p16();
+        let fine = Datatype::vector(1 << 16, 1, 2, &elem::int()); // 256 KiB, 65536 regions
+        let coarse = Datatype::vector(128, 256, 512, &elem::double()); // 256 KiB, 128 regions
+        let rf = iovec_offload(&fine, 1, &p);
+        let rc = iovec_offload(&coarse, 1, &p);
+        assert!(rf.processing_time > rc.processing_time * 2);
+        // iovec list size is linear in regions
+        assert_eq!(rf.nic_bytes, 16 * 65536);
+        assert_eq!(rc.nic_bytes, 16 * 128);
+    }
+
+    #[test]
+    fn contiguous_iovec_hits_line_rate() {
+        let p = p16();
+        let dt = Datatype::contiguous(1 << 20, &elem::int());
+        let r = iovec_offload(&dt, 1, &p);
+        let tp = r.throughput_gbit();
+        assert!(tp > 150.0, "contiguous iovec ≈ line rate, got {tp}");
+    }
+
+    #[test]
+    fn pipelined_host_beats_plain_host() {
+        let h = HostCostModel::default();
+        let p = p16();
+        let dt = Datatype::vector(2048, 128, 256, &elem::double()); // 2 MiB
+        let plain = host_unpack(&dt, 1, &p, &h);
+        let piped = host_pipelined_unpack(&dt, 1, &p, &h);
+        assert!(piped.processing_time < plain.processing_time);
+        // but the CPU still does the same unpack work
+        assert!(piped.unpack_time * 10 > plain.unpack_time * 8);
+    }
+
+    #[test]
+    fn pipelined_host_still_loses_to_offload_on_coarse_types() {
+        let h = HostCostModel::default();
+        let p = p16();
+        let dt = Datatype::vector(1024, 256, 512, &elem::double()); // 2 MiB, 2 KiB blocks
+        let piped = host_pipelined_unpack(&dt, 1, &p, &h);
+        // wire time alone is ~84 us; pipelined unpack adds ~0.4 ns/B.
+        let wire = p.line_rate.time_for(dt.size);
+        assert!(piped.processing_time > wire + dt.size * 300 / 1000);
+    }
+
+    #[test]
+    fn host_throughput_in_expected_band() {
+        // Fig. 8 host line: tens of Gbit/s for a 4 MiB vector message.
+        let h = HostCostModel::default();
+        let dt = Datatype::vector(8192, 64, 128, &elem::double()); // 4 MiB, 512 B blocks
+        let r = host_unpack(&dt, 1, &p16(), &h);
+        let tp = r.throughput_gbit();
+        assert!((10.0..=40.0).contains(&tp), "host throughput {tp}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared handler plumbing: scatter a packet payload into DMA writes via
+//! the segment engine.
+//!
+//! Every receiver strategy moves bytes the same way — what differs is
+//! *which* segment state it starts from and what the work *costs*. This
+//! module provides the common scatter step and the per-call statistics
+//! delta the cost models consume.
+
+use nca_ddt::segment::{SegStats, Segment};
+use nca_ddt::sink::BlockSink;
+use nca_spin::handler::DmaWrite;
+
+/// Sink that turns emitted blocks into DMA writes carrying real bytes.
+pub struct DmaSink<'a> {
+    /// Packet payload (stream bytes `[stream_base, stream_base+len)`).
+    pub payload: &'a [u8],
+    /// Stream offset of `payload[0]`.
+    pub stream_base: u64,
+    /// Collected writes.
+    pub writes: Vec<DmaWrite>,
+}
+
+impl BlockSink for DmaSink<'_> {
+    fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
+        let s = (stream_off - self.stream_base) as usize;
+        self.writes.push(DmaWrite::data(
+            buf_off,
+            self.payload[s..s + len as usize].to_vec(),
+        ));
+    }
+}
+
+/// Process stream range `[first, first+payload.len())` on `seg` with
+/// catch-up/reset semantics, returning the DMA writes and the statistics
+/// delta of this call.
+pub fn scatter_packet(
+    seg: &mut Segment,
+    first: u64,
+    payload: &[u8],
+) -> (Vec<DmaWrite>, SegStats) {
+    let before = seg.stats;
+    let mut sink = DmaSink { payload, stream_base: first, writes: Vec::new() };
+    seg.process_range(first, first + payload.len() as u64, &mut sink)
+        .expect("packet range within message");
+    let after = seg.stats;
+    let delta = SegStats {
+        blocks_emitted: after.blocks_emitted - before.blocks_emitted,
+        bytes_emitted: after.bytes_emitted - before.bytes_emitted,
+        catchup_blocks: after.catchup_blocks - before.catchup_blocks,
+        catchup_bytes: after.catchup_bytes - before.catchup_bytes,
+        resets: after.resets - before.resets,
+    };
+    (sink.writes, delta)
+}
+
+/// Like [`scatter_packet`] but positions the segment with a free `seek`
+/// first — the specialized handlers compute the start offset
+/// arithmetically (O(1) or one binary search), so no catch-up is paid.
+pub fn scatter_packet_seek(
+    seg: &mut Segment,
+    first: u64,
+    payload: &[u8],
+) -> (Vec<DmaWrite>, SegStats) {
+    seg.seek(first).expect("packet offset within message");
+    scatter_packet(seg, first, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nca_ddt::dataloop::compile;
+    use nca_ddt::types::{elem, Datatype, DatatypeExt};
+
+    #[test]
+    fn scatter_produces_block_writes() {
+        let dt = Datatype::vector(8, 1, 2, &elem::int()); // 8 x 4B blocks
+        let dl = compile(&dt, 1);
+        let mut seg = Segment::new(dl);
+        let payload: Vec<u8> = (0..16u8).collect();
+        let (writes, stats) = scatter_packet(&mut seg, 0, &payload);
+        assert_eq!(writes.len(), 4);
+        assert_eq!(stats.blocks_emitted, 4);
+        assert_eq!(writes[1].host_off, 8);
+        assert_eq!(writes[1].data, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn scatter_with_catchup_counts_skipped() {
+        let dt = Datatype::vector(8, 1, 2, &elem::int());
+        let dl = compile(&dt, 1);
+        let mut seg = Segment::new(dl);
+        let payload = vec![0u8; 8];
+        let (_, stats) = scatter_packet(&mut seg, 16, &payload);
+        assert_eq!(stats.catchup_blocks, 4);
+        assert_eq!(stats.blocks_emitted, 2);
+    }
+
+    #[test]
+    fn seek_variant_pays_no_catchup() {
+        let dt = Datatype::vector(8, 1, 2, &elem::int());
+        let dl = compile(&dt, 1);
+        let mut seg = Segment::new(dl);
+        let payload = vec![0u8; 8];
+        let (writes, stats) = scatter_packet_seek(&mut seg, 16, &payload);
+        assert_eq!(stats.catchup_blocks, 0);
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[0].host_off, 32);
+    }
+}

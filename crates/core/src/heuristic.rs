@@ -1,0 +1,144 @@
+//! Checkpoint-interval (Δr) selection — paper Sec. 3.2.4.
+//!
+//! RW-CP's blocked-RR scheduling introduces a dependency: the packets of
+//! one Δr-sized sequence are processed sequentially on one vHPU. The
+//! paper bounds that overhead by a user-tunable factor ε of the packet
+//! processing time, subject to NIC memory and packet-buffer capacity:
+//!
+//! 1. `T_pkt + ⌈Δr/k⌉·(P−1)·T_pkt ≤ ε · ⌈n_pkt/P⌉ · T_PH(γ)`
+//! 2. `(n_pkt·k/Δr) · C ≤ M_NIC`
+//! 3. `min(T_PH(γ)·k / T_pkt, Δr) ≤ B_pkt`
+//!
+//! Constraint (1) caps Δr from above (smaller Δr ⇒ less scheduling
+//! dependency ⇒ more checkpoints), constraint (2) from below. We pick
+//! the **largest** Δr satisfying (1) — minimizing NIC memory — and relax
+//! upward if (2) requires it (accepting a scheduling overhead above ε,
+//! flagged in the result).
+
+use nca_ddt::checkpoint::CHECKPOINT_NIC_BYTES;
+use nca_sim::Time;
+use nca_spin::params::NicParams;
+
+/// Result of the Δr selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPlan {
+    /// Chosen checkpoint interval in stream bytes (multiple of the
+    /// packet payload size k).
+    pub delta_r: u64,
+    /// Packets per sequence (Δp = Δr / k).
+    pub delta_p: u64,
+    /// Number of checkpoints the table will hold.
+    pub num_checkpoints: u64,
+    /// NIC memory the checkpoints occupy.
+    pub nic_bytes: u64,
+    /// Whether the ε bound had to be violated to fit NIC memory.
+    pub epsilon_violated: bool,
+}
+
+/// Select Δr for a message of `msg_bytes` whose per-packet handler
+/// runtime is `t_ph` (from the cost model, at the message's γ).
+pub fn select_checkpoint_interval(
+    p: &NicParams,
+    msg_bytes: u64,
+    t_ph: Time,
+    epsilon: f64,
+) -> CheckpointPlan {
+    let k = p.payload_size;
+    let npkt = msg_bytes.div_ceil(k).max(1);
+    let t_pkt = p.t_pkt();
+    let hpus = p.hpus as u64;
+
+    // Constraint (1): ⌈Δr/k⌉ ≤ (ε·⌈npkt/P⌉·T_PH − T_pkt) / ((P−1)·T_pkt)
+    let budget = epsilon * npkt.div_ceil(hpus) as f64 * t_ph as f64 - t_pkt as f64;
+    let max_seq = if hpus <= 1 {
+        npkt // no cross-HPU dependency with one HPU
+    } else {
+        let q = budget / ((hpus - 1) as f64 * t_pkt as f64);
+        q.floor().max(1.0) as u64
+    };
+    let mut delta_p = max_seq.clamp(1, npkt);
+    let mut eps_violated = false;
+
+    // Constraint (2): checkpoints must fit NIC memory:
+    // npkt/Δp · C ≤ M_NIC  ⇒  Δp ≥ npkt·C / M_NIC.
+    let min_dp_mem = (npkt * CHECKPOINT_NIC_BYTES).div_ceil(p.nic_mem_capacity).max(1);
+    if min_dp_mem > delta_p {
+        delta_p = min_dp_mem.min(npkt);
+        eps_violated = true;
+    }
+
+    // Constraint (3): packets buffered while a sequence is in flight must
+    // fit the packet buffer.
+    let buffered = ((t_ph.max(1) * k) / t_pkt.max(1)).min(delta_p * k);
+    if buffered > p.pkt_buffer_bytes {
+        // Cannot buffer enough: shrink the sequence (more checkpoints).
+        delta_p = (p.pkt_buffer_bytes / k).max(1).min(delta_p);
+    }
+
+    let delta_r = delta_p * k;
+    let num_checkpoints = msg_bytes.div_ceil(delta_r).max(1);
+    CheckpointPlan {
+        delta_r,
+        delta_p,
+        num_checkpoints,
+        nic_bytes: num_checkpoints * CHECKPOINT_NIC_BYTES,
+        epsilon_violated: eps_violated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p16() -> NicParams {
+        NicParams::with_hpus(16)
+    }
+
+    #[test]
+    fn faster_handlers_mean_more_checkpoints() {
+        // Fig. 13b: larger blocks ⇒ faster handlers ⇒ smaller Δr ⇒ more
+        // NIC memory.
+        let p = p16();
+        let msg = 4u64 << 20;
+        let slow = select_checkpoint_interval(&p, msg, nca_sim::us(10), 0.2);
+        let fast = select_checkpoint_interval(&p, msg, nca_sim::ns(400), 0.2);
+        assert!(fast.num_checkpoints >= slow.num_checkpoints);
+        assert!(fast.nic_bytes >= slow.nic_bytes);
+    }
+
+    #[test]
+    fn more_hpus_mean_more_checkpoints() {
+        // Fig. 13c: more HPUs ⇒ faster message processing ⇒ smaller Δr.
+        let msg = 4u64 << 20;
+        let t_ph = nca_sim::us(1);
+        let few = select_checkpoint_interval(&NicParams::with_hpus(4), msg, t_ph, 0.2);
+        let many = select_checkpoint_interval(&NicParams::with_hpus(32), msg, t_ph, 0.2);
+        assert!(many.num_checkpoints >= few.num_checkpoints);
+    }
+
+    #[test]
+    fn memory_capacity_forces_larger_interval() {
+        let mut p = p16();
+        p.nic_mem_capacity = 8 * CHECKPOINT_NIC_BYTES; // room for 8 ckpts
+        let msg = 4u64 << 20; // 2048 packets
+        let plan = select_checkpoint_interval(&p, msg, nca_sim::ns(300), 0.2);
+        assert!(plan.num_checkpoints <= 8);
+        assert!(plan.nic_bytes <= p.nic_mem_capacity);
+    }
+
+    #[test]
+    fn delta_r_is_multiple_of_payload() {
+        let p = p16();
+        let plan = select_checkpoint_interval(&p, 4 << 20, nca_sim::us(2), 0.2);
+        assert_eq!(plan.delta_r % p.payload_size, 0);
+        assert_eq!(plan.delta_p, plan.delta_r / p.payload_size);
+    }
+
+    #[test]
+    fn single_packet_message_gets_one_checkpoint() {
+        let p = p16();
+        let plan = select_checkpoint_interval(&p, 100, nca_sim::ns(300), 0.2);
+        assert_eq!(plan.num_checkpoints, 1);
+        assert_eq!(plan.delta_p, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # nca-core — network-accelerated non-contiguous memory transfers
+//!
+//! The paper's primary contribution: receiver-side NIC offload of MPI
+//! derived-datatype processing on sPIN, with
+//!
+//! * [`strategies`] — **specialized** per-shape handlers and the three
+//!   write-conflict-free **general** handlers (HPU-local, RO-CP, RW-CP);
+//! * [`heuristic`] — the checkpoint-interval (Δr) selection under the ε
+//!   scheduling-overhead bound and NIC-memory/packet-buffer capacity;
+//! * [`costmodel`] — the calibrated `T_PH(γ) = T_init + T_setup + γ·T_block`
+//!   handler model and the host-unpack model;
+//! * [`baselines`] — host-based unpack (RDMA + CPU) and Portals 4 iovec
+//!   offload;
+//! * [`api`] — the MPI integration layer (commit-time strategy selection,
+//!   NIC memory admission with priority/LRU eviction, host fallback);
+//! * [`runner`] — end-to-end experiment driver with byte-exact
+//!   receive-buffer verification.
+//!
+//! ```
+//! use nca_core::runner::{Experiment, Strategy};
+//! use nca_ddt::types::{elem, Datatype, DatatypeExt};
+//! use nca_spin::params::NicParams;
+//!
+//! // A 64 KiB message of 128-byte strided blocks, received via RW-CP.
+//! let dt = Datatype::vector(512, 16, 32, &elem::double());
+//! let exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
+//! let report = exp.run(Strategy::RwCp);
+//! assert!(report.throughput_gbit() > 1.0);
+//! ```
+
+pub mod api;
+pub mod baselines;
+pub mod costmodel;
+pub mod engine;
+pub mod heuristic;
+pub mod runner;
+pub mod strategies;
+
+pub use api::{CommittedDdt, OffloadManager, PostOutcome, TypeAttr};
+pub use baselines::{host_pipelined_unpack, host_unpack, iovec_offload, BaselineReport};
+pub use costmodel::{HandlerCycles, HostCostModel};
+pub use heuristic::{select_checkpoint_interval, CheckpointPlan};
+pub use runner::{Experiment, Strategy};
+pub use strategies::{GeneralKind, GeneralProcessor, SpecializedProcessor};

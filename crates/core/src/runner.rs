@@ -1,0 +1,186 @@
+//! End-to-end experiment runner: build the packed message, run a
+//! strategy through the NIC pipeline, verify correctness, and report
+//! the metrics every figure harness consumes.
+
+use nca_ddt::dataloop::compile;
+use nca_ddt::pack::{buffer_span, pack, unpack};
+use nca_ddt::types::Datatype;
+use nca_spin::handler::MessageProcessor;
+use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
+use nca_spin::params::NicParams;
+
+use crate::baselines::{host_unpack, iovec_offload, BaselineReport};
+use crate::costmodel::HostCostModel;
+use crate::strategies::{GeneralKind, GeneralProcessor, SpecializedProcessor};
+
+/// Which receive method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Datatype-specific handlers.
+    Specialized,
+    /// General handlers, per-vHPU segment replicas.
+    HpuLocal,
+    /// General handlers, read-only checkpoints.
+    RoCp,
+    /// General handlers, progressing checkpoints.
+    RwCp,
+}
+
+impl Strategy {
+    /// All offloaded strategies (Fig. 8 order).
+    pub const ALL: [Strategy; 4] =
+        [Strategy::Specialized, Strategy::RwCp, Strategy::RoCp, Strategy::HpuLocal];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Specialized => "Specialized",
+            Strategy::HpuLocal => "HPU-local",
+            Strategy::RoCp => "RO-CP",
+            Strategy::RwCp => "RW-CP",
+        }
+    }
+
+    /// Instantiate a processor for `count` copies of `dt`.
+    pub fn build(
+        &self,
+        dt: &Datatype,
+        count: u32,
+        params: NicParams,
+        epsilon: f64,
+    ) -> Box<dyn MessageProcessor> {
+        match self {
+            Strategy::Specialized => Box::new(SpecializedProcessor::new(dt, count, params)),
+            Strategy::HpuLocal => {
+                Box::new(GeneralProcessor::new(GeneralKind::HpuLocal, dt, count, params, epsilon))
+            }
+            Strategy::RoCp => {
+                Box::new(GeneralProcessor::new(GeneralKind::RoCp, dt, count, params, epsilon))
+            }
+            Strategy::RwCp => {
+                Box::new(GeneralProcessor::new(GeneralKind::RwCp, dt, count, params, epsilon))
+            }
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Clone)]
+pub struct Experiment {
+    /// The receive datatype.
+    pub dt: Datatype,
+    /// Repetition count.
+    pub count: u32,
+    /// NIC parameters.
+    pub params: NicParams,
+    /// Out-of-order seed (None = in order).
+    pub out_of_order: Option<u64>,
+    /// Scheduling-overhead bound for Δr selection.
+    pub epsilon: f64,
+    /// Record DMA queue time series.
+    pub record_dma_history: bool,
+    /// Verify the receive buffer against a reference unpack.
+    pub verify: bool,
+}
+
+impl Experiment {
+    /// Sensible defaults (in order, ε = 0.2, verification on).
+    pub fn new(dt: Datatype, count: u32, params: NicParams) -> Self {
+        Experiment {
+            dt,
+            count,
+            params,
+            out_of_order: None,
+            epsilon: 0.2,
+            record_dma_history: false,
+            verify: true,
+        }
+    }
+
+    /// Packed message bytes for this experiment (deterministic pattern).
+    pub fn packed_message(&self) -> Vec<u8> {
+        let (origin, span) = buffer_span(&self.dt, self.count);
+        let src: Vec<u8> = (0..span as usize).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        pack(&self.dt, self.count, &src, origin).expect("packable")
+    }
+
+    /// Average contiguous regions per packet (the paper's γ).
+    pub fn gamma(&self) -> f64 {
+        let dl = compile(&self.dt, self.count);
+        let npkt = dl.size.div_ceil(self.params.payload_size).max(1);
+        dl.blocks as f64 / npkt as f64
+    }
+
+    /// Run one offloaded strategy; panics on receive-buffer corruption
+    /// when verification is enabled.
+    pub fn run(&self, strategy: Strategy) -> RunReport {
+        let (origin, span) = buffer_span(&self.dt, self.count);
+        let packed = self.packed_message();
+        let proc_ = strategy.build(&self.dt, self.count, self.params.clone(), self.epsilon);
+        let cfg = RunConfig {
+            params: self.params.clone(),
+            out_of_order: self.out_of_order,
+            record_dma_history: self.record_dma_history,
+            portals: None,
+        };
+        let report = ReceiveSim::run(proc_, packed.clone(), origin, span, &cfg);
+        if self.verify {
+            let mut expect = vec![0u8; span as usize];
+            unpack(&self.dt, self.count, &packed, &mut expect, origin).expect("unpackable");
+            assert_eq!(
+                report.host_buf, expect,
+                "strategy {} corrupted the receive buffer",
+                strategy.label()
+            );
+        }
+        report
+    }
+
+    /// Host-based unpack baseline for this experiment.
+    pub fn run_host(&self) -> BaselineReport {
+        host_unpack(&self.dt, self.count, &self.params, &HostCostModel::default())
+    }
+
+    /// Portals 4 iovec baseline for this experiment.
+    pub fn run_iovec(&self) -> BaselineReport {
+        iovec_offload(&self.dt, self.count, &self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nca_ddt::types::{elem, DatatypeExt};
+
+    #[test]
+    fn experiment_runs_all_strategies() {
+        let dt = Datatype::vector(1024, 32, 64, &elem::double());
+        let exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
+        for s in Strategy::ALL {
+            let r = exp.run(s);
+            assert!(r.processing_time() > 0);
+            assert!(r.dma_bytes >= exp.packed_message().len() as u64);
+        }
+    }
+
+    #[test]
+    fn gamma_matches_block_arithmetic() {
+        // 256 B blocks in 2 KiB packets -> γ = 8.
+        let dt = Datatype::vector(4096, 32, 64, &elem::double());
+        let exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
+        assert!((exp.gamma() - 8.0).abs() < 0.01, "γ = {}", exp.gamma());
+    }
+
+    #[test]
+    fn baselines_report_consistent_sizes() {
+        let dt = Datatype::vector(512, 8, 16, &elem::double());
+        let exp = Experiment::new(dt.clone(), 2, NicParams::with_hpus(16));
+        let h = exp.run_host();
+        let i = exp.run_iovec();
+        assert_eq!(h.msg_bytes, dt.size * 2);
+        assert_eq!(i.msg_bytes, dt.size * 2);
+        // 512 blocks per copy; the copies abut at the extent boundary, so
+        // the last block of copy 1 merges with the first of copy 2.
+        assert_eq!(i.regions, 1023);
+    }
+}

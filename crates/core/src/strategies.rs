@@ -1,0 +1,463 @@
+//! The receiver-side DDT offload strategies (paper Sec. 3.2).
+//!
+//! * [`SpecializedProcessor`] — datatype-specific handlers (vector,
+//!   indexed-block, indexed, nested vector) with O(1)-arithmetic or
+//!   binary-search block location (Sec. 3.2.3).
+//! * [`GeneralProcessor`] — MPITypes-based general handlers in the three
+//!   write-conflict-free variants of Sec. 3.2.4: **HPU-local**, **RO-CP**
+//!   (read-only checkpoints) and **RW-CP** (progressing checkpoints under
+//!   blocked-RR scheduling).
+//!
+//! Both implement `nca_spin::MessageProcessor`: they *really* scatter the
+//! packet bytes (so end-to-end tests can verify the receive buffer) and
+//! report modelled costs per the calibrated [`crate::costmodel`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nca_ddt::checkpoint::CheckpointTable;
+use nca_ddt::dataloop::{compile, Dataloop};
+use nca_ddt::normalize::{classify, Shape};
+use nca_ddt::segment::Segment;
+use nca_ddt::types::Datatype;
+use nca_sim::Time;
+use nca_spin::handler::{
+    HandlerOutput, MessageProcessor, PacketCtx, SchedPolicy,
+};
+use nca_spin::params::NicParams;
+
+use crate::costmodel::{
+    general_handler_cost, specialized_handler_cost, HandlerCycles, HostCostModel,
+};
+use crate::engine::{scatter_packet, scatter_packet_seek};
+use crate::heuristic::{select_checkpoint_interval, CheckpointPlan};
+
+/// Which general-handler variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneralKind {
+    /// Per-vHPU segment replicas, Δp = 1, P vHPUs; pays (P−1)·γ catch-up
+    /// blocks per packet.
+    HpuLocal,
+    /// Read-only checkpoints: every handler copies the closest checkpoint
+    /// and processes locally.
+    RoCp,
+    /// Progressing checkpoints: blocked-RR binds each Δr-sequence to the
+    /// vHPU owning its checkpoint; no copy, no catch-up in order.
+    RwCp,
+}
+
+/// Estimate of the per-packet general handler runtime at the message's
+/// average γ — the `T_PH(γ)` the Δr heuristic needs.
+pub fn estimate_t_ph(p: &NicParams, cyc: &HandlerCycles, dl: &Dataloop) -> Time {
+    let npkt = dl.size.div_ceil(p.payload_size).max(1);
+    let gamma = (dl.blocks as f64 / npkt as f64).ceil().max(1.0) as u64;
+    p.cycles(cyc.init + cyc.setup + gamma * cyc.block_general)
+}
+
+/// The general (MPITypes-interpreting) processor.
+pub struct GeneralProcessor {
+    kind: GeneralKind,
+    params: NicParams,
+    cyc: HandlerCycles,
+    host: HostCostModel,
+    dl: Arc<Dataloop>,
+    table: Option<CheckpointTable>,
+    plan: Option<CheckpointPlan>,
+    /// Per-vHPU working segments (HPU-local replicas / RW-CP owned
+    /// checkpoints).
+    segs: HashMap<u64, Segment>,
+    npkt: u64,
+    /// Times an RW-CP checkpoint had to be reverted from its master copy
+    /// (out-of-order arrivals).
+    pub reverts: u64,
+}
+
+impl GeneralProcessor {
+    /// Build for `count` copies of `dt`. `epsilon` is the scheduling-
+    /// overhead bound of the Δr heuristic (the paper uses 0.2).
+    pub fn new(
+        kind: GeneralKind,
+        dt: &Datatype,
+        count: u32,
+        params: NicParams,
+        epsilon: f64,
+    ) -> Self {
+        let dl = compile(dt, count);
+        let cyc = HandlerCycles::default();
+        let npkt = dl.size.div_ceil(params.payload_size).max(1);
+        let (table, plan) = match kind {
+            GeneralKind::HpuLocal => (None, None),
+            GeneralKind::RoCp | GeneralKind::RwCp => {
+                let t_ph = estimate_t_ph(&params, &cyc, &dl);
+                let plan = select_checkpoint_interval(&params, dl.size, t_ph, epsilon);
+                let table = CheckpointTable::build(&dl, plan.delta_r.max(1))
+                    .expect("valid checkpoint interval");
+                (Some(table), Some(plan))
+            }
+        };
+        GeneralProcessor {
+            kind,
+            params,
+            cyc,
+            host: HostCostModel::default(),
+            dl,
+            table,
+            plan,
+            segs: HashMap::new(),
+            npkt,
+            reverts: 0,
+        }
+    }
+
+    /// The Δr plan (RO-CP/RW-CP only).
+    pub fn plan(&self) -> Option<&CheckpointPlan> {
+        self.plan.as_ref()
+    }
+}
+
+impl MessageProcessor for GeneralProcessor {
+    fn policy(&self) -> SchedPolicy {
+        match self.kind {
+            GeneralKind::HpuLocal => SchedPolicy::BlockedRR {
+                delta_p: 1,
+                num_vhpus: self.params.hpus as u64,
+            },
+            GeneralKind::RoCp => SchedPolicy::Default,
+            GeneralKind::RwCp => {
+                let plan = self.plan.as_ref().expect("RW-CP has a plan");
+                SchedPolicy::BlockedRR {
+                    delta_p: plan.delta_p,
+                    num_vhpus: self.npkt.div_ceil(plan.delta_p).max(1),
+                }
+            }
+        }
+    }
+
+    fn nic_mem_bytes(&self) -> u64 {
+        let descr = self.dl.nic_descr_bytes();
+        match self.kind {
+            GeneralKind::HpuLocal => {
+                descr + self.params.hpus as u64 * nca_ddt::checkpoint::CHECKPOINT_NIC_BYTES
+            }
+            GeneralKind::RoCp | GeneralKind::RwCp => {
+                descr + self.table.as_ref().map(|t| t.nic_bytes()).unwrap_or(0)
+            }
+        }
+    }
+
+    fn host_setup_time(&self) -> Time {
+        match self.kind {
+            GeneralKind::HpuLocal => {
+                // Copy the dataloop descriptor to the NIC.
+                self.params.pcie_bw.time_for(self.dl.nic_descr_bytes()) + self.params.pcie_latency
+            }
+            GeneralKind::RoCp | GeneralKind::RwCp => {
+                let n = self.table.as_ref().map(|t| t.len() as u64).unwrap_or(0);
+                self.params.pcie_bw.time_for(self.dl.nic_descr_bytes())
+                    + self.params.pcie_latency
+                    + n * self.host.checkpoint_create_time()
+            }
+        }
+    }
+
+    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
+        let first = ctx.stream_offset;
+        match self.kind {
+            GeneralKind::HpuLocal => {
+                let dl = Arc::clone(&self.dl);
+                let seg = self.segs.entry(ctx.vhpu).or_insert_with(|| Segment::new(dl));
+                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                HandlerOutput {
+                    cost: general_handler_cost(&self.params, &self.cyc, &stats, false),
+                    dma,
+                }
+            }
+            GeneralKind::RoCp => {
+                // Copy the closest checkpoint, process locally, discard.
+                let table = self.table.as_ref().expect("RO-CP table");
+                let mut seg = table.closest(first).materialize();
+                let (dma, stats) = scatter_packet(&mut seg, first, ctx.payload);
+                HandlerOutput {
+                    cost: general_handler_cost(&self.params, &self.cyc, &stats, true),
+                    dma,
+                }
+            }
+            GeneralKind::RwCp => {
+                let table = self.table.as_ref().expect("RW-CP table");
+                let mut reverted = false;
+                let seg = match self.segs.entry(ctx.vhpu) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let seg = e.into_mut();
+                        if first < seg.position() {
+                            // Out-of-order within the sequence: revert the
+                            // progressed checkpoint from its master copy.
+                            *seg = table.closest(first).materialize();
+                            reverted = true;
+                        }
+                        seg
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        // First packet of the sequence: the vHPU takes
+                        // ownership of its checkpoint (no copy needed).
+                        v.insert(table.closest(first).materialize())
+                    }
+                };
+                if reverted {
+                    self.reverts += 1;
+                }
+                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                HandlerOutput {
+                    cost: general_handler_cost(&self.params, &self.cyc, &stats, reverted),
+                    dma,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            GeneralKind::HpuLocal => "HPU-local",
+            GeneralKind::RoCp => "RO-CP",
+            GeneralKind::RwCp => "RW-CP",
+        }
+    }
+}
+
+/// The specialized (datatype-specific) processor.
+pub struct SpecializedProcessor {
+    params: NicParams,
+    cyc: HandlerCycles,
+    dl: Arc<Dataloop>,
+    seg: Segment,
+    shape: Shape,
+    nic_mem: u64,
+}
+
+impl SpecializedProcessor {
+    /// Build for `count` copies of `dt`. Works for any type (the offset/
+    /// length lists degenerate to a full flatten for `Shape::General`,
+    /// like a user-written custom handler would).
+    pub fn new(dt: &Datatype, count: u32, params: NicParams) -> Self {
+        let dl = compile(dt, count);
+        let shape = classify(dt);
+        let nic_mem = Self::shape_nic_bytes(&shape, &dl);
+        let seg = Segment::new(Arc::clone(&dl));
+        SpecializedProcessor {
+            params,
+            cyc: HandlerCycles::default(),
+            dl,
+            seg,
+            shape,
+            nic_mem,
+        }
+    }
+
+    /// NIC state the specialized handler needs: O(1) for (nested)
+    /// vectors, offset/length lists otherwise ("the specialized handler
+    /// always requires the minimum amount of space").
+    fn shape_nic_bytes(shape: &Shape, dl: &Dataloop) -> u64 {
+        match shape {
+            Shape::Contiguous { .. } => 16,
+            Shape::Vector { .. } => 32,
+            Shape::Vector2 { .. } => 56,
+            Shape::IndexedBlock { count, .. } => 16 + 8 * count,
+            Shape::Indexed { count } => 16 + 16 * count,
+            // No true specialized handler: a custom handler would carry
+            // the full flattened region list.
+            Shape::General => 16 + 16 * dl.blocks,
+        }
+    }
+
+    /// The classified shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn search_depth(&self) -> u32 {
+        match &self.shape {
+            Shape::Contiguous { .. } | Shape::Vector { .. } | Shape::Vector2 { .. } => 0,
+            Shape::IndexedBlock { count, .. } => (*count as f64).log2().ceil() as u32,
+            Shape::Indexed { count } => (*count as f64).log2().ceil() as u32,
+            Shape::General => (self.dl.blocks.max(2) as f64).log2().ceil() as u32,
+        }
+    }
+}
+
+impl MessageProcessor for SpecializedProcessor {
+    fn policy(&self) -> SchedPolicy {
+        SchedPolicy::Default
+    }
+
+    fn nic_mem_bytes(&self) -> u64 {
+        self.nic_mem
+    }
+
+    fn host_setup_time(&self) -> Time {
+        self.params.pcie_bw.time_for(self.nic_mem) + self.params.pcie_latency
+    }
+
+    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
+        let (dma, stats) = scatter_packet_seek(&mut self.seg, ctx.stream_offset, ctx.payload);
+        HandlerOutput {
+            cost: specialized_handler_cost(
+                &self.params,
+                &self.cyc,
+                stats.blocks_emitted,
+                self.search_depth(),
+            ),
+            dma,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Specialized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nca_ddt::types::{elem, DatatypeExt};
+    use nca_spin::nic::{ReceiveSim, RunConfig};
+
+    fn vec_dt(count: u32, blocklen: u32, stride: i64) -> Datatype {
+        Datatype::vector(count, blocklen, stride, &elem::double())
+    }
+
+    fn packed_for(dt: &Datatype, count: u32) -> (Vec<u8>, Vec<u8>, i64, u64) {
+        let (origin, span) = nca_ddt::pack::buffer_span(dt, count);
+        let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
+        let packed = nca_ddt::pack::pack(dt, count, &src, origin).unwrap();
+        let mut expect = vec![0u8; span as usize];
+        nca_ddt::pack::unpack(dt, count, &packed, &mut expect, origin).unwrap();
+        (packed, expect, origin, span)
+    }
+
+    fn run_end_to_end(proc_: Box<dyn MessageProcessor>, dt: &Datatype, count: u32, ooo: Option<u64>) {
+        let (packed, expect, origin, span) = packed_for(dt, count);
+        let cfg = RunConfig {
+            params: NicParams::with_hpus(16),
+            out_of_order: ooo,
+            record_dma_history: false,
+            portals: None,
+        };
+        let name = proc_.name();
+        let report = ReceiveSim::run(proc_, packed, origin, span, &cfg);
+        assert_eq!(report.host_buf, expect, "strategy {name} corrupted the receive buffer");
+        assert!(report.t_complete > report.t_first_byte);
+    }
+
+    #[test]
+    fn all_strategies_unpack_correctly_in_order() {
+        let dt = vec_dt(512, 16, 32); // 64 KiB of 128 B blocks
+        let p = NicParams::with_hpus(16);
+        run_end_to_end(Box::new(SpecializedProcessor::new(&dt, 1, p.clone())), &dt, 1, None);
+        for kind in [GeneralKind::HpuLocal, GeneralKind::RoCp, GeneralKind::RwCp] {
+            run_end_to_end(
+                Box::new(GeneralProcessor::new(kind, &dt, 1, p.clone(), 0.2)),
+                &dt,
+                1,
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_unpack_correctly_out_of_order() {
+        let dt = vec_dt(2048, 8, 16); // 128 KiB
+        let p = NicParams::with_hpus(8);
+        for seed in [3u64, 11] {
+            run_end_to_end(Box::new(SpecializedProcessor::new(&dt, 1, p.clone())), &dt, 1, Some(seed));
+            for kind in [GeneralKind::HpuLocal, GeneralKind::RoCp, GeneralKind::RwCp] {
+                run_end_to_end(
+                    Box::new(GeneralProcessor::new(kind, &dt, 1, p.clone(), 0.2)),
+                    &dt,
+                    1,
+                    Some(seed),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_type_general_strategies() {
+        let inner = Datatype::vector(4, 2, 6, &elem::float());
+        let dt = Datatype::vector(256, 1, 64, &inner);
+        let p = NicParams::with_hpus(16);
+        for kind in [GeneralKind::HpuLocal, GeneralKind::RoCp, GeneralKind::RwCp] {
+            run_end_to_end(
+                Box::new(GeneralProcessor::new(kind, &dt, 2, p.clone(), 0.2)),
+                &dt,
+                2,
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_faster_than_general_big_blocks() {
+        let dt = vec_dt(2048, 256, 512); // 4 MiB, 2 KiB blocks
+        let p = NicParams::with_hpus(16);
+        let (packed, _, origin, span) = packed_for(&dt, 1);
+        let cfg = RunConfig::new(p.clone());
+        let spec = ReceiveSim::run(
+            Box::new(SpecializedProcessor::new(&dt, 1, p.clone())),
+            packed.clone(),
+            origin,
+            span,
+            &cfg,
+        );
+        let hpul = ReceiveSim::run(
+            Box::new(GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, p.clone(), 0.2)),
+            packed.clone(),
+            origin,
+            span,
+            &cfg,
+        );
+        let rocp = ReceiveSim::run(
+            Box::new(GeneralProcessor::new(GeneralKind::RoCp, &dt, 1, p, 0.2)),
+            packed,
+            origin,
+            span,
+            &cfg,
+        );
+        assert!(spec.processing_time() <= hpul.processing_time());
+        assert!(spec.processing_time() <= rocp.processing_time());
+    }
+
+    #[test]
+    fn rwcp_policy_uses_plan() {
+        let dt = vec_dt(4096, 16, 32); // 512 KiB
+        let p = NicParams::with_hpus(16);
+        let proc_ = GeneralProcessor::new(GeneralKind::RwCp, &dt, 1, p, 0.2);
+        let plan = proc_.plan().unwrap();
+        match proc_.policy() {
+            SchedPolicy::BlockedRR { delta_p, num_vhpus } => {
+                assert_eq!(delta_p, plan.delta_p);
+                assert!(num_vhpus >= 1);
+            }
+            other => panic!("RW-CP must use blocked-RR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hpu_local_memory_scales_with_hpus() {
+        let dt = vec_dt(4096, 16, 32);
+        let small = GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(4), 0.2);
+        let large = GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(32), 0.2);
+        assert!(large.nic_mem_bytes() > small.nic_mem_bytes());
+    }
+
+    #[test]
+    fn specialized_shape_detection() {
+        let v = vec_dt(128, 4, 8);
+        let p = SpecializedProcessor::new(&v, 1, NicParams::default());
+        assert!(matches!(p.shape(), Shape::Vector { .. }));
+        assert_eq!(p.nic_mem_bytes(), 32);
+
+        let ib = Datatype::indexed_block(4, &[0, 9, 20, 31, 50], &elem::double()).unwrap();
+        let p2 = SpecializedProcessor::new(&ib, 1, NicParams::default());
+        assert!(matches!(p2.shape(), Shape::IndexedBlock { .. }));
+        assert_eq!(p2.nic_mem_bytes(), 16 + 8 * 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the Δr heuristic and the offload manager.
+
+use proptest::prelude::*;
+
+use nca_core::api::{OffloadManager, PostOutcome, TypeAttr};
+use nca_core::heuristic::select_checkpoint_interval;
+use nca_ddt::checkpoint::CHECKPOINT_NIC_BYTES;
+use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_spin::params::NicParams;
+
+proptest! {
+    #[test]
+    fn plan_invariants(
+        msg_kib in 1u64..32_768,
+        t_ph_ns in 100u64..100_000,
+        hpus in 1usize..64,
+        eps in 0.01f64..1.0,
+    ) {
+        let mut p = NicParams::with_hpus(hpus);
+        p.nic_mem_capacity = 4 << 20;
+        let msg = msg_kib << 10;
+        let plan = select_checkpoint_interval(&p, msg, nca_sim::ns(t_ph_ns), eps);
+        // Δr is a positive multiple of the payload size.
+        prop_assert!(plan.delta_r > 0);
+        prop_assert_eq!(plan.delta_r % p.payload_size, 0);
+        prop_assert_eq!(plan.delta_p, plan.delta_r / p.payload_size);
+        // checkpoint count covers the message
+        prop_assert!(plan.num_checkpoints * plan.delta_r >= msg);
+        prop_assert_eq!(plan.nic_bytes, plan.num_checkpoints * CHECKPOINT_NIC_BYTES);
+        // memory constraint respected unless a single checkpoint is already too big
+        if p.nic_mem_capacity >= CHECKPOINT_NIC_BYTES {
+            prop_assert!(plan.nic_bytes <= p.nic_mem_capacity.max(CHECKPOINT_NIC_BYTES) * 2,
+                "nic bytes {} vs capacity {}", plan.nic_bytes, p.nic_mem_capacity);
+        }
+    }
+
+    #[test]
+    fn looser_epsilon_never_needs_more_checkpoints(
+        msg_kib in 64u64..16_384,
+        t_ph_ns in 200u64..50_000,
+    ) {
+        let p = NicParams::with_hpus(16);
+        let msg = msg_kib << 10;
+        let tight = select_checkpoint_interval(&p, msg, nca_sim::ns(t_ph_ns), 0.05);
+        let loose = select_checkpoint_interval(&p, msg, nca_sim::ns(t_ph_ns), 0.8);
+        prop_assert!(loose.num_checkpoints <= tight.num_checkpoints);
+    }
+
+    #[test]
+    fn offload_manager_never_overcommits(
+        caps in 1u64..64, // capacity in KiB
+        types in proptest::collection::vec(2u32..200, 1..12),
+    ) {
+        let mut p = NicParams::with_hpus(8);
+        p.nic_mem_capacity = caps << 10;
+        let cap = p.nic_mem_capacity;
+        let mut mgr = OffloadManager::new(p);
+        for (i, &blocks) in types.iter().enumerate() {
+            let displs: Vec<i64> = (0..blocks as i64)
+                .map(|k| k * 3 + (k * k + i as i64) % 2)
+                .collect();
+            let dt = Datatype::indexed_block(1, &displs, &elem::double()).expect("valid");
+            let c = mgr.commit(&dt, TypeAttr::default());
+            let out = mgr.post_receive(&c, 1);
+            prop_assert!(mgr.nic_mem_used() <= cap, "overcommitted: {} > {}", mgr.nic_mem_used(), cap);
+            if out == PostOutcome::FallbackHost {
+                prop_assert!(!mgr.is_resident(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Segment checkpoints — snapshots of datatype-processing state.
+//!
+//! The RO-CP and RW-CP offload strategies (paper Sec. 3.2.4) precompute,
+//! on the host, snapshots of the MPITypes segment every Δr stream bytes
+//! and copy them to NIC memory. A handler then starts from the closest
+//! checkpoint at or before its packet's stream offset instead of
+//! replaying the whole stream.
+//!
+//! [`CheckpointTable::build`] creates the table; the per-checkpoint NIC
+//! footprint uses the paper's measured constant
+//! [`CHECKPOINT_NIC_BYTES`] (612 B) for accounting, independent of our
+//! (smaller) in-simulator representation.
+
+use std::sync::Arc;
+
+use crate::dataloop::Dataloop;
+use crate::error::Result;
+use crate::segment::Segment;
+
+/// NIC-memory footprint of one checkpoint, as configured in the paper
+/// ("C is the checkpoint size (612 B in our configuration)").
+pub const CHECKPOINT_NIC_BYTES: u64 = 612;
+
+/// A snapshot of segment state at a known stream offset.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Stream offset the snapshot corresponds to.
+    pub offset: u64,
+    /// The frozen segment state.
+    pub segment: Segment,
+}
+
+impl Checkpoint {
+    /// Snapshot the current state of `seg`.
+    pub fn capture(seg: &Segment) -> Checkpoint {
+        let mut frozen = seg.clone();
+        // Checkpoints carry no history: statistics restart from zero so a
+        // handler's cost attribution is its own.
+        frozen.stats = Default::default();
+        Checkpoint { offset: seg.position(), segment: frozen }
+    }
+
+    /// Materialize a working segment from this checkpoint (the "local
+    /// copy" a RO-CP handler makes before processing).
+    pub fn materialize(&self) -> Segment {
+        self.segment.clone()
+    }
+}
+
+/// An ordered table of checkpoints at (approximately) uniform intervals.
+#[derive(Debug, Clone)]
+pub struct CheckpointTable {
+    /// Checkpoint interval Δr in stream bytes.
+    pub interval: u64,
+    /// Checkpoints sorted by offset; `cps[0].offset == 0`.
+    pub cps: Vec<Checkpoint>,
+    /// Total stream size covered.
+    pub total: u64,
+}
+
+impl CheckpointTable {
+    /// Build a table for the given dataloop with checkpoint interval
+    /// `interval` (Δr). The table always contains the initial state at
+    /// offset 0 plus one checkpoint per full interval boundary below the
+    /// total size. Host-side creation walks the stream once (the paper's
+    /// "the datatype is processed on the host and every Δr bytes … a copy
+    /// of the segment is made").
+    pub fn build(dl: &Arc<Dataloop>, interval: u64) -> Result<CheckpointTable> {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let total = dl.size;
+        let mut seg = Segment::new(Arc::clone(dl));
+        let mut cps = Vec::with_capacity((total / interval) as usize + 1);
+        cps.push(Checkpoint::capture(&seg));
+        let mut at = interval;
+        while at < total {
+            seg.seek(at)?;
+            cps.push(Checkpoint::capture(&seg));
+            at += interval;
+        }
+        Ok(CheckpointTable { interval, cps, total })
+    }
+
+    /// Number of checkpoints.
+    pub fn len(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// Whether the table is empty (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.cps.is_empty()
+    }
+
+    /// NIC memory the table occupies, using the paper's per-checkpoint
+    /// constant.
+    pub fn nic_bytes(&self) -> u64 {
+        self.cps.len() as u64 * CHECKPOINT_NIC_BYTES
+    }
+
+    /// Index of the closest checkpoint at or before stream offset `pos`.
+    pub fn closest_index(&self, pos: u64) -> usize {
+        let idx = (pos / self.interval) as usize;
+        idx.min(self.cps.len() - 1)
+    }
+
+    /// The closest checkpoint at or before `pos`.
+    pub fn closest(&self, pos: u64) -> &Checkpoint {
+        &self.cps[self.closest_index(pos)]
+    }
+
+    /// Host-side cost accounting for creating the table: bytes that must
+    /// be copied to the NIC (checkpoints + nothing else; the dataloop
+    /// descriptor is accounted separately).
+    pub fn creation_copy_bytes(&self) -> u64 {
+        self.nic_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataloop::compile;
+    use crate::sink::VecSink;
+    use crate::types::{elem, Datatype, DatatypeExt};
+
+    fn vec_dt() -> Arc<Dataloop> {
+        compile(&Datatype::vector(100, 2, 5, &elem::int()), 1)
+    }
+
+    #[test]
+    fn table_has_expected_count() {
+        let dl = vec_dt(); // size = 100*8 = 800
+        assert_eq!(dl.size, 800);
+        let t = CheckpointTable::build(&dl, 128).unwrap();
+        // offsets 0,128,...,768 -> 7 checkpoints
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.cps[0].offset, 0);
+        assert_eq!(t.cps[6].offset, 768);
+        assert_eq!(t.nic_bytes(), 7 * CHECKPOINT_NIC_BYTES);
+    }
+
+    #[test]
+    fn closest_picks_floor() {
+        let dl = vec_dt();
+        let t = CheckpointTable::build(&dl, 100).unwrap();
+        assert_eq!(t.closest(0).offset, 0);
+        assert_eq!(t.closest(99).offset, 0);
+        assert_eq!(t.closest(100).offset, 100);
+        assert_eq!(t.closest(799).offset, 700);
+    }
+
+    #[test]
+    fn materialized_checkpoint_continues_correctly() {
+        let dl = vec_dt();
+        let t = CheckpointTable::build(&dl, 160).unwrap();
+        // Process [320, 400) from checkpoint vs. from scratch.
+        let cp = t.closest(320);
+        assert_eq!(cp.offset, 320);
+        let mut from_cp = cp.materialize();
+        let mut a = VecSink::default();
+        from_cp.process_range(320, 400, &mut a).unwrap();
+
+        let mut fresh = Segment::new(dl);
+        let mut b = VecSink::default();
+        fresh.process_range(320, 400, &mut b).unwrap();
+        assert_eq!(a.blocks, b.blocks);
+        // Checkpoint start needs no catch-up.
+        assert_eq!(from_cp.stats.catchup_bytes, 0);
+        assert!(fresh.stats.catchup_bytes > 0);
+    }
+
+    #[test]
+    fn interval_larger_than_stream_gives_one_checkpoint() {
+        let dl = vec_dt();
+        let t = CheckpointTable::build(&dl, 10_000).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.closest(799).offset, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! `MPI_Type_create_darray` — distributed-array datatypes.
+//!
+//! Describes one process's share of an n-dimensional global array under
+//! per-dimension block or cyclic distributions over a process grid —
+//! the datatype HPC I/O and halo frameworks generate. Built (like
+//! subarray) from nested `hvector`s, so the whole offload machinery
+//! applies unchanged.
+
+use crate::error::{DdtError, Result};
+use crate::types::{ArrayOrder, Datatype, DatatypeExt};
+
+/// Per-dimension distribution (subset of the MPI `MPI_DISTRIBUTE_*`
+/// constants: block and cyclic with default distribution argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// `MPI_DISTRIBUTE_BLOCK` with `MPI_DISTRIBUTE_DFLT_DARG`:
+    /// contiguous blocks of `ceil(size/procs)`.
+    Block,
+    /// `MPI_DISTRIBUTE_CYCLIC` with default argument: element-wise
+    /// round-robin.
+    Cyclic,
+    /// `MPI_DISTRIBUTE_NONE`: the dimension is not distributed.
+    None,
+}
+
+/// Construct the datatype describing the local share of a global array.
+///
+/// * `gsizes` — global array extent per dimension.
+/// * `distribs` — distribution per dimension.
+/// * `psizes` — process-grid extent per dimension.
+/// * `coords` — this process's grid coordinate per dimension.
+pub fn darray(
+    gsizes: &[u64],
+    distribs: &[Distribution],
+    psizes: &[u64],
+    coords: &[u64],
+    order: ArrayOrder,
+    base: &Datatype,
+) -> Result<Datatype> {
+    let n = gsizes.len();
+    if n == 0 {
+        return Err(DdtError::EmptyConstructor("darray"));
+    }
+    if distribs.len() != n || psizes.len() != n || coords.len() != n {
+        return Err(DdtError::LengthMismatch { expected: n, got: distribs.len().min(psizes.len()).min(coords.len()) });
+    }
+    for d in 0..n {
+        if psizes[d] == 0 || coords[d] >= psizes[d] {
+            return Err(DdtError::SubarrayOutOfBounds { dim: d });
+        }
+        if matches!(distribs[d], Distribution::None) && psizes[d] != 1 {
+            return Err(DdtError::SubarrayOutOfBounds { dim: d });
+        }
+    }
+    // Normalize to C order.
+    let (gsizes, distribs, psizes, coords): (Vec<u64>, Vec<Distribution>, Vec<u64>, Vec<u64>) =
+        match order {
+            ArrayOrder::C => (gsizes.to_vec(), distribs.to_vec(), psizes.to_vec(), coords.to_vec()),
+            ArrayOrder::Fortran => (
+                gsizes.iter().rev().copied().collect(),
+                distribs.iter().rev().copied().collect(),
+                psizes.iter().rev().copied().collect(),
+                coords.iter().rev().copied().collect(),
+            ),
+        };
+    let ext = base.extent();
+    // Row strides in bytes.
+    let mut stride = vec![0i64; n];
+    let mut acc = ext;
+    for d in (0..n).rev() {
+        stride[d] = acc;
+        acc *= gsizes[d] as i64;
+    }
+    let total_extent = acc;
+
+    // Build from the innermost dimension out; each level describes the
+    // local elements of that dimension applied to the inner type, with
+    // an accumulated shift applied once at the end.
+    let mut t = base.clone();
+    let mut offset = 0i64;
+    for d in (0..n).rev() {
+        match distribs[d] {
+            Distribution::None => {
+                t = Datatype::hvector(gsizes[d] as u32, 1, stride[d], &t);
+            }
+            Distribution::Block => {
+                let b = gsizes[d].div_ceil(psizes[d]);
+                let start = (coords[d] * b).min(gsizes[d]);
+                let len = b.min(gsizes[d] - start);
+                if len == 0 {
+                    // This process holds nothing in this dimension:
+                    // zero-size type.
+                    return Ok(Datatype::contiguous(0, base));
+                }
+                t = Datatype::hvector(len as u32, 1, stride[d], &t);
+                offset += start as i64 * stride[d];
+            }
+            Distribution::Cyclic => {
+                let len = (gsizes[d] + psizes[d] - 1 - coords[d]) / psizes[d];
+                if len == 0 {
+                    return Ok(Datatype::contiguous(0, base));
+                }
+                t = Datatype::hvector(len as u32, 1, psizes[d] as i64 * stride[d], &t);
+                offset += coords[d] as i64 * stride[d];
+            }
+        }
+    }
+    let placed = if offset == 0 { t } else { Datatype::hindexed_block(1, &[offset], &t)? };
+    Ok(Datatype::resized(0, total_extent, &placed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typemap;
+    use crate::types::elem;
+    use std::collections::HashSet;
+
+    /// The defining property: the ranks' typemaps tile the global array
+    /// exactly once.
+    fn assert_tiles(
+        gsizes: &[u64],
+        distribs: &[Distribution],
+        psizes: &[u64],
+        order: ArrayOrder,
+    ) {
+        let base = elem::int();
+        let total: u64 = gsizes.iter().product::<u64>() * 4;
+        let nprocs: u64 = psizes.iter().product();
+        let mut covered: HashSet<i64> = HashSet::new();
+        let mut sum = 0u64;
+        // enumerate grid coordinates
+        for rank in 0..nprocs {
+            let mut coords = vec![0u64; psizes.len()];
+            let mut rest = rank;
+            for d in (0..psizes.len()).rev() {
+                coords[d] = rest % psizes[d];
+                rest /= psizes[d];
+            }
+            let dt = darray(gsizes, distribs, psizes, &coords, order, &base).expect("valid");
+            sum += dt.size;
+            for (off, len) in typemap::blocks(&dt, 1) {
+                for b in off..off + len as i64 {
+                    assert!(covered.insert(b), "byte {b} covered twice (rank {rank})");
+                }
+            }
+            assert_eq!(dt.extent(), total as i64, "full-array extent");
+        }
+        assert_eq!(sum, total, "ranks must partition the array");
+        assert_eq!(covered.len() as u64, total);
+    }
+
+    #[test]
+    fn block_block_2d_tiles() {
+        assert_tiles(
+            &[8, 12],
+            &[Distribution::Block, Distribution::Block],
+            &[2, 3],
+            ArrayOrder::C,
+        );
+    }
+
+    #[test]
+    fn cyclic_rows_tile() {
+        assert_tiles(&[9, 4], &[Distribution::Cyclic, Distribution::None], &[3, 1], ArrayOrder::C);
+    }
+
+    #[test]
+    fn mixed_block_cyclic_tiles() {
+        assert_tiles(
+            &[8, 9],
+            &[Distribution::Block, Distribution::Cyclic],
+            &[2, 3],
+            ArrayOrder::C,
+        );
+    }
+
+    #[test]
+    fn fortran_order_tiles() {
+        assert_tiles(
+            &[6, 8],
+            &[Distribution::Block, Distribution::Block],
+            &[3, 2],
+            ArrayOrder::Fortran,
+        );
+    }
+
+    #[test]
+    fn uneven_block_last_rank_short() {
+        // 10 elements over 4 procs, block = 3: ranks get 3,3,3,1.
+        let base = elem::double();
+        let sizes: Vec<u64> = (0..4)
+            .map(|r| {
+                darray(&[10], &[Distribution::Block], &[4], &[r], ArrayOrder::C, &base)
+                    .expect("valid")
+                    .size
+                    / 8
+            })
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn block_equals_subarray() {
+        // A 1D/2D block distribution is the same as a subarray.
+        let base = elem::float();
+        let dar = darray(
+            &[12, 10],
+            &[Distribution::Block, Distribution::None],
+            &[3, 1],
+            &[1, 0],
+            ArrayOrder::C,
+            &base,
+        )
+        .expect("valid");
+        let sub = Datatype::subarray(&[12, 10], &[4, 10], &[4, 0], ArrayOrder::C, &base)
+            .expect("valid");
+        assert_eq!(typemap::blocks(&dar, 1), typemap::blocks(&sub, 1));
+    }
+
+    #[test]
+    fn rejects_bad_grid() {
+        let base = elem::int();
+        assert!(darray(&[8], &[Distribution::Block], &[4], &[4], ArrayOrder::C, &base).is_err());
+        assert!(darray(&[8], &[Distribution::None], &[2], &[0], ArrayOrder::C, &base).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Compiled ("committed") datatype representation: dataloops.
+//!
+//! Mirrors the MPITypes dataloop design (Ross, Miller, Gropp): the datatype
+//! tree is compiled into a compact loop nest in which every contiguous
+//! subtree is collapsed into a [`Body::Leaf`]. Leaves are what the NIC
+//! handlers ultimately turn into DMA writes, so the number of leaves
+//! emitted per packet is exactly the paper's γ (contiguous regions per
+//! packet).
+//!
+//! Only four body kinds are needed (the MPITypes `contig`/`vector` pair
+//! collapses into [`Body::Count`]; `blockindexed` keeps a dedicated
+//! uniform-size body; `indexed` and `struct` share [`Body::Multi`]):
+//!
+//! * `Leaf { bytes, offset }` — a single contiguous run.
+//! * `Count { count, step, child }` — `count` children at `i * step`.
+//! * `BlockIndexed { offsets, child }` — uniform children at given offsets.
+//! * `Multi { entries, prefix }` — heterogeneous children (struct, indexed
+//!   with variable block lengths), with stream-size prefix sums for
+//!   O(log n) random positioning.
+
+use std::sync::Arc;
+
+use crate::types::{Datatype, DatatypeKind};
+
+/// One entry of a [`Body::Multi`] loop.
+#[derive(Debug)]
+pub struct MultiEntry {
+    /// Byte offset of the child relative to the loop origin.
+    pub offset: i64,
+    /// The child dataloop.
+    pub child: Arc<Dataloop>,
+}
+
+/// The body of a compiled dataloop node.
+#[derive(Debug)]
+pub enum Body {
+    /// A contiguous run of `bytes` starting `offset` bytes from the node
+    /// origin. Terminal.
+    Leaf {
+        /// Length of the run in bytes.
+        bytes: u64,
+        /// Start offset of the run relative to the node origin.
+        offset: i64,
+    },
+    /// `count` copies of `child`, copy `i` placed at `i * step`.
+    /// Encodes both MPI contiguous (`step == child extent`) and vector
+    /// (`step == stride`) loops.
+    Count {
+        /// Repetitions.
+        count: u64,
+        /// Byte step between copies (may be negative).
+        step: i64,
+        /// Child loop.
+        child: Arc<Dataloop>,
+    },
+    /// Uniform-size children at explicit offsets (indexed-block).
+    BlockIndexed {
+        /// Byte offset of each child.
+        offsets: Arc<[i64]>,
+        /// Child loop.
+        child: Arc<Dataloop>,
+    },
+    /// Heterogeneous children (struct / variable-length indexed).
+    Multi {
+        /// Entries in typemap order.
+        entries: Arc<[MultiEntry]>,
+        /// `prefix[i]` = packed bytes before entry `i`; length =
+        /// `entries.len() + 1`, last element = total size.
+        prefix: Arc<[u64]>,
+    },
+}
+
+/// A compiled dataloop node with cached totals.
+#[derive(Debug)]
+pub struct Dataloop {
+    /// Node body.
+    pub body: Body,
+    /// Total packed bytes described by this node.
+    pub size: u64,
+    /// Number of leaf (contiguous-region) emissions.
+    pub blocks: u64,
+    /// Nesting depth (leaf = 1).
+    pub depth: u32,
+}
+
+impl Dataloop {
+    /// Number of child slots of this node (leaves have none).
+    pub fn nblocks(&self) -> u64 {
+        match &self.body {
+            Body::Leaf { .. } => 0,
+            Body::Count { count, .. } => *count,
+            Body::BlockIndexed { offsets, .. } => offsets.len() as u64,
+            Body::Multi { entries, .. } => entries.len() as u64,
+        }
+    }
+
+    /// Byte offset of child `i` relative to this node's origin.
+    pub fn block_offset(&self, i: u64) -> i64 {
+        match &self.body {
+            Body::Leaf { .. } => unreachable!("leaf has no blocks"),
+            Body::Count { step, .. } => i as i64 * step,
+            Body::BlockIndexed { offsets, .. } => offsets[i as usize],
+            Body::Multi { entries, .. } => entries[i as usize].offset,
+        }
+    }
+
+    /// The child dataloop at slot `i`.
+    pub fn block_child(&self, i: u64) -> &Arc<Dataloop> {
+        match &self.body {
+            Body::Leaf { .. } => unreachable!("leaf has no blocks"),
+            Body::Count { child, .. } | Body::BlockIndexed { child, .. } => child,
+            Body::Multi { entries, .. } => &entries[i as usize].child,
+        }
+    }
+
+    /// Packed bytes preceding child `i` within this node.
+    pub fn block_prefix(&self, i: u64) -> u64 {
+        match &self.body {
+            Body::Leaf { .. } => 0,
+            Body::Count { child, .. } | Body::BlockIndexed { child, .. } => i * child.size,
+            Body::Multi { prefix, .. } => prefix[i as usize],
+        }
+    }
+
+    /// Locate the child containing packed offset `within` (`< self.size`):
+    /// returns `(child index, offset within child)`.
+    pub fn find_block(&self, within: u64) -> (u64, u64) {
+        debug_assert!(within < self.size);
+        match &self.body {
+            Body::Leaf { .. } => unreachable!("leaf has no blocks"),
+            Body::Count { child, .. } | Body::BlockIndexed { child, .. } => {
+                (within / child.size, within % child.size)
+            }
+            Body::Multi { prefix, .. } => {
+                // partition_point gives the first prefix > within; entry is that - 1.
+                let idx = prefix.partition_point(|&p| p <= within) - 1;
+                (idx as u64, within - prefix[idx])
+            }
+        }
+    }
+
+    /// Bytes this dataloop description occupies when copied to NIC
+    /// memory — the exact length of the serialized descriptor
+    /// ([`crate::descr::encode`]); offset lists dominate, matching the
+    /// paper's "data moved to the NIC" annotations for the general
+    /// strategies.
+    pub fn nic_descr_bytes(&self) -> u64 {
+        crate::descr::encoded_len(self)
+    }
+
+    fn leaf(bytes: u64, offset: i64) -> Arc<Dataloop> {
+        Arc::new(Dataloop {
+            body: Body::Leaf { bytes, offset },
+            size: bytes,
+            blocks: u64::from(bytes > 0),
+            depth: 1,
+        })
+    }
+
+    fn count(count: u64, step: i64, child: Arc<Dataloop>) -> Arc<Dataloop> {
+        let size = count * child.size;
+        let blocks = count * child.blocks;
+        let depth = child.depth + 1;
+        Arc::new(Dataloop { body: Body::Count { count, step, child }, size, blocks, depth })
+    }
+}
+
+/// Compile `count` copies of a datatype into a dataloop tree, collapsing
+/// all contiguous subtrees into leaves. This is the "commit" step an MPI
+/// implementation would perform in `MPI_Type_commit`.
+pub fn compile(dt: &Datatype, count: u32) -> Arc<Dataloop> {
+    let inner = compile_node(dt);
+    if count == 1 {
+        inner
+    } else if inner.size == 0 || count == 0 {
+        Dataloop::leaf(0, 0)
+    } else {
+        // Repetition steps by the datatype extent; collapse if the result
+        // is still a single run.
+        if let Body::Leaf { bytes, offset } = inner.body {
+            if bytes as i64 == dt.extent() {
+                return Dataloop::leaf(bytes * count as u64, offset);
+            }
+        }
+        Dataloop::count(count as u64, dt.extent(), inner)
+    }
+}
+
+fn compile_node(dt: &Datatype) -> Arc<Dataloop> {
+    if dt.size == 0 {
+        return Dataloop::leaf(0, 0);
+    }
+    if let Some(run) = dt.contig_run {
+        return Dataloop::leaf(run, dt.true_lb);
+    }
+    let child_loop = |c: &Datatype| compile_node(c);
+    match &dt.kind {
+        DatatypeKind::Elementary(_) => unreachable!("elementary is always a run"),
+        DatatypeKind::Resized { .. } => compile_node(dt.child.as_ref().expect("resized child")),
+        DatatypeKind::Contiguous { count } => {
+            let c = dt.child.as_ref().expect("contiguous child");
+            Dataloop::count(*count as u64, c.extent(), child_loop(c))
+        }
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+            let c = dt.child.as_ref().expect("vector child");
+            let block = compile_block(c, *blocklen);
+            Dataloop::count(*count as u64, *stride_bytes, block)
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+            let c = dt.child.as_ref().expect("indexed_block child");
+            let block = compile_block(c, *blocklen);
+            let size = displs_bytes.len() as u64 * block.size;
+            let blocks = displs_bytes.len() as u64 * block.blocks;
+            let depth = block.depth + 1;
+            Arc::new(Dataloop {
+                body: Body::BlockIndexed { offsets: displs_bytes.clone(), child: block },
+                size,
+                blocks,
+                depth,
+            })
+        }
+        DatatypeKind::Indexed { blocks } => {
+            let c = dt.child.as_ref().expect("indexed child");
+            let entries: Vec<MultiEntry> = blocks
+                .iter()
+                .filter(|&&(len, _)| len > 0)
+                .map(|&(len, off)| MultiEntry { offset: off, child: compile_block(c, len) })
+                .collect();
+            multi(entries)
+        }
+        DatatypeKind::Struct { fields } => {
+            let entries: Vec<MultiEntry> = fields
+                .iter()
+                .filter(|f| f.count > 0 && f.ty.size > 0)
+                .map(|f| MultiEntry { offset: f.displ, child: compile_block(&f.ty, f.count) })
+                .collect();
+            multi(entries)
+        }
+    }
+}
+
+/// Compile `blocklen` consecutive copies of `c` (a loop "block"),
+/// collapsing to a leaf when the copies abut into one run.
+fn compile_block(c: &Datatype, blocklen: u32) -> Arc<Dataloop> {
+    if blocklen == 0 || c.size == 0 {
+        return Dataloop::leaf(0, 0);
+    }
+    match c.contig_run {
+        Some(run) if blocklen == 1 => Dataloop::leaf(run, c.true_lb),
+        Some(run) if run as i64 == c.extent() => {
+            Dataloop::leaf(run * blocklen as u64, c.true_lb)
+        }
+        _ if blocklen == 1 => compile_node(c),
+        _ => Dataloop::count(blocklen as u64, c.extent(), compile_node(c)),
+    }
+}
+
+fn multi(entries: Vec<MultiEntry>) -> Arc<Dataloop> {
+    let mut prefix = Vec::with_capacity(entries.len() + 1);
+    let mut acc = 0u64;
+    let mut blocks = 0u64;
+    let mut depth = 0u32;
+    for e in &entries {
+        prefix.push(acc);
+        acc += e.child.size;
+        blocks += e.child.blocks;
+        depth = depth.max(e.child.depth);
+    }
+    prefix.push(acc);
+    Arc::new(Dataloop {
+        body: Body::Multi { entries: entries.into(), prefix: prefix.into() },
+        size: acc,
+        blocks,
+        depth: depth + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{elem, ArrayOrder, DatatypeExt};
+
+    #[test]
+    fn contiguous_compiles_to_leaf() {
+        let t = Datatype::contiguous(16, &elem::int());
+        let dl = compile(&t, 1);
+        assert!(matches!(dl.body, Body::Leaf { bytes: 64, offset: 0 }));
+        assert_eq!(dl.blocks, 1);
+    }
+
+    #[test]
+    fn vector_collapses_inner_block() {
+        let t = Datatype::vector(8, 4, 16, &elem::int());
+        let dl = compile(&t, 1);
+        // one Count loop over 8 leaves of 16 bytes each
+        match &dl.body {
+            Body::Count { count: 8, step, child } => {
+                assert_eq!(*step, 64);
+                assert!(matches!(child.body, Body::Leaf { bytes: 16, .. }));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert_eq!(dl.blocks, 8);
+        assert_eq!(dl.depth, 2);
+    }
+
+    #[test]
+    fn indexed_variable_uses_multi() {
+        let t = Datatype::indexed(&[2, 5, 1], &[0, 10, 30], &elem::double()).unwrap();
+        let dl = compile(&t, 1);
+        match &dl.body {
+            Body::Multi { entries, prefix } => {
+                assert_eq!(entries.len(), 3);
+                assert_eq!(prefix.as_ref(), &[0, 16, 56, 64]);
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert_eq!(dl.size, 64);
+        assert_eq!(dl.blocks, 3);
+    }
+
+    #[test]
+    fn find_block_multi_boundaries() {
+        let t = Datatype::indexed(&[2, 5, 1], &[0, 10, 30], &elem::double()).unwrap();
+        let dl = compile(&t, 1);
+        assert_eq!(dl.find_block(0), (0, 0));
+        assert_eq!(dl.find_block(15), (0, 15));
+        assert_eq!(dl.find_block(16), (1, 0));
+        assert_eq!(dl.find_block(55), (1, 39));
+        assert_eq!(dl.find_block(56), (2, 0));
+        assert_eq!(dl.find_block(63), (2, 7));
+    }
+
+    #[test]
+    fn count_repetition_with_gaps_keeps_loop() {
+        let t = Datatype::vector(2, 1, 4, &elem::int());
+        let dl = compile(&t, 3);
+        match &dl.body {
+            Body::Count { count: 3, step, .. } => assert_eq!(*step, t.extent()),
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert_eq!(dl.size, t.size * 3);
+        assert_eq!(dl.blocks, 6);
+    }
+
+    #[test]
+    fn count_repetition_of_full_run_collapses() {
+        let t = Datatype::contiguous(4, &elem::int());
+        let dl = compile(&t, 5);
+        assert!(matches!(dl.body, Body::Leaf { bytes: 80, .. }));
+    }
+
+    #[test]
+    fn subarray_block_count_matches_typemap() {
+        let t = Datatype::subarray(&[6, 8, 4], &[2, 3, 4], &[1, 2, 0], ArrayOrder::C, &elem::float())
+            .unwrap();
+        let dl = compile(&t, 1);
+        // Innermost dim fully taken (4 of 4, 16 B rows) and the middle
+        // dim's rows abut (stride == row length), so each outer plane
+        // slice is one 48 B run: 2 runs total.
+        assert_eq!(dl.blocks, 2);
+        assert_eq!(dl.size, t.size);
+    }
+
+    #[test]
+    fn struct_of_subarrays_compiles() {
+        let sa =
+            Datatype::subarray(&[8, 8], &[2, 8], &[0, 0], ArrayOrder::C, &elem::double()).unwrap();
+        let t = Datatype::struct_(&[1, 1], &[0, 4096], &[sa.clone(), sa]).unwrap();
+        let dl = compile(&t, 1);
+        assert_eq!(dl.size, t.size);
+        assert!(dl.blocks >= 2);
+    }
+
+    #[test]
+    fn nic_descr_bytes_scales_with_offsets() {
+        let small = Datatype::indexed_block(1, &[0, 2, 4, 9], &elem::int()).unwrap();
+        let displs: Vec<i64> = (0..1000).map(|i| i * 3).collect();
+        let big = Datatype::indexed_block(1, &displs, &elem::int()).unwrap();
+        let a = compile(&small, 1).nic_descr_bytes();
+        let b = compile(&big, 1).nic_descr_bytes();
+        assert!(b > a * 100);
+    }
+
+    #[test]
+    fn zero_size_type_compiles_to_empty_leaf() {
+        let t = Datatype::contiguous(0, &elem::int());
+        let dl = compile(&t, 7);
+        assert_eq!(dl.size, 0);
+        assert_eq!(dl.blocks, 0);
+    }
+}

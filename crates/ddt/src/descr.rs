@@ -1,0 +1,265 @@
+//! Dataloop descriptor serialization — the byte image an MPI library
+//! copies into NIC memory at commit time (paper Sec. 3.2.6 step 2 and
+//! the "data moved to the NIC" annotations of Fig. 16).
+//!
+//! The format is a depth-first encoding of the compiled loop nest:
+//!
+//! ```text
+//! node := tag:u8 body
+//! body(Leaf)         := bytes:u64 offset:i64
+//! body(Count)        := count:u64 step:i64 node
+//! body(BlockIndexed) := n:u32 offset:i64 × n  node
+//! body(Multi)        := n:u32 (offset:i64 node) × n
+//! ```
+//!
+//! [`encode`]/[`decode`] round-trip exactly; `Dataloop::nic_descr_bytes`
+//! reports the encoded length.
+
+use std::sync::Arc;
+
+use crate::dataloop::{Body, Dataloop, MultiEntry};
+use crate::error::{DdtError, Result};
+
+const TAG_LEAF: u8 = 0;
+const TAG_COUNT: u8 = 1;
+const TAG_BLOCK_INDEXED: u8 = 2;
+const TAG_MULTI: u8 = 3;
+
+/// Serialize a dataloop tree.
+pub fn encode(dl: &Dataloop) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_into(dl, &mut out);
+    out
+}
+
+fn encode_into(dl: &Dataloop, out: &mut Vec<u8>) {
+    match &dl.body {
+        Body::Leaf { bytes, offset } => {
+            out.push(TAG_LEAF);
+            out.extend_from_slice(&bytes.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Body::Count { count, step, child } => {
+            out.push(TAG_COUNT);
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&step.to_le_bytes());
+            encode_into(child, out);
+        }
+        Body::BlockIndexed { offsets, child } => {
+            out.push(TAG_BLOCK_INDEXED);
+            out.extend_from_slice(&(offsets.len() as u32).to_le_bytes());
+            for o in offsets.iter() {
+                out.extend_from_slice(&o.to_le_bytes());
+            }
+            encode_into(child, out);
+        }
+        Body::Multi { entries, .. } => {
+            out.push(TAG_MULTI);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for e in entries.iter() {
+                out.extend_from_slice(&e.offset.to_le_bytes());
+                encode_into(&e.child, out);
+            }
+        }
+    }
+}
+
+/// Encoded length without materializing the bytes (used for NIC-memory
+/// accounting on every post).
+pub fn encoded_len(dl: &Dataloop) -> u64 {
+    match &dl.body {
+        Body::Leaf { .. } => 1 + 8 + 8,
+        Body::Count { child, .. } => 1 + 8 + 8 + encoded_len(child),
+        Body::BlockIndexed { offsets, child } => {
+            1 + 4 + 8 * offsets.len() as u64 + encoded_len(child)
+        }
+        Body::Multi { entries, .. } => {
+            1 + 4 + entries.iter().map(|e| 8 + encoded_len(&e.child)).sum::<u64>()
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DdtError::StreamOutOfBounds {
+                pos: (self.pos + n) as u64,
+                size: self.buf.len() as u64,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Deserialize a dataloop tree (recomputing sizes, block counts, depths
+/// and Multi prefix tables).
+pub fn decode(buf: &[u8]) -> Result<Arc<Dataloop>> {
+    let mut r = Reader { buf, pos: 0 };
+    let dl = decode_node(&mut r)?;
+    if r.pos != buf.len() {
+        return Err(DdtError::StreamOutOfBounds { pos: r.pos as u64, size: buf.len() as u64 });
+    }
+    Ok(dl)
+}
+
+fn decode_node(r: &mut Reader<'_>) -> Result<Arc<Dataloop>> {
+    match r.u8()? {
+        TAG_LEAF => {
+            let bytes = r.u64()?;
+            let offset = r.i64()?;
+            Ok(Arc::new(Dataloop {
+                body: Body::Leaf { bytes, offset },
+                size: bytes,
+                blocks: u64::from(bytes > 0),
+                depth: 1,
+            }))
+        }
+        TAG_COUNT => {
+            let count = r.u64()?;
+            let step = r.i64()?;
+            let child = decode_node(r)?;
+            Ok(Arc::new(Dataloop {
+                size: count * child.size,
+                blocks: count * child.blocks,
+                depth: child.depth + 1,
+                body: Body::Count { count, step, child },
+            }))
+        }
+        TAG_BLOCK_INDEXED => {
+            let n = r.u32()? as usize;
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(r.i64()?);
+            }
+            let child = decode_node(r)?;
+            Ok(Arc::new(Dataloop {
+                size: n as u64 * child.size,
+                blocks: n as u64 * child.blocks,
+                depth: child.depth + 1,
+                body: Body::BlockIndexed { offsets: offsets.into(), child },
+            }))
+        }
+        TAG_MULTI => {
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            let mut prefix = Vec::with_capacity(n + 1);
+            let mut acc = 0u64;
+            let mut blocks = 0u64;
+            let mut depth = 0u32;
+            for _ in 0..n {
+                let offset = r.i64()?;
+                let child = decode_node(r)?;
+                prefix.push(acc);
+                acc += child.size;
+                blocks += child.blocks;
+                depth = depth.max(child.depth);
+                entries.push(MultiEntry { offset, child });
+            }
+            prefix.push(acc);
+            Ok(Arc::new(Dataloop {
+                body: Body::Multi { entries: entries.into(), prefix: prefix.into() },
+                size: acc,
+                blocks,
+                depth: depth + 1,
+            }))
+        }
+        tag => Err(DdtError::StreamOutOfBounds { pos: tag as u64, size: 3 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataloop::compile;
+    use crate::segment::Segment;
+    use crate::sink::VecSink;
+    use crate::types::{elem, ArrayOrder, Datatype, DatatypeExt};
+
+    fn roundtrip_walk_equal(dt: &Datatype, count: u32) {
+        let dl = compile(dt, count);
+        let bytes = encode(&dl);
+        assert_eq!(bytes.len() as u64, encoded_len(&dl));
+        let back = decode(&bytes).expect("decodable");
+        assert_eq!(back.size, dl.size);
+        assert_eq!(back.blocks, dl.blocks);
+        assert_eq!(back.depth, dl.depth);
+        // identical block emission
+        let mut a = VecSink::default();
+        Segment::new(dl).advance(u64::MAX, &mut a);
+        let mut b = VecSink::default();
+        Segment::new(back).advance(u64::MAX, &mut b);
+        assert_eq!(a.blocks, b.blocks, "walk mismatch for {}", dt.signature());
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        roundtrip_walk_equal(&Datatype::contiguous(9, &elem::int()), 2);
+        roundtrip_walk_equal(&Datatype::vector(17, 3, 7, &elem::double()), 3);
+        roundtrip_walk_equal(
+            &Datatype::indexed(&[2, 5, 1], &[0, 9, 30], &elem::float()).unwrap(),
+            2,
+        );
+        roundtrip_walk_equal(
+            &Datatype::subarray(&[6, 7, 8], &[2, 3, 4], &[1, 2, 0], ArrayOrder::C, &elem::int())
+                .unwrap(),
+            1,
+        );
+        let sa = Datatype::subarray(&[8, 8], &[3, 4], &[1, 2], ArrayOrder::C, &elem::double())
+            .unwrap();
+        let st = Datatype::struct_(&[1, 2], &[0, 2048], &[sa, elem::int()]).unwrap();
+        roundtrip_walk_equal(&st, 2);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let dl = compile(&Datatype::vector(4, 1, 3, &elem::int()), 1);
+        let bytes = encode(&dl);
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let dl = compile(&Datatype::contiguous(4, &elem::int()), 1);
+        let mut bytes = encode(&dl);
+        bytes.push(0xFF);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decode(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn encoding_size_scales_with_offset_lists() {
+        let small = compile(&Datatype::indexed_block(1, &[0, 3, 7], &elem::int()).unwrap(), 1);
+        let displs: Vec<i64> = (0..500).map(|i| i * 3 + (i % 2)).collect();
+        let big = compile(&Datatype::indexed_block(1, &displs, &elem::int()).unwrap(), 1);
+        assert!(encoded_len(&big) > encoded_len(&small) * 50);
+    }
+}

@@ -1,0 +1,220 @@
+//! Datatype introspection and pretty-printing.
+//!
+//! MPI exposes `MPI_Type_get_envelope`/`MPI_Type_get_contents` so tools
+//! can inspect committed types; this module provides the equivalent:
+//! [`envelope`] returns the combiner and its arguments, [`dump`] renders
+//! the full tree with derived properties — used by the `ncmt` CLI and
+//! invaluable when debugging offload decisions.
+
+use std::fmt::Write as _;
+
+use crate::types::{Datatype, DatatypeKind};
+
+/// The combiner that created a type (mirrors `MPI_COMBINER_*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// A predefined type.
+    Named {
+        /// MPI-style name.
+        name: &'static str,
+    },
+    /// `MPI_Type_contiguous(count)`.
+    Contiguous {
+        /// Repetition count.
+        count: u32,
+    },
+    /// `MPI_Type_create_hvector(count, blocklen, stride_bytes)`.
+    Hvector {
+        /// Blocks.
+        count: u32,
+        /// Children per block.
+        blocklen: u32,
+        /// Byte stride.
+        stride_bytes: i64,
+    },
+    /// `MPI_Type_create_hindexed_block(blocklen, displs)`.
+    HindexedBlock {
+        /// Children per block.
+        blocklen: u32,
+        /// Displacement count.
+        nblocks: usize,
+    },
+    /// `MPI_Type_create_hindexed(blocklens, displs)`.
+    Hindexed {
+        /// Block count.
+        nblocks: usize,
+    },
+    /// `MPI_Type_create_struct(...)`.
+    Struct {
+        /// Field count.
+        nfields: usize,
+    },
+    /// `MPI_Type_create_resized(lb, extent)`.
+    Resized {
+        /// Lower bound.
+        lb: i64,
+        /// Extent.
+        extent: i64,
+    },
+}
+
+/// The combiner of a type's outermost constructor.
+pub fn envelope(dt: &Datatype) -> Envelope {
+    match &dt.kind {
+        DatatypeKind::Elementary(e) => Envelope::Named { name: e.name() },
+        DatatypeKind::Contiguous { count } => Envelope::Contiguous { count: *count },
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => Envelope::Hvector {
+            count: *count,
+            blocklen: *blocklen,
+            stride_bytes: *stride_bytes,
+        },
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => Envelope::HindexedBlock {
+            blocklen: *blocklen,
+            nblocks: displs_bytes.len(),
+        },
+        DatatypeKind::Indexed { blocks } => Envelope::Hindexed { nblocks: blocks.len() },
+        DatatypeKind::Struct { fields } => Envelope::Struct { nfields: fields.len() },
+        DatatypeKind::Resized { lb, extent } => Envelope::Resized { lb: *lb, extent: *extent },
+    }
+}
+
+/// Render the datatype tree with derived properties, one node per line.
+pub fn dump(dt: &Datatype) -> String {
+    let mut out = String::new();
+    dump_node(dt, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn dump_node(dt: &Datatype, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &dt.kind {
+        DatatypeKind::Elementary(e) => {
+            let _ = writeln!(out, "{} ({} B)", e.name(), e.size());
+            return;
+        }
+        DatatypeKind::Contiguous { count } => {
+            let _ = writeln!(out, "contiguous(count={count}) size={} extent={}", dt.size, dt.extent());
+        }
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+            let _ = writeln!(
+                out,
+                "hvector(count={count}, blocklen={blocklen}, stride={stride_bytes}B) size={} extent={}",
+                dt.size,
+                dt.extent()
+            );
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+            let _ = writeln!(
+                out,
+                "hindexed_block(blocklen={blocklen}, blocks={}) size={} extent={}",
+                displs_bytes.len(),
+                dt.size,
+                dt.extent()
+            );
+        }
+        DatatypeKind::Indexed { blocks } => {
+            let _ = writeln!(out, "hindexed(blocks={}) size={} extent={}", blocks.len(), dt.size, dt.extent());
+        }
+        DatatypeKind::Struct { fields } => {
+            let _ = writeln!(out, "struct(fields={}) size={} extent={}", fields.len(), dt.size, dt.extent());
+            for f in fields.iter() {
+                indent(depth + 1, out);
+                let _ = writeln!(out, "field @{} x{}:", f.displ, f.count);
+                dump_node(&f.ty, depth + 2, out);
+            }
+            return;
+        }
+        DatatypeKind::Resized { lb, extent } => {
+            let _ = writeln!(out, "resized(lb={lb}, extent={extent}) size={}", dt.size);
+        }
+    }
+    if let Some(child) = &dt.child {
+        dump_node(child, depth + 1, out);
+    }
+}
+
+/// Structural typemap equality: two types are map-equal when their
+/// merged `(offset, len)` sequences coincide (MPI's notion of "the same
+/// data layout", independent of the constructor path).
+pub fn typemap_equal(a: &Datatype, b: &Datatype) -> bool {
+    if a.size != b.size {
+        return false;
+    }
+    merged(a) == merged(b)
+}
+
+fn merged(dt: &Datatype) -> Vec<(i64, u64)> {
+    let mut out: Vec<(i64, u64)> = Vec::new();
+    crate::typemap::for_each_block(dt, 1, |off, len| {
+        if len == 0 {
+            return;
+        }
+        match out.last_mut() {
+            Some(last) if last.0 + last.1 as i64 == off => last.1 += len,
+            _ => out.push((off, len)),
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::types::{elem, ArrayOrder, DatatypeExt};
+
+    #[test]
+    fn envelope_reports_combiners() {
+        let v = Datatype::vector(4, 2, 8, &elem::int());
+        assert!(matches!(envelope(&v), Envelope::Hvector { count: 4, blocklen: 2, .. }));
+        let i = Datatype::indexed(&[1, 2], &[0, 5], &elem::double()).unwrap();
+        assert!(matches!(envelope(&i), Envelope::Hindexed { nblocks: 2 }));
+        assert!(matches!(envelope(&elem::float()), Envelope::Named { name: "MPI_FLOAT" }));
+    }
+
+    #[test]
+    fn dump_renders_nesting() {
+        let inner = Datatype::vector(4, 2, 8, &elem::double());
+        let outer = Datatype::hvector(3, 1, 4096, &inner);
+        let s = dump(&outer);
+        assert!(s.contains("hvector(count=3"), "{s}");
+        assert!(s.contains("hvector(count=4"), "{s}");
+        assert!(s.contains("MPI_DOUBLE"), "{s}");
+        // nesting depth reflected in indentation
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn dump_struct_fields() {
+        let st = Datatype::struct_(&[2, 1], &[0, 64], &[elem::int(), elem::double()]).unwrap();
+        let s = dump(&st);
+        assert!(s.contains("struct(fields=2)"));
+        assert!(s.contains("field @0 x2:"));
+        assert!(s.contains("field @64 x1:"));
+    }
+
+    #[test]
+    fn typemap_equality_across_constructors() {
+        // The same layout built three ways.
+        let a = Datatype::vector(4, 2, 4, &elem::int());
+        let b = Datatype::indexed_block(2, &[0, 4, 8, 12], &elem::int()).unwrap();
+        let c = Datatype::indexed(&[2, 2, 2, 2], &[0, 4, 8, 12], &elem::int()).unwrap();
+        assert!(typemap_equal(&a, &b));
+        assert!(typemap_equal(&b, &c));
+        let different = Datatype::vector(4, 2, 5, &elem::int());
+        assert!(!typemap_equal(&a, &different));
+    }
+
+    #[test]
+    fn normalization_is_typemap_equal() {
+        let sa = Datatype::subarray(&[8, 8], &[2, 4], &[1, 2], ArrayOrder::C, &elem::double())
+            .unwrap();
+        assert!(typemap_equal(&sa, &normalize(&sa)));
+    }
+}

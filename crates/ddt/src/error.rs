@@ -1,0 +1,75 @@
+//! Error type for datatype construction and processing.
+
+use std::fmt;
+
+/// Errors raised by datatype constructors and the processing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdtError {
+    /// Constructor argument lists have mismatched lengths
+    /// (e.g. `blocklens.len() != displs.len()`).
+    LengthMismatch {
+        /// What the constructor expected.
+        expected: usize,
+        /// What it got.
+        got: usize,
+    },
+    /// A struct constructor was given no fields, a subarray no dims, …
+    EmptyConstructor(&'static str),
+    /// Subarray sub-size/start exceeds the array size in some dimension.
+    SubarrayOutOfBounds {
+        /// Dimension index.
+        dim: usize,
+    },
+    /// A stream position beyond the total size of the described data.
+    StreamOutOfBounds {
+        /// Requested stream position.
+        pos: u64,
+        /// Total packed size.
+        size: u64,
+    },
+    /// The unpack target buffer is too small for the datatype extent.
+    BufferTooSmall {
+        /// Needed bytes.
+        needed: u64,
+        /// Provided bytes.
+        got: u64,
+    },
+    /// A block would land at a negative absolute buffer offset.
+    NegativeOffset {
+        /// The offending byte offset.
+        offset: i64,
+    },
+    /// Datatype has zero size but data processing was requested.
+    ZeroSizeType,
+}
+
+impl fmt::Display for DdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdtError::LengthMismatch { expected, got } => {
+                write!(f, "argument length mismatch: expected {expected}, got {got}")
+            }
+            DdtError::EmptyConstructor(which) => {
+                write!(f, "constructor {which} requires at least one element")
+            }
+            DdtError::SubarrayOutOfBounds { dim } => {
+                write!(f, "subarray start+subsize exceeds size in dimension {dim}")
+            }
+            DdtError::StreamOutOfBounds { pos, size } => {
+                write!(f, "stream position {pos} beyond packed size {size}")
+            }
+            DdtError::BufferTooSmall { needed, got } => {
+                write!(f, "buffer too small: need {needed} bytes, got {got}")
+            }
+            DdtError::NegativeOffset { offset } => {
+                write!(f, "block at negative absolute offset {offset}")
+            }
+            DdtError::ZeroSizeType => write!(f, "datatype has zero size"),
+        }
+    }
+}
+
+impl std::error::Error for DdtError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DdtError>;

@@ -1,0 +1,55 @@
+//! # nca-ddt — MPI Derived Datatype engine
+//!
+//! A from-scratch reimplementation of the datatype machinery the paper
+//! builds on (MPI derived datatypes + the MPITypes dataloop/segment
+//! library of Ross et al.), written in safe Rust.
+//!
+//! The crate provides:
+//!
+//! * [`Datatype`] — immutable, reference-counted datatype trees built with
+//!   MPI-style constructors (`vector`, `indexed`, `struct_`, `subarray`, …
+//!   via the [`types::DatatypeExt`] trait).
+//! * [`dataloop::Dataloop`] — the compiled ("committed") representation:
+//!   a compact loop nest with contiguous subtrees collapsed into leaves,
+//!   exactly in the spirit of MPITypes dataloops (contig, vector,
+//!   blockindexed, indexed, struct + leaf).
+//! * [`segment::Segment`] — resumable, partial-processing state over a
+//!   dataloop: process an arbitrary `[first, last)` byte range of the
+//!   packed stream, emitting `(buffer offset, length)` contiguous blocks
+//!   to a [`sink::BlockSink`]. Supports catch-up (advance without
+//!   emitting), reset, O(depth · log n) random seek, and deep snapshots
+//!   ([`checkpoint::Checkpoint`]) used by the RO-CP/RW-CP offload
+//!   strategies.
+//! * [`pack`] — reference pack/unpack built on segments.
+//! * [`flatten`] — iovec extraction (merged contiguous regions), used by
+//!   the Portals 4 iovec baseline.
+//! * [`normalize`] — datatype normalization (Träff-style simplification),
+//!   used to decide when a specialized NIC handler applies.
+//! * [`darray`] — `MPI_Type_create_darray` (block/cyclic distributions).
+//! * [`descr`] — dataloop descriptor serialization (the bytes shipped to
+//!   NIC memory), round-trip tested.
+//! * [`display`] — envelope/contents introspection and tree dumps.
+//!
+//! All displacements are stored in **bytes** internally; constructors
+//! perform the element→byte conversions mandated by the MPI standard.
+
+pub mod checkpoint;
+pub mod darray;
+pub mod dataloop;
+pub mod descr;
+pub mod display;
+pub mod error;
+pub mod flatten;
+pub mod normalize;
+pub mod pack;
+pub mod segment;
+pub mod sink;
+pub mod typemap;
+pub mod types;
+
+pub use checkpoint::Checkpoint;
+pub use dataloop::Dataloop;
+pub use error::{DdtError, Result};
+pub use segment::Segment;
+pub use sink::{BlockSink, CopySink, CountSink, NullSink, VecSink};
+pub use types::{Datatype, DatatypeKind, Elementary};

@@ -1,0 +1,397 @@
+//! Datatype normalization and shape classification.
+//!
+//! Träff-style normalization rewrites complex nested datatypes into
+//! simpler equivalent ones (same typemap). The paper notes (Sec. 3.2.3)
+//! that normalization can make nested types compatible with the
+//! *specialized* NIC handlers; this module provides both the rewrite and
+//! the classification the offload layer uses to pick a handler.
+
+use crate::types::{Datatype, DatatypeExt, DatatypeKind};
+
+/// The handler-relevant shape of a (normalized) datatype, for one copy.
+/// `base_offset` fields account for placed types (e.g. subarrays whose
+/// region does not start at offset 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// Single contiguous run — no datatype processing needed at all.
+    Contiguous {
+        /// Offset of the run.
+        base_offset: i64,
+        /// Run length in bytes.
+        bytes: u64,
+    },
+    /// Uniform blocks on a fixed stride: the paper's `spin_vec_t`.
+    Vector {
+        /// Number of blocks.
+        count: u64,
+        /// Block size in bytes.
+        block_bytes: u64,
+        /// Stride between block starts in bytes.
+        stride_bytes: i64,
+        /// Offset of the first block.
+        base_offset: i64,
+    },
+    /// Two-level vector (vector of vectors, e.g. MILC) — still O(1) NIC
+    /// state for a specialized handler.
+    Vector2 {
+        /// Outer block count.
+        outer_count: u64,
+        /// Outer stride in bytes.
+        outer_stride: i64,
+        /// Inner block count (per outer block).
+        inner_count: u64,
+        /// Inner block size in bytes.
+        block_bytes: u64,
+        /// Inner stride in bytes.
+        inner_stride: i64,
+        /// Offset of the first block.
+        base_offset: i64,
+    },
+    /// Uniform blocks at arbitrary offsets (offset list on the NIC).
+    IndexedBlock {
+        /// Number of blocks.
+        count: u64,
+        /// Block size in bytes.
+        block_bytes: u64,
+    },
+    /// Variable-size blocks at arbitrary offsets (offset+size lists on
+    /// the NIC; also covers single-level structs).
+    Indexed {
+        /// Number of blocks.
+        count: u64,
+    },
+    /// Anything else — only the general (MPITypes) handlers apply
+    /// without linearizing the type.
+    General,
+}
+
+impl Shape {
+    /// Whether an O(1)-state or O(blocks)-list specialized handler exists.
+    pub fn has_specialized_handler(&self) -> bool {
+        !matches!(self, Shape::General)
+    }
+
+    /// Whether the specialized handler needs only O(1) NIC state.
+    pub fn constant_state(&self) -> bool {
+        matches!(
+            self,
+            Shape::Contiguous { .. } | Shape::Vector { .. } | Shape::Vector2 { .. }
+        )
+    }
+}
+
+/// Normalize a datatype: collapse trivial wrappers and rewrite
+/// vector/indexed nests whose base is contiguous into flat forms. The
+/// result has an identical typemap (asserted by tests); the extent may
+/// shrink to the true extent for rewritten forms (callers relying on
+/// repetition semantics should keep the original type for `count > 1`).
+pub fn normalize(dt: &Datatype) -> Datatype {
+    match &dt.kind {
+        DatatypeKind::Contiguous { count } => {
+            let c = normalize(dt.child.as_ref().expect("contig child"));
+            if *count == 1 {
+                return c;
+            }
+            if let DatatypeKind::Contiguous { count: inner } = &c.kind {
+                let cc = c.child.as_ref().expect("contig child").clone();
+                return Datatype::contiguous(count * inner, &cc);
+            }
+            Datatype::contiguous(*count, &c)
+        }
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+            let c = normalize(dt.child.as_ref().expect("vector child"));
+            if *count == 1 {
+                return normalize(&Datatype::contiguous(*blocklen, &c));
+            }
+            // vector over a full-extent contiguous child flattens the
+            // child into the block length (expressed in bytes).
+            if let Some(run) = c.contig_run {
+                if run as i64 == c.extent() && c.true_lb == 0 && *blocklen as u64 * run <= u32::MAX as u64 {
+                    return Datatype::hvector(
+                        *count,
+                        (*blocklen as u64 * run) as u32,
+                        *stride_bytes,
+                        &crate::types::elem::byte(),
+                    );
+                }
+            }
+            Datatype::hvector(*count, *blocklen, *stride_bytes, &c)
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+            let c = normalize(dt.child.as_ref().expect("ib child"));
+            // Constant stride starting at 0 → vector.
+            if displs_bytes.len() >= 2 {
+                let stride = displs_bytes[1] - displs_bytes[0];
+                let uniform = displs_bytes.windows(2).all(|w| w[1] - w[0] == stride);
+                if uniform && displs_bytes[0] == 0 {
+                    return normalize(&Datatype::hvector(
+                        displs_bytes.len() as u32,
+                        *blocklen,
+                        stride,
+                        &c,
+                    ));
+                }
+            }
+            Datatype::hindexed_block(*blocklen, displs_bytes, &c).expect("valid indexed_block")
+        }
+        DatatypeKind::Indexed { blocks } => {
+            let c = normalize(dt.child.as_ref().expect("indexed child"));
+            // All block lengths equal → indexed_block.
+            if let Some(&(len0, _)) = blocks.first() {
+                if blocks.iter().all(|&(l, _)| l == len0) && len0 > 0 {
+                    let displs: Vec<i64> = blocks.iter().map(|&(_, d)| d).collect();
+                    return normalize(
+                        &Datatype::hindexed_block(len0, &displs, &c).expect("valid"),
+                    );
+                }
+            }
+            let lens: Vec<u32> = blocks.iter().map(|&(l, _)| l).collect();
+            let displs: Vec<i64> = blocks.iter().map(|&(_, d)| d).collect();
+            Datatype::hindexed(&lens, &displs, &c).expect("valid indexed")
+        }
+        DatatypeKind::Struct { fields } => {
+            if fields.len() == 1 {
+                let f = &fields[0];
+                let inner = normalize(&Datatype::contiguous(f.count, &f.ty));
+                if f.displ == 0 {
+                    return inner;
+                }
+                return Datatype::hindexed_block(1, &[f.displ], &inner).expect("valid");
+            }
+            dt.clone()
+        }
+        DatatypeKind::Resized { .. } => {
+            // Bounds only matter for repetition; peel for shape analysis
+            // but keep the resize so extents stay intact.
+            let c = normalize(dt.child.as_ref().expect("resized child"));
+            let (lb, extent) = match dt.kind {
+                DatatypeKind::Resized { lb, extent } => (lb, extent),
+                _ => unreachable!(),
+            };
+            Datatype::resized(lb, extent, &c)
+        }
+        DatatypeKind::Elementary(_) => dt.clone(),
+    }
+}
+
+/// Classify a datatype into the shape the offload layer dispatches on.
+///
+/// Works on the normalized tree; peels `Resized` wrappers and
+/// single-displacement placements, accumulating a base offset.
+pub fn classify(dt: &Datatype) -> Shape {
+    let n = normalize(dt);
+    classify_peeled(&n, 0)
+}
+
+fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
+    if let Some(run) = dt.contig_run {
+        return Shape::Contiguous { base_offset: base + dt.true_lb, bytes: run };
+    }
+    match &dt.kind {
+        DatatypeKind::Resized { .. } => {
+            classify_peeled(dt.child.as_ref().expect("resized child"), base)
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } if displs_bytes.len() == 1 => {
+            // A placement wrapper: shift and classify the inner block.
+            let c = dt.child.as_ref().expect("ib child");
+            let inner = Datatype::contiguous(*blocklen, c);
+            classify_peeled(&normalize(&inner), base + displs_bytes[0])
+        }
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+            let c = dt.child.as_ref().expect("vector child");
+            if full_run(c) {
+                return Shape::Vector {
+                    count: *count as u64,
+                    block_bytes: *blocklen as u64 * c.size,
+                    stride_bytes: *stride_bytes,
+                    base_offset: base + c.true_lb,
+                };
+            }
+            // vector over vector (blocklen must be 1 for a clean 2-level
+            // pattern).
+            if *blocklen == 1 {
+                if let Shape::Vector {
+                    count: ic,
+                    block_bytes,
+                    stride_bytes: istride,
+                    base_offset,
+                } = classify_peeled(c, base)
+                {
+                    return Shape::Vector2 {
+                        outer_count: *count as u64,
+                        outer_stride: *stride_bytes,
+                        inner_count: ic,
+                        block_bytes,
+                        inner_stride: istride,
+                        base_offset,
+                    };
+                }
+            }
+            Shape::General
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+            let c = dt.child.as_ref().expect("ib child");
+            if full_run(c) {
+                Shape::IndexedBlock {
+                    count: displs_bytes.len() as u64,
+                    block_bytes: *blocklen as u64 * c.size,
+                }
+            } else {
+                Shape::General
+            }
+        }
+        DatatypeKind::Indexed { blocks } => {
+            let c = dt.child.as_ref().expect("indexed child");
+            if full_run(c) {
+                Shape::Indexed { count: blocks.len() as u64 }
+            } else {
+                Shape::General
+            }
+        }
+        DatatypeKind::Struct { fields } => {
+            // Single-level struct (all fields contiguous) → treated as an
+            // indexed list of (offset, len) pairs.
+            if fields.iter().all(|f| full_run(&f.ty)) {
+                Shape::Indexed { count: fields.len() as u64 }
+            } else {
+                Shape::General
+            }
+        }
+        _ => Shape::General,
+    }
+}
+
+fn full_run(dt: &Datatype) -> bool {
+    dt.contig_run.map(|r| r as i64 == dt.extent()).unwrap_or(false) && dt.true_lb == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typemap;
+    use crate::types::{elem, ArrayOrder};
+
+    fn merged(dt: &Datatype) -> Vec<(i64, u64)> {
+        let mut out: Vec<(i64, u64)> = Vec::new();
+        for (off, len) in typemap::blocks(dt, 1) {
+            match out.last_mut() {
+                Some(last) if last.0 + last.1 as i64 == off => last.1 += len,
+                _ => out.push((off, len)),
+            }
+        }
+        out
+    }
+
+    fn same_typemap(a: &Datatype, b: &Datatype) {
+        // Normalization may change block granularity (ints → bytes); the
+        // merged maps must be identical.
+        assert_eq!(merged(a), merged(b));
+        assert_eq!(a.size, b.size);
+    }
+
+    #[test]
+    fn contig_of_contig_collapses() {
+        let t = Datatype::contiguous(4, &Datatype::contiguous(8, &elem::int()));
+        let n = normalize(&t);
+        same_typemap(&t, &n);
+        assert!(n.is_contiguous());
+    }
+
+    #[test]
+    fn vector_of_contig_flattens() {
+        let t = Datatype::vector(8, 2, 6, &Datatype::contiguous(3, &elem::int()));
+        let n = normalize(&t);
+        same_typemap(&t, &n);
+        assert!(matches!(classify(&t), Shape::Vector { count: 8, block_bytes: 24, .. }));
+    }
+
+    #[test]
+    fn uniform_indexed_block_becomes_vector() {
+        let t = Datatype::indexed_block(2, &[0, 5, 10, 15], &elem::int()).unwrap();
+        let n = normalize(&t);
+        same_typemap(&t, &n);
+        assert!(matches!(classify(&t), Shape::Vector { count: 4, block_bytes: 8, .. }));
+    }
+
+    #[test]
+    fn equal_length_indexed_becomes_indexed_block() {
+        let t = Datatype::indexed(&[3, 3, 3], &[0, 7, 20], &elem::int()).unwrap();
+        same_typemap(&t, &normalize(&t));
+        assert!(matches!(
+            classify(&t),
+            Shape::IndexedBlock { count: 3, block_bytes: 12 }
+        ));
+    }
+
+    #[test]
+    fn irregular_indexed_stays_indexed() {
+        let t = Datatype::indexed(&[1, 3, 2], &[0, 7, 20], &elem::int()).unwrap();
+        assert!(matches!(classify(&t), Shape::Indexed { count: 3 }));
+    }
+
+    #[test]
+    fn milc_style_vector_of_vector_is_vector2() {
+        let inner = Datatype::vector(4, 2, 8, &elem::double());
+        let t = Datatype::vector(5, 1, 100, &inner);
+        match classify(&t) {
+            Shape::Vector2 { outer_count: 5, inner_count: 4, block_bytes: 16, .. } => {}
+            other => panic!("expected Vector2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_general() {
+        let l1 = Datatype::vector(4, 1, 3, &elem::int());
+        let l2 = Datatype::vector(5, 2, 20, &l1);
+        let l3 = Datatype::vector(2, 1, 300, &l2);
+        assert_eq!(classify(&l3), Shape::General);
+    }
+
+    #[test]
+    fn full_subarray_is_contiguous_shape() {
+        let t = Datatype::subarray(&[4, 4], &[4, 4], &[0, 0], ArrayOrder::C, &elem::int()).unwrap();
+        assert!(matches!(classify(&t), Shape::Contiguous { .. }));
+    }
+
+    #[test]
+    fn subarray_rows_classify_as_vector_with_base() {
+        let t2 = Datatype::subarray(&[8, 16], &[3, 8], &[2, 4], ArrayOrder::C, &elem::double())
+            .unwrap();
+        match classify(&t2) {
+            Shape::Vector { count: 3, block_bytes: 64, stride_bytes, base_offset } => {
+                assert_eq!(stride_bytes, 128);
+                assert_eq!(base_offset, 2 * 128 + 4 * 8);
+            }
+            other => panic!("expected vector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_level_struct_is_indexed_shape() {
+        let t = Datatype::struct_(&[2, 4], &[0, 32], &[elem::double(), elem::int()]).unwrap();
+        assert!(matches!(classify(&t), Shape::Indexed { count: 2 }));
+    }
+
+    #[test]
+    fn struct_of_subarray_is_general() {
+        let sa = Datatype::subarray(&[8, 8], &[2, 3], &[1, 1], ArrayOrder::C, &elem::double())
+            .unwrap();
+        let t = Datatype::struct_(&[1, 1], &[0, 4096], &[sa.clone(), sa]).unwrap();
+        assert_eq!(classify(&t), Shape::General);
+    }
+
+    #[test]
+    fn single_field_struct_unwraps() {
+        let t = Datatype::struct_(&[4], &[0], &[elem::double()]).unwrap();
+        let n = normalize(&t);
+        same_typemap(&t, &n);
+        assert!(n.is_contiguous());
+    }
+
+    #[test]
+    fn normalization_preserves_typemap_on_nests() {
+        let inner = Datatype::indexed(&[1, 2], &[0, 3], &elem::float()).unwrap();
+        let t = Datatype::vector(6, 2, 12, &inner);
+        same_typemap(&t, &normalize(&t));
+    }
+}

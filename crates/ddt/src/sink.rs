@@ -1,0 +1,154 @@
+//! Block sinks: consumers of the contiguous regions a [`crate::Segment`]
+//! emits while processing a packed stream.
+//!
+//! The segment engine is sink-agnostic; the same walk drives
+//!
+//! * real byte movement ([`CopySink`], [`PackSink`]) — used by pack/unpack
+//!   and by the simulated NIC handlers (which *actually* scatter payload
+//!   bytes into the simulated host buffer),
+//! * pure accounting ([`CountSink`], [`NullSink`]) — used for catch-up
+//!   phases and cost modelling,
+//! * capture ([`VecSink`]) — used by tests and by iovec flattening.
+
+/// Receives contiguous blocks in typemap order.
+///
+/// `buf_off` is the (possibly negative, relative to the datatype origin)
+/// byte offset in the user buffer; `len` the block length; `stream_off`
+/// the absolute packed-stream offset of the block's first byte.
+pub trait BlockSink {
+    /// Consume one contiguous region.
+    fn block(&mut self, buf_off: i64, len: u64, stream_off: u64);
+}
+
+/// Discards all blocks (catch-up phases).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl BlockSink for NullSink {
+    #[inline]
+    fn block(&mut self, _buf_off: i64, _len: u64, _stream_off: u64) {}
+}
+
+/// Counts blocks and bytes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountSink {
+    /// Number of blocks seen.
+    pub blocks: u64,
+    /// Total bytes seen.
+    pub bytes: u64,
+}
+
+impl BlockSink for CountSink {
+    #[inline]
+    fn block(&mut self, _buf_off: i64, len: u64, _stream_off: u64) {
+        self.blocks += 1;
+        self.bytes += len;
+    }
+}
+
+/// Collects `(buf_off, len, stream_off)` triples.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Captured blocks in emission order.
+    pub blocks: Vec<(i64, u64, u64)>,
+}
+
+impl BlockSink for VecSink {
+    #[inline]
+    fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
+        self.blocks.push((buf_off, len, stream_off));
+    }
+}
+
+/// Unpack sink: copies from a packed source slice into a destination
+/// buffer. The source slice covers stream offsets
+/// `[stream_base, stream_base + src.len())`; destination index 0
+/// corresponds to buffer offset `origin`.
+pub struct CopySink<'a> {
+    /// Packed source bytes (e.g. one packet payload).
+    pub src: &'a [u8],
+    /// Absolute stream offset of `src[0]`.
+    pub stream_base: u64,
+    /// Destination (receive) buffer.
+    pub dst: &'a mut [u8],
+    /// Buffer offset corresponding to `dst[0]`.
+    pub origin: i64,
+}
+
+impl BlockSink for CopySink<'_> {
+    #[inline]
+    fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
+        let s = (stream_off - self.stream_base) as usize;
+        let d = (buf_off - self.origin) as usize;
+        let len = len as usize;
+        self.dst[d..d + len].copy_from_slice(&self.src[s..s + len]);
+    }
+}
+
+/// Pack sink: gathers from a user buffer into a packed output vector.
+pub struct PackSink<'a> {
+    /// Source (send) buffer.
+    pub src: &'a [u8],
+    /// Buffer offset corresponding to `src[0]`.
+    pub origin: i64,
+    /// Packed output, appended in stream order.
+    pub out: &'a mut Vec<u8>,
+}
+
+impl BlockSink for PackSink<'_> {
+    #[inline]
+    fn block(&mut self, buf_off: i64, len: u64, _stream_off: u64) {
+        let s = (buf_off - self.origin) as usize;
+        self.out.extend_from_slice(&self.src[s..s + len as usize]);
+    }
+}
+
+/// Fans one block stream out to two sinks (e.g. copy + count).
+pub struct TeeSink<'a, A: BlockSink, B: BlockSink> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: BlockSink, B: BlockSink> BlockSink for TeeSink<'_, A, B> {
+    #[inline]
+    fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
+        self.a.block(buf_off, len, stream_off);
+        self.b.block(buf_off, len, stream_off);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sink_accumulates() {
+        let mut s = CountSink::default();
+        s.block(0, 8, 0);
+        s.block(16, 4, 8);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.bytes, 12);
+    }
+
+    #[test]
+    fn copy_sink_respects_bases() {
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [0u8; 8];
+        let mut s = CopySink { src: &src, stream_base: 100, dst: &mut dst, origin: -4 };
+        s.block(0, 2, 100); // dst[4..6] = src[0..2]
+        s.block(-2, 2, 102); // dst[2..4] = src[2..4]
+        assert_eq!(dst, [0, 0, 3, 4, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn tee_sink_forwards_to_both() {
+        let mut a = CountSink::default();
+        let mut b = VecSink::default();
+        let mut t = TeeSink { a: &mut a, b: &mut b };
+        t.block(4, 4, 0);
+        assert_eq!(a.blocks, 1);
+        assert_eq!(b.blocks.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Reference typemap enumeration.
+//!
+//! [`for_each_block`] walks a datatype tree recursively and yields every
+//! *leaf* contiguous block as `(buffer_offset_bytes, len_bytes)` in typemap
+//! (= packed stream) order. It is deliberately simple and unoptimized: it
+//! serves as the ground truth against which the compiled
+//! [`crate::dataloop`]/[`crate::segment`] engine is differential-tested,
+//! and as the source for iovec flattening.
+
+use crate::types::{Datatype, DatatypeKind};
+
+/// Invoke `f(offset, len)` for every elementary-level contiguous block of
+/// `count` copies of `dt`, placed at byte `base`, in typemap order.
+///
+/// Adjacent blocks are *not* merged here (see [`crate::flatten`] for the
+/// merged form).
+pub fn for_each_block(dt: &Datatype, count: u32, mut f: impl FnMut(i64, u64)) {
+    for c in 0..count as i64 {
+        walk(dt, c * dt.extent(), &mut f);
+    }
+}
+
+fn walk(dt: &Datatype, base: i64, f: &mut impl FnMut(i64, u64)) {
+    match &dt.kind {
+        DatatypeKind::Elementary(e) => f(base, e.size()),
+        DatatypeKind::Contiguous { count } => {
+            let child = dt.child.as_ref().expect("contiguous child");
+            let ext = child.extent();
+            for i in 0..*count as i64 {
+                walk(child, base + i * ext, f);
+            }
+        }
+        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+            let child = dt.child.as_ref().expect("vector child");
+            let ext = child.extent();
+            for i in 0..*count as i64 {
+                let block_base = base + i * stride_bytes;
+                for j in 0..*blocklen as i64 {
+                    walk(child, block_base + j * ext, f);
+                }
+            }
+        }
+        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+            let child = dt.child.as_ref().expect("indexed_block child");
+            let ext = child.extent();
+            for &d in displs_bytes.iter() {
+                for j in 0..*blocklen as i64 {
+                    walk(child, base + d + j * ext, f);
+                }
+            }
+        }
+        DatatypeKind::Indexed { blocks } => {
+            let child = dt.child.as_ref().expect("indexed child");
+            let ext = child.extent();
+            for &(len, d) in blocks.iter() {
+                for j in 0..len as i64 {
+                    walk(child, base + d + j * ext, f);
+                }
+            }
+        }
+        DatatypeKind::Struct { fields } => {
+            for field in fields.iter() {
+                let ext = field.ty.extent();
+                for j in 0..field.count as i64 {
+                    walk(&field.ty, base + field.displ + j * ext, f);
+                }
+            }
+        }
+        DatatypeKind::Resized { .. } => {
+            walk(dt.child.as_ref().expect("resized child"), base, f);
+        }
+    }
+}
+
+/// Collect the full (unmerged) typemap of `count` copies of `dt`.
+pub fn blocks(dt: &Datatype, count: u32) -> Vec<(i64, u64)> {
+    let mut v = Vec::new();
+    for_each_block(dt, count, |off, len| v.push((off, len)));
+    v
+}
+
+/// Reference scatter: compute, for a packed stream of `dt.size * count`
+/// bytes, the destination buffer offset of every stream byte range, and
+/// copy `src` into `dst` accordingly. `dst` is indexed from the true lower
+/// bound upward; `dst[0]` corresponds to buffer offset `origin`.
+///
+/// Panics if any block falls outside `dst` — tests construct buffers from
+/// the type bounds so this indicates a bug.
+pub fn reference_unpack(dt: &Datatype, count: u32, src: &[u8], dst: &mut [u8], origin: i64) {
+    let mut pos = 0usize;
+    for_each_block(dt, count, |off, len| {
+        let start = (off - origin) as usize;
+        let len = len as usize;
+        dst[start..start + len].copy_from_slice(&src[pos..pos + len]);
+        pos += len;
+    });
+    assert_eq!(pos, src.len(), "stream length mismatch in reference_unpack");
+}
+
+/// Reference gather (pack): inverse of [`reference_unpack`].
+pub fn reference_pack(dt: &Datatype, count: u32, src: &[u8], origin: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity((dt.size * count as u64) as usize);
+    for_each_block(dt, count, |off, len| {
+        let start = (off - origin) as usize;
+        out.extend_from_slice(&src[start..start + len as usize]);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{elem, ArrayOrder, DatatypeExt};
+
+    #[test]
+    fn vector_blocks_in_order() {
+        let t = Datatype::vector(3, 2, 4, &elem::int());
+        let b = blocks(&t, 1);
+        // 3 blocks of 2 ints each -> 6 elementary blocks of 4 bytes
+        assert_eq!(b.len(), 6);
+        assert_eq!(b[0], (0, 4));
+        assert_eq!(b[1], (4, 4));
+        assert_eq!(b[2], (16, 4));
+        assert_eq!(b[5], (36, 4));
+    }
+
+    #[test]
+    fn count_steps_by_extent() {
+        let t = Datatype::vector(2, 1, 2, &elem::int());
+        // extent = (1*2+1)*4 = 12? lb=0, ub = stride*(count-1)+blocklen ext = 8+4=12
+        assert_eq!(t.extent(), 12);
+        let b = blocks(&t, 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[2].0, 12);
+        assert_eq!(b[3].0, 20);
+    }
+
+    #[test]
+    fn total_bytes_equals_size() {
+        let t = Datatype::subarray(&[5, 7, 3], &[2, 4, 2], &[1, 1, 0], ArrayOrder::C, &elem::double())
+            .unwrap();
+        let total: u64 = blocks(&t, 3).iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, t.size * 3);
+    }
+
+    #[test]
+    fn reference_pack_unpack_roundtrip() {
+        let t = Datatype::vector(4, 3, 5, &elem::int());
+        let span = (t.true_ub - t.true_lb) as usize + t.extent() as usize; // room for count=2
+        let mut buf = vec![0u8; span + 64];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let packed = reference_pack(&t, 2, &buf, 0);
+        assert_eq!(packed.len(), (t.size * 2) as usize);
+        let mut out = vec![0u8; buf.len()];
+        reference_unpack(&t, 2, &packed, &mut out, 0);
+        // every mapped byte must match, unmapped bytes must be zero
+        let mut mapped = vec![false; buf.len()];
+        for_each_block(&t, 2, |off, len| {
+            for k in off..off + len as i64 {
+                mapped[k as usize] = true;
+            }
+        });
+        for i in 0..buf.len() {
+            if mapped[i] {
+                assert_eq!(out[i], buf[i], "mismatch at {i}");
+            } else {
+                assert_eq!(out[i], 0, "unmapped byte {i} written");
+            }
+        }
+    }
+
+    #[test]
+    fn struct_field_order_defines_stream_order() {
+        // field B placed before field A in memory, but A first in typemap
+        let t = Datatype::struct_(&[1, 1], &[8, 0], &[elem::int(), elem::int()]).unwrap();
+        let b = blocks(&t, 1);
+        assert_eq!(b[0], (8, 4));
+        assert_eq!(b[1], (0, 4));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: descriptor serialization round-trips for random
+//! datatypes, and darray tiles the global array.
+
+use proptest::prelude::*;
+
+use nca_ddt::darray::{darray, Distribution};
+use nca_ddt::dataloop::compile;
+use nca_ddt::descr::{decode, encode, encoded_len};
+use nca_ddt::segment::Segment;
+use nca_ddt::sink::VecSink;
+use nca_ddt::typemap;
+use nca_ddt::types::{elem, ArrayOrder, Datatype, DatatypeExt};
+
+fn arb_dt() -> impl Strategy<Value = Datatype> {
+    let leaf = prop_oneof![Just(elem::int()), Just(elem::double())];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (1u32..5, inner.clone()).prop_map(|(c, t)| Datatype::contiguous(c, &t)),
+            (1u32..6, 1u32..4, 1i64..6, inner.clone())
+                .prop_map(|(c, b, s, t)| Datatype::vector(c, b, s.max(b as i64), &t)),
+            (proptest::collection::vec((1u32..3, 0i64..4), 1..5), inner).prop_map(
+                |(items, t)| {
+                    let mut lens = Vec::new();
+                    let mut displs = Vec::new();
+                    let mut at = 0i64;
+                    for (l, g) in items {
+                        lens.push(l);
+                        displs.push(at);
+                        at += l as i64 + g;
+                    }
+                    Datatype::indexed(&lens, &displs, &t).expect("valid")
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn descriptor_roundtrip(dt in arb_dt(), count in 1u32..4) {
+        let dl = compile(&dt, count);
+        let bytes = encode(&dl);
+        prop_assert_eq!(bytes.len() as u64, encoded_len(&dl));
+        let back = decode(&bytes).expect("decodable");
+        prop_assert_eq!(back.size, dl.size);
+        prop_assert_eq!(back.blocks, dl.blocks);
+        let mut a = VecSink::default();
+        Segment::new(dl).advance(u64::MAX, &mut a);
+        let mut b = VecSink::default();
+        Segment::new(back).advance(u64::MAX, &mut b);
+        prop_assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn darray_partitions_1d(
+        gsize in 1u64..200,
+        procs in 1u64..8,
+        cyclic in any::<bool>(),
+    ) {
+        let dist = if cyclic { Distribution::Cyclic } else { Distribution::Block };
+        let base = elem::int();
+        let mut covered = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for r in 0..procs {
+            let dt = darray(&[gsize], &[dist], &[procs], &[r], ArrayOrder::C, &base)
+                .expect("valid");
+            total += dt.size;
+            for (off, len) in typemap::blocks(&dt, 1) {
+                for byte in off..off + len as i64 {
+                    prop_assert!(covered.insert(byte), "byte {byte} doubly covered");
+                }
+            }
+        }
+        prop_assert_eq!(total, gsize * 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! GOAL-style schedules and their deterministic simulation.
+//!
+//! A [`Schedule`] holds one operation list per rank; operations execute
+//! sequentially within a rank (GOAL dependencies degenerate to program
+//! order for the traces we generate, which is exactly how the FFT2D
+//! trace of the paper is structured). The simulator advances ranks in
+//! a fixpoint loop: a rank blocks on `Recv` until the matching message's
+//! arrival time is known, which requires the sender to have progressed.
+
+use std::collections::HashMap;
+
+use nca_sim::Time;
+
+use crate::model::LogGopsParams;
+
+/// One operation in a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Local computation of the given duration.
+    Calc(Time),
+    /// Send `bytes` to `to` with `tag`.
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Message size.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Receive from `from` with `tag`; `unpack` is charged after arrival
+    /// (the datatype-processing cost — zero when offloaded processing
+    /// fully overlaps the transfer).
+    Recv {
+        /// Source rank.
+        from: u32,
+        /// Match tag.
+        tag: u32,
+        /// Post-arrival unpack cost.
+        unpack: Time,
+    },
+}
+
+/// Per-rank operation lists.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// `ops[rank]` = that rank's program.
+    pub ops: Vec<Vec<Op>>,
+}
+
+impl Schedule {
+    /// Create a schedule for `ranks` ranks.
+    pub fn new(ranks: u32) -> Self {
+        Schedule { ops: vec![Vec::new(); ranks as usize] }
+    }
+
+    /// Append an op to a rank's program.
+    pub fn push(&mut self, rank: u32, op: Op) {
+        self.ops[rank as usize].push(op);
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Per-rank completion times.
+    pub finish: Vec<Time>,
+    /// Makespan (max finish time).
+    pub makespan: Time,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Simulate a schedule under LogGOPS. Panics on deadlock (a receive
+/// whose sender can never progress), which for generated traces is a
+/// trace-generator bug.
+pub fn simulate(p: &LogGopsParams, sched: &Schedule) -> SimOutcome {
+    let n = sched.ops.len();
+    let mut pc = vec![0usize; n];
+    let mut time: Vec<Time> = vec![0; n];
+    // NIC injection availability per rank (gap g/G enforcement).
+    let mut nic_free: Vec<Time> = vec![0; n];
+    // (dst, src, tag) → arrival times in send order.
+    let mut arrivals: HashMap<(u32, u32, u32), std::collections::VecDeque<Time>> = HashMap::new();
+    let mut messages = 0u64;
+
+    loop {
+        let mut progress = false;
+        for r in 0..n {
+            while pc[r] < sched.ops[r].len() {
+                match sched.ops[r][pc[r]] {
+                    Op::Calc(d) => {
+                        time[r] += d;
+                    }
+                    Op::Send { to, bytes, tag } => {
+                        // CPU overhead o, then the NIC serializes after g/G.
+                        let cpu_done = time[r] + p.o;
+                        let inject_start = cpu_done.max(nic_free[r]);
+                        let inject_end = inject_start + p.gap_time(bytes);
+                        nic_free[r] = inject_end;
+                        time[r] = cpu_done; // CPU free after o (NIC offloads)
+                        let arrival = inject_end + p.l;
+                        arrivals
+                            .entry((to, r as u32, tag))
+                            .or_default()
+                            .push_back(arrival);
+                        messages += 1;
+                    }
+                    Op::Recv { from, tag, unpack } => {
+                        let key = (r as u32, from, tag);
+                        match arrivals.get_mut(&key).and_then(|q| q.pop_front()) {
+                            Some(arrival) => {
+                                time[r] = time[r].max(arrival) + p.o + unpack;
+                            }
+                            None => break, // blocked: retry next pass
+                        }
+                    }
+                }
+                pc[r] += 1;
+                progress = true;
+            }
+        }
+        if pc.iter().enumerate().all(|(r, &c)| c == sched.ops[r].len()) {
+            break;
+        }
+        assert!(progress, "deadlock in GOAL schedule");
+    }
+    let makespan = *time.iter().max().expect("nonempty schedule");
+    SimOutcome { finish: time, makespan, messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> LogGopsParams {
+        LogGopsParams::default()
+    }
+
+    #[test]
+    fn calc_only_is_sum() {
+        let mut s = Schedule::new(1);
+        s.push(0, Op::Calc(100));
+        s.push(0, Op::Calc(250));
+        let out = simulate(&p(), &s);
+        assert_eq!(out.makespan, 350);
+    }
+
+    #[test]
+    fn ping_latency_formula() {
+        let mut s = Schedule::new(2);
+        s.push(0, Op::Send { to: 1, bytes: 8, tag: 0 });
+        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        let out = simulate(&p(), &s);
+        let pp = p();
+        // o + gap(8) + L + o
+        let expect = pp.o + pp.gap_time(8) + pp.l + pp.o;
+        assert_eq!(out.finish[1], expect);
+        assert_eq!(out.messages, 1);
+    }
+
+    #[test]
+    fn unpack_cost_delays_receiver_only() {
+        let mut a = Schedule::new(2);
+        a.push(0, Op::Send { to: 1, bytes: 1 << 20, tag: 0 });
+        a.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        let mut b = a.clone();
+        b.ops[1][0] = Op::Recv { from: 0, tag: 0, unpack: nca_sim::us(500) };
+        let oa = simulate(&p(), &a);
+        let ob = simulate(&p(), &b);
+        assert_eq!(ob.finish[1] - oa.finish[1], nca_sim::us(500));
+        assert_eq!(ob.finish[0], oa.finish[0]);
+    }
+
+    #[test]
+    fn sends_serialize_at_the_nic() {
+        let mut s = Schedule::new(3);
+        s.push(0, Op::Send { to: 1, bytes: 1 << 20, tag: 0 });
+        s.push(0, Op::Send { to: 2, bytes: 1 << 20, tag: 0 });
+        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        s.push(2, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        let out = simulate(&p(), &s);
+        // Second message arrives one full gap after the first.
+        let gap = p().gap_time(1 << 20);
+        assert!(out.finish[2] >= out.finish[1] + gap - p().o);
+    }
+
+    #[test]
+    fn out_of_order_posted_recvs_match_by_tag() {
+        let mut s = Schedule::new(2);
+        s.push(0, Op::Send { to: 1, bytes: 64, tag: 7 });
+        s.push(0, Op::Send { to: 1, bytes: 64, tag: 9 });
+        s.push(1, Op::Recv { from: 0, tag: 9, unpack: 0 });
+        s.push(1, Op::Recv { from: 0, tag: 7, unpack: 0 });
+        let out = simulate(&p(), &s);
+        assert_eq!(out.messages, 2);
+        assert!(out.makespan > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        let mut s = Schedule::new(2);
+        s.push(0, Op::Recv { from: 1, tag: 0, unpack: 0 });
+        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        simulate(&p(), &s);
+    }
+}

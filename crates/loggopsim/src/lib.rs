@@ -1,0 +1,24 @@
+//! # nca-loggopsim — a LogGOPS application-scale simulator
+//!
+//! The paper evaluates FFT2D strong scaling (Fig. 19) by generating a
+//! GOAL trace and running it in LogGOPSim configured for next-generation
+//! networks, with per-message unpack costs taken from the NIC-level
+//! simulation. This crate reimplements that methodology:
+//!
+//! * [`model`] — the LogGOPS parameter set (L, o, g, G; O and S are not
+//!   exercised by the zero-copy FFT trace).
+//! * [`goal`] — GOAL-style per-rank operation schedules (send / recv /
+//!   calc with sequential dependencies) and a deterministic fixpoint
+//!   simulator over them.
+//! * [`fft2d`] — the FFT2D trace generator (1D-FFT compute, alltoall
+//!   transpose encoded as MPI datatypes, unpack on recv) and the
+//!   strong-scaling experiment of Fig. 19.
+
+pub mod collectives;
+pub mod fft2d;
+pub mod goal;
+pub mod model;
+
+pub use fft2d::{fft2d_runtime, Fft2dConfig, Fft2dResult};
+pub use goal::{simulate, Op, Schedule};
+pub use model::LogGopsParams;

@@ -1,0 +1,49 @@
+//! LogGOPS network parameters.
+
+use nca_sim::Time;
+
+/// The LogGOPS parameter set (Hoefler, Schneider, Lumsdaine —
+/// LogGOPSim), specialized to the next-generation network the paper
+/// models: 200 Gbit/s links, ~745 ns wire latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogGopsParams {
+    /// Wire latency (ps).
+    pub l: Time,
+    /// CPU overhead per message (send or receive posting), ps.
+    pub o: Time,
+    /// Inter-message gap at the NIC (ps).
+    pub g: Time,
+    /// Gap per byte (ps/B) — the inverse bandwidth.
+    pub g_per_byte: u64,
+}
+
+impl Default for LogGopsParams {
+    fn default() -> Self {
+        LogGopsParams {
+            l: nca_sim::ns(745),
+            o: nca_sim::ns(255),
+            g: nca_sim::ns(50),
+            g_per_byte: 40, // 25 GB/s = 200 Gbit/s
+        }
+    }
+}
+
+impl LogGopsParams {
+    /// Serialization time of a message of `bytes`.
+    pub fn gap_time(&self, bytes: u64) -> Time {
+        self.g + self.g_per_byte * bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rate_gap() {
+        let p = LogGopsParams::default();
+        // 1 MiB at 25 GB/s ≈ 41.9 µs
+        let t = p.gap_time(1 << 20) - p.g;
+        assert_eq!(t, (1u64 << 20) * 40);
+    }
+}

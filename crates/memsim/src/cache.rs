@@ -1,0 +1,231 @@
+//! Set-associative, write-back, write-allocate cache with true-LRU
+//! replacement — modelled after the last-level cache of the paper's host
+//! baseline machine (i7-4770: 8 MiB, 16-way, 64 B lines).
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// The paper's host LLC: Intel i7-4770, 8 MiB, 16-way, 64 B lines.
+    pub fn i7_4770_llc() -> CacheConfig {
+        CacheConfig { capacity: 8 << 20, line_size: 64, ways: 16 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.capacity / (self.line_size * self.ways as u64)
+    }
+}
+
+/// Access counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (line granularity).
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (each fetches one line from DRAM).
+    pub misses: u64,
+    /// Dirty evictions (each writes one line back to DRAM).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Bytes exchanged with DRAM: line fills + dirty writebacks.
+    pub fn dram_traffic_bytes(&self, line_size: u64) -> u64 {
+        (self.misses + self.writebacks) * line_size
+    }
+
+    /// Miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (monotone counter).
+    used: u64,
+}
+
+/// The cache model. Addresses are plain `u64` byte addresses.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    /// Running statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Create an empty (cold) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
+        let nsets = cfg.sets();
+        assert!(nsets > 0, "config yields zero sets");
+        let empty = Line { tag: 0, valid: false, dirty: false, used: 0 };
+        Cache {
+            cfg,
+            sets: (0..nsets).map(|_| vec![empty; cfg.ways as usize]).collect(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Access one byte address; `write` marks the line dirty.
+    /// Returns `true` on hit. Write misses allocate (write-allocate), so
+    /// they fetch the line first (the RFO read the paper's traffic model
+    /// implies).
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr / self.cfg.line_size;
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.used = self.clock;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Choose the victim: an invalid way, else true LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.used + 1 } else { 0 })
+            .expect("nonzero ways");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty: write, used: self.clock };
+        false
+    }
+
+    /// Access every line of the byte range `[addr, addr+len)` once.
+    pub fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / self.cfg.line_size;
+        let last = (addr + len - 1) / self.cfg.line_size;
+        for line in first..=last {
+            self.access(line * self.cfg.line_size, write);
+        }
+    }
+
+    /// Flush: write back all dirty lines (counted as writebacks) and
+    /// invalidate everything. Models the end-of-run drain so that the
+    /// total DRAM write volume includes resident dirty data.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid && line.dirty {
+                    self.stats.writebacks += 1;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B
+        Cache::new(CacheConfig { capacity: 512, line_size: 64, ways: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::i7_4770_llc();
+        assert_eq!(c.sets(), 8192);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert!(!c.access(0, false));
+        assert!(c.access(63, false)); // same line
+        assert!(!c.access(64, false)); // next line
+        assert_eq!(c.stats.misses, 2);
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // set 0 holds lines with line_addr % 4 == 0: addresses 0, 256, 512...
+        c.access(0, false); // A
+        c.access(256, false); // B (set full)
+        c.access(0, false); // touch A
+        c.access(512, false); // C evicts B (LRU)
+        assert!(c.access(0, false), "A must still be resident");
+        assert!(!c.access(256, false), "B must have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty A
+        c.access(256, false); // B
+        c.access(512, false); // evicts A (dirty)
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn flush_writes_back_resident_dirty() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, true);
+        c.access(128, false);
+        c.flush();
+        assert_eq!(c.stats.writebacks, 2);
+        // all invalid now
+        assert!(!c.access(0, false));
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = tiny();
+        c.access_range(10, 200, false); // lines 0..=3
+        assert_eq!(c.stats.accesses, 4);
+        c.access_range(0, 0, false);
+        assert_eq!(c.stats.accesses, 4);
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses() {
+        let mut c = tiny();
+        for i in 0..64u64 {
+            c.access(i * 64, false);
+        }
+        // 512B cache, 4KiB stream: every access a miss once warm
+        assert_eq!(c.stats.misses, 64);
+    }
+}

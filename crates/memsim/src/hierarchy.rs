@@ -1,0 +1,157 @@
+//! A small multi-level cache hierarchy (L1 → L2 → LLC → DRAM).
+//!
+//! The Fig. 17 traffic accounting only needs the LLC, but the host
+//! unpack *time* model's hot/cold split is grounded in where the
+//! working set lives; this hierarchy lets tests validate that grounding
+//! (inclusive levels, misses propagate downward, DRAM traffic equals
+//! the last level's miss traffic).
+
+use crate::cache::{Cache, CacheConfig};
+
+/// An inclusive multi-level hierarchy.
+#[derive(Debug)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+}
+
+/// Per-level hit counts of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyHit {
+    /// Index of the level that hit (0 = L1); `levels.len()` = DRAM.
+    pub level: usize,
+}
+
+impl Hierarchy {
+    /// The paper's host machine (i7-4770): 32 KiB L1d (8-way), 256 KiB
+    /// L2 (8-way), 8 MiB LLC (16-way), 64 B lines.
+    pub fn i7_4770() -> Hierarchy {
+        Hierarchy::new(vec![
+            CacheConfig { capacity: 32 << 10, line_size: 64, ways: 8 },
+            CacheConfig { capacity: 256 << 10, line_size: 64, ways: 8 },
+            CacheConfig::i7_4770_llc(),
+        ])
+    }
+
+    /// Build from per-level configs (L1 first).
+    pub fn new(configs: Vec<CacheConfig>) -> Hierarchy {
+        assert!(!configs.is_empty(), "need at least one level");
+        Hierarchy { levels: configs.into_iter().map(Cache::new).collect() }
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Access an address; the fill propagates into every level above the
+    /// hit (inclusive). Returns which level satisfied the access.
+    pub fn access(&mut self, addr: u64, write: bool) -> HierarchyHit {
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr, write) {
+                return HierarchyHit { level: i };
+            }
+        }
+        HierarchyHit { level: self.levels.len() }
+    }
+
+    /// Access a byte range at line granularity.
+    pub fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let line = self.levels[0].config().line_size;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        for l in first..=last {
+            self.access(l * line, write);
+        }
+    }
+
+    /// Statistics for one level.
+    pub fn level_stats(&self, level: usize) -> crate::cache::CacheStats {
+        self.levels[level].stats
+    }
+
+    /// DRAM traffic = last level's miss+writeback volume (after
+    /// flushing resident dirty lines).
+    pub fn dram_traffic_bytes(&mut self) -> u64 {
+        let last = self.levels.len() - 1;
+        self.levels[last].flush();
+        let line = self.levels[last].config().line_size;
+        self.levels[last].stats.dram_traffic_bytes(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(vec![
+            CacheConfig { capacity: 512, line_size: 64, ways: 2 },
+            CacheConfig { capacity: 2048, line_size: 64, ways: 4 },
+        ])
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = tiny();
+        assert_eq!(h.access(0, false).level, 2, "cold: DRAM");
+        assert_eq!(h.access(0, false).level, 0, "warm: L1");
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = tiny();
+        // Fill far beyond L1 (512 B) but within L2 (2 KiB).
+        for i in 0..32u64 {
+            h.access(i * 64, false);
+        }
+        // Address 0 was evicted from L1 but must still be in L2.
+        let hit = h.access(0, false);
+        assert_eq!(hit.level, 1, "expected L2 hit, got {hit:?}");
+    }
+
+    #[test]
+    fn working_set_larger_than_all_levels_misses_to_dram() {
+        let mut h = tiny();
+        for round in 0..2 {
+            for i in 0..64u64 {
+                let hit = h.access(i * 64, false);
+                if round == 0 {
+                    assert_eq!(hit.level, 2);
+                }
+            }
+        }
+        // 4 KiB working set, 2 KiB L2: second round still misses mostly.
+        let l2 = h.level_stats(1);
+        assert!(l2.misses > 64, "L2 must keep missing: {:?}", l2);
+    }
+
+    #[test]
+    fn i7_shape() {
+        let h = Hierarchy::i7_4770();
+        assert_eq!(h.depth(), 3);
+    }
+
+    #[test]
+    fn dram_traffic_counts_last_level_only() {
+        let mut h = tiny();
+        h.access_range(0, 4096, true);
+        let dram = h.dram_traffic_bytes();
+        // 64 lines fetched + dirty writebacks (all 4 KiB written).
+        assert!(dram >= 4096 * 2, "fetch + writeback, got {dram}");
+    }
+
+    #[test]
+    fn small_working_set_stops_touching_dram() {
+        let mut h = Hierarchy::i7_4770();
+        // 16 KiB fits in L1+L2: repeated unpack rounds hit caches.
+        for _ in 0..4 {
+            h.access_range(0, 16 << 10, true);
+        }
+        let llc = h.level_stats(2);
+        // Only the first round's 256 lines missed to DRAM.
+        assert_eq!(llc.misses, 256);
+    }
+}

@@ -1,0 +1,18 @@
+//! # nca-memsim — host memory-hierarchy simulation
+//!
+//! The paper's Fig. 17 compares the **data volume moved to/from main
+//! memory** by NIC-offloaded unpacking (exactly the message size) against
+//! host-based unpacking (message size + all last-level-cache miss traffic
+//! incurred while the CPU unpacks). Reproducing that requires an actual
+//! LLC model: this crate provides a set-associative write-back
+//! write-allocate cache ([`cache::Cache`]) and an unpack access-pattern
+//! replayer ([`traffic::unpack_traffic`]) that measures the DRAM traffic
+//! of a cold-cache `MPIT_Type_memcpy`-style unpack.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod traffic;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::Hierarchy;
+pub use traffic::{unpack_traffic, TrafficReport};

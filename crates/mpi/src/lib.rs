@@ -1,0 +1,23 @@
+//! # nca-mpi — a mini message-passing layer over the simulated NIC
+//!
+//! The paper's Sec. 3.2.6 sketches how an MPI implementation drives the
+//! offload (commit → post → complete). This crate assembles the whole
+//! stack into a usable message-passing interface so application-level
+//! code can be written against it:
+//!
+//! * [`World`] — a set of simulated ranks with their own buffers,
+//!   [`nca_core::OffloadManager`]s, and a shared timing model.
+//! * Tagged, datatype-aware `isend`/`irecv` with MPI matching semantics
+//!   (source + tag, posted-receive vs unexpected queues).
+//! * **Real data movement**: sends pack from the sender's buffer, and
+//!   receives scatter into the receiver's buffer through the datatype
+//!   engine — applications can verify their numerics.
+//! * **Offload-aware timing**: an expected (pre-posted) receive whose
+//!   datatype was committed for offload charges only the NIC residual;
+//!   an unexpected message lands packed and pays the host unpack
+//!   (Sec. 3.2.6: "they can be unpacked by falling back to the host
+//!   CPU-based unpack methods").
+
+pub mod world;
+
+pub use world::{RankTime, Request, World};

@@ -1,0 +1,29 @@
+//! # nca-portals — Portals 4 network programming interface model
+//!
+//! The subset of Portals 4 the paper builds on, plus the two interface
+//! extensions it introduces:
+//!
+//! * [`matching`] — matching ([`matching::MatchEntry`]) and non-matching
+//!   list entries on **priority** and **overflow** lists, with the Portals
+//!   matching walk (priority first, then overflow; discard on no match)
+//!   executed per *header* packet, and in-flight message → ME pinning
+//!   until the completion packet.
+//! * [`packet`] — message packetization into header / payload /
+//!   completion packets (header first, completion last, fixed payload
+//!   size — 2 KiB in the paper's simulations).
+//! * [`event`] — full events and lightweight counting events.
+//! * [`commands`] — NIC command descriptors: `PtlPut`, the paper's
+//!   **streaming puts** (`PtlSPutStart` / `PtlSPutStream`, Sec. 3.1.1)
+//!   that emit several memory regions as *one* message, and
+//!   `PtlProcessPut` (Sec. 3.1.2) which routes outbound packets through
+//!   the sPIN handlers instead of filling them from host memory.
+
+pub mod commands;
+pub mod event;
+pub mod matching;
+pub mod packet;
+
+pub use commands::{Command, ProcessPut, Put, StreamingPut};
+pub use event::{EventKind, EventQueue, FullEvent};
+pub use matching::{MatchBits, MatchEntry, MatchOutcome, MatchingUnit};
+pub use packet::{packetize, Packet, PacketKind};

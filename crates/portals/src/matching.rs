@@ -1,0 +1,223 @@
+//! The Portals 4 matching unit: priority and overflow lists of match
+//! entries, searched per header packet; matched MEs stay pinned to the
+//! message until its completion packet arrives (paper Sec. 2.1.2).
+
+use std::collections::HashMap;
+
+/// 64-bit match bits (Portals `ptl_match_bits_t`).
+pub type MatchBits = u64;
+
+/// A matching list entry (ME): a memory descriptor plus match/ignore
+/// bits and an optional sPIN execution-context binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEntry {
+    /// Identifier assigned on append.
+    pub id: u64,
+    /// Bits an incoming operation must match.
+    pub match_bits: MatchBits,
+    /// Bit positions excluded from the comparison.
+    pub ignore_bits: MatchBits,
+    /// Base offset of the exposed memory region.
+    pub start: u64,
+    /// Length of the exposed region.
+    pub length: u64,
+    /// sPIN execution context id, if packets matching this ME are to be
+    /// processed by handlers; `None` → non-processing data path.
+    pub exec_ctx: Option<u32>,
+    /// Whether the ME unlinks from its list after the first match
+    /// (`PTL_ME_USE_ONCE`). It remains pinned for in-flight packets of
+    /// the matched message until completion.
+    pub use_once: bool,
+}
+
+impl MatchEntry {
+    /// Portals match test: `(incoming ^ me) & ~ignore == 0`.
+    pub fn matches(&self, bits: MatchBits) -> bool {
+        (bits ^ self.match_bits) & !self.ignore_bits == 0
+    }
+}
+
+/// Which list satisfied a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// Matched on the priority list (expected message).
+    Priority,
+    /// Matched on the overflow list (unexpected message).
+    Overflow,
+    /// No match anywhere — the operation is discarded.
+    Discard,
+}
+
+/// The matching unit holding both lists and the in-flight message table.
+#[derive(Debug, Default, Clone)]
+pub struct MatchingUnit {
+    next_id: u64,
+    priority: Vec<MatchEntry>,
+    overflow: Vec<MatchEntry>,
+    /// msg_id → ME pinned by the header packet of that message.
+    inflight: HashMap<u64, MatchEntry>,
+}
+
+impl MatchingUnit {
+    /// Create an empty matching unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an ME to the priority list (`PtlMEAppend(PTL_PRIORITY_LIST)`).
+    /// Returns the assigned id.
+    pub fn append_priority(&mut self, mut me: MatchEntry) -> u64 {
+        me.id = self.next_id;
+        self.next_id += 1;
+        self.priority.push(me);
+        self.next_id - 1
+    }
+
+    /// Append an ME to the overflow list.
+    pub fn append_overflow(&mut self, mut me: MatchEntry) -> u64 {
+        me.id = self.next_id;
+        self.next_id += 1;
+        self.overflow.push(me);
+        self.next_id - 1
+    }
+
+    /// Entries currently on the priority list.
+    pub fn priority_len(&self) -> usize {
+        self.priority.len()
+    }
+
+    /// Entries currently on the overflow list.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Messages currently pinned (header seen, completion not yet).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Process the header packet of message `msg_id`: walk the priority
+    /// list then the overflow list. On a match, the ME is pinned to the
+    /// message (and unlinked from its list if `use_once`).
+    pub fn match_header(&mut self, msg_id: u64, bits: MatchBits) -> (MatchOutcome, Option<&MatchEntry>) {
+        let from_priority = self.priority.iter().position(|me| me.matches(bits));
+        let (outcome, pos, list_is_priority) = match from_priority {
+            Some(p) => (MatchOutcome::Priority, p, true),
+            None => match self.overflow.iter().position(|me| me.matches(bits)) {
+                Some(p) => (MatchOutcome::Overflow, p, false),
+                None => return (MatchOutcome::Discard, None),
+            },
+        };
+        let list = if list_is_priority { &mut self.priority } else { &mut self.overflow };
+        let me = if list[pos].use_once {
+            list.remove(pos)
+        } else {
+            list[pos].clone()
+        };
+        self.inflight.insert(msg_id, me);
+        (outcome, self.inflight.get(&msg_id))
+    }
+
+    /// Look up the pinned ME for a payload/completion packet of an
+    /// already-matched message.
+    pub fn lookup_inflight(&self, msg_id: u64) -> Option<&MatchEntry> {
+        self.inflight.get(&msg_id)
+    }
+
+    /// Completion packet processed: release the pin. Returns the ME.
+    pub fn complete(&mut self, msg_id: u64) -> Option<MatchEntry> {
+        self.inflight.remove(&msg_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me(bits: MatchBits, ignore: MatchBits, use_once: bool) -> MatchEntry {
+        MatchEntry {
+            id: 0,
+            match_bits: bits,
+            ignore_bits: ignore,
+            start: 0,
+            length: 4096,
+            exec_ctx: None,
+            use_once,
+        }
+    }
+
+    #[test]
+    fn match_bits_semantics() {
+        let e = me(0xAB00, 0x00FF, false);
+        assert!(e.matches(0xAB00));
+        assert!(e.matches(0xAB42)); // low byte ignored
+        assert!(!e.matches(0xAC00));
+    }
+
+    #[test]
+    fn priority_before_overflow() {
+        let mut mu = MatchingUnit::new();
+        mu.append_overflow(me(1, 0, false));
+        mu.append_priority(me(1, 0, false));
+        let (out, _) = mu.match_header(0, 1);
+        assert_eq!(out, MatchOutcome::Priority);
+    }
+
+    #[test]
+    fn overflow_fallback_for_unexpected() {
+        let mut mu = MatchingUnit::new();
+        mu.append_priority(me(7, 0, false));
+        mu.append_overflow(me(0, !0, false)); // wildcard
+        let (out, hit) = mu.match_header(0, 99);
+        assert_eq!(out, MatchOutcome::Overflow);
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn discard_when_nothing_matches() {
+        let mut mu = MatchingUnit::new();
+        mu.append_priority(me(7, 0, false));
+        let (out, hit) = mu.match_header(0, 8);
+        assert_eq!(out, MatchOutcome::Discard);
+        assert!(hit.is_none());
+        assert_eq!(mu.inflight_len(), 0);
+    }
+
+    #[test]
+    fn use_once_unlinks_but_stays_pinned() {
+        let mut mu = MatchingUnit::new();
+        mu.append_priority(me(5, 0, true));
+        let (out, _) = mu.match_header(42, 5);
+        assert_eq!(out, MatchOutcome::Priority);
+        assert_eq!(mu.priority_len(), 0, "use_once ME must unlink");
+        // payload packets of msg 42 still find it
+        assert!(mu.lookup_inflight(42).is_some());
+        // a second message no longer matches
+        let (out2, _) = mu.match_header(43, 5);
+        assert_eq!(out2, MatchOutcome::Discard);
+        // completion releases the pin
+        assert!(mu.complete(42).is_some());
+        assert!(mu.lookup_inflight(42).is_none());
+    }
+
+    #[test]
+    fn persistent_me_matches_many_messages() {
+        let mut mu = MatchingUnit::new();
+        mu.append_priority(me(5, 0, false));
+        for msg in 0..10 {
+            let (out, _) = mu.match_header(msg, 5);
+            assert_eq!(out, MatchOutcome::Priority);
+        }
+        assert_eq!(mu.inflight_len(), 10);
+        assert_eq!(mu.priority_len(), 1);
+    }
+
+    #[test]
+    fn first_matching_entry_wins() {
+        let mut mu = MatchingUnit::new();
+        let a = mu.append_priority(me(1, 0, false));
+        let _b = mu.append_priority(me(1, 0, false));
+        let (_, hit) = mu.match_header(0, 1);
+        assert_eq!(hit.unwrap().id, a);
+    }
+}

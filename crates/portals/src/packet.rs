@@ -1,0 +1,131 @@
+//! Message packetization.
+//!
+//! The sPIN NIC model distinguishes three packet types (paper Sec. 2.1.2):
+//! the **header** packet (first of a message, triggers matching), the
+//! **completion** packet (last, releases the pinned ME and fires the
+//! completion handler), and **payload** packets in between. The network
+//! is assumed to deliver the header first and the completion last; payload
+//! packets may be reordered.
+
+/// Packet classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// First packet of a message (carries match information + payload).
+    Header,
+    /// Intermediate packet.
+    Payload,
+    /// Last packet of a message.
+    Completion,
+    /// Single-packet message: header and completion at once.
+    Only,
+}
+
+impl PacketKind {
+    /// Whether this packet triggers the matching walk.
+    pub fn is_header(self) -> bool {
+        matches!(self, PacketKind::Header | PacketKind::Only)
+    }
+
+    /// Whether this packet closes the message.
+    pub fn is_completion(self) -> bool {
+        matches!(self, PacketKind::Completion | PacketKind::Only)
+    }
+}
+
+/// One packet of a message. Payload bytes are carried by range into the
+/// packed message stream (the simulation materializes bytes lazily from
+/// the sender buffer, avoiding per-packet copies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Message this packet belongs to.
+    pub msg_id: u64,
+    /// Sequence number within the message (0-based).
+    pub seq: u64,
+    /// Byte offset of the payload within the packed message stream.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Packet classification.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Bytes on the wire: payload plus link/protocol header.
+    pub fn wire_bytes(&self, header_bytes: u64) -> u64 {
+        self.len + header_bytes
+    }
+}
+
+/// Split a message of `msg_len` bytes into packets with at most
+/// `payload_size` payload each. A zero-length message still produces one
+/// (empty) `Only` packet so matching and completion semantics hold.
+pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
+    assert!(payload_size > 0, "payload size must be positive");
+    if msg_len == 0 {
+        return vec![Packet { msg_id, seq: 0, offset: 0, len: 0, kind: PacketKind::Only }];
+    }
+    let npkt = msg_len.div_ceil(payload_size);
+    (0..npkt)
+        .map(|seq| {
+            let offset = seq * payload_size;
+            let len = payload_size.min(msg_len - offset);
+            let kind = match (seq == 0, seq == npkt - 1) {
+                (true, true) => PacketKind::Only,
+                (true, false) => PacketKind::Header,
+                (false, true) => PacketKind::Completion,
+                (false, false) => PacketKind::Payload,
+            };
+            Packet { msg_id, seq, offset, len, kind }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple() {
+        let pkts = packetize(7, 8192, 2048);
+        assert_eq!(pkts.len(), 4);
+        assert_eq!(pkts[0].kind, PacketKind::Header);
+        assert_eq!(pkts[1].kind, PacketKind::Payload);
+        assert_eq!(pkts[2].kind, PacketKind::Payload);
+        assert_eq!(pkts[3].kind, PacketKind::Completion);
+        assert!(pkts.iter().all(|p| p.len == 2048));
+        assert_eq!(pkts[3].offset, 6144);
+    }
+
+    #[test]
+    fn trailing_partial_packet() {
+        let pkts = packetize(0, 5000, 2048);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[2].len, 5000 - 4096);
+        assert_eq!(pkts[2].kind, PacketKind::Completion);
+        let total: u64 = pkts.iter().map(|p| p.len).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn single_packet_message() {
+        let pkts = packetize(1, 100, 2048);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].kind, PacketKind::Only);
+        assert!(pkts[0].kind.is_header());
+        assert!(pkts[0].kind.is_completion());
+    }
+
+    #[test]
+    fn zero_length_message() {
+        let pkts = packetize(1, 0, 2048);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].len, 0);
+        assert_eq!(pkts[0].kind, PacketKind::Only);
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let p = Packet { msg_id: 0, seq: 0, offset: 0, len: 2048, kind: PacketKind::Only };
+        assert_eq!(p.wire_bytes(64), 2112);
+    }
+}

@@ -1,0 +1,113 @@
+//! The PULP multicluster configuration (paper Sec. 4.1).
+
+/// Architectural parameters of the sPIN-on-PULP accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulpConfig {
+    /// Number of clusters.
+    pub clusters: u32,
+    /// RV32 cores per cluster.
+    pub cores_per_cluster: u32,
+    /// Core clock in MHz (target technology closes timing at 1 GHz).
+    pub clock_mhz: u64,
+    /// L1 scratchpad banks per cluster.
+    pub l1_banks: u32,
+    /// Size of one L1 bank in KiB.
+    pub l1_bank_kib: u32,
+    /// Number of L2 scratchpad banks.
+    pub l2_banks: u32,
+    /// Size of one L2 bank in MiB.
+    pub l2_bank_mib: u32,
+    /// System interconnect width in bits.
+    pub bus_width_bits: u32,
+}
+
+impl Default for PulpConfig {
+    fn default() -> Self {
+        PulpConfig {
+            clusters: 4,
+            cores_per_cluster: 8,
+            clock_mhz: 1000,
+            l1_banks: 16,
+            l1_bank_kib: 64,
+            l2_banks: 2,
+            l2_bank_mib: 4,
+            bus_width_bits: 256,
+        }
+    }
+}
+
+impl PulpConfig {
+    /// Total cores (the paper's analyzed configuration has 32).
+    pub fn cores(&self) -> u32 {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// L1 capacity per cluster in bytes (1 MiB in the default config).
+    pub fn l1_bytes_per_cluster(&self) -> u64 {
+        self.l1_banks as u64 * self.l1_bank_kib as u64 * 1024
+    }
+
+    /// Total L2 capacity in bytes (8 MiB default).
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_banks as u64 * self.l2_bank_mib as u64 * (1 << 20)
+    }
+
+    /// Total on-chip memory (12 MiB default: 4×1 MiB L1 + 8 MiB L2).
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.l2_bytes() + self.clusters as u64 * self.l1_bytes_per_cluster()
+    }
+
+    /// Raw compute throughput in Gop/s (1 op/cycle/core).
+    pub fn gops(&self) -> f64 {
+        self.cores() as f64 * self.clock_mhz as f64 / 1000.0
+    }
+
+    /// Peak bandwidth of one interconnect port in Gbit/s
+    /// (bus width × clock).
+    pub fn port_bandwidth_gbit(&self) -> f64 {
+        self.bus_width_bits as f64 * self.clock_mhz as f64 / 1000.0
+    }
+
+    /// Picoseconds per core cycle.
+    pub fn cycle_ps(&self) -> u64 {
+        1_000_000 / self.clock_mhz
+    }
+
+    /// The BlueField-comparison configuration the paper mentions
+    /// (double clusters and memory within the same area budget).
+    pub fn bluefield_budget() -> PulpConfig {
+        PulpConfig { clusters: 8, l2_bank_mib: 5, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_derived_quantities() {
+        let c = PulpConfig::default();
+        assert_eq!(c.cores(), 32);
+        assert_eq!(c.l1_bytes_per_cluster(), 1 << 20);
+        assert_eq!(c.l2_bytes(), 8 << 20);
+        assert_eq!(c.total_memory_bytes(), 12 << 20);
+        // "raw compute throughput amounts to 32 Gop/s"
+        assert!((c.gops() - 32.0).abs() < 1e-9);
+        // 256-bit @ 1 GHz = 256 Gbit/s per port, sized for 200 Gbit/s line rate
+        assert!((c.port_bandwidth_gbit() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_exceeds_design_requirement() {
+        // Sec. 4: ≥6 MiB needed for double-buffered 3 MiB use cases.
+        let c = PulpConfig::default();
+        assert!(c.total_memory_bytes() >= 6 << 20);
+    }
+
+    #[test]
+    fn bluefield_budget_doubles_clusters() {
+        let b = PulpConfig::bluefield_budget();
+        assert_eq!(b.cores(), 64);
+        assert!(b.total_memory_bytes() >= 18 << 20);
+    }
+}

@@ -1,0 +1,145 @@
+//! Area and power model (paper Sec. 4.4, Fig. 9b).
+//!
+//! The paper synthesizes the accelerator in GlobalFoundries 22 nm FDSOI:
+//! ≈100 MGE total, 1 GE = 0.199 µm², 85 % layout density → 23.5 mm²,
+//! ≈6 W under full load. The breakdown: the four clusters ≈39 % of the
+//! total, L2 ≈59 %, interconnect/DWCs/buffers ≈2 %; within a cluster the
+//! L1 SPM is 84 %, shared I$ 7 %, the eight cores 6 %, DMA+interconnect
+//! 3 %. We model area with per-component GE densities chosen to hit
+//! those anchors for the default configuration, so re-parameterized
+//! configs (e.g. the BlueField-budget one) scale sensibly.
+
+use crate::arch::PulpConfig;
+
+/// GE per KiB of SPM (both levels; register-file-based SRAM macro).
+const GE_PER_KIB_SPM: f64 = 7_200.0;
+/// GE per RV32 core (small in-order core with DSP extensions).
+const GE_PER_CORE: f64 = 73_000.0;
+/// GE for a cluster's shared instruction cache.
+const GE_ICACHE: f64 = 680_000.0;
+/// GE for a cluster's DMA engine + local interconnect.
+const GE_CLUSTER_DMA_ICON: f64 = 290_000.0;
+/// GE for the top-level interconnect, DWCs and buffers.
+const GE_TOP_INTERCONNECT: f64 = 2_000_000.0;
+/// Area of one gate equivalent in 22 nm (µm²).
+const UM2_PER_GE: f64 = 0.199;
+/// Assumed layout density.
+const LAYOUT_DENSITY: f64 = 0.85;
+/// Power density: W per MGE under full load (calibrated to ≈6 W total).
+const W_PER_MGE: f64 = 0.06;
+
+/// Area breakdown in gate equivalents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// One cluster's L1 SPM.
+    pub cluster_l1: f64,
+    /// One cluster's shared I$.
+    pub cluster_icache: f64,
+    /// One cluster's cores.
+    pub cluster_cores: f64,
+    /// One cluster's DMA + interconnect.
+    pub cluster_dma_icon: f64,
+    /// All clusters together.
+    pub clusters_total: f64,
+    /// L2 SPM.
+    pub l2: f64,
+    /// Top-level interconnect, DWCs, buffers.
+    pub top_interconnect: f64,
+    /// Total GE.
+    pub total: f64,
+}
+
+impl AreaBreakdown {
+    /// One cluster's GE.
+    pub fn cluster_total(&self) -> f64 {
+        self.cluster_l1 + self.cluster_icache + self.cluster_cores + self.cluster_dma_icon
+    }
+
+    /// Silicon area in mm² at the assumed density.
+    pub fn silicon_mm2(&self) -> f64 {
+        self.total * UM2_PER_GE / LAYOUT_DENSITY / 1e6
+    }
+
+    /// Full-load power estimate in W.
+    pub fn power_w(&self) -> f64 {
+        self.total / 1e6 * W_PER_MGE
+    }
+}
+
+/// Compute the breakdown for a configuration.
+pub fn area_breakdown(cfg: &PulpConfig) -> AreaBreakdown {
+    let cluster_l1 = cfg.l1_banks as f64 * cfg.l1_bank_kib as f64 * GE_PER_KIB_SPM;
+    let cluster_icache = GE_ICACHE;
+    let cluster_cores = cfg.cores_per_cluster as f64 * GE_PER_CORE;
+    let cluster_dma_icon = GE_CLUSTER_DMA_ICON;
+    let cluster = cluster_l1 + cluster_icache + cluster_cores + cluster_dma_icon;
+    let clusters_total = cluster * cfg.clusters as f64;
+    let l2 = (cfg.l2_bytes() / 1024) as f64 * GE_PER_KIB_SPM;
+    let top_interconnect = GE_TOP_INTERCONNECT;
+    let total = clusters_total + l2 + top_interconnect;
+    AreaBreakdown {
+        cluster_l1,
+        cluster_icache,
+        cluster_cores,
+        cluster_dma_icon,
+        clusters_total,
+        l2,
+        top_interconnect,
+        total,
+    }
+}
+
+/// The BlueField A72 compute-subsystem area the paper compares against
+/// (16 cores ≈ 51 mm² in 22 nm, from 5.6 mm² per dual-core tile).
+pub fn bluefield_subsystem_mm2() -> f64 {
+    8.0 * 5.6 + 6.0 // 8 dual-core tiles + L3 slice estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_anchors() {
+        let a = area_breakdown(&PulpConfig::default());
+        let mge = a.total / 1e6;
+        assert!((90.0..=110.0).contains(&mge), "total {mge} MGE (paper: ≈100)");
+        let mm2 = a.silicon_mm2();
+        assert!((21.0..=26.0).contains(&mm2), "area {mm2} mm² (paper: 23.5)");
+        let w = a.power_w();
+        assert!((5.0..=7.0).contains(&w), "power {w} W (paper: ≈6)");
+    }
+
+    #[test]
+    fn top_level_shares() {
+        let a = area_breakdown(&PulpConfig::default());
+        let clusters = a.clusters_total / a.total;
+        let l2 = a.l2 / a.total;
+        let icon = a.top_interconnect / a.total;
+        assert!((0.34..=0.44).contains(&clusters), "clusters {clusters} (paper 39%)");
+        assert!((0.54..=0.64).contains(&l2), "L2 {l2} (paper 59%)");
+        assert!(icon <= 0.03, "interconnect {icon} (paper ~2%)");
+    }
+
+    #[test]
+    fn cluster_shares() {
+        let a = area_breakdown(&PulpConfig::default());
+        let c = a.cluster_total();
+        let l1 = a.cluster_l1 / c;
+        let icache = a.cluster_icache / c;
+        let cores = a.cluster_cores / c;
+        assert!((0.80..=0.88).contains(&l1), "L1 {l1} (paper 84%)");
+        assert!((0.05..=0.09).contains(&icache), "I$ {icache} (paper 7%)");
+        assert!((0.04..=0.08).contains(&cores), "cores {cores} (paper 6%)");
+    }
+
+    #[test]
+    fn fits_bluefield_budget_at_double_size() {
+        let a = area_breakdown(&PulpConfig::default());
+        // Paper: the default config uses ~45% of the BlueField compute
+        // subsystem area; doubling clusters+memory still fits.
+        assert!(a.silicon_mm2() < 0.55 * bluefield_subsystem_mm2());
+        let big = area_breakdown(&PulpConfig::bluefield_budget());
+        assert!(big.silicon_mm2() < 1.1 * bluefield_subsystem_mm2());
+    }
+}

@@ -1,0 +1,29 @@
+//! # nca-pulp — PULP-based sPIN accelerator prototype models
+//!
+//! Sec. 4 of the paper prototypes sPIN on the PULP RISC-V multicluster
+//! (4 clusters × 8 cores @ 1 GHz, 16×64 KiB L1 SPM banks per cluster,
+//! 2×4 MiB L2 banks, 256-bit interconnect) and reports:
+//!
+//! * Fig. 9b — area breakdown (≈100 MGE, 23.5 mm² in 22 nm FDSOI),
+//! * Fig. 9c — achievable DMA bandwidth vs block size,
+//! * Fig. 10 — RW-CP datatype-processing throughput vs the ARM/gem5
+//!   configuration,
+//! * Fig. 11 — RW-CP handler IPC,
+//!
+//! plus a ~6 W full-load power estimate and a comparison against the
+//! Mellanox BlueField compute subsystem. The paper's numbers come from
+//! RTL simulation and synthesis; this crate substitutes parametric
+//! analytic models calibrated to the same published anchors
+//! (see DESIGN.md).
+
+pub mod arch;
+pub mod area;
+pub mod bandwidth;
+pub mod ddtproc;
+pub mod runtime;
+
+pub use arch::PulpConfig;
+pub use area::{area_breakdown, AreaBreakdown};
+pub use bandwidth::dma_bandwidth_gbit;
+pub use ddtproc::{rwcp_on_pulp, PulpDdtResult};
+pub use runtime::{simulate_runtime, Assignment, RuntimeReport};

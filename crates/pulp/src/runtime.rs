@@ -1,0 +1,192 @@
+//! A sPIN runtime for PULP — the paper's stated future work (Sec. 4.5:
+//! "Design a sPIN runtime running on PULP. The runtime is in charge to
+//! manage the cores/clusters, assigning new HERs to execute to the idle
+//! ones").
+//!
+//! Two HER-assignment policies over the multicluster:
+//!
+//! * [`Assignment::Static`] — the Sec. 4.3.2 microkernel's scheme:
+//!   blocks of consecutive packets pre-assigned per core. Zero runtime
+//!   overhead, but load imbalance under heterogeneous handler runtimes.
+//! * [`Assignment::Dynamic`] — a runtime dispatcher hands each HER to
+//!   the earliest-idle core, paying a small dispatch cost per HER and a
+//!   migration penalty when the handler's checkpoint lives in another
+//!   cluster's L1 (data must be DMA'd across).
+
+use crate::arch::PulpConfig;
+
+/// HER-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Blocks of `chunk` consecutive packets per core, round-robin.
+    Static {
+        /// Packets per block (the microkernel uses 4).
+        chunk: u32,
+    },
+    /// Earliest-idle-core dispatch with per-HER runtime overhead.
+    Dynamic {
+        /// Runtime dispatch cost per HER, in cycles.
+        dispatch_cycles: u64,
+        /// Penalty when the packet's sequence state lives in another
+        /// cluster (checkpoint migration L1→L1), in cycles.
+        migration_cycles: u64,
+    },
+}
+
+/// Outcome of one runtime simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeReport {
+    /// Makespan in cycles (slowest core).
+    pub makespan_cycles: u64,
+    /// Aggregate throughput in Gbit/s for the message.
+    pub throughput_gbit: f64,
+    /// Coefficient of load imbalance: max core busy / mean core busy.
+    pub imbalance: f64,
+    /// Cross-cluster checkpoint migrations (dynamic only).
+    pub migrations: u64,
+}
+
+/// Simulate processing `handler_cycles[i]` (per-packet runtimes) on the
+/// multicluster under the given policy. Packet `i` belongs to sequence
+/// `i / seq_len` (its checkpoint's home follows its first executor).
+pub fn simulate_runtime(
+    cfg: &PulpConfig,
+    handler_cycles: &[u64],
+    payload_bytes: u64,
+    seq_len: u32,
+    policy: Assignment,
+) -> RuntimeReport {
+    let cores = cfg.cores() as usize;
+    let mut core_busy = vec![0u64; cores];
+    let mut migrations = 0u64;
+    match policy {
+        Assignment::Static { chunk } => {
+            let chunk = chunk.max(1) as usize;
+            for (block, cycles) in handler_cycles.chunks(chunk).enumerate() {
+                let core = block % cores;
+                core_busy[core] += cycles.iter().sum::<u64>();
+            }
+        }
+        Assignment::Dynamic { dispatch_cycles, migration_cycles } => {
+            // seq id → cluster that owns its checkpoint
+            let mut home: Vec<Option<usize>> =
+                vec![None; handler_cycles.len() / seq_len.max(1) as usize + 1];
+            for (i, &cycles) in handler_cycles.iter().enumerate() {
+                // earliest-idle core
+                let core = (0..cores)
+                    .min_by_key(|&c| core_busy[c])
+                    .expect("at least one core");
+                let cluster = core / cfg.cores_per_cluster as usize;
+                let seq = i / seq_len.max(1) as usize;
+                let extra = match home[seq] {
+                    None => {
+                        home[seq] = Some(cluster);
+                        0
+                    }
+                    Some(h) if h == cluster => 0,
+                    Some(_) => {
+                        home[seq] = Some(cluster);
+                        migrations += 1;
+                        migration_cycles
+                    }
+                };
+                core_busy[core] += dispatch_cycles + extra + cycles;
+            }
+        }
+    }
+    let makespan = *core_busy.iter().max().expect("cores > 0");
+    let busy_sum: u64 = core_busy.iter().sum();
+    let mean = busy_sum as f64 / cores as f64;
+    let seconds = makespan as f64 / (cfg.clock_mhz as f64 * 1e6);
+    let bytes = handler_cycles.len() as u64 * payload_bytes;
+    RuntimeReport {
+        makespan_cycles: makespan,
+        throughput_gbit: bytes as f64 * 8.0 / seconds / 1e9,
+        imbalance: if mean > 0.0 { makespan as f64 / mean } else { 1.0 },
+        migrations,
+    }
+}
+
+/// A skewed per-packet runtime distribution: fraction `hot` of the
+/// packets cost `ratio`× the base cycles (bursts of complex datatypes,
+/// the case Sec. 4.2 reserves compute headroom for).
+pub fn skewed_handlers(npkt: usize, base: u64, hot: f64, ratio: u64, seed: u64) -> Vec<u64> {
+    // Deterministic pseudo-random pattern (xorshift), no rand dependency.
+    let mut state = seed.max(1);
+    (0..npkt)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if (state % 1000) as f64 / 1000.0 < hot {
+                base * ratio
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PulpConfig {
+        PulpConfig::default()
+    }
+
+    fn dynamic() -> Assignment {
+        Assignment::Dynamic { dispatch_cycles: 40, migration_cycles: 300 }
+    }
+
+    #[test]
+    fn uniform_load_policies_comparable() {
+        let handlers = vec![1000u64; 512];
+        let s = simulate_runtime(&cfg(), &handlers, 2048, 4, Assignment::Static { chunk: 4 });
+        let d = simulate_runtime(&cfg(), &handlers, 2048, 4, dynamic());
+        // Dynamic pays dispatch overhead but stays within ~10%.
+        assert!(d.makespan_cycles as f64 <= s.makespan_cycles as f64 * 1.1);
+        assert!((s.imbalance - 1.0).abs() < 0.01, "uniform static is balanced");
+    }
+
+    #[test]
+    fn dynamic_wins_under_skew() {
+        let handlers = skewed_handlers(512, 800, 0.1, 20, 7);
+        let s = simulate_runtime(&cfg(), &handlers, 2048, 4, Assignment::Static { chunk: 4 });
+        let d = simulate_runtime(&cfg(), &handlers, 2048, 4, dynamic());
+        assert!(
+            d.makespan_cycles < s.makespan_cycles,
+            "dynamic {} must beat static {} under skew",
+            d.makespan_cycles,
+            s.makespan_cycles
+        );
+        assert!(d.imbalance < s.imbalance);
+    }
+
+    #[test]
+    fn migration_penalty_matters_for_tiny_sequences() {
+        let handlers = vec![500u64; 256];
+        let cheap = simulate_runtime(
+            &cfg(),
+            &handlers,
+            2048,
+            1, // every packet its own sequence: no migrations possible
+            dynamic(),
+        );
+        let long_seq = simulate_runtime(&cfg(), &handlers, 2048, 64, dynamic());
+        // Long sequences bounce between earliest-idle cores across
+        // clusters, paying migrations.
+        assert_eq!(cheap.migrations, 0);
+        assert!(long_seq.migrations > 0);
+    }
+
+    #[test]
+    fn throughput_consistent_with_makespan() {
+        let handlers = vec![1000u64; 512];
+        let r = simulate_runtime(&cfg(), &handlers, 2048, 4, Assignment::Static { chunk: 4 });
+        let bytes = 512u64 * 2048;
+        let expect =
+            bytes as f64 * 8.0 / (r.makespan_cycles as f64 / 1e9 /* GHz */) / 1e9;
+        assert!((r.throughput_gbit - expect).abs() / expect < 1e-9);
+    }
+}

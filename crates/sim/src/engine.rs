@@ -1,0 +1,198 @@
+//! The event queue and run loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in picoseconds.
+pub type Time = u64;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Event<W> {
+    at: Time,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+// Ordering for the heap: earliest time, then lowest sequence number.
+impl<W> PartialEq for Event<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Event<W> {}
+impl<W> PartialOrd for Event<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Event<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Discrete-event simulator over a world type `W`.
+///
+/// ```
+/// use nca_sim::{Sim, ns};
+///
+/// let mut sim: Sim<u64> = Sim::new();
+/// sim.schedule(ns(5), |w, s| {
+///     *w += 1;
+///     s.schedule_in(ns(10), |w, _| *w += 10);
+/// });
+/// let mut world = 0u64;
+/// sim.run(&mut world);
+/// assert_eq!(world, 11);
+/// assert_eq!(sim.now(), ns(15));
+/// ```
+pub struct Sim<W> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<W>>>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Create an empty simulator at time 0.
+    pub fn new() -> Self {
+        Sim { now: 0, seq: 0, queue: BinaryHeap::new(), executed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past panics —
+    /// it is always a model bug.
+    pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, f: Box::new(f) }));
+    }
+
+    /// Schedule `f` `delay` after now.
+    pub fn schedule_in(&mut self, delay: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = self.now + delay;
+        self.schedule(at, f);
+    }
+
+    /// Run until the queue drains. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> Time {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Run until the queue drains or `deadline` is reached (events at
+    /// exactly `deadline` still execute).
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) -> Time {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        self.now
+    }
+
+    /// Execute the next event, if any. Returns whether one ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule(30, |w, _| w.push(3));
+        sim.schedule(10, |w, _| w.push(1));
+        sim.schedule(20, |w, _| w.push(2));
+        let mut trace = Vec::new();
+        sim.run(&mut trace);
+        assert_eq!(trace, vec![1, 2, 3]);
+        assert_eq!(sim.now(), 30);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        for i in 0..16 {
+            sim.schedule(100, move |w, _| w.push(i));
+        }
+        let mut trace = Vec::new();
+        sim.run(&mut trace);
+        assert_eq!(trace, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_chains() {
+        let mut sim: Sim<u64> = Sim::new();
+        fn tick(w: &mut u64, s: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 100 {
+                s.schedule_in(7, tick);
+            }
+        }
+        sim.schedule(0, tick);
+        let mut count = 0;
+        sim.run(&mut count);
+        assert_eq!(count, 100);
+        assert_eq!(sim.now(), 99 * 7);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<u64> = Sim::new();
+        for t in (0..100).step_by(10) {
+            sim.schedule(t, |w, _| *w += 1);
+        }
+        let mut n = 0;
+        sim.run_until(&mut n, 45);
+        assert_eq!(n, 5); // events at 0,10,20,30,40
+        sim.run(&mut n);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule(100, |_, s| {
+            s.schedule(50, |_, _| {});
+        });
+        sim.run(&mut ());
+    }
+}

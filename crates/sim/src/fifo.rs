@@ -1,0 +1,146 @@
+//! An occupancy-tracked FIFO.
+//!
+//! The DMA-queue figures of the paper (Figs. 14 and 15) report the
+//! *maximum* queue occupancy and the occupancy *time series*;
+//! [`TrackedFifo`] records both as items are pushed/popped at simulated
+//! times.
+
+use std::collections::VecDeque;
+
+use crate::engine::Time;
+
+/// A FIFO that records its occupancy history.
+#[derive(Debug)]
+pub struct TrackedFifo<T> {
+    items: VecDeque<T>,
+    max_occupancy: usize,
+    total_pushed: u64,
+    /// `(time, occupancy)` samples, one per push/pop.
+    history: Vec<(Time, usize)>,
+    record_history: bool,
+}
+
+impl<T> Default for TrackedFifo<T> {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl<T> TrackedFifo<T> {
+    /// Create a FIFO; `record_history` enables the time-series log
+    /// (disable for long runs where only the max matters).
+    pub fn new(record_history: bool) -> Self {
+        TrackedFifo {
+            items: VecDeque::new(),
+            max_occupancy: 0,
+            total_pushed: 0,
+            history: Vec::new(),
+            record_history,
+        }
+    }
+
+    /// Push an item at simulated time `now`.
+    pub fn push(&mut self, now: Time, item: T) {
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        if self.record_history {
+            self.history.push((now, self.items.len()));
+        }
+    }
+
+    /// Pop the oldest item at simulated time `now`.
+    pub fn pop(&mut self, now: Time) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() && self.record_history {
+            self.history.push((now, self.items.len()));
+        }
+        item
+    }
+
+    /// Peek at the head.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Total items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// The `(time, occupancy)` series.
+    pub fn history(&self) -> &[(Time, usize)] {
+        &self.history
+    }
+
+    /// Downsample the history to at most `n` evenly spaced points
+    /// (for plotting Fig. 15-style timelines).
+    pub fn sampled_history(&self, n: usize) -> Vec<(Time, usize)> {
+        if self.history.len() <= n || n == 0 {
+            return self.history.clone();
+        }
+        let step = self.history.len() as f64 / n as f64;
+        (0..n)
+            .map(|i| self.history[(i as f64 * step) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_occupancy() {
+        let mut f = TrackedFifo::new(true);
+        f.push(10, 'a');
+        f.push(20, 'b');
+        f.push(30, 'c');
+        assert_eq!(f.max_occupancy(), 3);
+        assert_eq!(f.pop(40), Some('a'));
+        assert_eq!(f.pop(50), Some('b'));
+        f.push(60, 'd');
+        assert_eq!(f.max_occupancy(), 3);
+        assert_eq!(f.total_pushed(), 4);
+        assert_eq!(f.history().len(), 6);
+        assert_eq!(f.pop(70), Some('c'));
+        assert_eq!(f.pop(70), Some('d'));
+        assert_eq!(f.pop(70), None);
+    }
+
+    #[test]
+    fn history_can_be_disabled() {
+        let mut f = TrackedFifo::new(false);
+        for i in 0..1000u32 {
+            f.push(i as Time, i);
+        }
+        assert!(f.history().is_empty());
+        assert_eq!(f.max_occupancy(), 1000);
+    }
+
+    #[test]
+    fn sampled_history_bounds() {
+        let mut f = TrackedFifo::new(true);
+        for i in 0..500u32 {
+            f.push(i as Time, i);
+        }
+        let s = f.sampled_history(50);
+        assert!(s.len() <= 50);
+        assert_eq!(s[0].0, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # nca-sim — deterministic discrete-event simulation engine
+//!
+//! A small, allocation-light discrete-event core used by every simulated
+//! component in this workspace (NIC model, LogGOPS simulator, PULP timing
+//! model).
+//!
+//! Design points (per the reproduction's determinism requirement):
+//!
+//! * Simulated time is `u64` **picoseconds** ([`Time`]); at 200 Gbit/s a
+//!   byte takes 40 ps, so picoseconds keep serialization arithmetic exact.
+//! * Events are `FnOnce(&mut W, &mut Sim<W>)` closures over a caller-owned
+//!   world type `W`; the engine pops an event *before* invoking it, so
+//!   handlers freely schedule follow-ups.
+//! * Ties are broken by insertion sequence number — identical runs replay
+//!   identically.
+
+pub mod engine;
+pub mod fifo;
+pub mod stats;
+pub mod units;
+
+pub use engine::{Sim, Time};
+pub use fifo::TrackedFifo;
+pub use units::{ns, ps, us, Bandwidth};

@@ -1,0 +1,103 @@
+//! Small statistics helpers used by the experiment harnesses
+//! (medians, geometric means, confidence-style summaries).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median (average of middle two for even length); 0 for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Geometric mean of positive values; 0 if empty or any value ≤ 0.
+/// (Fig. 17 reports geometric means of data volumes.)
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// p-th percentile (0..=100), nearest-rank; 0 for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// A log₂ histogram over positive values (Fig. 17 uses a log-x histogram
+/// of transfer volumes).
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    /// `(bucket_floor, count)` pairs; bucket_floor = 2^k.
+    pub buckets: Vec<(u64, u32)>,
+}
+
+/// Build a log₂ histogram of `xs` (values < 1 land in bucket 1).
+pub fn log2_histogram(xs: &[f64]) -> Log2Histogram {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        let k = if x < 1.0 { 0 } else { x.log2().floor() as u32 };
+        *map.entry(k).or_insert(0) += 1;
+    }
+    Log2Histogram { buckets: map.into_iter().map(|(k, c)| (1u64 << k, c)).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_definition() {
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        let p50 = percentile(&xs, 50.0);
+        assert!((p50 - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let h = log2_histogram(&[1.5, 2.0, 3.9, 1024.0, 0.2]);
+        let total: u32 = h.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert!(h.buckets.iter().any(|&(b, c)| b == 2 && c == 2)); // 2.0, 3.9
+        assert!(h.buckets.iter().any(|&(b, _)| b == 1024));
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the discrete-event engine: execution order is the
+//! sorted (time, insertion) order regardless of scheduling order.
+
+use proptest::prelude::*;
+
+use nca_sim::Sim;
+
+proptest! {
+    #[test]
+    fn events_execute_in_time_then_insertion_order(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule(t, move |w, s| w.push((s.now(), i)));
+        }
+        let mut trace = Vec::new();
+        sim.run(&mut trace);
+        prop_assert_eq!(trace.len(), times.len());
+        // times non-decreasing; ties in insertion order
+        for w in trace.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+        // each event executed at its scheduled time
+        for &(t, i) in &trace {
+            prop_assert_eq!(t, times[i]);
+        }
+    }
+
+    #[test]
+    fn chained_scheduling_accumulates(delays in proptest::collection::vec(1u64..1000, 1..50)) {
+        struct W { remaining: Vec<u64>, count: usize }
+        fn step(w: &mut W, s: &mut Sim<W>) {
+            w.count += 1;
+            if let Some(d) = w.remaining.pop() {
+                s.schedule_in(d, step);
+            }
+        }
+        let total: u64 = delays.iter().sum();
+        let mut w = W { remaining: delays.clone(), count: 0 };
+        let mut sim: Sim<W> = Sim::new();
+        let first = w.remaining.pop().expect("nonempty");
+        sim.schedule(first, step);
+        sim.run(&mut w);
+        prop_assert_eq!(w.count, delays.len());
+        prop_assert_eq!(sim.now(), total);
+    }
+}

@@ -1,0 +1,175 @@
+//! Handler ABI: the contract between the NIC pipeline and the datatype
+//! processing strategies (which live in `nca-core`).
+//!
+//! Handlers are **really executed**: a payload handler receives the
+//! actual packet bytes and returns the DMA writes that scatter them into
+//! host memory. Its *simulated cost* is reported alongside, split into
+//! the paper's three phases (Fig. 12): `init` (handler start + argument
+//! preparation, e.g. RO-CP's checkpoint copy), `setup` (datatype
+//! processing function startup incl. catch-up), and `processing`
+//! (per-block work).
+
+use nca_sim::Time;
+
+/// One DMA write toward host memory (`PltHandlerDMAToHostNB`).
+#[derive(Debug, Clone)]
+pub struct DmaWrite {
+    /// Destination offset in the receive buffer (relative to the
+    /// datatype origin; may be negative for types with negative lb).
+    pub host_off: i64,
+    /// The bytes to write (empty for the completion signal).
+    pub data: Vec<u8>,
+    /// Whether completion generates a full event (the paper's handlers
+    /// pass `NO_EVENT` for all but the final zero-byte write).
+    pub event: bool,
+}
+
+impl DmaWrite {
+    /// A data write without completion event.
+    pub fn data(host_off: i64, data: Vec<u8>) -> Self {
+        DmaWrite { host_off, data, event: false }
+    }
+
+    /// The final zero-byte write with event generation.
+    pub fn completion_signal() -> Self {
+        DmaWrite { host_off: 0, data: Vec::new(), event: true }
+    }
+}
+
+/// Handler runtime split into the paper's phases (all in simulated ps).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerCost {
+    /// `T_init`: handler start + argument preparation (checkpoint copy
+    /// for RO-CP).
+    pub init: Time,
+    /// `T_setup`: datatype-processing startup, including catch-up.
+    pub setup: Time,
+    /// `γ · T_block`: per-contiguous-region processing.
+    pub processing: Time,
+}
+
+impl HandlerCost {
+    /// Total handler occupancy of an HPU.
+    pub fn total(&self) -> Time {
+        self.init + self.setup + self.processing
+    }
+
+    /// Accumulate another cost (for aggregate reporting).
+    pub fn add(&mut self, o: &HandlerCost) {
+        self.init += o.init;
+        self.setup += o.setup;
+        self.processing += o.processing;
+    }
+}
+
+/// What a handler invocation produced.
+#[derive(Debug, Default)]
+pub struct HandlerOutput {
+    /// Simulated cost.
+    pub cost: HandlerCost,
+    /// DMA writes to enqueue (in order).
+    pub dma: Vec<DmaWrite>,
+}
+
+/// Per-packet context handed to the payload handler.
+pub struct PacketCtx<'a> {
+    /// The packet payload bytes.
+    pub payload: &'a [u8],
+    /// Offset of `payload[0]` in the packed message stream.
+    pub stream_offset: u64,
+    /// Packet sequence number within the message.
+    pub seq: u64,
+    /// Total packets in the message.
+    pub npkt: u64,
+    /// The vHPU this handler runs on (strategies keep per-vHPU state).
+    pub vhpu: u64,
+}
+
+/// Packet scheduling policy (paper Sec. 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Default sPIN scheduling: every ready handler may run on any idle
+    /// HPU (header-before-payload, completion-last dependencies are
+    /// enforced by the pipeline).
+    Default,
+    /// Blocked round-robin: sequences of `delta_p` consecutive packets
+    /// are bound to one virtual HPU; a vHPU executes at most one handler
+    /// at a time and is multiplexed onto physical HPUs.
+    BlockedRR {
+        /// Packets per sequence (Δp).
+        delta_p: u64,
+        /// Number of virtual HPUs.
+        num_vhpus: u64,
+    },
+}
+
+impl SchedPolicy {
+    /// Map a packet sequence number to its vHPU id. Under the default
+    /// policy every packet gets a fresh vHPU (unbounded parallelism,
+    /// limited only by physical HPUs).
+    pub fn vhpu_of(&self, seq: u64) -> u64 {
+        match *self {
+            SchedPolicy::Default => seq,
+            SchedPolicy::BlockedRR { delta_p, num_vhpus } => (seq / delta_p) % num_vhpus,
+        }
+    }
+}
+
+/// A receiver-side message processing strategy (implemented by
+/// `nca-core`: specialized handlers, HPU-local, RO-CP, RW-CP, …).
+pub trait MessageProcessor {
+    /// Scheduling policy this strategy requires.
+    fn policy(&self) -> SchedPolicy;
+
+    /// NIC memory footprint (descriptors + checkpoints + lists) for
+    /// accounting and admission.
+    fn nic_mem_bytes(&self) -> u64;
+
+    /// Host-side preparation time before the message can be received
+    /// (e.g. creating checkpoints and copying state to the NIC). Charged
+    /// once; Fig. 15 shows it as "host overhead", Fig. 18 amortizes it.
+    fn host_setup_time(&self) -> Time {
+        0
+    }
+
+    /// Process one payload-bearing packet.
+    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput;
+
+    /// The completion handler: runs after every payload handler of the
+    /// message finished; must end with an event-generating DMA write.
+    fn on_completion(&mut self) -> HandlerOutput {
+        HandlerOutput {
+            cost: HandlerCost::default(),
+            dma: vec![DmaWrite::completion_signal()],
+        }
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_vhpu_mapping() {
+        let p = SchedPolicy::BlockedRR { delta_p: 4, num_vhpus: 3 };
+        // packets 0..3 -> vhpu 0, 4..7 -> vhpu 1, 8..11 -> vhpu 2, 12..15 -> vhpu 0
+        assert_eq!(p.vhpu_of(0), 0);
+        assert_eq!(p.vhpu_of(3), 0);
+        assert_eq!(p.vhpu_of(4), 1);
+        assert_eq!(p.vhpu_of(11), 2);
+        assert_eq!(p.vhpu_of(12), 0);
+        let d = SchedPolicy::Default;
+        assert_eq!(d.vhpu_of(17), 17);
+    }
+
+    #[test]
+    fn cost_totals() {
+        let mut a = HandlerCost { init: 10, setup: 20, processing: 30 };
+        assert_eq!(a.total(), 60);
+        a.add(&HandlerCost { init: 1, setup: 2, processing: 3 });
+        assert_eq!(a.total(), 66);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nca-spin — the sPIN NIC model
+//!
+//! An event-driven model of a 200 Gbit/s sPIN-capable NIC (paper Fig. 1):
+//! inbound engine, Portals 4 matching, Handler Processing Units with
+//! virtual-HPU scheduling (default and blocked round-robin policies,
+//! Sec. 3.2.1), NIC memory, and a DMA/PCIe engine with occupancy
+//! tracking. Handlers *really execute* — packet bytes are scattered into
+//! the simulated receive buffer — while their simulated runtime comes
+//! from the strategy's cost model (see `nca-core`).
+//!
+//! Entry point: [`nic::ReceiveSim::run`]. Sender-side strategies
+//! (streaming puts, outbound sPIN) are modelled in [`outbound`].
+
+pub mod builtin;
+pub mod handler;
+pub mod multi;
+pub mod nic;
+pub mod nicmem;
+pub mod outbound;
+pub mod params;
+pub mod sender;
+
+pub use handler::{
+    DmaWrite, HandlerCost, HandlerOutput, MessageProcessor, PacketCtx, SchedPolicy,
+};
+pub use nic::{MsgPath, PortalsSetup, ReceiveSim, RunConfig, RunReport};
+pub use multi::{run_concurrent, MessageReport, MessageSpec};
+pub use nicmem::NicMemory;
+pub use params::NicParams;

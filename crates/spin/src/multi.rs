@@ -1,0 +1,430 @@
+//! Concurrent multi-message receive simulation.
+//!
+//! The single-message pipeline ([`crate::nic::ReceiveSim`]) answers the
+//! paper's microbenchmark questions; a real NIC, however, serves many
+//! in-flight messages whose packets interleave on the link and whose
+//! handlers compete for the same HPUs, NIC memory and DMA engine. This
+//! module simulates that: each message carries its own
+//! [`MessageProcessor`], matching is per-header, vHPUs are namespaced
+//! per message, and the completion of each message is signalled by its
+//! own event-generating DMA write.
+//!
+//! Link model: messages become eligible at their `start_time`; the
+//! shared ingress link serializes packets of all eligible messages
+//! round-robin at line rate (an idealized fair switch).
+
+use std::collections::{HashMap, VecDeque};
+
+use nca_portals::packet::{packetize, Packet};
+use nca_sim::{Sim, Time, TrackedFifo};
+
+use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
+use crate::params::NicParams;
+
+/// One message to receive.
+pub struct MessageSpec {
+    /// Packed message bytes.
+    pub packed: Vec<u8>,
+    /// The processing strategy.
+    pub proc: Box<dyn MessageProcessor>,
+    /// Receive-buffer offset of index 0.
+    pub host_origin: i64,
+    /// Receive-buffer span.
+    pub host_span: u64,
+    /// Time the sender starts injecting.
+    pub start_time: Time,
+}
+
+/// Per-message outcome.
+pub struct MessageReport {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Message bytes.
+    pub msg_bytes: u64,
+    /// First byte of this message at the NIC.
+    pub t_first_byte: Time,
+    /// Completion-event time.
+    pub t_complete: Time,
+    /// Final receive buffer.
+    pub host_buf: Vec<u8>,
+    /// Per-handler costs.
+    pub handler_costs: Vec<HandlerCost>,
+}
+
+impl MessageReport {
+    /// Message processing time.
+    pub fn processing_time(&self) -> Time {
+        self.t_complete - self.t_first_byte
+    }
+}
+
+struct MsgState {
+    packets: Vec<Packet>,
+    packed: Vec<u8>,
+    proc: Box<dyn MessageProcessor>,
+    host_buf: Vec<u8>,
+    host_origin: i64,
+    pending_payload: u64,
+    completion_dispatched: bool,
+    t_first_byte: Time,
+    t_complete: Option<Time>,
+    handler_costs: Vec<HandlerCost>,
+}
+
+/// Scheduler over (message, vHPU) pairs sharing the physical HPUs.
+struct MultiScheduler {
+    free_hpus: usize,
+    queues: HashMap<(usize, u64), VecDeque<usize>>,
+    busy: std::collections::HashSet<(usize, u64)>,
+    runnable: VecDeque<(usize, u64)>,
+}
+
+impl MultiScheduler {
+    fn new(hpus: usize) -> Self {
+        MultiScheduler {
+            free_hpus: hpus,
+            queues: HashMap::new(),
+            busy: Default::default(),
+            runnable: VecDeque::new(),
+        }
+    }
+
+    fn enqueue(&mut self, key: (usize, u64), pkt: usize) {
+        self.queues.entry(key).or_default().push_back(pkt);
+        self.runnable.push_back(key);
+    }
+
+    fn next_dispatch(&mut self) -> Option<((usize, u64), usize)> {
+        if self.free_hpus == 0 {
+            return None;
+        }
+        let mut rotated = 0;
+        while let Some(key) = self.runnable.pop_front() {
+            let has_work = self.queues.get(&key).map(|q| !q.is_empty()).unwrap_or(false);
+            if !has_work {
+                continue;
+            }
+            if self.busy.contains(&key) {
+                self.runnable.push_back(key);
+                rotated += 1;
+                if rotated > self.runnable.len() {
+                    return None;
+                }
+                continue;
+            }
+            let pkt = self.queues.get_mut(&key).expect("queue").pop_front().expect("work");
+            self.busy.insert(key);
+            self.free_hpus -= 1;
+            return Some((key, pkt));
+        }
+        None
+    }
+
+    fn done(&mut self, key: (usize, u64)) {
+        self.free_hpus += 1;
+        self.busy.remove(&key);
+        if self.queues.get(&key).map(|q| !q.is_empty()).unwrap_or(false) {
+            self.runnable.push_back(key);
+        }
+    }
+}
+
+struct MultiWorld {
+    params: NicParams,
+    msgs: Vec<MsgState>,
+    sched: MultiScheduler,
+    dma_queue: TrackedFifo<(usize, DmaWrite)>,
+    dma_busy: usize,
+}
+
+impl MultiWorld {
+    fn packet_arrival(&mut self, sim: &mut Sim<MultiWorld>, m: usize, idx: usize) {
+        let pkt = self.msgs[m].packets[idx].clone();
+        let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+        sim.schedule_in(inbound, move |w, s| w.her_ready(s, m, idx));
+    }
+
+    fn her_ready(&mut self, sim: &mut Sim<MultiWorld>, m: usize, idx: usize) {
+        let seq = self.msgs[m].packets[idx].seq;
+        let vhpu = self.msgs[m].proc.policy().vhpu_of(seq);
+        self.sched.enqueue((m, vhpu), idx);
+        self.try_dispatch(sim);
+    }
+
+    fn try_dispatch(&mut self, sim: &mut Sim<MultiWorld>) {
+        while let Some((key, idx)) = self.sched.next_dispatch() {
+            let dispatch = self.params.sched_dispatch;
+            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, key, idx));
+        }
+    }
+
+    fn run_handler(&mut self, sim: &mut Sim<MultiWorld>, key: (usize, u64), idx: usize) {
+        let (m, vhpu) = key;
+        let st = &mut self.msgs[m];
+        let pkt = st.packets[idx].clone();
+        let payload = &st.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize];
+        let ctx = PacketCtx {
+            payload,
+            stream_offset: pkt.offset,
+            seq: pkt.seq,
+            npkt: st.packets.len() as u64,
+            vhpu,
+        };
+        let out = st.proc.on_payload(&ctx);
+        st.handler_costs.push(out.cost);
+        let runtime = out.cost.total();
+        sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, out.dma));
+    }
+
+    fn handler_done(&mut self, sim: &mut Sim<MultiWorld>, key: (usize, u64), dma: Vec<DmaWrite>) {
+        let (m, _) = key;
+        for w in dma {
+            self.enqueue_dma(sim, m, w);
+        }
+        self.sched.done(key);
+        self.msgs[m].pending_payload -= 1;
+        if self.msgs[m].pending_payload == 0 && !self.msgs[m].completion_dispatched {
+            self.msgs[m].completion_dispatched = true;
+            let dispatch = self.params.sched_dispatch;
+            sim.schedule_in(dispatch, move |w, s| {
+                let out = w.msgs[m].proc.on_completion();
+                let runtime = out.cost.total();
+                s.schedule_in(runtime, move |w2, s2| {
+                    for wr in out.dma {
+                        w2.enqueue_dma(s2, m, wr);
+                    }
+                });
+            });
+        }
+        self.try_dispatch(sim);
+    }
+
+    fn enqueue_dma(&mut self, sim: &mut Sim<MultiWorld>, m: usize, w: DmaWrite) {
+        self.dma_queue.push(sim.now(), (m, w));
+        self.kick_dma(sim);
+    }
+
+    fn kick_dma(&mut self, sim: &mut Sim<MultiWorld>) {
+        while self.dma_busy < self.params.dma_channels.max(1) {
+            if let Some((_, front)) = self.dma_queue.front() {
+                // Event writes must not overtake in-flight data writes.
+                if front.event && self.dma_busy > 0 {
+                    return;
+                }
+            }
+            let Some((m, w)) = self.dma_queue.pop(sim.now()) else {
+                return;
+            };
+            self.dma_busy += 1;
+            let service = self.params.dma_service_time(w.data.len() as u64);
+            let landing = self.params.pcie_latency;
+            sim.schedule_in(service, move |world, s| {
+                world.dma_busy -= 1;
+                s.schedule_in(landing, move |w2, s2| {
+                    let t = s2.now();
+                    w2.dma_landed(t, m, w);
+                });
+                world.kick_dma(s);
+            });
+        }
+    }
+
+    fn dma_landed(&mut self, t: Time, m: usize, w: DmaWrite) {
+        let st = &mut self.msgs[m];
+        if !w.data.is_empty() {
+            let start = (w.host_off - st.host_origin) as usize;
+            st.host_buf[start..start + w.data.len()].copy_from_slice(&w.data);
+        }
+        if w.event {
+            st.t_complete = Some(t);
+        }
+    }
+}
+
+/// Round-robin link serialization: packets of all eligible messages
+/// share the ingress at line rate. Returns `(arrival_time, msg, pkt)`.
+fn schedule_arrivals(
+    params: &NicParams,
+    msgs: &[MsgState],
+    starts: &[Time],
+) -> Vec<(Time, usize, usize)> {
+    let mut cursors: Vec<usize> = vec![0; msgs.len()];
+    // (eligible_time, msg) priority: earliest start first, round-robin on ties.
+    let mut link_free: Time = 0;
+    let mut out = Vec::new();
+    let total: usize = msgs.iter().map(|m| m.packets.len()).sum();
+    let mut rr = 0usize;
+    while out.len() < total {
+        // Pick the message that can occupy the link earliest
+        // (max(link_free, start)), round-robin among ties so concurrent
+        // messages interleave fairly and the link never idles while an
+        // eligible message has packets.
+        let mut pick: Option<(usize, Time)> = None;
+        for k in 0..msgs.len() {
+            let m = (rr + k) % msgs.len();
+            if cursors[m] >= msgs[m].packets.len() {
+                continue;
+            }
+            let ready = link_free.max(starts[m]);
+            match pick {
+                None => pick = Some((m, ready)),
+                Some((_, best)) if ready < best => pick = Some((m, ready)),
+                _ => {}
+            }
+        }
+        let (m, _) = pick.expect("total counted");
+        let pkt = &msgs[m].packets[cursors[m]];
+        let begin = link_free.max(starts[m]);
+        let end = begin + params.pkt_wire_time(pkt.len);
+        link_free = end;
+        out.push((end + params.net_latency, m, cursors[m]));
+        cursors[m] += 1;
+        rr = m + 1;
+    }
+    out
+}
+
+/// Run several concurrent receives sharing one NIC.
+pub fn run_concurrent(specs: Vec<MessageSpec>, params: &NicParams) -> Vec<MessageReport> {
+    let mut starts = Vec::with_capacity(specs.len());
+    let mut msgs: Vec<MsgState> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.into_iter().enumerate() {
+        let packets = packetize(i as u64, spec.packed.len() as u64, params.payload_size);
+        starts.push(spec.start_time);
+        msgs.push(MsgState {
+            pending_payload: packets.len() as u64,
+            packets,
+            packed: spec.packed,
+            proc: spec.proc,
+            host_buf: vec![0u8; spec.host_span as usize],
+            host_origin: spec.host_origin,
+            completion_dispatched: false,
+            t_first_byte: 0,
+            t_complete: None,
+            handler_costs: Vec::new(),
+        });
+    }
+    let arrivals = schedule_arrivals(params, &msgs, &starts);
+    for &(t, m, pkt) in &arrivals {
+        if pkt == 0 {
+            msgs[m].t_first_byte = t - params.pkt_wire_time(msgs[m].packets[0].len);
+        }
+    }
+    let mut world = MultiWorld {
+        params: params.clone(),
+        msgs,
+        sched: MultiScheduler::new(params.hpus),
+        dma_queue: TrackedFifo::new(false),
+        dma_busy: 0,
+    };
+    let mut sim: Sim<MultiWorld> = Sim::new();
+    for (t, m, pkt) in arrivals {
+        sim.schedule(t, move |w, s| w.packet_arrival(s, m, pkt));
+    }
+    sim.run(&mut world);
+    world
+        .msgs
+        .into_iter()
+        .map(|st| MessageReport {
+            strategy: st.proc.name(),
+            msg_bytes: st.packed.len() as u64,
+            t_first_byte: st.t_first_byte,
+            t_complete: st.t_complete.unwrap_or(0),
+            host_buf: st.host_buf,
+            handler_costs: st.handler_costs,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::ContigProcessor;
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| ((i + seed as usize) % 251) as u8).collect()
+    }
+
+    fn spec(len: usize, seed: u8, start: Time, handler: Time) -> MessageSpec {
+        MessageSpec {
+            packed: pattern(len, seed),
+            proc: Box::new(ContigProcessor::new(0, handler)),
+            host_origin: 0,
+            host_span: len as u64,
+            start_time: start,
+        }
+    }
+
+    #[test]
+    fn two_concurrent_messages_land_byte_exact() {
+        let p = NicParams::with_hpus(8);
+        let h = p.spin_min_handler();
+        let reports = run_concurrent(
+            vec![spec(64 << 10, 1, 0, h), spec(64 << 10, 2, 0, h)],
+            &p,
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].host_buf, pattern(64 << 10, 1));
+        assert_eq!(reports[1].host_buf, pattern(64 << 10, 2));
+        assert!(reports.iter().all(|r| r.t_complete > 0));
+    }
+
+    #[test]
+    fn concurrent_messages_share_the_link() {
+        // Two messages on one link take about twice as long as one.
+        let p = NicParams::with_hpus(16);
+        let h = p.spin_min_handler();
+        let alone = run_concurrent(vec![spec(256 << 10, 1, 0, h)], &p);
+        let both = run_concurrent(
+            vec![spec(256 << 10, 1, 0, h), spec(256 << 10, 2, 0, h)],
+            &p,
+        );
+        let t1 = alone[0].t_complete;
+        let t2 = both.iter().map(|r| r.t_complete).max().expect("two reports");
+        assert!(t2 as f64 > 1.7 * t1 as f64, "link sharing: {t2} vs {t1}");
+        assert!((t2 as f64) < 2.6 * t1 as f64, "no pathological serialization");
+    }
+
+    #[test]
+    fn hpu_contention_slows_handler_bound_messages() {
+        // With 1 HPU and slow handlers, two messages serialize on the HPU.
+        let mut p = NicParams::with_hpus(1);
+        p.hpus = 1;
+        let slow = nca_sim::us(2);
+        let alone = run_concurrent(vec![spec(32 << 10, 1, 0, slow)], &p);
+        let both = run_concurrent(
+            vec![spec(32 << 10, 1, 0, slow), spec(32 << 10, 2, 0, slow)],
+            &p,
+        );
+        let t1 = alone[0].t_complete - alone[0].t_first_byte;
+        let t2 = both.iter().map(|r| r.t_complete).max().expect("max")
+            - both[0].t_first_byte;
+        assert!(t2 as f64 > 1.8 * t1 as f64, "HPU contention: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn staggered_start_orders_completions() {
+        let p = NicParams::with_hpus(8);
+        let h = p.spin_min_handler();
+        let reports = run_concurrent(
+            vec![spec(32 << 10, 1, 0, h), spec(32 << 10, 2, nca_sim::us(500), h)],
+            &p,
+        );
+        assert!(reports[0].t_complete < reports[1].t_complete);
+        assert!(reports[1].t_first_byte >= nca_sim::us(500));
+    }
+
+    #[test]
+    fn many_small_messages_all_complete() {
+        let p = NicParams::with_hpus(4);
+        let h = p.spin_min_handler();
+        let specs: Vec<MessageSpec> =
+            (0..20).map(|i| spec(4096, i as u8, (i as u64) * nca_sim::us(1), h)).collect();
+        let reports = run_concurrent(specs, &p);
+        assert_eq!(reports.len(), 20);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.host_buf, pattern(4096, i as u8), "message {i}");
+            assert!(r.t_complete > r.t_first_byte);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! NIC memory allocator.
+//!
+//! The offloaded DDT state (dataloop descriptors, checkpoint tables,
+//! offset lists) lives in NIC memory; posting a receive must allocate
+//! space and may fail, in which case the MPI layer falls back to host
+//! unpack or evicts another datatype (Sec. 3.2.6). A simple first-fit
+//! free-list allocator is enough for the simulation: what matters is
+//! capacity accounting and allocation failure.
+
+use std::collections::HashMap;
+
+/// Allocation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// First-fit free-list allocator over a fixed capacity.
+#[derive(Debug)]
+pub struct NicMemory {
+    capacity: u64,
+    /// Sorted, non-adjacent free ranges `(start, len)`.
+    free: Vec<(u64, u64)>,
+    live: HashMap<AllocId, (u64, u64)>,
+    next_id: u64,
+    peak_used: u64,
+}
+
+impl NicMemory {
+    /// Create an allocator over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        NicMemory {
+            capacity,
+            free: vec![(0, capacity)],
+            live: HashMap::new(),
+            next_id: 0,
+            peak_used: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.live.values().map(|&(_, l)| l).sum()
+    }
+
+    /// Highest concurrent usage observed.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Allocate `len` bytes; `None` if no free range fits.
+    pub fn alloc(&mut self, len: u64) -> Option<AllocId> {
+        if len == 0 {
+            let id = AllocId(self.next_id);
+            self.next_id += 1;
+            self.live.insert(id, (0, 0));
+            return Some(id);
+        }
+        let slot = self.free.iter().position(|&(_, flen)| flen >= len)?;
+        let (start, flen) = self.free[slot];
+        if flen == len {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = (start + len, flen - len);
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, (start, len));
+        self.peak_used = self.peak_used.max(self.used());
+        Some(id)
+    }
+
+    /// Free an allocation; coalesces adjacent free ranges.
+    pub fn free(&mut self, id: AllocId) {
+        let Some((start, len)) = self.live.remove(&id) else {
+            return;
+        };
+        if len == 0 {
+            return;
+        }
+        let pos = self.free.partition_point(|&(s, _)| s < start);
+        self.free.insert(pos, (start, len));
+        // Coalesce with successor then predecessor.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = NicMemory::new(1024);
+        let a = m.alloc(512).unwrap();
+        let b = m.alloc(512).unwrap();
+        assert!(m.alloc(1).is_none(), "full");
+        assert_eq!(m.used(), 1024);
+        m.free(a);
+        assert_eq!(m.used(), 512);
+        let c = m.alloc(256).unwrap();
+        m.free(b);
+        m.free(c);
+        assert_eq!(m.used(), 0);
+        // coalesced back to one range
+        assert!(m.alloc(1024).is_some());
+    }
+
+    #[test]
+    fn fragmentation_can_fail_fit() {
+        let mut m = NicMemory::new(300);
+        let a = m.alloc(100).unwrap();
+        let _b = m.alloc(100).unwrap();
+        let c = m.alloc(100).unwrap();
+        m.free(a);
+        m.free(c);
+        // 200 free but split 100+100
+        assert!(m.alloc(150).is_none());
+        assert!(m.alloc(100).is_some());
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = NicMemory::new(1000);
+        let a = m.alloc(600).unwrap();
+        m.free(a);
+        let _ = m.alloc(100);
+        assert_eq!(m.peak_used(), 600);
+    }
+
+    #[test]
+    fn zero_sized_alloc_is_fine() {
+        let mut m = NicMemory::new(16);
+        let z = m.alloc(0).unwrap();
+        assert_eq!(m.used(), 0);
+        m.free(z);
+    }
+}

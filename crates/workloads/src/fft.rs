@@ -1,0 +1,144 @@
+//! A small complex FFT (iterative radix-2 Cooley–Tukey) used by the
+//! FFT2D example and to ground the LogGOPS compute-time model.
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Construct.
+    pub fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// Zero.
+    pub fn zero() -> C64 {
+        C64 { re: 0.0, im: 0.0 }
+    }
+
+    fn mul(self, o: C64) -> C64 {
+        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    fn add(self, o: C64) -> C64 {
+        C64 { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    fn sub(self, o: C64) -> C64 {
+        C64 { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place FFT (`inverse = false`) or unnormalized inverse FFT of a
+/// power-of-two-length slice.
+pub fn fft_in_place(x: &mut [C64], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = C64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2].mul(w);
+                x[start + k] = u.add(v);
+                x[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward then (normalized) inverse; used for round-trip checks.
+pub fn ifft_normalized(x: &mut [C64]) {
+    let n = x.len() as f64;
+    fft_in_place(x, true);
+    for v in x.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+/// Floating-point operation count of one radix-2 FFT of length `n`
+/// (the classic 5·n·log₂n), used by the LogGOPS compute model.
+pub fn fft_flops(n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * n * (63 - n.leading_zeros() as u64 + if n.is_power_of_two() { 1 } else { 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 256;
+        let mut x: Vec<C64> =
+            (0..n).map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let orig = x.clone();
+        fft_in_place(&mut x, false);
+        ifft_normalized(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![C64::zero(); 64];
+        x[0] = C64::new(1.0, 0.0);
+        fft_in_place(&mut x, false);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128usize;
+        let mut x: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        fft_in_place(&mut x, false);
+        let freq_energy: f64 = x.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn flops_scale() {
+        assert_eq!(fft_flops(1), 0);
+        assert!(fft_flops(1024) > fft_flops(512) * 2 - 5 * 512);
+    }
+}

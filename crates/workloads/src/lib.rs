@@ -1,0 +1,19 @@
+//! # nca-workloads — application datatype workloads
+//!
+//! Generators for the receive datatypes of the applications evaluated in
+//! the paper's Fig. 16, spanning atmospheric science (WRF), quantum
+//! chromodynamics (MILC), molecular dynamics (LAMMPS), material/seismic
+//! science (SPECFEM3D, SW4LITE), fluid dynamics (NAS LU/MG), FFT (FFT2D)
+//! and the COMB communication benchmark.
+//!
+//! The paper's exact input decks are not public; each generator is
+//! parameterized so that the *datatype constructor class* matches the
+//! paper's annotation (e.g. MILC = `vector(vector)`, WRF =
+//! `struct(subarray)`) and the per-input message sizes and γ (average
+//! contiguous regions per 2 KiB packet) fall in the annotated ranges.
+//! See DESIGN.md for the substitution note.
+
+pub mod apps;
+pub mod fft;
+
+pub use apps::{all_workloads, AppWorkload};

@@ -1,0 +1,150 @@
+//! Distributed BFS frontier exchange — the paper's motivating irregular
+//! workload ("in a distributed graph traversal such as BFS, the
+//! algorithm sends data to all vertices that are neighbors of vertices
+//! in the current frontier on remote nodes — here both the source and
+//! the target data elements are scattered at different locations in
+//! memory depending on the graph structure").
+//!
+//! This example runs a real BFS over a synthetic power-law-ish graph
+//! partitioned across two simulated ranks. Each level's remote updates
+//! become an `indexed_block` datatype over the neighbor vertex slots;
+//! the receive is simulated through the sPIN NIC and compared against
+//! host-based unpacking, and the BFS result is verified against a
+//! single-node reference.
+//!
+//! ```sh
+//! cargo run --release --example bfs_frontier
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ncmt::core::runner::{Experiment, Strategy};
+use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
+use ncmt::spin::params::NicParams;
+
+/// Vertex payload exchanged per frontier update: distance, parent and a
+/// 14-double property vector (weights/labels), as BFS-based analytics
+/// kernels carry.
+const SLOT_DOUBLES: u32 = 16;
+
+fn build_graph(n: usize, avg_deg: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj = vec![Vec::new(); n];
+    for u in 0..n {
+        // preferential-ish: bias edges toward low vertex ids
+        for _ in 0..avg_deg {
+            let r: f64 = rng.random();
+            let v = ((r * r) * n as f64) as usize % n;
+            if v != u {
+                adj[u].push(v as u32);
+                adj[v].push(u as u32);
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    adj
+}
+
+fn reference_bfs(adj: &[Vec<u32>], root: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; adj.len()];
+    let mut q = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u as usize] {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+fn main() {
+    let n = 4096usize;
+    let adj = build_graph(n, 4, 42);
+    let reference = reference_bfs(&adj, 0);
+
+    // Two ranks: rank 0 owns [0, n/2), rank 1 owns [n/2, n).
+    let half = n / 2;
+    let owner = |v: usize| usize::from(v >= half);
+    let mut dist = vec![u32::MAX; n];
+    dist[0] = 0;
+    let mut frontier: Vec<u32> = vec![0];
+    let mut level = 0u32;
+
+    let params = NicParams::with_hpus(16);
+    let mut total_offload_ns = 0f64;
+    let mut total_host_ns = 0f64;
+    let mut exchanges = 0usize;
+
+    while !frontier.is_empty() {
+        // Local expansion + collect remote updates per destination rank.
+        let mut next: Vec<u32> = Vec::new();
+        let mut remote: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for &u in &frontier {
+            for &v in &adj[u as usize] {
+                if dist[v as usize] != u32::MAX {
+                    continue;
+                }
+                if owner(v as usize) == owner(u as usize) {
+                    dist[v as usize] = level + 1;
+                    next.push(v);
+                } else {
+                    remote[owner(v as usize)].push(v);
+                }
+            }
+        }
+        // Exchange: the receiver scatters updates straight into its
+        // vertex array — an indexed_block datatype over the target slots.
+        for (rank, targets) in remote.iter().enumerate() {
+            let mut t: Vec<u32> = targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            if t.is_empty() {
+                continue;
+            }
+            let displs: Vec<i64> = t.iter().map(|&v| v as i64 * SLOT_DOUBLES as i64).collect();
+            let dt = Datatype::indexed_block(SLOT_DOUBLES, &displs, &elem::double())
+                .expect("sorted unique displacements");
+            let mut exp = Experiment::new(dt, 1, params.clone());
+            exp.verify = exchanges == 0; // byte-verify the first exchange
+            let r = exp.run(Strategy::RwCp);
+            let h = exp.run_host();
+            total_offload_ns += r.processing_time() as f64 / 1e3;
+            total_host_ns += h.processing_time as f64 / 1e3;
+            exchanges += 1;
+            // Apply the updates (the simulated receive carried them).
+            for &v in &t {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = level + 1;
+                    next.push(v);
+                }
+            }
+            let _ = rank;
+        }
+        frontier = next;
+        level += 1;
+    }
+
+    assert_eq!(dist, reference, "distributed BFS must match the reference");
+    let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+    println!("BFS over {n} vertices: {reached} reached in {level} levels ✓ (matches reference)");
+    let speedup = total_host_ns / total_offload_ns;
+    println!(
+        "{exchanges} frontier exchanges: offloaded receive {:.1} us vs host unpack {:.1} us ({:.2}x)",
+        total_offload_ns / 1e3,
+        total_host_ns / 1e3,
+        speedup
+    );
+    if speedup >= 1.0 {
+        println!("(irregular scatter: the NIC writes each vertex slot directly — zero-copy)");
+    } else {
+        println!("(tiny frontier messages sit below the Fig. 8 crossover — offload does not pay here)");
+    }
+}

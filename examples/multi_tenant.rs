@@ -1,0 +1,76 @@
+//! Multi-tenant NIC: several applications' messages arrive concurrently
+//! and share the link, the HPUs and the DMA engine. Shows per-message
+//! completion times and the slowdown versus running alone.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use ncmt::core::runner::Strategy;
+use ncmt::ddt::pack::{buffer_span, pack};
+use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
+use ncmt::spin::multi::{run_concurrent, MessageSpec};
+use ncmt::spin::params::NicParams;
+
+fn make_spec(dt: &Datatype, strategy: Strategy, params: &NicParams, start_us: u64) -> MessageSpec {
+    let (origin, span) = buffer_span(dt, 1);
+    let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
+    let packed = pack(dt, 1, &src, origin).expect("packable");
+    MessageSpec {
+        packed,
+        proc: strategy.build(dt, 1, params.clone(), 0.2),
+        host_origin: origin,
+        host_span: span,
+        start_time: ncmt::sim::us(start_us),
+    }
+}
+
+fn main() {
+    let params = NicParams::with_hpus(16);
+
+    // Three tenants with different datatypes and strategies:
+    //  A: halo exchange (vector, specialized handler)
+    //  B: particle exchange (irregular index_block, RW-CP)
+    //  C: matrix transpose stripe (large blocks, RW-CP)
+    let halo = Datatype::vector(4096, 16, 32, &elem::double());
+    let displs: Vec<i64> = (0..8192).map(|i| i * 5 + (i * i) % 3).collect();
+    let particles = Datatype::indexed_block(3, &displs, &elem::double()).expect("valid");
+    let transpose = Datatype::vector(256, 256, 512, &elem::complex_double());
+
+    let tenants: [(&str, &Datatype, Strategy); 3] = [
+        ("halo/specialized", &halo, Strategy::Specialized),
+        ("particles/RW-CP", &particles, Strategy::RwCp),
+        ("transpose/RW-CP", &transpose, Strategy::RwCp),
+    ];
+
+    // Alone: each message with the NIC to itself.
+    let mut alone_us = Vec::new();
+    for (_, dt, s) in &tenants {
+        let r = run_concurrent(vec![make_spec(dt, *s, &params, 0)], &params);
+        alone_us.push(r[0].processing_time() as f64 / 1e6);
+    }
+
+    // Together: all three start at t = 0.
+    let specs = tenants.iter().map(|(_, dt, s)| make_spec(dt, *s, &params, 0)).collect();
+    let together = run_concurrent(specs, &params);
+
+    println!("{:<20} {:>12} {:>14} {:>10}", "tenant", "alone (us)", "shared (us)", "slowdown");
+    for (i, (name, dt, _)) in tenants.iter().enumerate() {
+        let shared = together[i].processing_time() as f64 / 1e6;
+        println!(
+            "{:<20} {:>12.1} {:>14.1} {:>9.2}x",
+            name,
+            alone_us[i],
+            shared,
+            shared / alone_us[i]
+        );
+        // Verify every tenant's bytes landed intact.
+        let (origin, span) = buffer_span(dt, 1);
+        let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
+        let packed = pack(dt, 1, &src, origin).expect("packable");
+        let mut expect = vec![0u8; span as usize];
+        ncmt::ddt::pack::unpack(dt, 1, &packed, &mut expect, origin).expect("unpackable");
+        assert_eq!(together[i].host_buf, expect, "tenant {name} corrupted");
+    }
+    println!("\nall receive buffers byte-verified ✓ (shared link + HPUs + DMA engine)");
+}

@@ -1,0 +1,83 @@
+//! Golden-output regression tests for the pure-model figures.
+//!
+//! These figures are deterministic functions of the calibrated model
+//! parameters; any diff against the committed goldens means a parameter
+//! or model change — intended changes must regenerate the goldens
+//! (`./target/release/<bin> > tests/golden/<bin>.tsv`).
+
+use std::fmt::Write as _;
+
+fn check(name: &str, actual: String) {
+    let path = format!("{}/tests/golden/{name}.tsv", env!("CARGO_MANIFEST_DIR"));
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "{name} drifted from its golden output; regenerate {path} if intended"
+    );
+}
+
+#[test]
+fn fig02_golden() {
+    use nca_bench::figures::fig02;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 2 — one-byte put latency (us)");
+    let _ = writeln!(out, "path\tpcie\tnic\tnetwork\ttotal");
+    let rows = fig02::rows();
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            r.path,
+            r.pcie as f64 / 1e6,
+            r.nic as f64 / 1e6,
+            r.network as f64 / 1e6,
+            r.total() as f64 / 1e6
+        );
+    }
+    let overhead = rows[1].total() as f64 / rows[0].total() as f64 - 1.0;
+    let _ = writeln!(out, "# sPIN overhead: {:.1}% (paper: +24.4%)", overhead * 100.0);
+    let _ = writeln!(
+        out,
+        "# simulated sPIN end-to-end: {:.3} us",
+        fig02::simulated_spin_total() as f64 / 1e6
+    );
+    check("fig02_put_latency", out);
+}
+
+#[test]
+fn fig09c_golden() {
+    use nca_bench::figures::fig09c;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 9c — DMA bandwidth vs block size (line rate = 200 Gbit/s)");
+    let _ = writeln!(out, "block_bytes\tgbit_per_s");
+    for (b, bw) in fig09c::rows() {
+        let _ = writeln!(out, "{b}\t{bw:.1}");
+    }
+    check("fig09c_bandwidth", out);
+}
+
+#[test]
+fn fig10_golden() {
+    use nca_bench::figures::fig10;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 10 — RW-CP throughput on PULP vs ARM (1 MiB message)");
+    let _ = writeln!(out, "block_bytes\tpulp_gbit\tarm_gbit");
+    for (b, p, a) in fig10::rows() {
+        let _ = writeln!(out, "{b}\t{p:.1}\t{a:.1}");
+    }
+    check("fig10_pulp_vs_arm", out);
+}
+
+#[test]
+fn fig11_golden() {
+    use nca_bench::figures::fig11;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 11 — RW-CP IPC on PULP (paper medians 0.14-0.26)");
+    let _ = writeln!(out, "block_bytes\tipc");
+    for (b, ipc) in fig11::rows() {
+        let _ = writeln!(out, "{b}\t{ipc:.3}");
+    }
+    check("fig11_ipc", out);
+}

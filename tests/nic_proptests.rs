@@ -1,0 +1,75 @@
+//! Property-based end-to-end tests: random datatypes through the full
+//! simulated NIC pipeline under every strategy, in and out of order.
+
+use proptest::prelude::*;
+
+use ncmt::core::runner::{Experiment, Strategy as Recv};
+use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
+use ncmt::spin::params::NicParams;
+
+/// Random small-but-multi-packet datatypes (messages of 4–64 KiB).
+fn arb_message_type() -> impl Strategy<Value = (Datatype, u32)> {
+    let base = prop_oneof![Just(elem::int()), Just(elem::double()), Just(elem::float())];
+    (base, 1u32..3).prop_flat_map(|(b, count)| {
+        let (b1, b2, b3) = (b.clone(), b.clone(), b);
+        prop_oneof![
+            // vector
+            (64u32..512, 1u32..16, 1i64..8).prop_map(move |(c, bl, gap)| {
+                (Datatype::vector(c, bl, bl as i64 + gap, &b1), count)
+            }),
+            // indexed_block with irregular gaps
+            (proptest::collection::vec(1i64..5, 16..128), 1u32..6).prop_map(
+                move |(gaps, bl)| {
+                    let mut displs = Vec::with_capacity(gaps.len());
+                    let mut at = 0i64;
+                    for g in gaps {
+                        displs.push(at);
+                        at += bl as i64 + g;
+                    }
+                    (Datatype::indexed_block(bl, &displs, &b2).expect("valid"), count)
+                }
+            ),
+            // nested vector (general strategies only path)
+            (4u32..16, 2u32..6, 8u32..32).prop_map(move |(oc, ic, stride)| {
+                let inner = Datatype::vector(ic, 1, 3, &b3);
+                (Datatype::hvector(oc, 1, (stride as i64) * 64, &inner), count)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_strategies_byte_exact((dt, count) in arb_message_type()) {
+        prop_assume!(dt.size * count as u64 >= 4096);
+        let exp = Experiment::new(dt, count, NicParams::with_hpus(8));
+        for s in Recv::ALL {
+            // Experiment::run verifies the receive buffer byte-for-byte.
+            let r = exp.run(s);
+            prop_assert!(r.t_complete > r.t_first_byte);
+        }
+    }
+
+    #[test]
+    fn out_of_order_byte_exact((dt, count) in arb_message_type(), seed in 0u64..1000) {
+        prop_assume!(dt.size * count as u64 >= 8192);
+        let mut exp = Experiment::new(dt, count, NicParams::with_hpus(8));
+        exp.out_of_order = Some(seed);
+        for s in Recv::ALL {
+            exp.run(s);
+        }
+    }
+
+    #[test]
+    fn processing_time_at_least_wire_time((dt, count) in arb_message_type()) {
+        let exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
+        let msg = dt.size * count as u64;
+        prop_assume!(msg >= 4096);
+        let r = exp.run(Recv::Specialized);
+        // Nothing can beat serialization at line rate.
+        let wire = NicParams::default().line_rate.time_for(msg);
+        prop_assert!(r.processing_time() >= wire);
+    }
+}
