@@ -74,7 +74,9 @@ fn bench_pack_unpack(c: &mut Criterion) {
     let packed = pack(&dt, 1, &src, origin).expect("packable");
     let mut g = c.benchmark_group("pack_unpack_1mib");
     g.throughput(Throughput::Bytes(dt.size));
-    g.bench_function("pack", |b| b.iter(|| pack(&dt, 1, &src, origin).expect("ok").len()));
+    g.bench_function("pack", |b| {
+        b.iter(|| pack(&dt, 1, &src, origin).expect("ok").len())
+    });
     g.bench_function("unpack", |b| {
         let mut dst = vec![0u8; span as usize];
         b.iter(|| {
@@ -96,7 +98,8 @@ fn bench_checkpoints(c: &mut Criterion) {
             let cp = table.closest(dl.size / 2);
             let mut seg = cp.materialize();
             let mut sink = CountSink::default();
-            seg.process_range(dl.size / 2, dl.size / 2 + 2048, &mut sink).expect("ok");
+            seg.process_range(dl.size / 2, dl.size / 2 + 2048, &mut sink)
+                .expect("ok");
             sink.blocks
         })
     });
@@ -104,7 +107,9 @@ fn bench_checkpoints(c: &mut Criterion) {
 
 fn bench_flatten_classify(c: &mut Criterion) {
     let dt = vector_1mib(64);
-    c.bench_function("flatten_16k_regions", |b| b.iter(|| flatten(&dt, 1).entries.len()));
+    c.bench_function("flatten_16k_regions", |b| {
+        b.iter(|| flatten(&dt, 1).entries.len())
+    });
     c.bench_function("classify", |b| b.iter(|| classify(&dt)));
 }
 

@@ -20,16 +20,22 @@ use nca_core::runner::{Experiment, Strategy};
 use nca_ddt::normalize::classify;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
 use nca_spin::params::NicParams;
+use nca_telemetry::{export, Telemetry};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
-    flag(args, name).map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}")))).unwrap_or(default)
+    flag(args, name)
+        .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}"))))
+        .unwrap_or(default)
 }
 
 fn die(msg: &str) -> ! {
@@ -52,15 +58,22 @@ common flags:
   --hpus N        handler processing units (default 16)
   --copies N      datatype repetition count (default 1)
   --ooo SEED      shuffle payload-packet arrival order
-  --epsilon E     RW-CP scheduling-overhead bound (default 0.2)"
+  --epsilon E     RW-CP scheduling-overhead bound (default 0.2)
+  --trace-out F   write a Chrome/Perfetto trace of all strategy runs to F
+                  (load at https://ui.perfetto.dev; one process per
+                  strategy/component, HPU spans, DMA-queue counters)"
     );
     std::process::exit(0)
 }
 
 fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     let hpus = flag_u64(args, "--hpus", 16) as usize;
-    let epsilon: f64 = flag(args, "--epsilon").map(|v| v.parse().unwrap_or(0.2)).unwrap_or(0.2);
+    let epsilon: f64 = flag(args, "--epsilon")
+        .map(|v| v.parse().unwrap_or(0.2))
+        .unwrap_or(0.2);
     let ooo = flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
+    let trace_out = flag(args, "--trace-out");
+    let trace = trace_out.as_ref().map(|_| Telemetry::ring(1 << 22));
 
     let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
     exp.epsilon = epsilon;
@@ -78,8 +91,16 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         if ooo.is_some() { ", out-of-order" } else { "" }
     );
     println!();
-    println!("{:<14} {:>12} {:>10} {:>12}", "method", "time (us)", "Gbit/s", "NIC KiB");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12}",
+        "method", "time (us)", "Gbit/s", "NIC KiB"
+    );
     for s in Strategy::ALL {
+        // Scope each strategy's events so the shared trace keeps the
+        // overlapping per-run timelines apart in Perfetto.
+        if let Some((tel, _)) = &trace {
+            exp.telemetry = tel.scoped(s.label());
+        }
         let r = exp.run(s);
         println!(
             "{:<14} {:>12.1} {:>10.1} {:>12.2}",
@@ -107,6 +128,21 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     );
     if exp.verify {
         println!("\nreceive buffers byte-verified ✓");
+    }
+    if let (Some(path), Some((_, sink))) = (trace_out, trace) {
+        let events = sink.events();
+        std::fs::write(&path, export::chrome_trace_json(&events))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        let dropped = sink.dropped();
+        println!(
+            "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
+            events.len(),
+            if dropped > 0 {
+                format!(", {dropped} oldest dropped")
+            } else {
+                String::new()
+            }
+        );
     }
 }
 
@@ -140,7 +176,10 @@ fn main() {
             run_experiment(dt, copies(&args), &args);
         }
         "app" => {
-            let label = args.get(1).cloned().unwrap_or_else(|| die("app needs a label"));
+            let label = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| die("app needs a label"));
             let w = all_workloads()
                 .into_iter()
                 .find(|w| w.label() == label)
@@ -149,7 +188,10 @@ fn main() {
             run_experiment(w.dt.clone(), w.count, &args);
         }
         "list" => {
-            println!("{:<14} {:<20} {:>10} {:>8}", "workload", "class", "size KiB", "gamma");
+            println!(
+                "{:<14} {:<20} {:>10} {:>8}",
+                "workload", "class", "size KiB", "gamma"
+            );
             for w in all_workloads() {
                 println!(
                     "{:<14} {:<20} {:>10.1} {:>8.1}",

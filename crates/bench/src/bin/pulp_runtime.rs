@@ -6,7 +6,10 @@ use nca_pulp::runtime::{simulate_runtime, skewed_handlers, Assignment};
 
 fn main() {
     let cfg = PulpConfig::default();
-    let dynamic = Assignment::Dynamic { dispatch_cycles: 40, migration_cycles: 300 };
+    let dynamic = Assignment::Dynamic {
+        dispatch_cycles: 40,
+        migration_cycles: 300,
+    };
     println!("# sPIN-on-PULP runtime: static vs dynamic HER assignment (512 pkts, 2 KiB)");
     println!("hot_frac\tstatic_gbit\tdynamic_gbit\tstatic_imb\tdyn_imb\tmigrations");
     for hot in [0.0f64, 0.05, 0.1, 0.2, 0.4] {

@@ -13,6 +13,7 @@ use nca_core::baselines::host_pipelined_unpack;
 use nca_core::costmodel::HostCostModel;
 use nca_core::runner::{Experiment, Strategy};
 use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
 
 use super::vector_workload;
 
@@ -28,7 +29,13 @@ pub fn epsilon_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
             exp.verify = false;
             let r = exp.run(Strategy::RwCp);
             let nic = Strategy::RwCp
-                .build(&dt, count, NicParams::with_hpus(16), eps)
+                .build(
+                    &dt,
+                    count,
+                    NicParams::with_hpus(16),
+                    eps,
+                    Telemetry::disabled(),
+                )
                 .nic_mem_bytes() as f64
                 / 1024.0;
             (eps, r.throughput_gbit(), nic)
@@ -116,8 +123,13 @@ pub fn print(quick: bool) {
     println!("# Ablation 3 — out-of-order delivery (processing ms)");
     println!("seed\tSpecialized\tRW-CP\tRO-CP\tHPU-local");
     for (s, t) in ooo_sweep(quick) {
-        let label = s.map(|v| v.to_string()).unwrap_or_else(|| "in-order".into());
-        println!("{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}", t[0], t[1], t[2], t[3]);
+        let label = s
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "in-order".into());
+        println!(
+            "{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            t[0], t[1], t[2], t[3]
+        );
     }
     println!("# Ablation 4 — pipelined host baseline (Gbit/s)");
     println!("block\thost\thost_pipelined\tRW-CP");

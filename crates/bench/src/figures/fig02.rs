@@ -71,5 +71,8 @@ pub fn print(_quick: bool) {
     }
     let overhead = r[1].total() as f64 / r[0].total() as f64 - 1.0;
     println!("# sPIN overhead: {:.1}% (paper: +24.4%)", overhead * 100.0);
-    println!("# simulated sPIN end-to-end: {:.3} us", to_us(simulated_spin_total()));
+    println!(
+        "# simulated sPIN end-to-end: {:.3} us",
+        to_us(simulated_spin_total())
+    );
 }

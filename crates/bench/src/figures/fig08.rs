@@ -40,7 +40,11 @@ pub fn rows(quick: bool) -> Vec<Row> {
             for (i, s) in Strategy::ALL.iter().enumerate() {
                 offloaded[i] = exp.run(*s).throughput_gbit();
             }
-            Row { block, offloaded, host: exp.run_host().throughput_gbit() }
+            Row {
+                block,
+                offloaded,
+                host: exp.run_host().throughput_gbit(),
+            }
         })
         .collect()
 }

@@ -1,16 +1,23 @@
 //! Fig. 9b — accelerator area breakdown (plus the Sec. 4.4 silicon
 //! area, power and BlueField comparison).
 
-use nca_pulp::area::{area_breakdown, bluefield_subsystem_mm2};
 use nca_pulp::arch::PulpConfig;
+use nca_pulp::area::{area_breakdown, bluefield_subsystem_mm2};
 
 /// Print the breakdown.
 pub fn print(_quick: bool) {
     let cfg = PulpConfig::default();
     let a = area_breakdown(&cfg);
-    println!("# Fig. 9b — area breakdown ({} clusters x {} cores)", cfg.clusters, cfg.cores_per_cluster);
+    println!(
+        "# Fig. 9b — area breakdown ({} clusters x {} cores)",
+        cfg.clusters, cfg.cores_per_cluster
+    );
     println!("component\tMGE\tshare");
-    println!("clusters\t{:.1}\t{:.1}%", a.clusters_total / 1e6, 100.0 * a.clusters_total / a.total);
+    println!(
+        "clusters\t{:.1}\t{:.1}%",
+        a.clusters_total / 1e6,
+        100.0 * a.clusters_total / a.total
+    );
     println!("L2 SPM\t{:.1}\t{:.1}%", a.l2 / 1e6, 100.0 * a.l2 / a.total);
     println!(
         "interconnect/DWC/buffers\t{:.1}\t{:.1}%",
@@ -19,10 +26,18 @@ pub fn print(_quick: bool) {
     );
     println!("total\t{:.1}\t100%", a.total / 1e6);
     let c = a.cluster_total();
-    println!("# per-cluster: L1 {:.1}% | I$ {:.1}% | cores {:.1}% | DMA+icon {:.1}%",
-        100.0 * a.cluster_l1 / c, 100.0 * a.cluster_icache / c,
-        100.0 * a.cluster_cores / c, 100.0 * (a.cluster_dma_icon) / c);
-    println!("# silicon: {:.1} mm2 @22nm (paper 23.5), power {:.1} W (paper ~6)", a.silicon_mm2(), a.power_w());
+    println!(
+        "# per-cluster: L1 {:.1}% | I$ {:.1}% | cores {:.1}% | DMA+icon {:.1}%",
+        100.0 * a.cluster_l1 / c,
+        100.0 * a.cluster_icache / c,
+        100.0 * a.cluster_cores / c,
+        100.0 * (a.cluster_dma_icon) / c
+    );
+    println!(
+        "# silicon: {:.1} mm2 @22nm (paper 23.5), power {:.1} W (paper ~6)",
+        a.silicon_mm2(),
+        a.power_w()
+    );
     println!(
         "# BlueField compute subsystem: {:.1} mm2 -> this design uses {:.0}% of that budget",
         bluefield_subsystem_mm2(),

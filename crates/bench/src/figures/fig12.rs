@@ -27,7 +27,12 @@ pub fn rows(quick: bool) -> Vec<Row> {
     let msg: u64 = if quick { 128 << 10 } else { 1 << 20 };
     let gammas: &[u64] = if quick { &[1, 16] } else { &[1, 2, 4, 8, 16] };
     let mut out = Vec::new();
-    for s in [Strategy::HpuLocal, Strategy::RoCp, Strategy::RwCp, Strategy::Specialized] {
+    for s in [
+        Strategy::HpuLocal,
+        Strategy::RoCp,
+        Strategy::RwCp,
+        Strategy::Specialized,
+    ] {
         for &gamma in gammas {
             let block = 2048 / gamma;
             let (dt, count) = vector_workload(msg, block);

@@ -4,6 +4,7 @@
 
 use nca_core::runner::{Experiment, Strategy};
 use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
 
 use super::vector_workload;
 
@@ -28,15 +29,24 @@ pub fn throughput_vs_hpus(quick: bool) -> Vec<(usize, [f64; 4])> {
 /// (b): `(block, [nic KiB per strategy])` at 16 HPUs.
 pub fn nicmem_vs_block(quick: bool) -> Vec<(u64, [f64; 4])> {
     let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
-    let blocks: &[u64] =
-        if quick { &[32, 2048] } else { &[4, 16, 32, 64, 128, 512, 2048, 8192] };
+    let blocks: &[u64] = if quick {
+        &[32, 2048]
+    } else {
+        &[4, 16, 32, 64, 128, 512, 2048, 8192]
+    };
     blocks
         .iter()
         .map(|&b| {
             let (dt, count) = vector_workload(msg, b);
             let mut m = [0.0f64; 4];
             for (i, s) in Strategy::ALL.iter().enumerate() {
-                let p = s.build(&dt, count, NicParams::with_hpus(16), 0.2);
+                let p = s.build(
+                    &dt,
+                    count,
+                    NicParams::with_hpus(16),
+                    0.2,
+                    Telemetry::disabled(),
+                );
                 m[i] = p.nic_mem_bytes() as f64 / 1024.0;
             }
             (b, m)
@@ -53,7 +63,13 @@ pub fn nicmem_vs_hpus(quick: bool) -> Vec<(usize, [f64; 4])> {
             let (dt, count) = vector_workload(msg, 2048);
             let mut m = [0.0f64; 4];
             for (i, s) in Strategy::ALL.iter().enumerate() {
-                let p = s.build(&dt, count, NicParams::with_hpus(h), 0.2);
+                let p = s.build(
+                    &dt,
+                    count,
+                    NicParams::with_hpus(h),
+                    0.2,
+                    Telemetry::disabled(),
+                );
                 m[i] = p.nic_mem_bytes() as f64 / 1024.0;
             }
             (h, m)

@@ -35,7 +35,11 @@ pub fn rows(quick: bool) -> Vec<Row> {
                 max_queue[i] = r.dma_max_queue;
                 total = r.dma_writes - 1; // minus the completion signal
             }
-            Row { gamma, max_queue, total_writes: total }
+            Row {
+                gamma,
+                max_queue,
+                total_writes: total,
+            }
         })
         .collect()
 }

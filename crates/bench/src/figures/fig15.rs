@@ -1,8 +1,14 @@
 //! Fig. 15 — DMA-write queue occupancy over time for γ = 16, per
 //! strategy, including the host checkpoint-creation overhead.
+//!
+//! The timeline is reconstructed from the telemetry trace stream (the
+//! `spin/dma_queue` gauge, sampled at every FIFO push/pop) rather than
+//! from the pipeline's bespoke `dma_history` probe — the same events
+//! a `--trace-out` Perfetto dump contains.
 
 use nca_core::runner::{Experiment, Strategy};
 use nca_spin::params::NicParams;
+use nca_telemetry::{aggregate, Telemetry};
 
 use super::vector_workload;
 
@@ -16,25 +22,60 @@ pub struct Timeline {
     pub series: Vec<(u64, usize)>,
 }
 
+/// Strategies in the figure's panel order.
+pub const STRATEGIES: [Strategy; 4] = [
+    Strategy::HpuLocal,
+    Strategy::RoCp,
+    Strategy::RwCp,
+    Strategy::Specialized,
+];
+
+/// The full (undownsampled) DMA-queue occupancy series of one strategy,
+/// extracted from a trace of the run.
+pub fn trace_dma_series(strategy: Strategy, quick: bool) -> Vec<(u64, usize)> {
+    let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
+    let (dt, count) = vector_workload(msg, 128);
+    let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+    exp.verify = false;
+    let (tel, sink) = Telemetry::ring(1 << 20);
+    exp.telemetry = tel;
+    exp.run(strategy);
+    aggregate::gauge_series(&sink.events(), "spin", "dma_queue")
+        .into_iter()
+        .map(|(t, v)| (t, v as usize))
+        .collect()
+}
+
 /// Compute the figure (γ=16, i.e. 128 B blocks).
 pub fn timelines(quick: bool) -> Vec<Timeline> {
     let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
-    [Strategy::HpuLocal, Strategy::RoCp, Strategy::RwCp, Strategy::Specialized]
+    STRATEGIES
         .iter()
         .map(|&s| {
             let (dt, count) = vector_workload(msg, 128);
             let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
             exp.verify = false;
-            exp.record_dma_history = true;
+            let (tel, sink) = Telemetry::ring(1 << 20);
+            exp.telemetry = tel;
             let r = exp.run(s);
+            let history: Vec<(u64, usize)> =
+                aggregate::gauge_series(&sink.events(), "spin", "dma_queue")
+                    .into_iter()
+                    .map(|(t, v)| (t, v as usize))
+                    .collect();
             // Downsample to 48 points for the table.
-            let series = sample(&r.dma_history, 48);
-            Timeline { strategy: s.label(), host_overhead: r.host_setup_time, series }
+            let series = sample(&history, 48);
+            Timeline {
+                strategy: s.label(),
+                host_overhead: r.host_setup_time,
+                series,
+            }
         })
         .collect()
 }
 
-fn sample(h: &[(u64, usize)], n: usize) -> Vec<(u64, usize)> {
+/// Downsample `h` to at most `n` evenly spaced points.
+pub fn sample(h: &[(u64, usize)], n: usize) -> Vec<(u64, usize)> {
     if h.len() <= n {
         return h.to_vec();
     }
@@ -42,11 +83,31 @@ fn sample(h: &[(u64, usize)], n: usize) -> Vec<(u64, usize)> {
     (0..n).map(|i| h[(i as f64 * step) as usize]).collect()
 }
 
+/// Render the figure's rows as TSV lines (golden-tested).
+pub fn rows(quick: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in timelines(quick) {
+        out.push(format!(
+            "{}\thost_overhead_us\t{:.1}",
+            t.strategy,
+            t.host_overhead as f64 / 1e6
+        ));
+        for (time, q) in &t.series {
+            out.push(format!("{}\t{:.4}\t{}", t.strategy, *time as f64 / 1e9, q));
+        }
+    }
+    out
+}
+
 /// Print the figure table.
 pub fn print(quick: bool) {
     println!("# Fig. 15 — DMA queue size over time (gamma = 16)");
     for t in timelines(quick) {
-        println!("## {} (host overhead: {:.1} us)", t.strategy, t.host_overhead as f64 / 1e6);
+        println!(
+            "## {} (host overhead: {:.1} us)",
+            t.strategy,
+            t.host_overhead as f64 / 1e6
+        );
         println!("time_ms\tqueue");
         for (time, q) in &t.series {
             println!("{:.4}\t{}", *time as f64 / 1e9, q);

@@ -27,22 +27,23 @@ pub struct Row {
 
 /// Compute the figure (quick mode keeps only messages ≤ 512 KiB).
 /// Workload experiments are independent and deterministic, so they run
-/// in parallel across a crossbeam scope (results keep figure order).
+/// in parallel across a thread scope (results keep figure order).
 pub fn rows(quick: bool) -> Vec<Row> {
     let workloads: Vec<_> = all_workloads()
         .into_iter()
         .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
         .collect();
     let mut out: Vec<Option<Row>> = (0..workloads.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, w) in out.iter_mut().zip(&workloads) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(compute_row(w));
             });
         }
-    })
-    .expect("no worker panics");
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 fn compute_row(w: &nca_workloads::AppWorkload) -> Row {

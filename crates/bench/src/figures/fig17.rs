@@ -14,7 +14,11 @@ pub fn rows(quick: bool) -> Vec<(String, f64, f64)> {
         .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
         .map(|w| {
             let r = unpack_traffic(&w.dt, w.count, CacheConfig::i7_4770_llc());
-            (w.label(), r.offload_bytes as f64 / 1024.0, r.host_bytes as f64 / 1024.0)
+            (
+                w.label(),
+                r.offload_bytes as f64 / 1024.0,
+                r.host_bytes as f64 / 1024.0,
+            )
         })
         .collect()
 }
@@ -29,8 +33,13 @@ pub fn print(quick: bool) {
     }
     let off: Vec<f64> = data.iter().map(|d| d.1).collect();
     let host: Vec<f64> = data.iter().map(|d| d.2).collect();
-    let (go, gh) = (geomean(&off), geomean(&host));
-    println!("# geomean offload: {go:.1} KiB, host: {gh:.1} KiB, ratio {:.2}x (paper: 3.8x)", gh / go);
+    match (geomean(&off), geomean(&host)) {
+        (Some(go), Some(gh)) => println!(
+            "# geomean offload: {go:.1} KiB, host: {gh:.1} KiB, ratio {:.2}x (paper: 3.8x)",
+            gh / go
+        ),
+        _ => println!("# geomean undefined (no workloads selected)"),
+    }
     println!("# histogram (log2 buckets of KiB): offload | host");
     let ho = log2_histogram(&off);
     let hh = log2_histogram(&host);

@@ -6,12 +6,14 @@ use nca_loggopsim::fft2d::{strong_scaling, Fft2dConfig};
 /// `(ranks, host_ms, rwcp_ms, speedup_percent)` series.
 pub fn rows(quick: bool) -> Vec<(u32, f64, f64, f64)> {
     let cfg = Fft2dConfig::default();
-    let ps: &[u32] = if quick { &[64, 128] } else { &[64, 128, 256, 512, 1024] };
+    let ps: &[u32] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     strong_scaling(&cfg, ps)
         .into_iter()
-        .map(|(p, host, rwcp, s)| {
-            (p, host.runtime as f64 / 1e9, rwcp.runtime as f64 / 1e9, s)
-        })
+        .map(|(p, host, rwcp, s)| (p, host.runtime as f64 / 1e9, rwcp.runtime as f64 / 1e9, s))
         .collect()
 }
 

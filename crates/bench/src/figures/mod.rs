@@ -26,7 +26,12 @@ pub fn vector_workload(msg_bytes: u64, block_bytes: u64) -> (nca_ddt::types::Dat
     use nca_ddt::types::{elem, Datatype, DatatypeExt};
     let count = (msg_bytes / block_bytes).max(1) as u32;
     (
-        Datatype::hvector(count, block_bytes as u32, 2 * block_bytes as i64, &elem::byte()),
+        Datatype::hvector(
+            count,
+            block_bytes as u32,
+            2 * block_bytes as i64,
+            &elem::byte(),
+        ),
         1,
     )
 }

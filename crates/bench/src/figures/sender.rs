@@ -20,7 +20,11 @@ pub fn rows(quick: bool) -> Vec<(u64, [f64; 3], [f64; 3])> {
                 cpu_stream_per_region: nca_sim::ns(40),
                 nic_gather_per_region: nca_sim::ns(25),
             };
-            let r = [pack_and_send(&p, &w), streaming_put_send(&p, &w), process_put_send(&p, &w)];
+            let r = [
+                pack_and_send(&p, &w),
+                streaming_put_send(&p, &w),
+                process_put_send(&p, &w),
+            ];
             (
                 b,
                 [

@@ -29,5 +29,7 @@ pub mod figures;
 /// `NCA_QUICK=1`).
 pub fn quick_from_env_args() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("NCA_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("NCA_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }

@@ -19,6 +19,7 @@ use nca_ddt::normalize::classify;
 use nca_ddt::types::Datatype;
 use nca_spin::nicmem::{AllocId, NicMemory};
 use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
 
 use crate::runner::Strategy;
 use crate::strategies::SpecializedProcessor;
@@ -37,7 +38,11 @@ pub struct TypeAttr {
 
 impl Default for TypeAttr {
     fn default() -> Self {
-        TypeAttr { offload: true, priority: 0, epsilon: 0.2 }
+        TypeAttr {
+            offload: true,
+            priority: 0,
+            epsilon: 0.2,
+        }
     }
 }
 
@@ -83,6 +88,9 @@ pub struct OffloadManager {
     pub reuse_hits: u64,
     /// Fallbacks to host unpack due to NIC memory pressure.
     pub fallbacks: u64,
+    /// Trace sink; events are stamped with the manager's logical clock
+    /// (one tick per posted receive), not simulated time.
+    tel: Telemetry,
 }
 
 impl OffloadManager {
@@ -97,7 +105,14 @@ impl OffloadManager {
             clock: 0,
             reuse_hits: 0,
             fallbacks: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a trace sink (reuse hits, evictions, fallbacks, and the
+    /// NIC-memory level, keyed by the logical post clock).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Commit a datatype: classify and choose the strategy.
@@ -122,7 +137,12 @@ impl OffloadManager {
         } else {
             Strategy::RwCp
         };
-        CommittedDdt { id, dt: dt.clone(), strategy, attr }
+        CommittedDdt {
+            id,
+            dt: dt.clone(),
+            strategy,
+            attr,
+        }
     }
 
     /// Post a receive of `count` copies of the committed type: ensure its
@@ -131,20 +151,40 @@ impl OffloadManager {
         self.clock += 1;
         if !ddt.attr.offload {
             self.fallbacks += 1;
+            self.tel.counter("core", "fallbacks", 0, self.clock, 1);
             return PostOutcome::FallbackHost;
         }
         if let Some(r) = self.resident.get_mut(&ddt.id) {
             r.last_used = self.clock;
             self.reuse_hits += 1;
+            self.tel.counter("core", "reuse_hits", 0, self.clock, 1);
             return PostOutcome::Offloaded(ddt.strategy);
         }
-        let proc_ = ddt.strategy.build(&ddt.dt, count, self.params.clone(), ddt.attr.epsilon);
+        let proc_ = ddt.strategy.build(
+            &ddt.dt,
+            count,
+            self.params.clone(),
+            ddt.attr.epsilon,
+            Telemetry::disabled(),
+        );
         let bytes = proc_.nic_mem_bytes();
         loop {
             if let Some(alloc) = self.nicmem.alloc(bytes) {
                 self.resident.insert(
                     ddt.id,
-                    Resident { alloc, bytes, priority: ddt.attr.priority, last_used: self.clock },
+                    Resident {
+                        alloc,
+                        bytes,
+                        priority: ddt.attr.priority,
+                        last_used: self.clock,
+                    },
+                );
+                self.tel.gauge(
+                    "core",
+                    "nic_mem_used",
+                    0,
+                    self.clock,
+                    self.nic_mem_used() as f64,
                 );
                 return PostOutcome::Offloaded(ddt.strategy);
             }
@@ -161,9 +201,12 @@ impl OffloadManager {
                 Some(vid) => {
                     let r = self.resident.remove(&vid).expect("victim resident");
                     self.nicmem.free(r.alloc);
+                    self.tel.counter("core", "evictions", 0, self.clock, 1);
+                    self.tel.instant("core", "eviction", 0, self.clock);
                 }
                 None => {
                     self.fallbacks += 1;
+                    self.tel.counter("core", "fallbacks", 0, self.clock, 1);
                     return PostOutcome::FallbackHost;
                 }
             }
@@ -213,8 +256,8 @@ mod tests {
     #[test]
     fn huge_index_list_commits_to_general() {
         let mut m = mgr(64 << 10); // 64 KiB NIC memory
-        // Irregular displacements (no constant stride, so no vector
-        // normalization): the offset list is the NIC state.
+                                   // Irregular displacements (no constant stride, so no vector
+                                   // normalization): the offset list is the NIC state.
         let displs: Vec<i64> = (0..10_000).map(|i| i * 5 + (i * i) % 3).collect();
         let dt = Datatype::indexed_block(1, &displs, &elem::double()).unwrap();
         let c = m.commit(&dt, TypeAttr::default());
@@ -227,17 +270,22 @@ mod tests {
         let mut m = mgr(1 << 20);
         let dt = Datatype::vector(100, 4, 8, &elem::double());
         let c = m.commit(&dt, TypeAttr::default());
-        assert_eq!(m.post_receive(&c, 1), PostOutcome::Offloaded(Strategy::Specialized));
-        assert_eq!(m.post_receive(&c, 1), PostOutcome::Offloaded(Strategy::Specialized));
+        assert_eq!(
+            m.post_receive(&c, 1),
+            PostOutcome::Offloaded(Strategy::Specialized)
+        );
+        assert_eq!(
+            m.post_receive(&c, 1),
+            PostOutcome::Offloaded(Strategy::Specialized)
+        );
         assert_eq!(m.reuse_hits, 1);
     }
 
     #[test]
     fn lru_eviction_under_pressure() {
         let mut m = mgr(200); // tiny: fits only one list-based state
-        let irregular = |salt: i64| -> Vec<i64> {
-            (0..12).map(|i| i * 7 + (i * i + salt) % 3).collect()
-        };
+        let irregular =
+            |salt: i64| -> Vec<i64> { (0..12).map(|i| i * 7 + (i * i + salt) % 3).collect() };
         // Construct handles directly: this test isolates post_receive's
         // admission/eviction from commit's strategy choice.
         let mk = |m: &mut OffloadManager, salt: i64| {
@@ -259,15 +307,29 @@ mod tests {
     fn priority_protects_from_eviction() {
         let mut m = mgr(200);
         let hot = {
-            let dt = Datatype::indexed_block(1, &[0, 9, 19, 28, 36, 44, 53, 61, 70, 78, 87, 95], &elem::double())
-                .unwrap();
-            let mut c = m.commit(&dt, TypeAttr { priority: 9, ..Default::default() });
+            let dt = Datatype::indexed_block(
+                1,
+                &[0, 9, 19, 28, 36, 44, 53, 61, 70, 78, 87, 95],
+                &elem::double(),
+            )
+            .unwrap();
+            let mut c = m.commit(
+                &dt,
+                TypeAttr {
+                    priority: 9,
+                    ..Default::default()
+                },
+            );
             c.strategy = Strategy::Specialized;
             c
         };
         let cold = {
-            let dt = Datatype::indexed_block(1, &[1, 10, 20, 29, 37, 45, 54, 62, 71, 79, 88, 96], &elem::double())
-                .unwrap();
+            let dt = Datatype::indexed_block(
+                1,
+                &[1, 10, 20, 29, 37, 45, 54, 62, 71, 79, 88, 96],
+                &elem::double(),
+            )
+            .unwrap();
             let mut c = m.commit(&dt, TypeAttr::default());
             c.strategy = Strategy::Specialized;
             c
@@ -284,7 +346,13 @@ mod tests {
     fn offload_disabled_falls_back() {
         let mut m = mgr(1 << 20);
         let dt = Datatype::vector(10, 1, 2, &elem::int());
-        let c = m.commit(&dt, TypeAttr { offload: false, ..Default::default() });
+        let c = m.commit(
+            &dt,
+            TypeAttr {
+                offload: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.post_receive(&c, 1), PostOutcome::FallbackHost);
         assert_eq!(m.fallbacks, 1);
     }

@@ -58,7 +58,12 @@ fn staging_time(p: &NicParams, msg_bytes: u64) -> Time {
 }
 
 /// Host-based unpack baseline (paper Fig. 4 left, receiver side).
-pub fn host_unpack(dt: &Datatype, count: u32, p: &NicParams, host: &HostCostModel) -> BaselineReport {
+pub fn host_unpack(
+    dt: &Datatype,
+    count: u32,
+    p: &NicParams,
+    host: &HostCostModel,
+) -> BaselineReport {
     let dl = compile(dt, count);
     let staged = staging_time(p, dl.size);
     let unpack = host.unpack_time(dl.size, dl.blocks);
@@ -102,7 +107,6 @@ pub fn iovec_offload(dt: &Datatype, count: u32, p: &NicParams) -> BaselineReport
     }
 }
 
-
 /// Pipelined host unpack: instead of waiting for the full message, the
 /// CPU unpacks each packet's worth of stream as it lands in the staging
 /// buffer, overlapping reception with unpacking (the optimization the
@@ -119,7 +123,8 @@ pub fn host_pipelined_unpack(
     let npkt = msg.div_ceil(p.payload_size).max(1);
     let blocks_per_pkt = (dl.blocks as f64 / npkt as f64).ceil() as u64;
     // Per-packet unpack cost (cold stream, no amortized base).
-    let per_pkt = host.unpack_time(p.payload_size.min(msg), blocks_per_pkt)
+    let per_pkt = host
+        .unpack_time(p.payload_size.min(msg), blocks_per_pkt)
         .saturating_sub(host.base)
         + host.base / npkt.max(1);
     // Packet i is staged at t_arr(i); the CPU chains unpacks.

@@ -50,13 +50,13 @@ pub struct HandlerCycles {
 impl Default for HandlerCycles {
     fn default() -> Self {
         HandlerCycles {
-            init: 120,           // 150 ns @800 MHz
-            init_ckpt_copy: 1224, // 612 B × 2 cy/B ≈ 1.53 µs
-            setup: 80,           // 100 ns
-            block_general: 36,   // 45 ns
+            init: 120,             // 150 ns @800 MHz
+            init_ckpt_copy: 1224,  // 612 B × 2 cy/B ≈ 1.53 µs
+            setup: 80,             // 100 ns
+            block_general: 36,     // 45 ns
             block_specialized: 12, // 15 ns
-            block_catchup: 32,   // 40 ns
-            search_probe: 16,    // 20 ns
+            block_catchup: 32,     // 40 ns
+            search_probe: 16,      // 20 ns
         }
     }
 }
@@ -117,9 +117,7 @@ impl HostCostModel {
     /// message has just been copied from the NIC to main memory", no
     /// direct cache placement). Used by the host-unpack baseline.
     pub fn unpack_time(&self, bytes: u64, blocks: u64) -> Time {
-        self.base
-            + blocks * self.per_block
-            + (bytes as f64 * self.per_byte_cold_ps).round() as Time
+        self.base + blocks * self.per_block + (bytes as f64 * self.per_byte_cold_ps).round() as Time
     }
 
     /// Unpack time when the unpack is part of a phase with a larger
@@ -194,11 +192,17 @@ mod tests {
     fn fig12_rwcp_about_2x_specialized() {
         let p = params16();
         let cyc = HandlerCycles::default();
-        let stats = SegStats { blocks_emitted: 16, ..Default::default() };
+        let stats = SegStats {
+            blocks_emitted: 16,
+            ..Default::default()
+        };
         let g = general_handler_cost(&p, &cyc, &stats, false);
         let s = specialized_handler_cost(&p, &cyc, 16, 0);
         let ratio = g.total() as f64 / s.total() as f64;
-        assert!((1.5..=3.0).contains(&ratio), "RW-CP/specialized ratio {ratio}");
+        assert!(
+            (1.5..=3.0).contains(&ratio),
+            "RW-CP/specialized ratio {ratio}"
+        );
     }
 
     #[test]
@@ -214,14 +218,21 @@ mod tests {
         let c = general_handler_cost(&p, &cyc, &stats, false);
         let total_us = c.total() as f64 / 1e6;
         assert!((8.0..=18.0).contains(&total_us), "got {total_us} µs");
-        assert!(c.setup as f64 / c.total() as f64 > 0.8, "setup must dominate");
+        assert!(
+            c.setup as f64 / c.total() as f64 > 0.8,
+            "setup must dominate"
+        );
     }
 
     #[test]
     fn fig12_rocp_init_is_checkpoint_copy() {
         let p = params16();
         let cyc = HandlerCycles::default();
-        let stats = SegStats { blocks_emitted: 16, catchup_blocks: 64, ..Default::default() };
+        let stats = SegStats {
+            blocks_emitted: 16,
+            catchup_blocks: 64,
+            ..Default::default()
+        };
         let c = general_handler_cost(&p, &cyc, &stats, true);
         assert!(c.init > nca_sim::us(1), "checkpoint copy ≈ 1.5 µs");
     }
@@ -238,6 +249,9 @@ mod tests {
         );
         // 4 MiB with 2 KiB blocks ≈ 1.7 ms → ~20 Gbit/s (Fig. 8 host line).
         let gbit = nca_sim::units::throughput_gbit(msg, coarse);
-        assert!((12.0..=35.0).contains(&gbit), "host coarse throughput {gbit}");
+        assert!(
+            (12.0..=35.0).contains(&gbit),
+            "host coarse throughput {gbit}"
+        );
     }
 }

@@ -33,13 +33,13 @@ impl BlockSink for DmaSink<'_> {
 /// Process stream range `[first, first+payload.len())` on `seg` with
 /// catch-up/reset semantics, returning the DMA writes and the statistics
 /// delta of this call.
-pub fn scatter_packet(
-    seg: &mut Segment,
-    first: u64,
-    payload: &[u8],
-) -> (Vec<DmaWrite>, SegStats) {
+pub fn scatter_packet(seg: &mut Segment, first: u64, payload: &[u8]) -> (Vec<DmaWrite>, SegStats) {
     let before = seg.stats;
-    let mut sink = DmaSink { payload, stream_base: first, writes: Vec::new() };
+    let mut sink = DmaSink {
+        payload,
+        stream_base: first,
+        writes: Vec::new(),
+    };
     seg.process_range(first, first + payload.len() as u64, &mut sink)
         .expect("packet range within message");
     let after = seg.stats;

@@ -61,7 +61,9 @@ pub fn select_checkpoint_interval(
 
     // Constraint (2): checkpoints must fit NIC memory:
     // npkt/Δp · C ≤ M_NIC  ⇒  Δp ≥ npkt·C / M_NIC.
-    let min_dp_mem = (npkt * CHECKPOINT_NIC_BYTES).div_ceil(p.nic_mem_capacity).max(1);
+    let min_dp_mem = (npkt * CHECKPOINT_NIC_BYTES)
+        .div_ceil(p.nic_mem_capacity)
+        .max(1);
     if min_dp_mem > delta_p {
         delta_p = min_dp_mem.min(npkt);
         eps_violated = true;

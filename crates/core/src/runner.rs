@@ -8,6 +8,7 @@ use nca_ddt::types::Datatype;
 use nca_spin::handler::MessageProcessor;
 use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
 use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
 
 use crate::baselines::{host_unpack, iovec_offload, BaselineReport};
 use crate::costmodel::HostCostModel;
@@ -28,8 +29,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All offloaded strategies (Fig. 8 order).
-    pub const ALL: [Strategy; 4] =
-        [Strategy::Specialized, Strategy::RwCp, Strategy::RoCp, Strategy::HpuLocal];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Specialized,
+        Strategy::RwCp,
+        Strategy::RoCp,
+        Strategy::HpuLocal,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -41,25 +46,32 @@ impl Strategy {
         }
     }
 
-    /// Instantiate a processor for `count` copies of `dt`.
+    /// Instantiate a processor for `count` copies of `dt`. Pass
+    /// `Telemetry::disabled()` when no trace is wanted.
     pub fn build(
         &self,
         dt: &Datatype,
         count: u32,
         params: NicParams,
         epsilon: f64,
+        telemetry: Telemetry,
     ) -> Box<dyn MessageProcessor> {
         match self {
-            Strategy::Specialized => Box::new(SpecializedProcessor::new(dt, count, params)),
-            Strategy::HpuLocal => {
-                Box::new(GeneralProcessor::new(GeneralKind::HpuLocal, dt, count, params, epsilon))
+            Strategy::Specialized => {
+                Box::new(SpecializedProcessor::new(dt, count, params).with_telemetry(telemetry))
             }
-            Strategy::RoCp => {
-                Box::new(GeneralProcessor::new(GeneralKind::RoCp, dt, count, params, epsilon))
-            }
-            Strategy::RwCp => {
-                Box::new(GeneralProcessor::new(GeneralKind::RwCp, dt, count, params, epsilon))
-            }
+            Strategy::HpuLocal => Box::new(
+                GeneralProcessor::new(GeneralKind::HpuLocal, dt, count, params, epsilon)
+                    .with_telemetry(telemetry),
+            ),
+            Strategy::RoCp => Box::new(
+                GeneralProcessor::new(GeneralKind::RoCp, dt, count, params, epsilon)
+                    .with_telemetry(telemetry),
+            ),
+            Strategy::RwCp => Box::new(
+                GeneralProcessor::new(GeneralKind::RwCp, dt, count, params, epsilon)
+                    .with_telemetry(telemetry),
+            ),
         }
     }
 }
@@ -81,6 +93,9 @@ pub struct Experiment {
     pub record_dma_history: bool,
     /// Verify the receive buffer against a reference unpack.
     pub verify: bool,
+    /// Trace sink threaded into the strategy and the NIC pipeline
+    /// (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl Experiment {
@@ -94,13 +109,16 @@ impl Experiment {
             epsilon: 0.2,
             record_dma_history: false,
             verify: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Packed message bytes for this experiment (deterministic pattern).
     pub fn packed_message(&self) -> Vec<u8> {
         let (origin, span) = buffer_span(&self.dt, self.count);
-        let src: Vec<u8> = (0..span as usize).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        let src: Vec<u8> = (0..span as usize)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
         pack(&self.dt, self.count, &src, origin).expect("packable")
     }
 
@@ -116,19 +134,27 @@ impl Experiment {
     pub fn run(&self, strategy: Strategy) -> RunReport {
         let (origin, span) = buffer_span(&self.dt, self.count);
         let packed = self.packed_message();
-        let proc_ = strategy.build(&self.dt, self.count, self.params.clone(), self.epsilon);
+        let proc_ = strategy.build(
+            &self.dt,
+            self.count,
+            self.params.clone(),
+            self.epsilon,
+            self.telemetry.clone(),
+        );
         let cfg = RunConfig {
             params: self.params.clone(),
             out_of_order: self.out_of_order,
             record_dma_history: self.record_dma_history,
             portals: None,
+            telemetry: self.telemetry.clone(),
         };
         let report = ReceiveSim::run(proc_, packed.clone(), origin, span, &cfg);
         if self.verify {
             let mut expect = vec![0u8; span as usize];
             unpack(&self.dt, self.count, &packed, &mut expect, origin).expect("unpackable");
             assert_eq!(
-                report.host_buf, expect,
+                report.host_buf,
+                expect,
                 "strategy {} corrupted the receive buffer",
                 strategy.label()
             );
@@ -138,7 +164,12 @@ impl Experiment {
 
     /// Host-based unpack baseline for this experiment.
     pub fn run_host(&self) -> BaselineReport {
-        host_unpack(&self.dt, self.count, &self.params, &HostCostModel::default())
+        host_unpack(
+            &self.dt,
+            self.count,
+            &self.params,
+            &HostCostModel::default(),
+        )
     }
 
     /// Portals 4 iovec baseline for this experiment.

@@ -21,10 +21,9 @@ use nca_ddt::normalize::{classify, Shape};
 use nca_ddt::segment::Segment;
 use nca_ddt::types::Datatype;
 use nca_sim::Time;
-use nca_spin::handler::{
-    HandlerOutput, MessageProcessor, PacketCtx, SchedPolicy,
-};
+use nca_spin::handler::{HandlerOutput, MessageProcessor, PacketCtx, SchedPolicy};
 use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
 
 use crate::costmodel::{
     general_handler_cost, specialized_handler_cost, HandlerCycles, HostCostModel,
@@ -70,6 +69,7 @@ pub struct GeneralProcessor {
     /// Times an RW-CP checkpoint had to be reverted from its master copy
     /// (out-of-order arrivals).
     pub reverts: u64,
+    tel: Telemetry,
 }
 
 impl GeneralProcessor {
@@ -106,12 +106,44 @@ impl GeneralProcessor {
             segs: HashMap::new(),
             npkt,
             reverts: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a trace sink. Records the checkpoint-table construction
+    /// (a host-side "time 0" activity) immediately, then handler-phase
+    /// timings, catch-up blocks and RW-CP reverts as packets arrive.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        if let Some(table) = &self.table {
+            tel.counter("core", "checkpoints_created", 0, 0, table.len() as u64);
+            for i in 0..table.len() as u64 {
+                tel.instant("core", "checkpoint_create", i, 0);
+            }
+        }
+        self.tel = tel;
+        self
     }
 
     /// The Δr plan (RO-CP/RW-CP only).
     pub fn plan(&self) -> Option<&CheckpointPlan> {
         self.plan.as_ref()
+    }
+
+    fn record_phases(&self, ctx: &PacketCtx<'_>, out: &HandlerOutput) {
+        if self.tel.is_enabled() {
+            let c = &out.cost;
+            self.tel
+                .value("core", "t_init", ctx.vhpu, ctx.now, c.init as f64);
+            self.tel
+                .value("core", "t_setup", ctx.vhpu, ctx.now, c.setup as f64);
+            self.tel.value(
+                "core",
+                "t_processing",
+                ctx.vhpu,
+                ctx.now,
+                c.processing as f64,
+            );
+        }
     }
 }
 
@@ -162,11 +194,21 @@ impl MessageProcessor for GeneralProcessor {
 
     fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
         let first = ctx.stream_offset;
-        match self.kind {
+        let out = match self.kind {
             GeneralKind::HpuLocal => {
                 let dl = Arc::clone(&self.dl);
-                let seg = self.segs.entry(ctx.vhpu).or_insert_with(|| Segment::new(dl));
+                let seg = self
+                    .segs
+                    .entry(ctx.vhpu)
+                    .or_insert_with(|| Segment::new(dl));
                 let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                self.tel.counter(
+                    "core",
+                    "catchup_blocks",
+                    ctx.vhpu,
+                    ctx.now,
+                    stats.catchup_blocks,
+                );
                 HandlerOutput {
                     cost: general_handler_cost(&self.params, &self.cyc, &stats, false),
                     dma,
@@ -177,6 +219,13 @@ impl MessageProcessor for GeneralProcessor {
                 let table = self.table.as_ref().expect("RO-CP table");
                 let mut seg = table.closest(first).materialize();
                 let (dma, stats) = scatter_packet(&mut seg, first, ctx.payload);
+                self.tel.counter(
+                    "core",
+                    "catchup_blocks",
+                    ctx.vhpu,
+                    ctx.now,
+                    stats.catchup_blocks,
+                );
                 HandlerOutput {
                     cost: general_handler_cost(&self.params, &self.cyc, &stats, true),
                     dma,
@@ -202,16 +251,29 @@ impl MessageProcessor for GeneralProcessor {
                         v.insert(table.closest(first).materialize())
                     }
                 };
+                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
                 if reverted {
                     self.reverts += 1;
+                    self.tel
+                        .counter("core", "checkpoint_reverts", ctx.vhpu, ctx.now, 1);
+                    self.tel
+                        .instant("core", "checkpoint_revert", ctx.vhpu, ctx.now);
                 }
-                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                self.tel.counter(
+                    "core",
+                    "catchup_blocks",
+                    ctx.vhpu,
+                    ctx.now,
+                    stats.catchup_blocks,
+                );
                 HandlerOutput {
                     cost: general_handler_cost(&self.params, &self.cyc, &stats, reverted),
                     dma,
                 }
             }
-        }
+        };
+        self.record_phases(ctx, &out);
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -231,6 +293,7 @@ pub struct SpecializedProcessor {
     seg: Segment,
     shape: Shape,
     nic_mem: u64,
+    tel: Telemetry,
 }
 
 impl SpecializedProcessor {
@@ -249,7 +312,14 @@ impl SpecializedProcessor {
             seg,
             shape,
             nic_mem,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a trace sink (handler-phase timings per packet).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// NIC state the specialized handler needs: O(1) for (nested)
@@ -298,7 +368,7 @@ impl MessageProcessor for SpecializedProcessor {
 
     fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
         let (dma, stats) = scatter_packet_seek(&mut self.seg, ctx.stream_offset, ctx.payload);
-        HandlerOutput {
+        let out = HandlerOutput {
             cost: specialized_handler_cost(
                 &self.params,
                 &self.cyc,
@@ -306,7 +376,22 @@ impl MessageProcessor for SpecializedProcessor {
                 self.search_depth(),
             ),
             dma,
+        };
+        if self.tel.is_enabled() {
+            let c = &out.cost;
+            self.tel
+                .value("core", "t_init", ctx.vhpu, ctx.now, c.init as f64);
+            self.tel
+                .value("core", "t_setup", ctx.vhpu, ctx.now, c.setup as f64);
+            self.tel.value(
+                "core",
+                "t_processing",
+                ctx.vhpu,
+                ctx.now,
+                c.processing as f64,
+            );
         }
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -333,17 +418,26 @@ mod tests {
         (packed, expect, origin, span)
     }
 
-    fn run_end_to_end(proc_: Box<dyn MessageProcessor>, dt: &Datatype, count: u32, ooo: Option<u64>) {
+    fn run_end_to_end(
+        proc_: Box<dyn MessageProcessor>,
+        dt: &Datatype,
+        count: u32,
+        ooo: Option<u64>,
+    ) {
         let (packed, expect, origin, span) = packed_for(dt, count);
         let cfg = RunConfig {
             params: NicParams::with_hpus(16),
             out_of_order: ooo,
             record_dma_history: false,
             portals: None,
+            telemetry: Telemetry::disabled(),
         };
         let name = proc_.name();
         let report = ReceiveSim::run(proc_, packed, origin, span, &cfg);
-        assert_eq!(report.host_buf, expect, "strategy {name} corrupted the receive buffer");
+        assert_eq!(
+            report.host_buf, expect,
+            "strategy {name} corrupted the receive buffer"
+        );
         assert!(report.t_complete > report.t_first_byte);
     }
 
@@ -351,7 +445,12 @@ mod tests {
     fn all_strategies_unpack_correctly_in_order() {
         let dt = vec_dt(512, 16, 32); // 64 KiB of 128 B blocks
         let p = NicParams::with_hpus(16);
-        run_end_to_end(Box::new(SpecializedProcessor::new(&dt, 1, p.clone())), &dt, 1, None);
+        run_end_to_end(
+            Box::new(SpecializedProcessor::new(&dt, 1, p.clone())),
+            &dt,
+            1,
+            None,
+        );
         for kind in [GeneralKind::HpuLocal, GeneralKind::RoCp, GeneralKind::RwCp] {
             run_end_to_end(
                 Box::new(GeneralProcessor::new(kind, &dt, 1, p.clone(), 0.2)),
@@ -367,7 +466,12 @@ mod tests {
         let dt = vec_dt(2048, 8, 16); // 128 KiB
         let p = NicParams::with_hpus(8);
         for seed in [3u64, 11] {
-            run_end_to_end(Box::new(SpecializedProcessor::new(&dt, 1, p.clone())), &dt, 1, Some(seed));
+            run_end_to_end(
+                Box::new(SpecializedProcessor::new(&dt, 1, p.clone())),
+                &dt,
+                1,
+                Some(seed),
+            );
             for kind in [GeneralKind::HpuLocal, GeneralKind::RoCp, GeneralKind::RwCp] {
                 run_end_to_end(
                     Box::new(GeneralProcessor::new(kind, &dt, 1, p.clone(), 0.2)),
@@ -408,7 +512,13 @@ mod tests {
             &cfg,
         );
         let hpul = ReceiveSim::run(
-            Box::new(GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, p.clone(), 0.2)),
+            Box::new(GeneralProcessor::new(
+                GeneralKind::HpuLocal,
+                &dt,
+                1,
+                p.clone(),
+                0.2,
+            )),
             packed.clone(),
             origin,
             span,
@@ -443,8 +553,10 @@ mod tests {
     #[test]
     fn hpu_local_memory_scales_with_hpus() {
         let dt = vec_dt(4096, 16, 32);
-        let small = GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(4), 0.2);
-        let large = GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(32), 0.2);
+        let small =
+            GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(4), 0.2);
+        let large =
+            GeneralProcessor::new(GeneralKind::HpuLocal, &dt, 1, NicParams::with_hpus(32), 0.2);
         assert!(large.nic_mem_bytes() > small.nic_mem_bytes());
     }
 

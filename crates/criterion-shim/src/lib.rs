@@ -1,0 +1,398 @@
+//! # nca-criterion — offline stand-in for the `criterion` crate
+//!
+//! The workspace builds in containers with no access to crates.io, so
+//! the external `criterion` dev-dependency is replaced by this shim
+//! (wired up via dependency renaming in the workspace `Cargo.toml`).
+//!
+//! It keeps the criterion 0.5 API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — but the statistics are deliberately simple: per sample it
+//! times a fixed iteration batch and reports min / mean / max
+//! nanoseconds per iteration (plus derived throughput). There are no
+//! saved baselines, HTML reports, or outlier analysis.
+//!
+//! Default budget per benchmark is small (10 samples, ~1 s measurement,
+//! 500 ms warm-up) so `cargo bench` over the whole workspace stays
+//! fast; groups can override via the usual `sample_size` /
+//! `measurement_time` / `warm_up_time` setters.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// call individually, so the variants only influence batching hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming a function/parameter pair.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher<'a> {
+    cfg: &'a MeasureConfig,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in batches until the measurement budget
+    /// is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single iteration's cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / est_per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples.push(dt / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            std_black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((per_sample / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples.push(dt / iters as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, cfg: &MeasureConfig, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples collected)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut line = format!(
+        "{:<40} time: [{} {} {}]",
+        name,
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    if let Some(tp) = cfg.throughput {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        let per_sec = amount / (mean / 1e9);
+        let thr = if unit == "B" && per_sec >= 1e9 {
+            format!("{:.3} GiB/s", per_sec / (1u64 << 30) as f64)
+        } else if unit == "B" && per_sec >= 1e6 {
+            format!("{:.3} MiB/s", per_sec / (1u64 << 20) as f64)
+        } else {
+            format!("{per_sec:.0} {unit}/s")
+        };
+        line.push_str(&format!(" thrpt: {thr}"));
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry/driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = MeasureConfig::default();
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &cfg, &b.samples);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            cfg: MeasureConfig::default(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement config.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: MeasureConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Report throughput derived from time-per-iteration.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &self.cfg, &b.samples);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &self.cfg, &b.samples);
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> MeasureConfig {
+        MeasureConfig {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            throughput: None,
+        }
+    }
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let cfg = fast_cfg();
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let cfg = fast_cfg();
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+            .throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

@@ -37,7 +37,10 @@ impl Checkpoint {
         // Checkpoints carry no history: statistics restart from zero so a
         // handler's cost attribution is its own.
         frozen.stats = Default::default();
-        Checkpoint { offset: seg.position(), segment: frozen }
+        Checkpoint {
+            offset: seg.position(),
+            segment: frozen,
+        }
     }
 
     /// Materialize a working segment from this checkpoint (the "local
@@ -77,7 +80,11 @@ impl CheckpointTable {
             cps.push(Checkpoint::capture(&seg));
             at += interval;
         }
-        Ok(CheckpointTable { interval, cps, total })
+        Ok(CheckpointTable {
+            interval,
+            cps,
+            total,
+        })
     }
 
     /// Number of checkpoints.

@@ -42,7 +42,10 @@ pub fn darray(
         return Err(DdtError::EmptyConstructor("darray"));
     }
     if distribs.len() != n || psizes.len() != n || coords.len() != n {
-        return Err(DdtError::LengthMismatch { expected: n, got: distribs.len().min(psizes.len()).min(coords.len()) });
+        return Err(DdtError::LengthMismatch {
+            expected: n,
+            got: distribs.len().min(psizes.len()).min(coords.len()),
+        });
     }
     for d in 0..n {
         if psizes[d] == 0 || coords[d] >= psizes[d] {
@@ -55,7 +58,12 @@ pub fn darray(
     // Normalize to C order.
     let (gsizes, distribs, psizes, coords): (Vec<u64>, Vec<Distribution>, Vec<u64>, Vec<u64>) =
         match order {
-            ArrayOrder::C => (gsizes.to_vec(), distribs.to_vec(), psizes.to_vec(), coords.to_vec()),
+            ArrayOrder::C => (
+                gsizes.to_vec(),
+                distribs.to_vec(),
+                psizes.to_vec(),
+                coords.to_vec(),
+            ),
             ArrayOrder::Fortran => (
                 gsizes.iter().rev().copied().collect(),
                 distribs.iter().rev().copied().collect(),
@@ -105,7 +113,11 @@ pub fn darray(
             }
         }
     }
-    let placed = if offset == 0 { t } else { Datatype::hindexed_block(1, &[offset], &t)? };
+    let placed = if offset == 0 {
+        t
+    } else {
+        Datatype::hindexed_block(1, &[offset], &t)?
+    };
     Ok(Datatype::resized(0, total_extent, &placed))
 }
 
@@ -118,12 +130,7 @@ mod tests {
 
     /// The defining property: the ranks' typemaps tile the global array
     /// exactly once.
-    fn assert_tiles(
-        gsizes: &[u64],
-        distribs: &[Distribution],
-        psizes: &[u64],
-        order: ArrayOrder,
-    ) {
+    fn assert_tiles(gsizes: &[u64], distribs: &[Distribution], psizes: &[u64], order: ArrayOrder) {
         let base = elem::int();
         let total: u64 = gsizes.iter().product::<u64>() * 4;
         let nprocs: u64 = psizes.iter().product();
@@ -162,7 +169,12 @@ mod tests {
 
     #[test]
     fn cyclic_rows_tile() {
-        assert_tiles(&[9, 4], &[Distribution::Cyclic, Distribution::None], &[3, 1], ArrayOrder::C);
+        assert_tiles(
+            &[9, 4],
+            &[Distribution::Cyclic, Distribution::None],
+            &[3, 1],
+            ArrayOrder::C,
+        );
     }
 
     #[test]
@@ -191,9 +203,16 @@ mod tests {
         let base = elem::double();
         let sizes: Vec<u64> = (0..4)
             .map(|r| {
-                darray(&[10], &[Distribution::Block], &[4], &[r], ArrayOrder::C, &base)
-                    .expect("valid")
-                    .size
+                darray(
+                    &[10],
+                    &[Distribution::Block],
+                    &[4],
+                    &[r],
+                    ArrayOrder::C,
+                    &base,
+                )
+                .expect("valid")
+                .size
                     / 8
             })
             .collect();
@@ -213,15 +232,31 @@ mod tests {
             &base,
         )
         .expect("valid");
-        let sub = Datatype::subarray(&[12, 10], &[4, 10], &[4, 0], ArrayOrder::C, &base)
-            .expect("valid");
+        let sub =
+            Datatype::subarray(&[12, 10], &[4, 10], &[4, 0], ArrayOrder::C, &base).expect("valid");
         assert_eq!(typemap::blocks(&dar, 1), typemap::blocks(&sub, 1));
     }
 
     #[test]
     fn rejects_bad_grid() {
         let base = elem::int();
-        assert!(darray(&[8], &[Distribution::Block], &[4], &[4], ArrayOrder::C, &base).is_err());
-        assert!(darray(&[8], &[Distribution::None], &[2], &[0], ArrayOrder::C, &base).is_err());
+        assert!(darray(
+            &[8],
+            &[Distribution::Block],
+            &[4],
+            &[4],
+            ArrayOrder::C,
+            &base
+        )
+        .is_err());
+        assert!(darray(
+            &[8],
+            &[Distribution::None],
+            &[2],
+            &[0],
+            ArrayOrder::C,
+            &base
+        )
+        .is_err());
     }
 }

@@ -161,7 +161,12 @@ impl Dataloop {
         let size = count * child.size;
         let blocks = count * child.blocks;
         let depth = child.depth + 1;
-        Arc::new(Dataloop { body: Body::Count { count, step, child }, size, blocks, depth })
+        Arc::new(Dataloop {
+            body: Body::Count { count, step, child },
+            size,
+            blocks,
+            depth,
+        })
     }
 }
 
@@ -201,19 +206,29 @@ fn compile_node(dt: &Datatype) -> Arc<Dataloop> {
             let c = dt.child.as_ref().expect("contiguous child");
             Dataloop::count(*count as u64, c.extent(), child_loop(c))
         }
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => {
             let c = dt.child.as_ref().expect("vector child");
             let block = compile_block(c, *blocklen);
             Dataloop::count(*count as u64, *stride_bytes, block)
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => {
             let c = dt.child.as_ref().expect("indexed_block child");
             let block = compile_block(c, *blocklen);
             let size = displs_bytes.len() as u64 * block.size;
             let blocks = displs_bytes.len() as u64 * block.blocks;
             let depth = block.depth + 1;
             Arc::new(Dataloop {
-                body: Body::BlockIndexed { offsets: displs_bytes.clone(), child: block },
+                body: Body::BlockIndexed {
+                    offsets: displs_bytes.clone(),
+                    child: block,
+                },
                 size,
                 blocks,
                 depth,
@@ -224,7 +239,10 @@ fn compile_node(dt: &Datatype) -> Arc<Dataloop> {
             let entries: Vec<MultiEntry> = blocks
                 .iter()
                 .filter(|&&(len, _)| len > 0)
-                .map(|&(len, off)| MultiEntry { offset: off, child: compile_block(c, len) })
+                .map(|&(len, off)| MultiEntry {
+                    offset: off,
+                    child: compile_block(c, len),
+                })
                 .collect();
             multi(entries)
         }
@@ -232,7 +250,10 @@ fn compile_node(dt: &Datatype) -> Arc<Dataloop> {
             let entries: Vec<MultiEntry> = fields
                 .iter()
                 .filter(|f| f.count > 0 && f.ty.size > 0)
-                .map(|f| MultiEntry { offset: f.displ, child: compile_block(&f.ty, f.count) })
+                .map(|f| MultiEntry {
+                    offset: f.displ,
+                    child: compile_block(&f.ty, f.count),
+                })
                 .collect();
             multi(entries)
         }
@@ -247,9 +268,7 @@ fn compile_block(c: &Datatype, blocklen: u32) -> Arc<Dataloop> {
     }
     match c.contig_run {
         Some(run) if blocklen == 1 => Dataloop::leaf(run, c.true_lb),
-        Some(run) if run as i64 == c.extent() => {
-            Dataloop::leaf(run * blocklen as u64, c.true_lb)
-        }
+        Some(run) if run as i64 == c.extent() => Dataloop::leaf(run * blocklen as u64, c.true_lb),
         _ if blocklen == 1 => compile_node(c),
         _ => Dataloop::count(blocklen as u64, c.extent(), compile_node(c)),
     }
@@ -268,7 +287,10 @@ fn multi(entries: Vec<MultiEntry>) -> Arc<Dataloop> {
     }
     prefix.push(acc);
     Arc::new(Dataloop {
-        body: Body::Multi { entries: entries.into(), prefix: prefix.into() },
+        body: Body::Multi {
+            entries: entries.into(),
+            prefix: prefix.into(),
+        },
         size: acc,
         blocks,
         depth: depth + 1,
@@ -284,7 +306,13 @@ mod tests {
     fn contiguous_compiles_to_leaf() {
         let t = Datatype::contiguous(16, &elem::int());
         let dl = compile(&t, 1);
-        assert!(matches!(dl.body, Body::Leaf { bytes: 64, offset: 0 }));
+        assert!(matches!(
+            dl.body,
+            Body::Leaf {
+                bytes: 64,
+                offset: 0
+            }
+        ));
         assert_eq!(dl.blocks, 1);
     }
 
@@ -294,7 +322,11 @@ mod tests {
         let dl = compile(&t, 1);
         // one Count loop over 8 leaves of 16 bytes each
         match &dl.body {
-            Body::Count { count: 8, step, child } => {
+            Body::Count {
+                count: 8,
+                step,
+                child,
+            } => {
                 assert_eq!(*step, 64);
                 assert!(matches!(child.body, Body::Leaf { bytes: 16, .. }));
             }
@@ -352,8 +384,14 @@ mod tests {
 
     #[test]
     fn subarray_block_count_matches_typemap() {
-        let t = Datatype::subarray(&[6, 8, 4], &[2, 3, 4], &[1, 2, 0], ArrayOrder::C, &elem::float())
-            .unwrap();
+        let t = Datatype::subarray(
+            &[6, 8, 4],
+            &[2, 3, 4],
+            &[1, 2, 0],
+            ArrayOrder::C,
+            &elem::float(),
+        )
+        .unwrap();
         let dl = compile(&t, 1);
         // Innermost dim fully taken (4 of 4, 16 B rows) and the middle
         // dim's rows abut (stride == row length), so each outer plane

@@ -74,7 +74,11 @@ pub fn encoded_len(dl: &Dataloop) -> u64 {
             1 + 4 + 8 * offsets.len() as u64 + encoded_len(child)
         }
         Body::Multi { entries, .. } => {
-            1 + 4 + entries.iter().map(|e| 8 + encoded_len(&e.child)).sum::<u64>()
+            1 + 4
+                + entries
+                    .iter()
+                    .map(|e| 8 + encoded_len(&e.child))
+                    .sum::<u64>()
         }
     }
 }
@@ -102,15 +106,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -120,7 +130,10 @@ pub fn decode(buf: &[u8]) -> Result<Arc<Dataloop>> {
     let mut r = Reader { buf, pos: 0 };
     let dl = decode_node(&mut r)?;
     if r.pos != buf.len() {
-        return Err(DdtError::StreamOutOfBounds { pos: r.pos as u64, size: buf.len() as u64 });
+        return Err(DdtError::StreamOutOfBounds {
+            pos: r.pos as u64,
+            size: buf.len() as u64,
+        });
     }
     Ok(dl)
 }
@@ -159,7 +172,10 @@ fn decode_node(r: &mut Reader<'_>) -> Result<Arc<Dataloop>> {
                 size: n as u64 * child.size,
                 blocks: n as u64 * child.blocks,
                 depth: child.depth + 1,
-                body: Body::BlockIndexed { offsets: offsets.into(), child },
+                body: Body::BlockIndexed {
+                    offsets: offsets.into(),
+                    child,
+                },
             }))
         }
         TAG_MULTI => {
@@ -180,13 +196,19 @@ fn decode_node(r: &mut Reader<'_>) -> Result<Arc<Dataloop>> {
             }
             prefix.push(acc);
             Ok(Arc::new(Dataloop {
-                body: Body::Multi { entries: entries.into(), prefix: prefix.into() },
+                body: Body::Multi {
+                    entries: entries.into(),
+                    prefix: prefix.into(),
+                },
                 size: acc,
                 blocks,
                 depth: depth + 1,
             }))
         }
-        tag => Err(DdtError::StreamOutOfBounds { pos: tag as u64, size: 3 }),
+        tag => Err(DdtError::StreamOutOfBounds {
+            pos: tag as u64,
+            size: 3,
+        }),
     }
 }
 
@@ -223,12 +245,18 @@ mod tests {
             2,
         );
         roundtrip_walk_equal(
-            &Datatype::subarray(&[6, 7, 8], &[2, 3, 4], &[1, 2, 0], ArrayOrder::C, &elem::int())
-                .unwrap(),
+            &Datatype::subarray(
+                &[6, 7, 8],
+                &[2, 3, 4],
+                &[1, 2, 0],
+                ArrayOrder::C,
+                &elem::int(),
+            )
+            .unwrap(),
             1,
         );
-        let sa = Datatype::subarray(&[8, 8], &[3, 4], &[1, 2], ArrayOrder::C, &elem::double())
-            .unwrap();
+        let sa =
+            Datatype::subarray(&[8, 8], &[3, 4], &[1, 2], ArrayOrder::C, &elem::double()).unwrap();
         let st = Datatype::struct_(&[1, 2], &[0, 2048], &[sa, elem::int()]).unwrap();
         roundtrip_walk_equal(&st, 2);
     }
@@ -257,9 +285,15 @@ mod tests {
 
     #[test]
     fn encoding_size_scales_with_offset_lists() {
-        let small = compile(&Datatype::indexed_block(1, &[0, 3, 7], &elem::int()).unwrap(), 1);
+        let small = compile(
+            &Datatype::indexed_block(1, &[0, 3, 7], &elem::int()).unwrap(),
+            1,
+        );
         let displs: Vec<i64> = (0..500).map(|i| i * 3 + (i % 2)).collect();
-        let big = compile(&Datatype::indexed_block(1, &displs, &elem::int()).unwrap(), 1);
+        let big = compile(
+            &Datatype::indexed_block(1, &displs, &elem::int()).unwrap(),
+            1,
+        );
         assert!(encoded_len(&big) > encoded_len(&small) * 50);
     }
 }

@@ -63,18 +63,32 @@ pub fn envelope(dt: &Datatype) -> Envelope {
     match &dt.kind {
         DatatypeKind::Elementary(e) => Envelope::Named { name: e.name() },
         DatatypeKind::Contiguous { count } => Envelope::Contiguous { count: *count },
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => Envelope::Hvector {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => Envelope::Hvector {
             count: *count,
             blocklen: *blocklen,
             stride_bytes: *stride_bytes,
         },
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => Envelope::HindexedBlock {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => Envelope::HindexedBlock {
             blocklen: *blocklen,
             nblocks: displs_bytes.len(),
         },
-        DatatypeKind::Indexed { blocks } => Envelope::Hindexed { nblocks: blocks.len() },
-        DatatypeKind::Struct { fields } => Envelope::Struct { nfields: fields.len() },
-        DatatypeKind::Resized { lb, extent } => Envelope::Resized { lb: *lb, extent: *extent },
+        DatatypeKind::Indexed { blocks } => Envelope::Hindexed {
+            nblocks: blocks.len(),
+        },
+        DatatypeKind::Struct { fields } => Envelope::Struct {
+            nfields: fields.len(),
+        },
+        DatatypeKind::Resized { lb, extent } => Envelope::Resized {
+            lb: *lb,
+            extent: *extent,
+        },
     }
 }
 
@@ -99,9 +113,18 @@ fn dump_node(dt: &Datatype, depth: usize, out: &mut String) {
             return;
         }
         DatatypeKind::Contiguous { count } => {
-            let _ = writeln!(out, "contiguous(count={count}) size={} extent={}", dt.size, dt.extent());
+            let _ = writeln!(
+                out,
+                "contiguous(count={count}) size={} extent={}",
+                dt.size,
+                dt.extent()
+            );
         }
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => {
             let _ = writeln!(
                 out,
                 "hvector(count={count}, blocklen={blocklen}, stride={stride_bytes}B) size={} extent={}",
@@ -109,7 +132,10 @@ fn dump_node(dt: &Datatype, depth: usize, out: &mut String) {
                 dt.extent()
             );
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => {
             let _ = writeln!(
                 out,
                 "hindexed_block(blocklen={blocklen}, blocks={}) size={} extent={}",
@@ -119,10 +145,22 @@ fn dump_node(dt: &Datatype, depth: usize, out: &mut String) {
             );
         }
         DatatypeKind::Indexed { blocks } => {
-            let _ = writeln!(out, "hindexed(blocks={}) size={} extent={}", blocks.len(), dt.size, dt.extent());
+            let _ = writeln!(
+                out,
+                "hindexed(blocks={}) size={} extent={}",
+                blocks.len(),
+                dt.size,
+                dt.extent()
+            );
         }
         DatatypeKind::Struct { fields } => {
-            let _ = writeln!(out, "struct(fields={}) size={} extent={}", fields.len(), dt.size, dt.extent());
+            let _ = writeln!(
+                out,
+                "struct(fields={}) size={} extent={}",
+                fields.len(),
+                dt.size,
+                dt.extent()
+            );
             for f in fields.iter() {
                 indent(depth + 1, out);
                 let _ = writeln!(out, "field @{} x{}:", f.displ, f.count);
@@ -172,10 +210,20 @@ mod tests {
     #[test]
     fn envelope_reports_combiners() {
         let v = Datatype::vector(4, 2, 8, &elem::int());
-        assert!(matches!(envelope(&v), Envelope::Hvector { count: 4, blocklen: 2, .. }));
+        assert!(matches!(
+            envelope(&v),
+            Envelope::Hvector {
+                count: 4,
+                blocklen: 2,
+                ..
+            }
+        ));
         let i = Datatype::indexed(&[1, 2], &[0, 5], &elem::double()).unwrap();
         assert!(matches!(envelope(&i), Envelope::Hindexed { nblocks: 2 }));
-        assert!(matches!(envelope(&elem::float()), Envelope::Named { name: "MPI_FLOAT" }));
+        assert!(matches!(
+            envelope(&elem::float()),
+            Envelope::Named { name: "MPI_FLOAT" }
+        ));
     }
 
     #[test]
@@ -213,8 +261,8 @@ mod tests {
 
     #[test]
     fn normalization_is_typemap_equal() {
-        let sa = Datatype::subarray(&[8, 8], &[2, 4], &[1, 2], ArrayOrder::C, &elem::double())
-            .unwrap();
+        let sa =
+            Datatype::subarray(&[8, 8], &[2, 4], &[1, 2], ArrayOrder::C, &elem::double()).unwrap();
         assert!(typemap_equal(&sa, &normalize(&sa)));
     }
 }

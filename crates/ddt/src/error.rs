@@ -47,7 +47,10 @@ impl fmt::Display for DdtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DdtError::LengthMismatch { expected, got } => {
-                write!(f, "argument length mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "argument length mismatch: expected {expected}, got {got}"
+                )
             }
             DdtError::EmptyConstructor(which) => {
                 write!(f, "constructor {which} requires at least one element")

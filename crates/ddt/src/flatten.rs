@@ -56,7 +56,10 @@ impl BlockSink for MergeSink {
                 return;
             }
         }
-        self.entries.push(IovEntry { offset: buf_off, len });
+        self.entries.push(IovEntry {
+            offset: buf_off,
+            len,
+        });
     }
 }
 
@@ -64,9 +67,13 @@ impl BlockSink for MergeSink {
 pub fn flatten(dt: &Datatype, count: u32) -> Iovec {
     let dl = compile(dt, count);
     let mut seg = Segment::new(dl);
-    let mut sink = MergeSink { entries: Vec::new() };
+    let mut sink = MergeSink {
+        entries: Vec::new(),
+    };
     seg.advance(u64::MAX, &mut sink);
-    Iovec { entries: sink.entries }
+    Iovec {
+        entries: sink.entries,
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +86,13 @@ mod tests {
         let t = Datatype::contiguous(64, &elem::int());
         let iov = flatten(&t, 4);
         assert_eq!(iov.entries.len(), 1);
-        assert_eq!(iov.entries[0], IovEntry { offset: 0, len: 1024 });
+        assert_eq!(
+            iov.entries[0],
+            IovEntry {
+                offset: 0,
+                len: 1024
+            }
+        );
     }
 
     #[test]
@@ -108,6 +121,12 @@ mod tests {
         // blocks at 0..8, 8..16 merge; 32..48 separate
         assert_eq!(iov.entries.len(), 2);
         assert_eq!(iov.entries[0], IovEntry { offset: 0, len: 16 });
-        assert_eq!(iov.entries[1], IovEntry { offset: 32, len: 16 });
+        assert_eq!(
+            iov.entries[1],
+            IovEntry {
+                offset: 32,
+                len: 16
+            }
+        );
     }
 }

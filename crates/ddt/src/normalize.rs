@@ -98,7 +98,11 @@ pub fn normalize(dt: &Datatype) -> Datatype {
             }
             Datatype::contiguous(*count, &c)
         }
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => {
             let c = normalize(dt.child.as_ref().expect("vector child"));
             if *count == 1 {
                 return normalize(&Datatype::contiguous(*blocklen, &c));
@@ -106,7 +110,10 @@ pub fn normalize(dt: &Datatype) -> Datatype {
             // vector over a full-extent contiguous child flattens the
             // child into the block length (expressed in bytes).
             if let Some(run) = c.contig_run {
-                if run as i64 == c.extent() && c.true_lb == 0 && *blocklen as u64 * run <= u32::MAX as u64 {
+                if run as i64 == c.extent()
+                    && c.true_lb == 0
+                    && *blocklen as u64 * run <= u32::MAX as u64
+                {
                     return Datatype::hvector(
                         *count,
                         (*blocklen as u64 * run) as u32,
@@ -117,7 +124,10 @@ pub fn normalize(dt: &Datatype) -> Datatype {
             }
             Datatype::hvector(*count, *blocklen, *stride_bytes, &c)
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => {
             let c = normalize(dt.child.as_ref().expect("ib child"));
             // Constant stride starting at 0 → vector.
             if displs_bytes.len() >= 2 {
@@ -140,9 +150,7 @@ pub fn normalize(dt: &Datatype) -> Datatype {
             if let Some(&(len0, _)) = blocks.first() {
                 if blocks.iter().all(|&(l, _)| l == len0) && len0 > 0 {
                     let displs: Vec<i64> = blocks.iter().map(|&(_, d)| d).collect();
-                    return normalize(
-                        &Datatype::hindexed_block(len0, &displs, &c).expect("valid"),
-                    );
+                    return normalize(&Datatype::hindexed_block(len0, &displs, &c).expect("valid"));
                 }
             }
             let lens: Vec<u32> = blocks.iter().map(|&(l, _)| l).collect();
@@ -185,19 +193,29 @@ pub fn classify(dt: &Datatype) -> Shape {
 
 fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
     if let Some(run) = dt.contig_run {
-        return Shape::Contiguous { base_offset: base + dt.true_lb, bytes: run };
+        return Shape::Contiguous {
+            base_offset: base + dt.true_lb,
+            bytes: run,
+        };
     }
     match &dt.kind {
         DatatypeKind::Resized { .. } => {
             classify_peeled(dt.child.as_ref().expect("resized child"), base)
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } if displs_bytes.len() == 1 => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } if displs_bytes.len() == 1 => {
             // A placement wrapper: shift and classify the inner block.
             let c = dt.child.as_ref().expect("ib child");
             let inner = Datatype::contiguous(*blocklen, c);
             classify_peeled(&normalize(&inner), base + displs_bytes[0])
         }
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => {
             let c = dt.child.as_ref().expect("vector child");
             if full_run(c) {
                 return Shape::Vector {
@@ -229,7 +247,10 @@ fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
             }
             Shape::General
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => {
             let c = dt.child.as_ref().expect("ib child");
             if full_run(c) {
                 Shape::IndexedBlock {
@@ -243,7 +264,9 @@ fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
         DatatypeKind::Indexed { blocks } => {
             let c = dt.child.as_ref().expect("indexed child");
             if full_run(c) {
-                Shape::Indexed { count: blocks.len() as u64 }
+                Shape::Indexed {
+                    count: blocks.len() as u64,
+                }
             } else {
                 Shape::General
             }
@@ -252,7 +275,9 @@ fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
             // Single-level struct (all fields contiguous) → treated as an
             // indexed list of (offset, len) pairs.
             if fields.iter().all(|f| full_run(&f.ty)) {
-                Shape::Indexed { count: fields.len() as u64 }
+                Shape::Indexed {
+                    count: fields.len() as u64,
+                }
             } else {
                 Shape::General
             }
@@ -262,7 +287,10 @@ fn classify_peeled(dt: &Datatype, base: i64) -> Shape {
 }
 
 fn full_run(dt: &Datatype) -> bool {
-    dt.contig_run.map(|r| r as i64 == dt.extent()).unwrap_or(false) && dt.true_lb == 0
+    dt.contig_run
+        .map(|r| r as i64 == dt.extent())
+        .unwrap_or(false)
+        && dt.true_lb == 0
 }
 
 #[cfg(test)]
@@ -302,7 +330,14 @@ mod tests {
         let t = Datatype::vector(8, 2, 6, &Datatype::contiguous(3, &elem::int()));
         let n = normalize(&t);
         same_typemap(&t, &n);
-        assert!(matches!(classify(&t), Shape::Vector { count: 8, block_bytes: 24, .. }));
+        assert!(matches!(
+            classify(&t),
+            Shape::Vector {
+                count: 8,
+                block_bytes: 24,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -310,7 +345,14 @@ mod tests {
         let t = Datatype::indexed_block(2, &[0, 5, 10, 15], &elem::int()).unwrap();
         let n = normalize(&t);
         same_typemap(&t, &n);
-        assert!(matches!(classify(&t), Shape::Vector { count: 4, block_bytes: 8, .. }));
+        assert!(matches!(
+            classify(&t),
+            Shape::Vector {
+                count: 4,
+                block_bytes: 8,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -319,7 +361,10 @@ mod tests {
         same_typemap(&t, &normalize(&t));
         assert!(matches!(
             classify(&t),
-            Shape::IndexedBlock { count: 3, block_bytes: 12 }
+            Shape::IndexedBlock {
+                count: 3,
+                block_bytes: 12
+            }
         ));
     }
 
@@ -334,7 +379,12 @@ mod tests {
         let inner = Datatype::vector(4, 2, 8, &elem::double());
         let t = Datatype::vector(5, 1, 100, &inner);
         match classify(&t) {
-            Shape::Vector2 { outer_count: 5, inner_count: 4, block_bytes: 16, .. } => {}
+            Shape::Vector2 {
+                outer_count: 5,
+                inner_count: 4,
+                block_bytes: 16,
+                ..
+            } => {}
             other => panic!("expected Vector2, got {other:?}"),
         }
     }
@@ -355,10 +405,15 @@ mod tests {
 
     #[test]
     fn subarray_rows_classify_as_vector_with_base() {
-        let t2 = Datatype::subarray(&[8, 16], &[3, 8], &[2, 4], ArrayOrder::C, &elem::double())
-            .unwrap();
+        let t2 =
+            Datatype::subarray(&[8, 16], &[3, 8], &[2, 4], ArrayOrder::C, &elem::double()).unwrap();
         match classify(&t2) {
-            Shape::Vector { count: 3, block_bytes: 64, stride_bytes, base_offset } => {
+            Shape::Vector {
+                count: 3,
+                block_bytes: 64,
+                stride_bytes,
+                base_offset,
+            } => {
                 assert_eq!(stride_bytes, 128);
                 assert_eq!(base_offset, 2 * 128 + 4 * 8);
             }
@@ -374,8 +429,8 @@ mod tests {
 
     #[test]
     fn struct_of_subarray_is_general() {
-        let sa = Datatype::subarray(&[8, 8], &[2, 3], &[1, 1], ArrayOrder::C, &elem::double())
-            .unwrap();
+        let sa =
+            Datatype::subarray(&[8, 8], &[2, 3], &[1, 1], ArrayOrder::C, &elem::double()).unwrap();
         let t = Datatype::struct_(&[1, 1], &[0, 4096], &[sa.clone(), sa]).unwrap();
         assert_eq!(classify(&t), Shape::General);
     }

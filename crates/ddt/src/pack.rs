@@ -25,12 +25,19 @@ pub fn buffer_span(dt: &Datatype, count: u32) -> (i64, u64) {
 pub fn pack(dt: &Datatype, count: u32, src: &[u8], origin: i64) -> Result<Vec<u8>> {
     let (lo, span) = buffer_span(dt, count);
     if (src.len() as u64) < span || lo < origin {
-        return Err(DdtError::BufferTooSmall { needed: span, got: src.len() as u64 });
+        return Err(DdtError::BufferTooSmall {
+            needed: span,
+            got: src.len() as u64,
+        });
     }
     let dl = compile(dt, count);
     let mut out = Vec::with_capacity(dl.size as usize);
     let mut seg = Segment::new(dl);
-    let mut sink = PackSink { src, origin, out: &mut out };
+    let mut sink = PackSink {
+        src,
+        origin,
+        out: &mut out,
+    };
     seg.advance(u64::MAX, &mut sink);
     Ok(out)
 }
@@ -47,10 +54,18 @@ pub fn unpack(
 ) -> Result<SegStats> {
     let dl = compile(dt, count);
     if packed.len() as u64 != dl.size {
-        return Err(DdtError::StreamOutOfBounds { pos: packed.len() as u64, size: dl.size });
+        return Err(DdtError::StreamOutOfBounds {
+            pos: packed.len() as u64,
+            size: dl.size,
+        });
     }
     let mut seg = Segment::new(dl);
-    let mut sink = CopySink { src: packed, stream_base: 0, dst, origin };
+    let mut sink = CopySink {
+        src: packed,
+        stream_base: 0,
+        dst,
+        origin,
+    };
     seg.advance(u64::MAX, &mut sink);
     Ok(seg.stats)
 }
@@ -65,7 +80,12 @@ pub fn unpack_partial(
     dst: &mut [u8],
     origin: i64,
 ) -> Result<()> {
-    let mut sink = CopySink { src: piece, stream_base: first, dst, origin };
+    let mut sink = CopySink {
+        src: piece,
+        stream_base: first,
+        dst,
+        origin,
+    };
     seg.process_range(first, first + piece.len() as u64, &mut sink)
 }
 
@@ -108,8 +128,14 @@ mod tests {
             2,
         );
         roundtrip(
-            &Datatype::subarray(&[5, 6, 7], &[2, 3, 4], &[1, 2, 1], ArrayOrder::Fortran, &elem::int())
-                .unwrap(),
+            &Datatype::subarray(
+                &[5, 6, 7],
+                &[2, 3, 4],
+                &[1, 2, 1],
+                ArrayOrder::Fortran,
+                &elem::int(),
+            )
+            .unwrap(),
             1,
         );
         let sa = Datatype::subarray(&[10, 10], &[3, 10], &[2, 0], ArrayOrder::C, &elem::double())
@@ -135,8 +161,14 @@ mod tests {
             let mut pos = 0usize;
             while pos < packed.len() {
                 let end = (pos + pkt).min(packed.len());
-                unpack_partial(&mut seg, pos as u64, &packed[pos..end], &mut piecewise, origin)
-                    .unwrap();
+                unpack_partial(
+                    &mut seg,
+                    pos as u64,
+                    &packed[pos..end],
+                    &mut piecewise,
+                    origin,
+                )
+                .unwrap();
                 pos = end;
             }
             assert_eq!(piecewise, full, "packet size {pkt}");

@@ -67,7 +67,13 @@ pub struct Segment {
 impl Segment {
     /// Create a segment positioned at stream offset 0.
     pub fn new(root: Arc<Dataloop>) -> Self {
-        Segment { root, frames: Vec::new(), leaf_pos: 0, stream_pos: 0, stats: SegStats::default() }
+        Segment {
+            root,
+            frames: Vec::new(),
+            leaf_pos: 0,
+            stream_pos: 0,
+            stats: SegStats::default(),
+        }
     }
 
     /// Total packed size of the described data.
@@ -143,7 +149,11 @@ impl Segment {
             debug_assert!(self.leaf_pos < bytes || bytes == 0);
             let chunk = remaining.min(bytes - self.leaf_pos);
             if chunk > 0 {
-                sink.block(origin + offset + self.leaf_pos as i64, chunk, self.stream_pos);
+                sink.block(
+                    origin + offset + self.leaf_pos as i64,
+                    chunk,
+                    self.stream_pos,
+                );
                 self.stats.blocks_emitted += 1;
                 self.stats.bytes_emitted += chunk;
             }
@@ -178,18 +188,19 @@ impl Segment {
     /// Process packed-stream range `[first, last)`, emitting blocks to
     /// `sink`, with MPITypes catch-up / reset semantics relative to the
     /// current position.
-    pub fn process_range(
-        &mut self,
-        first: u64,
-        last: u64,
-        sink: &mut dyn BlockSink,
-    ) -> Result<()> {
+    pub fn process_range(&mut self, first: u64, last: u64, sink: &mut dyn BlockSink) -> Result<()> {
         let total = self.root.size;
         if last > total {
-            return Err(DdtError::StreamOutOfBounds { pos: last, size: total });
+            return Err(DdtError::StreamOutOfBounds {
+                pos: last,
+                size: total,
+            });
         }
         if first > last {
-            return Err(DdtError::StreamOutOfBounds { pos: first, size: last });
+            return Err(DdtError::StreamOutOfBounds {
+                pos: first,
+                size: last,
+            });
         }
         if first < self.stream_pos {
             self.reset();
@@ -292,7 +303,12 @@ mod tests {
                 _ => got.push((o, l)),
             }
         }
-        assert_eq!(got, reference, "dataloop walk disagrees with typemap for {}", dt.signature());
+        assert_eq!(
+            got,
+            reference,
+            "dataloop walk disagrees with typemap for {}",
+            dt.signature()
+        );
     }
 
     #[test]
@@ -309,8 +325,14 @@ mod tests {
             1,
         );
         check_full_walk(
-            &Datatype::subarray(&[6, 5, 4], &[3, 2, 2], &[2, 1, 1], ArrayOrder::C, &elem::int())
-                .unwrap(),
+            &Datatype::subarray(
+                &[6, 5, 4],
+                &[3, 2, 2],
+                &[2, 1, 1],
+                ArrayOrder::C,
+                &elem::int(),
+            )
+            .unwrap(),
             2,
         );
         let inner = Datatype::vector(4, 2, 3, &elem::float());

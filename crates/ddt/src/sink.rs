@@ -136,7 +136,12 @@ mod tests {
     fn copy_sink_respects_bases() {
         let src = [1u8, 2, 3, 4];
         let mut dst = [0u8; 8];
-        let mut s = CopySink { src: &src, stream_base: 100, dst: &mut dst, origin: -4 };
+        let mut s = CopySink {
+            src: &src,
+            stream_base: 100,
+            dst: &mut dst,
+            origin: -4,
+        };
         s.block(0, 2, 100); // dst[4..6] = src[0..2]
         s.block(-2, 2, 102); // dst[2..4] = src[2..4]
         assert_eq!(dst, [0, 0, 3, 4, 1, 2, 0, 0]);
@@ -146,7 +151,10 @@ mod tests {
     fn tee_sink_forwards_to_both() {
         let mut a = CountSink::default();
         let mut b = VecSink::default();
-        let mut t = TeeSink { a: &mut a, b: &mut b };
+        let mut t = TeeSink {
+            a: &mut a,
+            b: &mut b,
+        };
         t.block(4, 4, 0);
         assert_eq!(a.blocks, 1);
         assert_eq!(b.blocks.len(), 1);

@@ -30,7 +30,11 @@ fn walk(dt: &Datatype, base: i64, f: &mut impl FnMut(i64, u64)) {
                 walk(child, base + i * ext, f);
             }
         }
-        DatatypeKind::Vector { count, blocklen, stride_bytes } => {
+        DatatypeKind::Vector {
+            count,
+            blocklen,
+            stride_bytes,
+        } => {
             let child = dt.child.as_ref().expect("vector child");
             let ext = child.extent();
             for i in 0..*count as i64 {
@@ -40,7 +44,10 @@ fn walk(dt: &Datatype, base: i64, f: &mut impl FnMut(i64, u64)) {
                 }
             }
         }
-        DatatypeKind::IndexedBlock { blocklen, displs_bytes } => {
+        DatatypeKind::IndexedBlock {
+            blocklen,
+            displs_bytes,
+        } => {
             let child = dt.child.as_ref().expect("indexed_block child");
             let ext = child.extent();
             for &d in displs_bytes.iter() {
@@ -137,8 +144,14 @@ mod tests {
 
     #[test]
     fn total_bytes_equals_size() {
-        let t = Datatype::subarray(&[5, 7, 3], &[2, 4, 2], &[1, 1, 0], ArrayOrder::C, &elem::double())
-            .unwrap();
+        let t = Datatype::subarray(
+            &[5, 7, 3],
+            &[2, 4, 2],
+            &[1, 1, 0],
+            ArrayOrder::C,
+            &elem::double(),
+        )
+        .unwrap();
         let total: u64 = blocks(&t, 3).iter().map(|&(_, l)| l).sum();
         assert_eq!(total, t.size * 3);
     }

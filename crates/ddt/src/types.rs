@@ -194,17 +194,18 @@ impl DatatypeNode {
             DatatypeKind::IndexedBlock { .. } => "index_block",
             DatatypeKind::Indexed { .. } => "index",
             DatatypeKind::Struct { fields } => {
-                let inner = fields
-                    .first()
-                    .map(|f| f.ty.signature())
-                    .unwrap_or_default();
+                let inner = fields.first().map(|f| f.ty.signature()).unwrap_or_default();
                 return format!("struct({inner})");
             }
             DatatypeKind::Resized { .. } => {
                 return self.child.as_ref().expect("resized child").signature()
             }
         };
-        let inner = self.child.as_ref().map(|c| c.signature()).unwrap_or_default();
+        let inner = self
+            .child
+            .as_ref()
+            .map(|c| c.signature())
+            .unwrap_or_default();
         format!("{ctor}({inner})")
     }
 }
@@ -247,7 +248,13 @@ struct Bounds {
 
 impl Bounds {
     fn new() -> Self {
-        Bounds { lb: 0, ub: 0, tlb: 0, tub: 0, any: false }
+        Bounds {
+            lb: 0,
+            ub: 0,
+            tlb: 0,
+            tub: 0,
+            any: false,
+        }
     }
 
     fn add(&mut self, at: i64, child: &DatatypeNode) {
@@ -374,7 +381,11 @@ impl DatatypeExt for Datatype {
         }
         if count == 0 || blocklen == 0 {
             return mk(
-                DatatypeKind::Vector { count, blocklen, stride_bytes },
+                DatatypeKind::Vector {
+                    count,
+                    blocklen,
+                    stride_bytes,
+                },
                 Some(base.clone()),
                 0,
                 0,
@@ -388,8 +399,8 @@ impl DatatypeExt for Datatype {
         }
         // One run iff each block is one run and consecutive blocks abut:
         // stride == blocklen * extent and block itself is a full-extent run.
-        let block_run_full =
-            base.contig_run.map(|r| r as i64 == ext).unwrap_or(false) || blocklen == 1 && base.is_contiguous() && base.size as i64 == ext;
+        let block_run_full = base.contig_run.map(|r| r as i64 == ext).unwrap_or(false)
+            || blocklen == 1 && base.is_contiguous() && base.size as i64 == ext;
         let contig_run = if count == 1 {
             block.contig_run
         } else if block_run_full && stride_bytes == blocklen as i64 * ext && stride_bytes > 0 {
@@ -398,7 +409,11 @@ impl DatatypeExt for Datatype {
             None
         };
         mk(
-            DatatypeKind::Vector { count, blocklen, stride_bytes },
+            DatatypeKind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+            },
             Some(base.clone()),
             size,
             b.lb,
@@ -427,12 +442,12 @@ impl DatatypeExt for Datatype {
         for &d in displs_bytes {
             b.add(d, &block);
         }
-        let contig_run = single_run_indexed(
-            displs_bytes.iter().map(|&d| (d, block.size)),
-            &block,
-        );
+        let contig_run = single_run_indexed(displs_bytes.iter().map(|&d| (d, block.size)), &block);
         Ok(mk(
-            DatatypeKind::IndexedBlock { blocklen, displs_bytes: displs_bytes.into() },
+            DatatypeKind::IndexedBlock {
+                blocklen,
+                displs_bytes: displs_bytes.into(),
+            },
             Some(base.clone()),
             size,
             b.lb,
@@ -477,18 +492,22 @@ impl DatatypeExt for Datatype {
             size += blk.size;
             leaf_blocks += base.leaf_blocks * len as u64;
         }
-        let contig_run = if base.contig_run.map(|r| r as i64 == base.extent()).unwrap_or(false) {
+        let contig_run = if base
+            .contig_run
+            .map(|r| r as i64 == base.extent())
+            .unwrap_or(false)
+        {
             single_run_indexed(
-                blocks
-                    .iter()
-                    .map(|&(len, d)| (d, len as u64 * base.size)),
+                blocks.iter().map(|&(len, d)| (d, len as u64 * base.size)),
                 base,
             )
         } else {
             None
         };
         Ok(mk(
-            DatatypeKind::Indexed { blocks: blocks.into() },
+            DatatypeKind::Indexed {
+                blocks: blocks.into(),
+            },
             Some(base.clone()),
             size,
             b.lb,
@@ -515,7 +534,11 @@ impl DatatypeExt for Datatype {
             .iter()
             .zip(displs_bytes)
             .zip(types)
-            .map(|((&count, &displ), ty)| StructField { count, displ, ty: ty.clone() })
+            .map(|((&count, &displ), ty)| StructField {
+                count,
+                displ,
+                ty: ty.clone(),
+            })
             .collect();
         let mut b = Bounds::new();
         let mut size = 0u64;
@@ -539,7 +562,9 @@ impl DatatypeExt for Datatype {
             None
         };
         Ok(mk(
-            DatatypeKind::Struct { fields: fields.into() },
+            DatatypeKind::Struct {
+                fields: fields.into(),
+            },
             None,
             size,
             b.lb,
@@ -564,7 +589,10 @@ impl DatatypeExt for Datatype {
             return Err(DdtError::EmptyConstructor("subarray"));
         }
         if subsizes.len() != n || starts.len() != n {
-            return Err(DdtError::LengthMismatch { expected: n, got: subsizes.len().min(starts.len()) });
+            return Err(DdtError::LengthMismatch {
+                expected: n,
+                got: subsizes.len().min(starts.len()),
+            });
         }
         for d in 0..n {
             if starts[d] + subsizes[d] > sizes[d] || subsizes[d] == 0 {
@@ -745,12 +773,7 @@ mod tests {
 
     #[test]
     fn struct_mixed() {
-        let t = Datatype::struct_(
-            &[1, 2],
-            &[0, 8],
-            &[elem::double(), elem::int()],
-        )
-        .unwrap();
+        let t = Datatype::struct_(&[1, 2], &[0, 8], &[elem::double(), elem::int()]).unwrap();
         assert_eq!(t.size, 16);
         assert_eq!(t.true_ub, 16);
         assert!(t.is_contiguous() || t.leaf_blocks == 3);
@@ -785,8 +808,7 @@ mod tests {
 
     #[test]
     fn subarray_full_is_contiguous() {
-        let t =
-            Datatype::subarray(&[4, 6], &[4, 6], &[0, 0], ArrayOrder::C, &elem::int()).unwrap();
+        let t = Datatype::subarray(&[4, 6], &[4, 6], &[0, 0], ArrayOrder::C, &elem::int()).unwrap();
         assert!(t.is_contiguous());
         assert_eq!(t.size, 96);
     }

@@ -16,21 +16,23 @@ fn arb_dt() -> impl Strategy<Value = Datatype> {
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
             (1u32..5, inner.clone()).prop_map(|(c, t)| Datatype::contiguous(c, &t)),
-            (1u32..6, 1u32..4, 1i64..6, inner.clone())
-                .prop_map(|(c, b, s, t)| Datatype::vector(c, b, s.max(b as i64), &t)),
-            (proptest::collection::vec((1u32..3, 0i64..4), 1..5), inner).prop_map(
-                |(items, t)| {
-                    let mut lens = Vec::new();
-                    let mut displs = Vec::new();
-                    let mut at = 0i64;
-                    for (l, g) in items {
-                        lens.push(l);
-                        displs.push(at);
-                        at += l as i64 + g;
-                    }
-                    Datatype::indexed(&lens, &displs, &t).expect("valid")
+            (1u32..6, 1u32..4, 1i64..6, inner.clone()).prop_map(|(c, b, s, t)| Datatype::vector(
+                c,
+                b,
+                s.max(b as i64),
+                &t
+            )),
+            (proptest::collection::vec((1u32..3, 0i64..4), 1..5), inner).prop_map(|(items, t)| {
+                let mut lens = Vec::new();
+                let mut displs = Vec::new();
+                let mut at = 0i64;
+                for (l, g) in items {
+                    lens.push(l);
+                    displs.push(at);
+                    at += l as i64 + g;
                 }
-            ),
+                Datatype::indexed(&lens, &displs, &t).expect("valid")
+            }),
         ]
     })
 }

@@ -9,12 +9,12 @@ use proptest::prelude::*;
 
 use nca_ddt::checkpoint::CheckpointTable;
 use nca_ddt::dataloop::compile;
+use nca_ddt::normalize::normalize;
 use nca_ddt::pack::{buffer_span, pack, unpack, unpack_partial};
 use nca_ddt::segment::Segment;
 use nca_ddt::sink::{NullSink, VecSink};
 use nca_ddt::typemap;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
-use nca_ddt::normalize::normalize;
 
 /// A strategy producing random (but bounded) datatype trees.
 fn arb_datatype() -> impl Strategy<Value = Datatype> {
@@ -29,11 +29,19 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
             // contiguous
             (1u32..5, inner.clone()).prop_map(|(c, t)| Datatype::contiguous(c, &t)),
             // vector (positive strides keep buffers small)
-            (1u32..5, 1u32..4, 1i64..8, inner.clone())
-                .prop_map(|(c, b, s, t)| Datatype::vector(c, b, s.max(b as i64), &t)),
+            (1u32..5, 1u32..4, 1i64..8, inner.clone()).prop_map(|(c, b, s, t)| Datatype::vector(
+                c,
+                b,
+                s.max(b as i64),
+                &t
+            )),
             // indexed_block with increasing displacements
-            (1u32..3, proptest::collection::vec(0i64..6, 1..5), inner.clone()).prop_map(
-                |(b, gaps, t)| {
+            (
+                1u32..3,
+                proptest::collection::vec(0i64..6, 1..5),
+                inner.clone()
+            )
+                .prop_map(|(b, gaps, t)| {
                     let mut displs = Vec::new();
                     let mut at = 0i64;
                     for g in gaps {
@@ -41,8 +49,7 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                         at += b as i64 + g;
                     }
                     Datatype::indexed_block(b, &displs, &t).unwrap()
-                }
-            ),
+                }),
             // indexed with variable lengths
             (
                 proptest::collection::vec((1u32..4, 0i64..6), 1..5),

@@ -18,7 +18,14 @@ pub fn alltoall_linear(sched: &mut Schedule, ranks: u32, bytes: u64, tag: u32, u
         }
         for off in 1..ranks {
             let q = (r + ranks - off) % ranks;
-            sched.push(r, Op::Recv { from: q, tag, unpack });
+            sched.push(
+                r,
+                Op::Recv {
+                    from: q,
+                    tag,
+                    unpack,
+                },
+            );
         }
     }
 }
@@ -26,13 +33,36 @@ pub fn alltoall_linear(sched: &mut Schedule, ranks: u32, bytes: u64, tag: u32, u
 /// Append a pairwise-exchange alltoall (P−1 rounds of disjoint pairs via
 /// XOR partner for power-of-two P): bounded buffer pressure, synchronous
 /// rounds.
-pub fn alltoall_pairwise(sched: &mut Schedule, ranks: u32, bytes: u64, base_tag: u32, unpack: Time) {
-    assert!(ranks.is_power_of_two(), "pairwise exchange needs power-of-two ranks");
+pub fn alltoall_pairwise(
+    sched: &mut Schedule,
+    ranks: u32,
+    bytes: u64,
+    base_tag: u32,
+    unpack: Time,
+) {
+    assert!(
+        ranks.is_power_of_two(),
+        "pairwise exchange needs power-of-two ranks"
+    );
     for round in 1..ranks {
         for r in 0..ranks {
             let partner = r ^ round;
-            sched.push(r, Op::Send { to: partner, bytes, tag: base_tag + round });
-            sched.push(r, Op::Recv { from: partner, tag: base_tag + round, unpack });
+            sched.push(
+                r,
+                Op::Send {
+                    to: partner,
+                    bytes,
+                    tag: base_tag + round,
+                },
+            );
+            sched.push(
+                r,
+                Op::Recv {
+                    from: partner,
+                    tag: base_tag + round,
+                    unpack,
+                },
+            );
         }
     }
 }
@@ -45,8 +75,22 @@ pub fn bcast_binomial(sched: &mut Schedule, ranks: u32, bytes: u64, tag: u32) {
         for r in 0..step.min(ranks) {
             let dst = r + step;
             if dst < ranks {
-                sched.push(r, Op::Send { to: dst, bytes, tag: tag + step });
-                sched.push(dst, Op::Recv { from: r, tag: tag + step, unpack: 0 });
+                sched.push(
+                    r,
+                    Op::Send {
+                        to: dst,
+                        bytes,
+                        tag: tag + step,
+                    },
+                );
+                sched.push(
+                    dst,
+                    Op::Recv {
+                        from: r,
+                        tag: tag + step,
+                        unpack: 0,
+                    },
+                );
             }
         }
         step *= 2;
@@ -66,8 +110,22 @@ pub fn allreduce_ring(sched: &mut Schedule, ranks: u32, bytes: u64, tag: u32, co
         for r in 0..ranks {
             let next = (r + 1) % ranks;
             let prev = (r + ranks - 1) % ranks;
-            sched.push(r, Op::Send { to: next, bytes: chunk, tag: tag + round });
-            sched.push(r, Op::Recv { from: prev, tag: tag + round, unpack: compute });
+            sched.push(
+                r,
+                Op::Send {
+                    to: next,
+                    bytes: chunk,
+                    tag: tag + round,
+                },
+            );
+            sched.push(
+                r,
+                Op::Recv {
+                    from: prev,
+                    tag: tag + round,
+                    unpack: compute,
+                },
+            );
         }
     }
     // allgather: P-1 rounds
@@ -75,8 +133,22 @@ pub fn allreduce_ring(sched: &mut Schedule, ranks: u32, bytes: u64, tag: u32, co
         for r in 0..ranks {
             let next = (r + 1) % ranks;
             let prev = (r + ranks - 1) % ranks;
-            sched.push(r, Op::Send { to: next, bytes: chunk, tag: tag + 1000 + round });
-            sched.push(r, Op::Recv { from: prev, tag: tag + 1000 + round, unpack: 0 });
+            sched.push(
+                r,
+                Op::Send {
+                    to: next,
+                    bytes: chunk,
+                    tag: tag + 1000 + round,
+                },
+            );
+            sched.push(
+                r,
+                Op::Recv {
+                    from: prev,
+                    tag: tag + 1000 + round,
+                    unpack: 0,
+                },
+            );
         }
     }
 }
@@ -133,8 +205,22 @@ mod tests {
         // 64 ranks = 6 rounds: makespan must be far below linear send
         let mut lin = Schedule::new(64);
         for dst in 1..64u32 {
-            lin.push(0, Op::Send { to: dst, bytes, tag: dst });
-            lin.push(dst, Op::Recv { from: 0, tag: dst, unpack: 0 });
+            lin.push(
+                0,
+                Op::Send {
+                    to: dst,
+                    bytes,
+                    tag: dst,
+                },
+            );
+            lin.push(
+                dst,
+                Op::Recv {
+                    from: 0,
+                    tag: dst,
+                    unpack: 0,
+                },
+            );
         }
         let linear = simulate(&pp, &lin).makespan;
         assert!(t_prev < linear / 4, "binomial {t_prev} vs linear {linear}");
@@ -167,6 +253,9 @@ mod tests {
         // Unpack serializes on the receiver; part of it overlaps the
         // arrival waits the cheap run spends idle, so expect at least
         // 5 of the 7 unpacks to show up in the makespan.
-        assert!(b >= a + 5 * nca_sim::us(100), "unpack must serialize on receives: {a} -> {b}");
+        assert!(
+            b >= a + 5 * nca_sim::us(100),
+            "unpack must serialize on receives: {a} -> {b}"
+        );
     }
 }

@@ -108,16 +108,35 @@ pub fn fft2d_runtime(cfg: &Fft2dConfig, ranks: u32, offloaded: bool) -> Fft2dRes
             sched.push(r, Op::Calc(fft_phase));
             for off in 1..ranks {
                 let q = (r + off) % ranks;
-                sched.push(r, Op::Send { to: q, bytes: msg_bytes, tag: phase });
+                sched.push(
+                    r,
+                    Op::Send {
+                        to: q,
+                        bytes: msg_bytes,
+                        tag: phase,
+                    },
+                );
             }
             for off in 1..ranks {
                 let q = (r + ranks - off) % ranks;
-                sched.push(r, Op::Recv { from: q, tag: phase, unpack });
+                sched.push(
+                    r,
+                    Op::Recv {
+                        from: q,
+                        tag: phase,
+                        unpack,
+                    },
+                );
             }
         }
     }
     let out = simulate(&cfg.net, &sched);
-    Fft2dResult { ranks, runtime: out.makespan, messages: out.messages, unpack_per_msg: unpack }
+    Fft2dResult {
+        ranks,
+        runtime: out.makespan,
+        messages: out.messages,
+        unpack_per_msg: unpack,
+    }
 }
 
 /// The Fig. 19 sweep: runtimes and speedups for P ∈ {64…1024}.
@@ -137,7 +156,10 @@ mod tests {
     use super::*;
 
     fn small() -> Fft2dConfig {
-        Fft2dConfig { n: 4096, ..Default::default() }
+        Fft2dConfig {
+            n: 4096,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub struct Schedule {
 impl Schedule {
     /// Create a schedule for `ranks` ranks.
     pub fn new(ranks: u32) -> Self {
-        Schedule { ops: vec![Vec::new(); ranks as usize] }
+        Schedule {
+            ops: vec![Vec::new(); ranks as usize],
+        }
     }
 
     /// Append an op to a rank's program.
@@ -125,7 +127,11 @@ pub fn simulate(p: &LogGopsParams, sched: &Schedule) -> SimOutcome {
         assert!(progress, "deadlock in GOAL schedule");
     }
     let makespan = *time.iter().max().expect("nonempty schedule");
-    SimOutcome { finish: time, makespan, messages }
+    SimOutcome {
+        finish: time,
+        makespan,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +154,22 @@ mod tests {
     #[test]
     fn ping_latency_formula() {
         let mut s = Schedule::new(2);
-        s.push(0, Op::Send { to: 1, bytes: 8, tag: 0 });
-        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        s.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        s.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                unpack: 0,
+            },
+        );
         let out = simulate(&p(), &s);
         let pp = p();
         // o + gap(8) + L + o
@@ -161,10 +181,28 @@ mod tests {
     #[test]
     fn unpack_cost_delays_receiver_only() {
         let mut a = Schedule::new(2);
-        a.push(0, Op::Send { to: 1, bytes: 1 << 20, tag: 0 });
-        a.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        a.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 1 << 20,
+                tag: 0,
+            },
+        );
+        a.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                unpack: 0,
+            },
+        );
         let mut b = a.clone();
-        b.ops[1][0] = Op::Recv { from: 0, tag: 0, unpack: nca_sim::us(500) };
+        b.ops[1][0] = Op::Recv {
+            from: 0,
+            tag: 0,
+            unpack: nca_sim::us(500),
+        };
         let oa = simulate(&p(), &a);
         let ob = simulate(&p(), &b);
         assert_eq!(ob.finish[1] - oa.finish[1], nca_sim::us(500));
@@ -174,10 +212,38 @@ mod tests {
     #[test]
     fn sends_serialize_at_the_nic() {
         let mut s = Schedule::new(3);
-        s.push(0, Op::Send { to: 1, bytes: 1 << 20, tag: 0 });
-        s.push(0, Op::Send { to: 2, bytes: 1 << 20, tag: 0 });
-        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
-        s.push(2, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        s.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 1 << 20,
+                tag: 0,
+            },
+        );
+        s.push(
+            0,
+            Op::Send {
+                to: 2,
+                bytes: 1 << 20,
+                tag: 0,
+            },
+        );
+        s.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                unpack: 0,
+            },
+        );
+        s.push(
+            2,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                unpack: 0,
+            },
+        );
         let out = simulate(&p(), &s);
         // Second message arrives one full gap after the first.
         let gap = p().gap_time(1 << 20);
@@ -187,10 +253,38 @@ mod tests {
     #[test]
     fn out_of_order_posted_recvs_match_by_tag() {
         let mut s = Schedule::new(2);
-        s.push(0, Op::Send { to: 1, bytes: 64, tag: 7 });
-        s.push(0, Op::Send { to: 1, bytes: 64, tag: 9 });
-        s.push(1, Op::Recv { from: 0, tag: 9, unpack: 0 });
-        s.push(1, Op::Recv { from: 0, tag: 7, unpack: 0 });
+        s.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 64,
+                tag: 7,
+            },
+        );
+        s.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 64,
+                tag: 9,
+            },
+        );
+        s.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 9,
+                unpack: 0,
+            },
+        );
+        s.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 7,
+                unpack: 0,
+            },
+        );
         let out = simulate(&p(), &s);
         assert_eq!(out.messages, 2);
         assert!(out.makespan > 0);
@@ -200,8 +294,22 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn deadlock_detected() {
         let mut s = Schedule::new(2);
-        s.push(0, Op::Recv { from: 1, tag: 0, unpack: 0 });
-        s.push(1, Op::Recv { from: 0, tag: 0, unpack: 0 });
+        s.push(
+            0,
+            Op::Recv {
+                from: 1,
+                tag: 0,
+                unpack: 0,
+            },
+        );
+        s.push(
+            1,
+            Op::Recv {
+                from: 0,
+                tag: 0,
+                unpack: 0,
+            },
+        );
         simulate(&p(), &s);
     }
 }

@@ -16,7 +16,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's host LLC: Intel i7-4770, 8 MiB, 16-way, 64 B lines.
     pub fn i7_4770_llc() -> CacheConfig {
-        CacheConfig { capacity: 8 << 20, line_size: 64, ways: 16 }
+        CacheConfig {
+            capacity: 8 << 20,
+            line_size: 64,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -76,10 +80,18 @@ pub struct Cache {
 impl Cache {
     /// Create an empty (cold) cache.
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let nsets = cfg.sets();
         assert!(nsets > 0, "config yields zero sets");
-        let empty = Line { tag: 0, valid: false, dirty: false, used: 0 };
+        let empty = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            used: 0,
+        };
         Cache {
             cfg,
             sets: (0..nsets).map(|_| vec![empty; cfg.ways as usize]).collect(),
@@ -120,7 +132,12 @@ impl Cache {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: write, used: self.clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            used: self.clock,
+        };
         false
     }
 
@@ -158,7 +175,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512 B
-        Cache::new(CacheConfig { capacity: 512, line_size: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            capacity: 512,
+            line_size: 64,
+            ways: 2,
+        })
     }
 
     #[test]

@@ -26,8 +26,16 @@ impl Hierarchy {
     /// L2 (8-way), 8 MiB LLC (16-way), 64 B lines.
     pub fn i7_4770() -> Hierarchy {
         Hierarchy::new(vec![
-            CacheConfig { capacity: 32 << 10, line_size: 64, ways: 8 },
-            CacheConfig { capacity: 256 << 10, line_size: 64, ways: 8 },
+            CacheConfig {
+                capacity: 32 << 10,
+                line_size: 64,
+                ways: 8,
+            },
+            CacheConfig {
+                capacity: 256 << 10,
+                line_size: 64,
+                ways: 8,
+            },
             CacheConfig::i7_4770_llc(),
         ])
     }
@@ -35,7 +43,9 @@ impl Hierarchy {
     /// Build from per-level configs (L1 first).
     pub fn new(configs: Vec<CacheConfig>) -> Hierarchy {
         assert!(!configs.is_empty(), "need at least one level");
-        Hierarchy { levels: configs.into_iter().map(Cache::new).collect() }
+        Hierarchy {
+            levels: configs.into_iter().map(Cache::new).collect(),
+        }
     }
 
     /// Number of cache levels.
@@ -51,7 +61,9 @@ impl Hierarchy {
                 return HierarchyHit { level: i };
             }
         }
-        HierarchyHit { level: self.levels.len() }
+        HierarchyHit {
+            level: self.levels.len(),
+        }
     }
 
     /// Access a byte range at line granularity.
@@ -88,8 +100,16 @@ mod tests {
 
     fn tiny() -> Hierarchy {
         Hierarchy::new(vec![
-            CacheConfig { capacity: 512, line_size: 64, ways: 2 },
-            CacheConfig { capacity: 2048, line_size: 64, ways: 4 },
+            CacheConfig {
+                capacity: 512,
+                line_size: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                capacity: 2048,
+                line_size: 64,
+                ways: 4,
+            },
         ])
     }
 

@@ -57,7 +57,8 @@ impl BlockSink for UnpackReplay<'_> {
         // The unpack loop reads the packed bytes and writes them to the
         // destination (write-allocate: the destination line is fetched on
         // a write miss).
-        self.cache.access_range(self.src_base + stream_off, len, false);
+        self.cache
+            .access_range(self.src_base + stream_off, len, false);
         self.cache
             .access_range((self.dst_base as i64 + buf_off) as u64, len, true);
     }
@@ -74,7 +75,11 @@ pub fn unpack_traffic(dt: &Datatype, count: u32, cfg: CacheConfig) -> TrafficRep
     let dst_base = 1u64 << 33;
     let src_base = 1u64 << 34;
     {
-        let mut replay = UnpackReplay { cache: &mut cache, src_base, dst_base };
+        let mut replay = UnpackReplay {
+            cache: &mut cache,
+            src_base,
+            dst_base,
+        };
         let mut seg = Segment::new(dl);
         seg.advance(u64::MAX, &mut replay);
     }

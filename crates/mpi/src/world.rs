@@ -126,7 +126,13 @@ impl World {
         let inject_end = inject_start + self.net.gap_time(packed.len() as u64);
         r.nic_free = inject_end;
         let arrival = inject_end + self.net.l;
-        let msg = InFlight { src: rank, tag, dt_size: packed.len() as u64, packed, arrival };
+        let msg = InFlight {
+            src: rank,
+            tag,
+            dt_size: packed.len() as u64,
+            packed,
+            arrival,
+        };
         self.deliver(dest, msg);
     }
 
@@ -187,7 +193,11 @@ impl World {
         let _ = dest;
         self.pending.insert(
             posted.req,
-            Pending { complete_at: Some(complete_at), buffer: Some(buffer), origin },
+            Pending {
+                complete_at: Some(complete_at),
+                buffer: Some(buffer),
+                origin,
+            },
         );
     }
 
@@ -214,15 +224,24 @@ impl World {
             let mut buffer = vec![0u8; span as usize];
             unpack(dt, count, &msg.packed, &mut buffer, origin).expect("length matches");
             let dl = compile(dt, count);
-            let complete_at =
-                now.max(msg.arrival) + self.host.unpack_time(msg.dt_size, dl.blocks);
-            self.pending
-                .insert(req, Pending { complete_at: Some(complete_at), buffer: Some(buffer), origin });
+            let complete_at = now.max(msg.arrival) + self.host.unpack_time(msg.dt_size, dl.blocks);
+            self.pending.insert(
+                req,
+                Pending {
+                    complete_at: Some(complete_at),
+                    buffer: Some(buffer),
+                    origin,
+                },
+            );
             return req;
         }
         // Pre-posted: commit + try to offload.
-        let committed = self.ranks[rank as usize].mgr.commit(dt, TypeAttr::default());
-        let outcome = self.ranks[rank as usize].mgr.post_receive(&committed, count);
+        let committed = self.ranks[rank as usize]
+            .mgr
+            .commit(dt, TypeAttr::default());
+        let outcome = self.ranks[rank as usize]
+            .mgr
+            .post_receive(&committed, count);
         let offloaded = match outcome {
             PostOutcome::Offloaded(s) => Some(s),
             PostOutcome::FallbackHost => None,
@@ -237,7 +256,14 @@ impl World {
             offloaded,
             req,
         });
-        self.pending.insert(req, Pending { complete_at: None, buffer: None, origin });
+        self.pending.insert(
+            req,
+            Pending {
+                complete_at: None,
+                buffer: None,
+                origin,
+            },
+        );
         req
     }
 
@@ -246,7 +272,10 @@ impl World {
     ///
     /// Panics if the matching send was never issued (deadlock).
     pub fn wait(&mut self, rank: u32, req: Request) -> (Vec<u8>, i64) {
-        let pending = self.pending.remove(&req).expect("unknown or already-waited request");
+        let pending = self
+            .pending
+            .remove(&req)
+            .expect("unknown or already-waited request");
         let (complete_at, buffer) = match (pending.complete_at, pending.buffer) {
             (Some(t), Some(b)) => (t, b),
             _ => panic!("wait would deadlock: no matching send for {req:?}"),
@@ -258,7 +287,10 @@ impl World {
 
     /// Whether a request has a known completion (its send arrived).
     pub fn test(&self, req: Request) -> bool {
-        self.pending.get(&req).map(|p| p.complete_at.is_some()).unwrap_or(true)
+        self.pending
+            .get(&req)
+            .map(|p| p.complete_at.is_some())
+            .unwrap_or(true)
     }
 }
 
@@ -360,11 +392,16 @@ mod tests {
         let ranks = 4u32;
         let mut w = World::new(ranks, NicParams::with_hpus(8));
         let bufs: Vec<Vec<u8>> = (0..ranks)
-            .map(|r| (0..span as usize).map(|i| ((i + r as usize * 17) % 251) as u8).collect())
+            .map(|r| {
+                (0..span as usize)
+                    .map(|i| ((i + r as usize * 17) % 251) as u8)
+                    .collect()
+            })
             .collect();
         // Everyone posts a receive from the left, sends its column right.
-        let reqs: Vec<Request> =
-            (0..ranks).map(|r| w.irecv(r, &col, 1, (r + ranks - 1) % ranks, 5)).collect();
+        let reqs: Vec<Request> = (0..ranks)
+            .map(|r| w.irecv(r, &col, 1, (r + ranks - 1) % ranks, 5))
+            .collect();
         for r in 0..ranks {
             let buf = bufs[r as usize].clone();
             w.isend(r, &buf, origin, &col, 1, (r + 1) % ranks, 5);
@@ -374,7 +411,11 @@ mod tests {
             let left = &bufs[((r + ranks - 1) % ranks) as usize];
             nca_ddt::typemap::for_each_block(&col, 1, |off, len| {
                 let s = (off - origin) as usize;
-                assert_eq!(&got[s..s + len as usize], &left[s..s + len as usize], "rank {r}");
+                assert_eq!(
+                    &got[s..s + len as usize],
+                    &left[s..s + len as usize],
+                    "rank {r}"
+                );
             });
         }
     }
@@ -449,7 +490,11 @@ mod collective_tests {
         let ranks = 4u32;
         let mut w = World::new(ranks, NicParams::with_hpus(8));
         let bufs: Vec<Vec<u8>> = (0..ranks)
-            .map(|r| (0..span as usize).map(|i| ((i + 13 * r as usize) % 251) as u8).collect())
+            .map(|r| {
+                (0..span as usize)
+                    .map(|i| ((i + 13 * r as usize) % 251) as u8)
+                    .collect()
+            })
             .collect();
         let got = w.alltoall(&dt, 1, &bufs, 77);
         for (r, per_src) in got.iter().enumerate() {
@@ -477,8 +522,13 @@ mod collective_tests {
         let (_, span) = buffer_span(&dt, 1);
         let ranks = 3u32;
         let mut w = World::new(ranks, NicParams::with_hpus(8));
-        let bufs: Vec<Vec<u8>> =
-            (0..ranks).map(|r| (0..span as usize).map(|i| ((i + r as usize) % 251) as u8).collect()).collect();
+        let bufs: Vec<Vec<u8>> = (0..ranks)
+            .map(|r| {
+                (0..span as usize)
+                    .map(|i| ((i + r as usize) % 251) as u8)
+                    .collect()
+            })
+            .collect();
         let _ = w.alltoall(&dt, 1, &bufs, 1);
         // all receives were pre-posted: no unexpected-message fallbacks
         assert_eq!(w.unexpected_fallbacks, 0);

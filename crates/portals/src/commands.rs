@@ -119,7 +119,11 @@ impl StreamingPut {
         }
         if self.closed {
             if let Some(last) = out.last_mut() {
-                last.kind = if last.seq == 0 { PacketKind::Only } else { PacketKind::Completion };
+                last.kind = if last.seq == 0 {
+                    PacketKind::Only
+                } else {
+                    PacketKind::Completion
+                };
             }
         }
         out
@@ -132,7 +136,11 @@ impl StreamingPut {
             seq,
             offset: self.emitted_bytes,
             len,
-            kind: if seq == 0 { PacketKind::Header } else { PacketKind::Payload },
+            kind: if seq == 0 {
+                PacketKind::Header
+            } else {
+                PacketKind::Payload
+            },
         };
         self.emitted_pkts += 1;
         self.emitted_bytes += len;
@@ -173,16 +181,36 @@ mod tests {
 
     #[test]
     fn streaming_put_single_message_packets() {
-        let mut sp = StreamingPut::start(9, 0xC0DE, 2048, Region { offset: 0, len: 3000 });
+        let mut sp = StreamingPut::start(
+            9,
+            0xC0DE,
+            2048,
+            Region {
+                offset: 0,
+                len: 3000,
+            },
+        );
         let p1 = sp.drain_ready_packets();
         assert_eq!(p1.len(), 1); // one full payload ready
         assert_eq!(p1[0].kind, PacketKind::Header);
-        sp.stream(Region { offset: 8192, len: 2000 }, false);
+        sp.stream(
+            Region {
+                offset: 8192,
+                len: 2000,
+            },
+            false,
+        );
         let p2 = sp.drain_ready_packets();
         assert_eq!(p2.len(), 1);
         assert_eq!(p2[0].seq, 1);
         assert_eq!(p2[0].kind, PacketKind::Payload);
-        sp.stream(Region { offset: 100_000, len: 1000 }, true);
+        sp.stream(
+            Region {
+                offset: 100_000,
+                len: 1000,
+            },
+            true,
+        );
         let p3 = sp.drain_ready_packets();
         // 3000+2000+1000 = 6000; 4096 emitted; 1904 remain -> 1 final pkt
         assert_eq!(p3.len(), 1);
@@ -193,9 +221,29 @@ mod tests {
 
     #[test]
     fn streaming_equals_plain_put_packetization() {
-        let mut sp = StreamingPut::start(3, 0, 2048, Region { offset: 0, len: 2500 });
-        sp.stream(Region { offset: 4096, len: 2500 }, false);
-        sp.stream(Region { offset: 9000, len: 1192 }, true);
+        let mut sp = StreamingPut::start(
+            3,
+            0,
+            2048,
+            Region {
+                offset: 0,
+                len: 2500,
+            },
+        );
+        sp.stream(
+            Region {
+                offset: 4096,
+                len: 2500,
+            },
+            false,
+        );
+        sp.stream(
+            Region {
+                offset: 9000,
+                len: 1192,
+            },
+            true,
+        );
         let mut streamed = sp.drain_ready_packets();
         let mut more = sp.drain_ready_packets();
         streamed.append(&mut more);
@@ -204,8 +252,22 @@ mod tests {
 
     #[test]
     fn single_region_closed_start_is_only_packet() {
-        let mut sp = StreamingPut::start(1, 0, 2048, Region { offset: 0, len: 100 });
-        sp.stream(Region { offset: 200, len: 0 }, true);
+        let mut sp = StreamingPut::start(
+            1,
+            0,
+            2048,
+            Region {
+                offset: 0,
+                len: 100,
+            },
+        );
+        sp.stream(
+            Region {
+                offset: 200,
+                len: 0,
+            },
+            true,
+        );
         let pkts = sp.drain_ready_packets();
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].kind, PacketKind::Only);
@@ -215,7 +277,19 @@ mod tests {
     #[should_panic(expected = "already closed")]
     fn streaming_after_close_panics() {
         let mut sp = StreamingPut::start(1, 0, 2048, Region { offset: 0, len: 10 });
-        sp.stream(Region { offset: 16, len: 10 }, true);
-        sp.stream(Region { offset: 32, len: 10 }, false);
+        sp.stream(
+            Region {
+                offset: 16,
+                len: 10,
+            },
+            true,
+        );
+        sp.stream(
+            Region {
+                offset: 32,
+                len: 10,
+            },
+            false,
+        );
     }
 }

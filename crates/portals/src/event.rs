@@ -82,8 +82,18 @@ mod tests {
     #[test]
     fn fifo_get_semantics() {
         let mut q = EventQueue::new();
-        q.post(FullEvent { kind: EventKind::Put, msg_id: 1, size: 8, time: 10 });
-        q.post(FullEvent { kind: EventKind::DmaCompleted, msg_id: 1, size: 0, time: 20 });
+        q.post(FullEvent {
+            kind: EventKind::Put,
+            msg_id: 1,
+            size: 8,
+            time: 10,
+        });
+        q.post(FullEvent {
+            kind: EventKind::DmaCompleted,
+            msg_id: 1,
+            size: 0,
+            time: 20,
+        });
         assert_eq!(q.pending(), 2);
         assert_eq!(q.get().unwrap().kind, EventKind::Put);
         assert_eq!(q.get().unwrap().time, 20);

@@ -99,7 +99,11 @@ impl MatchingUnit {
     /// Process the header packet of message `msg_id`: walk the priority
     /// list then the overflow list. On a match, the ME is pinned to the
     /// message (and unlinked from its list if `use_once`).
-    pub fn match_header(&mut self, msg_id: u64, bits: MatchBits) -> (MatchOutcome, Option<&MatchEntry>) {
+    pub fn match_header(
+        &mut self,
+        msg_id: u64,
+        bits: MatchBits,
+    ) -> (MatchOutcome, Option<&MatchEntry>) {
         let from_priority = self.priority.iter().position(|me| me.matches(bits));
         let (outcome, pos, list_is_priority) = match from_priority {
             Some(p) => (MatchOutcome::Priority, p, true),
@@ -108,7 +112,11 @@ impl MatchingUnit {
                 None => return (MatchOutcome::Discard, None),
             },
         };
-        let list = if list_is_priority { &mut self.priority } else { &mut self.overflow };
+        let list = if list_is_priority {
+            &mut self.priority
+        } else {
+            &mut self.overflow
+        };
         let me = if list[pos].use_once {
             list.remove(pos)
         } else {

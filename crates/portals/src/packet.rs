@@ -62,7 +62,13 @@ impl Packet {
 pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
     assert!(payload_size > 0, "payload size must be positive");
     if msg_len == 0 {
-        return vec![Packet { msg_id, seq: 0, offset: 0, len: 0, kind: PacketKind::Only }];
+        return vec![Packet {
+            msg_id,
+            seq: 0,
+            offset: 0,
+            len: 0,
+            kind: PacketKind::Only,
+        }];
     }
     let npkt = msg_len.div_ceil(payload_size);
     (0..npkt)
@@ -75,7 +81,13 @@ pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
                 (false, true) => PacketKind::Completion,
                 (false, false) => PacketKind::Payload,
             };
-            Packet { msg_id, seq, offset, len, kind }
+            Packet {
+                msg_id,
+                seq,
+                offset,
+                len,
+                kind,
+            }
         })
         .collect()
 }
@@ -125,7 +137,13 @@ mod tests {
 
     #[test]
     fn wire_bytes_include_header() {
-        let p = Packet { msg_id: 0, seq: 0, offset: 0, len: 2048, kind: PacketKind::Only };
+        let p = Packet {
+            msg_id: 0,
+            seq: 0,
+            offset: 0,
+            len: 2048,
+            kind: PacketKind::Only,
+        };
         assert_eq!(p.wire_bytes(64), 2112);
     }
 }

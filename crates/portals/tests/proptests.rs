@@ -7,7 +7,15 @@ use nca_portals::matching::{MatchEntry, MatchOutcome, MatchingUnit};
 use nca_portals::packet::{packetize, PacketKind};
 
 fn me(bits: u64, ignore: u64, use_once: bool) -> MatchEntry {
-    MatchEntry { id: 0, match_bits: bits, ignore_bits: ignore, start: 0, length: 1 << 20, exec_ctx: None, use_once }
+    MatchEntry {
+        id: 0,
+        match_bits: bits,
+        ignore_bits: ignore,
+        start: 0,
+        length: 1 << 20,
+        exec_ctx: None,
+        use_once,
+    }
 }
 
 proptest! {

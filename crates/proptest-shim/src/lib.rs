@@ -1,0 +1,261 @@
+//! # nca-proptest — offline stand-in for the `proptest` crate
+//!
+//! The workspace builds in containers with no access to crates.io, so
+//! the external `proptest` dev-dependency is replaced by this shim
+//! (wired up via dependency renaming in the workspace `Cargo.toml`).
+//!
+//! It implements the subset of the proptest 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, `boxed`,
+//! * range / tuple / [`strategy::Just`] / [`any`] strategies,
+//!   [`prop_oneof!`] unions, and [`collection::vec`].
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs but
+//!   is not minimized.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the
+//!   test's module path and name, so runs are reproducible in CI; set
+//!   `PROPTEST_SEED=<n>` to mix in a different seed.
+//! * Default case count is 64 (upstream: 256) to keep the simulation-
+//!   heavy suites fast; `ProptestConfig::with_cases` overrides it.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __ran: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __ran < __cfg.cases {
+                    let mut __inputs = String::new();
+                    $(
+                        let __val = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push_str(concat!(stringify!($arg), " = "));
+                        __inputs.push_str(&$crate::test_runner::debug_truncated(&__val));
+                        __inputs.push_str("\n");
+                        let $arg = __val;
+                    )+
+                    // The closure catches the early `return Err(..)` that
+                    // prop_assert!/prop_assume! expand to.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        Ok(()) => __ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < __cfg.cases * 16,
+                                "proptest '{}': too many prop_assume! rejections ({} for {} cases)",
+                                stringify!($name), __rejected, __cfg.cases
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case {}:\n{}\ninputs:\n{}",
+                                stringify!($name), __ran, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {}\n right: {}",
+                stringify!($a),
+                stringify!($b),
+                $crate::test_runner::debug_truncated(__a),
+                $crate::test_runner::debug_truncated(__b),
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {}\n right: {}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)+),
+                $crate::test_runner::debug_truncated(__a),
+                $crate::test_runner::debug_truncated(__b),
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `a != b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {}",
+                stringify!($a),
+                stringify!($b),
+                $crate::test_runner::debug_truncated(__a),
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u64..100, v in collection::vec(0u8..10, 2..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn maps_and_unions(
+            y in prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|v| v * 2)],
+        ) {
+            prop_assert!(y == 1 || y == 2 || (20..40).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(z in 0u32..10) {
+            prop_assume!(z % 2 == 0);
+            prop_assert!(z % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honoured(_x in 0u32..10) {
+            // runs exactly 7 cases; nothing to assert beyond not panicking
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bound_depth() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursive");
+        let mut saw_node = false;
+        for _ in 0..64 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= t != Tree::Leaf;
+        }
+        assert!(saw_node, "recursion must sometimes pick deeper levels");
+    }
+
+    #[test]
+    fn flat_map_chains_generation() {
+        let strat = (1usize..4).prop_flat_map(|n| collection::vec(Just(n), n..n + 1));
+        let mut rng = crate::test_runner::TestRng::for_test("flat_map");
+        for _ in 0..32 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Test-run plumbing (subset of `proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration. Only `cases` is modeled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// The RNG handed to strategies. Seeded from the test's name so every
+/// test draws an independent, reproducible stream; set `PROPTEST_SEED`
+/// to perturb all streams at once.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Build the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                h ^= seed.rotate_left(17);
+            }
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// `format!("{:?}")` capped at `LIMIT` bytes, so failing cases with
+/// huge inputs (e.g. 100 KiB payload vectors) stay readable.
+pub fn debug_truncated<T: std::fmt::Debug>(value: &T) -> String {
+    const LIMIT: usize = 512;
+
+    struct Capped {
+        buf: String,
+        truncated: bool,
+    }
+
+    impl std::fmt::Write for Capped {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            let room = LIMIT.saturating_sub(self.buf.len());
+            if room == 0 {
+                self.truncated = true;
+                return Err(std::fmt::Error);
+            }
+            if s.len() <= room {
+                self.buf.push_str(s);
+                Ok(())
+            } else {
+                let mut end = room;
+                while !s.is_char_boundary(end) {
+                    end -= 1;
+                }
+                self.buf.push_str(&s[..end]);
+                self.truncated = true;
+                Err(std::fmt::Error)
+            }
+        }
+    }
+
+    let mut out = Capped {
+        buf: String::new(),
+        truncated: false,
+    };
+    let _ = std::fmt::write(&mut out, format_args!("{value:?}"));
+    if out.truncated {
+        out.buf.push_str("… (truncated)");
+    }
+    out.buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_rngs_are_per_test_and_deterministic() {
+        let mut a = TestRng::for_test("mod::test_a");
+        let mut b = TestRng::for_test("mod::test_a");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("mod::test_b");
+        assert_ne!(TestRng::for_test("mod::test_a").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn debug_truncation_caps_output() {
+        let big = vec![0u8; 100_000];
+        let s = debug_truncated(&big);
+        assert!(s.len() < 600);
+        assert!(s.ends_with("… (truncated)"));
+        let small = debug_truncated(&42u32);
+        assert_eq!(small, "42");
+    }
+}

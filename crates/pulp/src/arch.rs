@@ -76,7 +76,11 @@ impl PulpConfig {
     /// The BlueField-comparison configuration the paper mentions
     /// (double clusters and memory within the same area budget).
     pub fn bluefield_budget() -> PulpConfig {
-        PulpConfig { clusters: 8, l2_bank_mib: 5, ..Default::default() }
+        PulpConfig {
+            clusters: 8,
+            l2_bank_mib: 5,
+            ..Default::default()
+        }
     }
 }
 

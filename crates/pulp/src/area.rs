@@ -103,7 +103,10 @@ mod tests {
     fn totals_match_paper_anchors() {
         let a = area_breakdown(&PulpConfig::default());
         let mge = a.total / 1e6;
-        assert!((90.0..=110.0).contains(&mge), "total {mge} MGE (paper: ≈100)");
+        assert!(
+            (90.0..=110.0).contains(&mge),
+            "total {mge} MGE (paper: ≈100)"
+        );
         let mm2 = a.silicon_mm2();
         assert!((21.0..=26.0).contains(&mm2), "area {mm2} mm² (paper: 23.5)");
         let w = a.power_w();
@@ -116,7 +119,10 @@ mod tests {
         let clusters = a.clusters_total / a.total;
         let l2 = a.l2 / a.total;
         let icon = a.top_interconnect / a.total;
-        assert!((0.34..=0.44).contains(&clusters), "clusters {clusters} (paper 39%)");
+        assert!(
+            (0.34..=0.44).contains(&clusters),
+            "clusters {clusters} (paper 39%)"
+        );
         assert!((0.54..=0.64).contains(&l2), "L2 {l2} (paper 59%)");
         assert!(icon <= 0.03, "interconnect {icon} (paper ~2%)");
     }

@@ -72,6 +72,9 @@ mod tests {
     fn small_blocks_setup_bound() {
         let cfg = PulpConfig::default();
         let bw64 = dma_bandwidth_gbit(&cfg, 64);
-        assert!(bw64 < 150.0, "64 B blocks must be setup-dominated, got {bw64}");
+        assert!(
+            bw64 < 150.0,
+            "64 B blocks must be setup-dominated, got {bw64}"
+        );
     }
 }

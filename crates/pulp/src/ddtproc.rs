@@ -44,7 +44,12 @@ const STALL_PER_PACKET: f64 = 760.0;
 /// Model the RW-CP microkernel for a message of `msg_bytes` with a
 /// vector datatype of `block_bytes` blocks; `payload` is the packet
 /// payload size (2 KiB in the paper).
-pub fn rwcp_on_pulp(cfg: &PulpConfig, msg_bytes: u64, block_bytes: u64, payload: u64) -> PulpDdtResult {
+pub fn rwcp_on_pulp(
+    cfg: &PulpConfig,
+    msg_bytes: u64,
+    block_bytes: u64,
+    payload: u64,
+) -> PulpDdtResult {
     let npkt = msg_bytes.div_ceil(payload).max(1) as f64;
     let gamma = (payload as f64 / block_bytes as f64).max(1.0);
     let cores = cfg.cores() as f64;
@@ -53,13 +58,11 @@ pub fn rwcp_on_pulp(cfg: &PulpConfig, msg_bytes: u64, block_bytes: u64, payload:
     // two banks serve one access per cycle each.
     // Start from the uncontended handler time to estimate the rate.
     let instr = INSTR_PER_PACKET + gamma * INSTR_PER_BLOCK;
-    let base_stalls =
-        STALL_PER_PACKET + gamma * L2_ACCESSES_PER_BLOCK * L2_LATENCY_CYCLES;
+    let base_stalls = STALL_PER_PACKET + gamma * L2_ACCESSES_PER_BLOCK * L2_LATENCY_CYCLES;
     let uncontended = instr + base_stalls;
     let access_rate = cores * gamma * L2_ACCESSES_PER_BLOCK / uncontended;
     let over = (access_rate / cfg.l2_banks as f64 - 0.25).max(0.0);
-    let contended_latency =
-        L2_LATENCY_CYCLES * (1.0 + L2_CONTENTION_SLOPE * over * cores);
+    let contended_latency = L2_LATENCY_CYCLES * (1.0 + L2_CONTENTION_SLOPE * over * cores);
     let stalls = STALL_PER_PACKET + gamma * L2_ACCESSES_PER_BLOCK * contended_latency;
 
     let cycles_per_packet = instr + stalls;
@@ -69,7 +72,12 @@ pub fn rwcp_on_pulp(cfg: &PulpConfig, msg_bytes: u64, block_bytes: u64, payload:
     let core_time_cycles = packets_per_core * cycles_per_packet;
     let seconds = core_time_cycles / (cfg.clock_mhz as f64 * 1e6);
     let throughput_gbit = msg_bytes as f64 * 8.0 / seconds / 1e9;
-    PulpDdtResult { block_bytes, throughput_gbit, ipc, cycles_per_packet }
+    PulpDdtResult {
+        block_bytes,
+        throughput_gbit,
+        ipc,
+        cycles_per_packet,
+    }
 }
 
 /// Fixed per-packet cycles of the ARM/gem5 microkernel: HER dispatch
@@ -81,7 +89,13 @@ const ARM_FIXED_CYCLES: f64 = 1_200.0;
 
 /// The ARM/gem5 reference (paper Sec. 5.1 config: Cortex-A15 @800 MHz)
 /// for the same microkernel.
-pub fn rwcp_on_arm(cores: u32, clock_mhz: u64, msg_bytes: u64, block_bytes: u64, payload: u64) -> f64 {
+pub fn rwcp_on_arm(
+    cores: u32,
+    clock_mhz: u64,
+    msg_bytes: u64,
+    block_bytes: u64,
+    payload: u64,
+) -> f64 {
     let npkt = msg_bytes.div_ceil(payload).max(1) as f64;
     let gamma = (payload as f64 / block_bytes as f64).max(1.0);
     let cycles_per_packet = ARM_FIXED_CYCLES + gamma * 36.0;
@@ -121,7 +135,11 @@ mod tests {
         let cfg = PulpConfig::default();
         for b in [256u64, 512, 2048, 16384] {
             let r = rwcp_on_pulp(&cfg, MSG, b, 2048);
-            assert!(r.throughput_gbit >= 190.0, "block {b}: {}", r.throughput_gbit);
+            assert!(
+                r.throughput_gbit >= 190.0,
+                "block {b}: {}",
+                r.throughput_gbit
+            );
         }
         // Fig. 10 tops out around ~500 Gbit/s.
         let top = rwcp_on_pulp(&cfg, MSG, 16384, 2048).throughput_gbit;

@@ -67,7 +67,10 @@ pub fn simulate_runtime(
                 core_busy[core] += cycles.iter().sum::<u64>();
             }
         }
-        Assignment::Dynamic { dispatch_cycles, migration_cycles } => {
+        Assignment::Dynamic {
+            dispatch_cycles,
+            migration_cycles,
+        } => {
             // seq id → cluster that owns its checkpoint
             let mut home: Vec<Option<usize>> =
                 vec![None; handler_cycles.len() / seq_len.max(1) as usize + 1];
@@ -102,7 +105,11 @@ pub fn simulate_runtime(
     RuntimeReport {
         makespan_cycles: makespan,
         throughput_gbit: bytes as f64 * 8.0 / seconds / 1e9,
-        imbalance: if mean > 0.0 { makespan as f64 / mean } else { 1.0 },
+        imbalance: if mean > 0.0 {
+            makespan as f64 / mean
+        } else {
+            1.0
+        },
         migrations,
     }
 }
@@ -136,7 +143,10 @@ mod tests {
     }
 
     fn dynamic() -> Assignment {
-        Assignment::Dynamic { dispatch_cycles: 40, migration_cycles: 300 }
+        Assignment::Dynamic {
+            dispatch_cycles: 40,
+            migration_cycles: 300,
+        }
     }
 
     #[test]
@@ -146,7 +156,10 @@ mod tests {
         let d = simulate_runtime(&cfg(), &handlers, 2048, 4, dynamic());
         // Dynamic pays dispatch overhead but stays within ~10%.
         assert!(d.makespan_cycles as f64 <= s.makespan_cycles as f64 * 1.1);
-        assert!((s.imbalance - 1.0).abs() < 0.01, "uniform static is balanced");
+        assert!(
+            (s.imbalance - 1.0).abs() < 0.01,
+            "uniform static is balanced"
+        );
     }
 
     #[test]
@@ -185,8 +198,7 @@ mod tests {
         let handlers = vec![1000u64; 512];
         let r = simulate_runtime(&cfg(), &handlers, 2048, 4, Assignment::Static { chunk: 4 });
         let bytes = 512u64 * 2048;
-        let expect =
-            bytes as f64 * 8.0 / (r.makespan_cycles as f64 / 1e9 /* GHz */) / 1e9;
+        let expect = bytes as f64 * 8.0 / (r.makespan_cycles as f64 / 1e9/* GHz */) / 1e9;
         assert!((r.throughput_gbit - expect).abs() / expect < 1e-9);
     }
 }

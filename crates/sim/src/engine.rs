@@ -47,11 +47,24 @@ impl<W> Ord for Event<W> {
 /// assert_eq!(world, 11);
 /// assert_eq!(sim.now(), ns(15));
 /// ```
+/// Observer of the event loop itself (dispatch rate, heap depth).
+///
+/// The engine cannot depend on any metrics crate, so instrumentation is
+/// inverted: a probe is installed by the caller (e.g. an adapter over
+/// `nca-telemetry`) and invoked once per executed event. When no probe
+/// is installed the loop pays a single `Option` check per event.
+pub trait SimProbe {
+    /// Called after an event is popped, before its closure runs.
+    /// `pending` is the heap depth after the pop.
+    fn event_dispatched(&self, now: Time, executed: u64, pending: usize);
+}
+
 pub struct Sim<W> {
     now: Time,
     seq: u64,
     queue: BinaryHeap<Reverse<Event<W>>>,
     executed: u64,
+    probe: Option<Box<dyn SimProbe>>,
 }
 
 impl<W> Default for Sim<W> {
@@ -63,7 +76,18 @@ impl<W> Default for Sim<W> {
 impl<W> Sim<W> {
     /// Create an empty simulator at time 0.
     pub fn new() -> Self {
-        Sim { now: 0, seq: 0, queue: BinaryHeap::new(), executed: 0 }
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            probe: None,
+        }
+    }
+
+    /// Install an event-loop observer (replacing any previous one).
+    pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
+        self.probe = Some(probe);
     }
 
     /// Current simulated time.
@@ -84,10 +108,19 @@ impl<W> Sim<W> {
     /// Schedule `f` at absolute time `at`. Scheduling in the past panics —
     /// it is always a model bug.
     pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
-        assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {} < {}",
+            at,
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, f: Box::new(f) }));
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            f: Box::new(f),
+        }));
     }
 
     /// Schedule `f` `delay` after now.
@@ -121,6 +154,9 @@ impl<W> Sim<W> {
                 debug_assert!(ev.at >= self.now, "time went backwards");
                 self.now = ev.at;
                 self.executed += 1;
+                if let Some(p) = &self.probe {
+                    p.event_dispatched(self.now, self.executed, self.queue.len());
+                }
                 (ev.f)(world, self);
                 true
             }

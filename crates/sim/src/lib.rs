@@ -19,6 +19,6 @@ pub mod fifo;
 pub mod stats;
 pub mod units;
 
-pub use engine::{Sim, Time};
+pub use engine::{Sim, SimProbe, Time};
 pub use fifo::TrackedFifo;
 pub use units::{ns, ps, us, Bandwidth};

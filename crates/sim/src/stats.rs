@@ -25,24 +25,26 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
-/// Geometric mean of positive values; 0 if empty or any value ≤ 0.
-/// (Fig. 17 reports geometric means of data volumes.)
-pub fn geomean(xs: &[f64]) -> f64 {
+/// Geometric mean of positive values; `None` if the input is empty or
+/// contains a value ≤ 0 (the mean is undefined, not zero — callers must
+/// decide how to report that). (Fig. 17 reports geometric means of data
+/// volumes.)
+pub fn geomean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
-        return 0.0;
+        return None;
     }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
-/// p-th percentile (0..=100), nearest-rank; 0 for empty input.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
+/// p-th percentile (0..=100), nearest-rank; `None` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-    v[rank.min(v.len() - 1)]
+    Some(v[rank.min(v.len() - 1)])
 }
 
 /// A log₂ histogram over positive values (Fig. 17 uses a log-x histogram
@@ -61,7 +63,9 @@ pub fn log2_histogram(xs: &[f64]) -> Log2Histogram {
         let k = if x < 1.0 { 0 } else { x.log2().floor() as u32 };
         *map.entry(k).or_insert(0) += 1;
     }
-    Log2Histogram { buckets: map.into_iter().map(|(k, c)| (1u64 << k, c)).collect() }
+    Log2Histogram {
+        buckets: map.into_iter().map(|(k, c)| (1u64 << k, c)).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -78,18 +82,25 @@ mod tests {
 
     #[test]
     fn geomean_matches_definition() {
-        let g = geomean(&[2.0, 8.0]);
+        let g = geomean(&[2.0, 8.0]).expect("defined");
         assert!((g - 4.0).abs() < 1e-12);
-        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        assert_eq!(
+            geomean(&[1.0, 0.0]),
+            None,
+            "zero makes the geomean undefined"
+        );
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[-1.0, 2.0]), None);
     }
 
     #[test]
     fn percentile_nearest_rank() {
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 0.0), 1.0);
-        assert_eq!(percentile(&xs, 100.0), 100.0);
-        let p50 = percentile(&xs, 50.0);
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        let p50 = percentile(&xs, 50.0).expect("defined");
         assert!((p50 - 50.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 50.0), None);
     }
 
     #[test]

@@ -46,13 +46,17 @@ impl Bandwidth {
     /// From Gbit/s (e.g. the paper's 200 Gbit/s line rate).
     pub fn gbit_per_s(g: f64) -> Bandwidth {
         // 1 Gbit/s = 0.125 GB/s = 8 ps/byte per Gbit.
-        Bandwidth { ps_per_byte: 8_000.0 / g }
+        Bandwidth {
+            ps_per_byte: 8_000.0 / g,
+        }
     }
 
     /// From GiB/s (e.g. the paper's 50 GiB/s NIC memory).
     pub fn gib_per_s(g: f64) -> Bandwidth {
         let bytes_per_ps = g * (1u64 << 30) as f64 / 1e12;
-        Bandwidth { ps_per_byte: 1.0 / bytes_per_ps }
+        Bandwidth {
+            ps_per_byte: 1.0 / bytes_per_ps,
+        }
     }
 
     /// Serialization time for `bytes` at this rate, rounded up to 1 ps
@@ -71,7 +75,9 @@ impl Bandwidth {
 
     /// Scale the bandwidth by a factor (e.g. per-channel share).
     pub fn scaled(&self, factor: f64) -> Bandwidth {
-        Bandwidth { ps_per_byte: self.ps_per_byte / factor }
+        Bandwidth {
+            ps_per_byte: self.ps_per_byte / factor,
+        }
     }
 }
 

@@ -37,7 +37,11 @@ impl MessageProcessor for ContigProcessor {
 
     fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
         HandlerOutput {
-            cost: HandlerCost { init: self.handler_time, setup: 0, processing: 0 },
+            cost: HandlerCost {
+                init: self.handler_time,
+                setup: 0,
+                processing: 0,
+            },
             dma: vec![DmaWrite::data(
                 self.base + ctx.stream_offset as i64,
                 ctx.payload.to_vec(),
@@ -87,6 +91,7 @@ mod tests {
                 out_of_order: Some(seed),
                 record_dma_history: false,
                 portals: None,
+                telemetry: nca_telemetry::Telemetry::disabled(),
             };
             let report = ReceiveSim::run(proc, msg.clone(), 0, msg.len() as u64, &cfg);
             assert_eq!(report.host_buf, msg, "seed {seed}");
@@ -98,11 +103,19 @@ mod tests {
         let msg = vec![7u8; 4 << 20];
         let params = NicParams::with_hpus(16);
         let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
-        let report =
-            ReceiveSim::run(proc, msg.clone(), 0, msg.len() as u64, &RunConfig::new(params));
+        let report = ReceiveSim::run(
+            proc,
+            msg.clone(),
+            0,
+            msg.len() as u64,
+            &RunConfig::new(params),
+        );
         let tp = report.throughput_gbit();
         assert!(tp <= 200.0, "cannot beat line rate, got {tp}");
-        assert!(tp > 150.0, "contiguous receive should be near line rate, got {tp}");
+        assert!(
+            tp > 150.0,
+            "contiguous receive should be near line rate, got {tp}"
+        );
     }
 
     #[test]
@@ -115,8 +128,13 @@ mod tests {
         params.hpus = 1;
         let slow = nca_sim::us(1);
         let proc = Box::new(ContigProcessor::new(0, slow));
-        let report =
-            ReceiveSim::run(proc, msg.clone(), 0, msg.len() as u64, &RunConfig::new(params));
+        let report = ReceiveSim::run(
+            proc,
+            msg.clone(),
+            0,
+            msg.len() as u64,
+            &RunConfig::new(params),
+        );
         let t = report.processing_time();
         assert!(
             t >= npkt * slow,
@@ -127,7 +145,16 @@ mod tests {
         // With 16 HPUs the same run is much faster.
         let params16 = NicParams::with_hpus(16);
         let proc16 = Box::new(ContigProcessor::new(0, slow));
-        let fast = ReceiveSim::run(proc16, msg.clone(), 0, msg.len() as u64, &RunConfig::new(params16));
-        assert!(fast.processing_time() * 4 < t, "16 HPUs should be >4x faster");
+        let fast = ReceiveSim::run(
+            proc16,
+            msg.clone(),
+            0,
+            msg.len() as u64,
+            &RunConfig::new(params16),
+        );
+        assert!(
+            fast.processing_time() * 4 < t,
+            "16 HPUs should be >4x faster"
+        );
     }
 }

@@ -27,12 +27,20 @@ pub struct DmaWrite {
 impl DmaWrite {
     /// A data write without completion event.
     pub fn data(host_off: i64, data: Vec<u8>) -> Self {
-        DmaWrite { host_off, data, event: false }
+        DmaWrite {
+            host_off,
+            data,
+            event: false,
+        }
     }
 
     /// The final zero-byte write with event generation.
     pub fn completion_signal() -> Self {
-        DmaWrite { host_off: 0, data: Vec::new(), event: true }
+        DmaWrite {
+            host_off: 0,
+            data: Vec::new(),
+            event: true,
+        }
     }
 }
 
@@ -83,6 +91,9 @@ pub struct PacketCtx<'a> {
     pub npkt: u64,
     /// The vHPU this handler runs on (strategies keep per-vHPU state).
     pub vhpu: u64,
+    /// Simulated time the handler starts (ps), so strategies can stamp
+    /// their own telemetry without a side channel to the engine.
+    pub now: Time,
 }
 
 /// Packet scheduling policy (paper Sec. 3.2.1).
@@ -154,7 +165,10 @@ mod tests {
 
     #[test]
     fn policy_vhpu_mapping() {
-        let p = SchedPolicy::BlockedRR { delta_p: 4, num_vhpus: 3 };
+        let p = SchedPolicy::BlockedRR {
+            delta_p: 4,
+            num_vhpus: 3,
+        };
         // packets 0..3 -> vhpu 0, 4..7 -> vhpu 1, 8..11 -> vhpu 2, 12..15 -> vhpu 0
         assert_eq!(p.vhpu_of(0), 0);
         assert_eq!(p.vhpu_of(3), 0);
@@ -167,9 +181,17 @@ mod tests {
 
     #[test]
     fn cost_totals() {
-        let mut a = HandlerCost { init: 10, setup: 20, processing: 30 };
+        let mut a = HandlerCost {
+            init: 10,
+            setup: 20,
+            processing: 30,
+        };
         assert_eq!(a.total(), 60);
-        a.add(&HandlerCost { init: 1, setup: 2, processing: 3 });
+        a.add(&HandlerCost {
+            init: 1,
+            setup: 2,
+            processing: 3,
+        });
         assert_eq!(a.total(), 66);
     }
 }

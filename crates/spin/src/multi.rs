@@ -100,7 +100,11 @@ impl MultiScheduler {
         }
         let mut rotated = 0;
         while let Some(key) = self.runnable.pop_front() {
-            let has_work = self.queues.get(&key).map(|q| !q.is_empty()).unwrap_or(false);
+            let has_work = self
+                .queues
+                .get(&key)
+                .map(|q| !q.is_empty())
+                .unwrap_or(false);
             if !has_work {
                 continue;
             }
@@ -112,7 +116,12 @@ impl MultiScheduler {
                 }
                 continue;
             }
-            let pkt = self.queues.get_mut(&key).expect("queue").pop_front().expect("work");
+            let pkt = self
+                .queues
+                .get_mut(&key)
+                .expect("queue")
+                .pop_front()
+                .expect("work");
             self.busy.insert(key);
             self.free_hpus -= 1;
             return Some((key, pkt));
@@ -123,7 +132,12 @@ impl MultiScheduler {
     fn done(&mut self, key: (usize, u64)) {
         self.free_hpus += 1;
         self.busy.remove(&key);
-        if self.queues.get(&key).map(|q| !q.is_empty()).unwrap_or(false) {
+        if self
+            .queues
+            .get(&key)
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+        {
             self.runnable.push_back(key);
         }
     }
@@ -169,6 +183,7 @@ impl MultiWorld {
             seq: pkt.seq,
             npkt: st.packets.len() as u64,
             vhpu,
+            now: sim.now(),
         };
         let out = st.proc.on_payload(&ctx);
         st.handler_costs.push(out.cost);
@@ -342,7 +357,9 @@ mod tests {
     use crate::builtin::ContigProcessor;
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i + seed as usize) % 251) as u8).collect()
+        (0..len)
+            .map(|i| ((i + seed as usize) % 251) as u8)
+            .collect()
     }
 
     fn spec(len: usize, seed: u8, start: Time, handler: Time) -> MessageSpec {
@@ -359,10 +376,7 @@ mod tests {
     fn two_concurrent_messages_land_byte_exact() {
         let p = NicParams::with_hpus(8);
         let h = p.spin_min_handler();
-        let reports = run_concurrent(
-            vec![spec(64 << 10, 1, 0, h), spec(64 << 10, 2, 0, h)],
-            &p,
-        );
+        let reports = run_concurrent(vec![spec(64 << 10, 1, 0, h), spec(64 << 10, 2, 0, h)], &p);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].host_buf, pattern(64 << 10, 1));
         assert_eq!(reports[1].host_buf, pattern(64 << 10, 2));
@@ -375,14 +389,18 @@ mod tests {
         let p = NicParams::with_hpus(16);
         let h = p.spin_min_handler();
         let alone = run_concurrent(vec![spec(256 << 10, 1, 0, h)], &p);
-        let both = run_concurrent(
-            vec![spec(256 << 10, 1, 0, h), spec(256 << 10, 2, 0, h)],
-            &p,
-        );
+        let both = run_concurrent(vec![spec(256 << 10, 1, 0, h), spec(256 << 10, 2, 0, h)], &p);
         let t1 = alone[0].t_complete;
-        let t2 = both.iter().map(|r| r.t_complete).max().expect("two reports");
+        let t2 = both
+            .iter()
+            .map(|r| r.t_complete)
+            .max()
+            .expect("two reports");
         assert!(t2 as f64 > 1.7 * t1 as f64, "link sharing: {t2} vs {t1}");
-        assert!((t2 as f64) < 2.6 * t1 as f64, "no pathological serialization");
+        assert!(
+            (t2 as f64) < 2.6 * t1 as f64,
+            "no pathological serialization"
+        );
     }
 
     #[test]
@@ -397,8 +415,7 @@ mod tests {
             &p,
         );
         let t1 = alone[0].t_complete - alone[0].t_first_byte;
-        let t2 = both.iter().map(|r| r.t_complete).max().expect("max")
-            - both[0].t_first_byte;
+        let t2 = both.iter().map(|r| r.t_complete).max().expect("max") - both[0].t_first_byte;
         assert!(t2 as f64 > 1.8 * t1 as f64, "HPU contention: {t2} vs {t1}");
     }
 
@@ -407,7 +424,10 @@ mod tests {
         let p = NicParams::with_hpus(8);
         let h = p.spin_min_handler();
         let reports = run_concurrent(
-            vec![spec(32 << 10, 1, 0, h), spec(32 << 10, 2, nca_sim::us(500), h)],
+            vec![
+                spec(32 << 10, 1, 0, h),
+                spec(32 << 10, 2, nca_sim::us(500), h),
+            ],
             &p,
         );
         assert!(reports[0].t_complete < reports[1].t_complete);
@@ -418,8 +438,9 @@ mod tests {
     fn many_small_messages_all_complete() {
         let p = NicParams::with_hpus(4);
         let h = p.spin_min_handler();
-        let specs: Vec<MessageSpec> =
-            (0..20).map(|i| spec(4096, i as u8, (i as u64) * nca_sim::us(1), h)).collect();
+        let specs: Vec<MessageSpec> = (0..20)
+            .map(|i| spec(4096, i as u8, (i as u64) * nca_sim::us(1), h))
+            .collect();
         let reports = run_concurrent(specs, &p);
         assert_eq!(reports.len(), 20);
         for (i, r) in reports.iter().enumerate() {

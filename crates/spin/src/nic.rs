@@ -24,6 +24,7 @@ use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
 use nca_portals::packet::{packetize, Packet};
 use nca_sim::{Sim, Time, TrackedFifo};
+use nca_telemetry::{probe::SimTelemetryProbe, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -67,12 +68,21 @@ pub struct RunConfig {
     /// Portals matching state. `None` models an implicit
     /// execution-context-attached ME (every packet goes to sPIN).
     pub portals: Option<PortalsSetup>,
+    /// Trace sink for the run. Disabled by default: every record call
+    /// is then a single branch.
+    pub telemetry: Telemetry,
 }
 
 impl RunConfig {
     /// In-order run with default parameters and an implicit sPIN ME.
     pub fn new(params: NicParams) -> Self {
-        RunConfig { params, out_of_order: None, record_dma_history: false, portals: None }
+        RunConfig {
+            params,
+            out_of_order: None,
+            record_dma_history: false,
+            portals: None,
+            telemetry: Telemetry::disabled(),
+        }
     }
 }
 
@@ -137,7 +147,10 @@ impl RunReport {
         if self.handler_costs.is_empty() {
             return 0.0;
         }
-        self.handler_costs.iter().map(|c| c.total() as f64).sum::<f64>()
+        self.handler_costs
+            .iter()
+            .map(|c| c.total() as f64)
+            .sum::<f64>()
             / self.handler_costs.len() as f64
     }
 }
@@ -175,7 +188,11 @@ impl Scheduler {
         }
         let mut rotated = 0;
         while let Some(vhpu) = self.runnable.pop_front() {
-            let has_work = self.queues.get(&vhpu).map(|q| !q.is_empty()).unwrap_or(false);
+            let has_work = self
+                .queues
+                .get(&vhpu)
+                .map(|q| !q.is_empty())
+                .unwrap_or(false);
             if !has_work {
                 continue; // stale entry
             }
@@ -188,7 +205,12 @@ impl Scheduler {
                 }
                 continue;
             }
-            let pkt = self.queues.get_mut(&vhpu).expect("queue exists").pop_front().expect("work");
+            let pkt = self
+                .queues
+                .get_mut(&vhpu)
+                .expect("queue exists")
+                .pop_front()
+                .expect("work");
             self.busy.insert(vhpu);
             self.free_hpus -= 1;
             return Some((vhpu, pkt));
@@ -199,7 +221,12 @@ impl Scheduler {
     fn handler_done(&mut self, vhpu: u64) {
         self.free_hpus += 1;
         self.busy.remove(&vhpu);
-        if self.queues.get(&vhpu).map(|q| !q.is_empty()).unwrap_or(false) {
+        if self
+            .queues
+            .get(&vhpu)
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+        {
             self.runnable.push_back(vhpu);
         }
     }
@@ -232,12 +259,14 @@ struct World {
     path: MsgPath,
     events: EventQueue,
     arrived: u64,
+    tel: Telemetry,
 }
 
 impl World {
     fn packet_arrival(&mut self, sim: &mut Sim<World>, idx: usize) {
         let pkt = self.packets[idx].clone();
         self.arrived += 1;
+        self.tel.counter("spin", "packets_arrived", 0, sim.now(), 1);
         // The header packet triggers the Portals matching walk and fixes
         // the message's data path (the pinned ME serves the rest).
         if pkt.kind.is_header() {
@@ -259,8 +288,7 @@ impl World {
         match self.path {
             MsgPath::Spin => {
                 // Inbound engine: copy payload into NIC memory, then HER.
-                let inbound =
-                    self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+                let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
                 sim.schedule_in(inbound, move |w, s| w.her_ready(s, idx));
             }
             MsgPath::NonProcessing | MsgPath::Unexpected => {
@@ -270,16 +298,19 @@ impl World {
                 let last = self.arrived == self.packets.len() as u64;
                 let overflow = self.path == MsgPath::Unexpected;
                 sim.schedule_in(passthrough, move |w, s| {
-                    let payload = w.packed
-                        [pkt.offset as usize..(pkt.offset + pkt.len) as usize]
-                        .to_vec();
+                    let payload =
+                        w.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize].to_vec();
                     w.enqueue_dma(
                         s,
                         DmaWrite::data(w.host_origin + pkt.offset as i64, payload),
                     );
                     if last {
                         w.events.post(FullEvent {
-                            kind: if overflow { EventKind::PutOverflow } else { EventKind::Put },
+                            kind: if overflow {
+                                EventKind::PutOverflow
+                            } else {
+                                EventKind::Put
+                            },
                             msg_id: pkt.msg_id,
                             size: w.packed.len() as u64,
                             time: s.now(),
@@ -309,23 +340,26 @@ impl World {
         while let Some((vhpu, idx)) = self.sched.next_dispatch() {
             let pkt = self.packets[idx].clone();
             let dispatch = self.params.sched_dispatch;
+            self.tel.instant("spin", "dispatch", vhpu, sim.now());
             sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, pkt));
         }
     }
 
     fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, pkt: Packet) {
-        let payload =
-            &self.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize];
+        let payload = &self.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize];
         let ctx = PacketCtx {
             payload,
             stream_offset: pkt.offset,
             seq: pkt.seq,
             npkt: self.packets.len() as u64,
             vhpu,
+            now: sim.now(),
         };
         let out = self.proc.on_payload(&ctx);
         self.handler_costs.push(out.cost);
         let runtime = out.cost.total();
+        self.tel
+            .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
         sim.schedule_in(runtime, move |w, s| w.handler_done(s, vhpu, out.dma));
     }
 
@@ -353,6 +387,16 @@ impl World {
 
     fn enqueue_dma(&mut self, sim: &mut Sim<World>, w: DmaWrite) {
         self.dma.queue.push(sim.now(), w);
+        // Sampled at exactly the FIFO's own history points (occupancy
+        // after the push/pop) so a trace-driven Fig. 15 reproduces
+        // `dma_history` sample for sample.
+        self.tel.gauge(
+            "spin",
+            "dma_queue",
+            0,
+            sim.now(),
+            self.dma.queue.len() as f64,
+        );
         self.kick_dma(sim);
     }
 
@@ -369,6 +413,13 @@ impl World {
             let Some(w) = self.dma.queue.pop(sim.now()) else {
                 return;
             };
+            self.tel.gauge(
+                "spin",
+                "dma_queue",
+                0,
+                sim.now(),
+                self.dma.queue.len() as f64,
+            );
             self.dma.busy += 1;
             let service = self.params.dma_service_time(w.data.len() as u64);
             let landing = self.params.pcie_latency;
@@ -395,6 +446,7 @@ impl World {
         if w.event {
             // Completion event: the message is fully in the receive buffer.
             self.t_complete = Some(t);
+            self.tel.instant("spin", "message_complete", 0, t);
         }
     }
 }
@@ -456,9 +508,21 @@ impl ReceiveSim {
             path: MsgPath::Spin,
             events: EventQueue::new(),
             arrived: 0,
+            tel: cfg.telemetry.clone(),
         };
 
         let mut sim: Sim<World> = Sim::new();
+        if cfg.telemetry.is_enabled() {
+            sim.set_probe(Box::new(SimTelemetryProbe::new(
+                cfg.telemetry.clone(),
+                "sim",
+            )));
+            // One-shot allocation sample: the strategy's NIC-memory
+            // footprint is fixed for the lifetime of the receive.
+            world
+                .tel
+                .gauge("spin", "nic_mem_bytes", 0, 0, nic_mem as f64);
+        }
         let t_first_byte = params.net_latency;
         let mut t = t_first_byte;
         for &pkt_idx in &order {
@@ -521,6 +585,7 @@ mod tests {
             out_of_order: None,
             record_dma_history: false,
             portals,
+            telemetry: Telemetry::disabled(),
         };
         ReceiveSim::run(proc_, msg(n), 0, n as u64, &cfg)
     }
@@ -529,7 +594,13 @@ mod tests {
     fn matched_priority_with_exec_ctx_takes_spin_path() {
         let mut mu = MatchingUnit::new();
         mu.append_priority(me(0xCAFE, Some(1)));
-        let r = run_with(Some(PortalsSetup { matching: mu, match_bits: 0xCAFE }), 8192);
+        let r = run_with(
+            Some(PortalsSetup {
+                matching: mu,
+                match_bits: 0xCAFE,
+            }),
+            8192,
+        );
         assert_eq!(r.path, MsgPath::Spin);
         assert_eq!(r.host_buf, msg(8192));
         assert!(!r.handler_costs.is_empty(), "handlers must have run");
@@ -539,7 +610,13 @@ mod tests {
     fn matched_plain_me_takes_non_processing_path() {
         let mut mu = MatchingUnit::new();
         mu.append_priority(me(0xCAFE, None));
-        let r = run_with(Some(PortalsSetup { matching: mu, match_bits: 0xCAFE }), 8192);
+        let r = run_with(
+            Some(PortalsSetup {
+                matching: mu,
+                match_bits: 0xCAFE,
+            }),
+            8192,
+        );
         assert_eq!(r.path, MsgPath::NonProcessing);
         assert_eq!(r.host_buf, msg(8192), "RDMA path must still land the bytes");
         assert!(r.handler_costs.is_empty(), "no handlers on the RDMA path");
@@ -550,10 +627,23 @@ mod tests {
     fn overflow_match_is_unexpected_with_event() {
         let mut mu = MatchingUnit::new();
         mu.append_priority(me(0x1111, Some(1))); // does not match
-        mu.append_overflow(MatchEntry { ignore_bits: !0, ..me(0, None) }); // wildcard
-        let r = run_with(Some(PortalsSetup { matching: mu, match_bits: 0xCAFE }), 8192);
+        mu.append_overflow(MatchEntry {
+            ignore_bits: !0,
+            ..me(0, None)
+        }); // wildcard
+        let r = run_with(
+            Some(PortalsSetup {
+                matching: mu,
+                match_bits: 0xCAFE,
+            }),
+            8192,
+        );
         assert_eq!(r.path, MsgPath::Unexpected);
-        assert_eq!(r.host_buf, msg(8192), "overflow buffer receives the packed bytes");
+        assert_eq!(
+            r.host_buf,
+            msg(8192),
+            "overflow buffer receives the packed bytes"
+        );
         assert!(r.events.iter().any(|e| e.kind == EventKind::PutOverflow));
     }
 
@@ -561,7 +651,13 @@ mod tests {
     fn no_match_discards_the_message() {
         let mut mu = MatchingUnit::new();
         mu.append_priority(me(0x1111, Some(1)));
-        let r = run_with(Some(PortalsSetup { matching: mu, match_bits: 0xCAFE }), 8192);
+        let r = run_with(
+            Some(PortalsSetup {
+                matching: mu,
+                match_bits: 0xCAFE,
+            }),
+            8192,
+        );
         assert_eq!(r.path, MsgPath::Discarded);
         assert_eq!(r.dma_bytes, 0, "discarded messages move no data");
         assert!(r.host_buf.iter().all(|&b| b == 0));
@@ -575,10 +671,25 @@ mod tests {
         // unpacked data at completion time directly.
         let mut mu_spin = MatchingUnit::new();
         mu_spin.append_priority(me(7, Some(1)));
-        let spin = run_with(Some(PortalsSetup { matching: mu_spin, match_bits: 7 }), 65536);
+        let spin = run_with(
+            Some(PortalsSetup {
+                matching: mu_spin,
+                match_bits: 7,
+            }),
+            65536,
+        );
         let mut mu_over = MatchingUnit::new();
-        mu_over.append_overflow(MatchEntry { ignore_bits: !0, ..me(0, None) });
-        let over = run_with(Some(PortalsSetup { matching: mu_over, match_bits: 7 }), 65536);
+        mu_over.append_overflow(MatchEntry {
+            ignore_bits: !0,
+            ..me(0, None)
+        });
+        let over = run_with(
+            Some(PortalsSetup {
+                matching: mu_over,
+                match_bits: 7,
+            }),
+            65536,
+        );
         // Both deliver; the overflow landing itself is comparable, but it
         // represents *packed* data (host unpack still pending).
         assert_eq!(spin.path, MsgPath::Spin);

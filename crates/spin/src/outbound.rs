@@ -50,7 +50,10 @@ pub fn pack_and_send(p: &NicParams, w: &SendWorkload) -> SendReport {
     let copy_bw_time = nca_sim::units::Bandwidth::gib_per_s(10.0).time_for(w.msg_bytes);
     let cpu = pack + copy_bw_time;
     let wire = wire_time(p, w.msg_bytes);
-    SendReport { inject_time: cpu + wire, cpu_busy: cpu }
+    SendReport {
+        inject_time: cpu + wire,
+        cpu_busy: cpu,
+    }
 }
 
 /// Streaming puts: region identification pipelined with transmission
@@ -60,7 +63,10 @@ pub fn streaming_put_send(p: &NicParams, w: &SendWorkload) -> SendReport {
     let wire = wire_time(p, w.msg_bytes);
     // Pipeline: the slower stage dominates; one region of skew as fill.
     let skew = w.cpu_stream_per_region;
-    SendReport { inject_time: skew + cpu.max(wire), cpu_busy: cpu }
+    SendReport {
+        inject_time: skew + cpu.max(wire),
+        cpu_busy: cpu,
+    }
 }
 
 /// Outbound sPIN: handlers gather; CPU only posts the command
@@ -73,7 +79,10 @@ pub fn process_put_send(p: &NicParams, w: &SendWorkload) -> SendReport {
     // npkt handlers over `hpus` HPUs, pipelined against the wire.
     let gather = npkt.div_ceil(p.hpus as u64) * handler;
     let wire = wire_time(p, w.msg_bytes);
-    SendReport { inject_time: p.sched_dispatch + handler + gather.max(wire), cpu_busy: cpu }
+    SendReport {
+        inject_time: p.sched_dispatch + handler + gather.max(wire),
+        cpu_busy: cpu,
+    }
 }
 
 fn wire_time(p: &NicParams, msg_bytes: u64) -> Time {
@@ -115,7 +124,10 @@ mod tests {
         let w = workload(4 << 20, 32_768);
         let stream = streaming_put_send(&p, &w);
         let spin = process_put_send(&p, &w);
-        assert!(spin.cpu_busy * 100 < stream.cpu_busy, "CPU must be (almost) free");
+        assert!(
+            spin.cpu_busy * 100 < stream.cpu_busy,
+            "CPU must be (almost) free"
+        );
         // With enough HPUs, injection stays comparable or better.
         assert!(spin.inject_time <= stream.inject_time * 2);
     }
@@ -126,7 +138,11 @@ mod tests {
         // Contiguous-ish message: one region; all strategies near line rate.
         let w = workload(4 << 20, 1);
         let wire = wire_time(&p, w.msg_bytes);
-        for r in [pack_and_send(&p, &w), streaming_put_send(&p, &w), process_put_send(&p, &w)] {
+        for r in [
+            pack_and_send(&p, &w),
+            streaming_put_send(&p, &w),
+            process_put_send(&p, &w),
+        ] {
             assert!(r.inject_time >= wire);
         }
     }

@@ -85,7 +85,10 @@ impl Default for NicParams {
 impl NicParams {
     /// The Fig. 8 / microbenchmark configuration (16 HPUs).
     pub fn with_hpus(hpus: usize) -> Self {
-        NicParams { hpus, ..Default::default() }
+        NicParams {
+            hpus,
+            ..Default::default()
+        }
     }
 
     /// Picoseconds per HPU cycle.
@@ -139,7 +142,7 @@ mod tests {
         assert_eq!(p.payload_size, 2048);
         assert_eq!(p.hpus, 32);
         assert_eq!(p.cycle_ps(), 1250); // 800 MHz
-        // 2112 wire bytes at 40 ps/B = 84.48 ns
+                                        // 2112 wire bytes at 40 ps/B = 84.48 ns
         assert_eq!(p.t_pkt(), 2112 * 40);
     }
 

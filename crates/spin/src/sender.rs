@@ -83,7 +83,12 @@ pub fn simulate_pack_send(
         + (bytes as f64 * costs.cpu_copy_per_byte_ps).round() as Time;
     let npkt = bytes.div_ceil(p.payload_size).max(1);
     let wire = p.line_rate.time_for(bytes + npkt * p.pkt_header_bytes);
-    SendSimReport { inject_done: cpu + wire, cpu_busy: cpu, wire_bytes: packed, packets: npkt }
+    SendSimReport {
+        inject_done: cpu + wire,
+        cpu_busy: cpu,
+        wire_bytes: packed,
+        packets: npkt,
+    }
 }
 
 struct StreamWorld {
@@ -263,7 +268,12 @@ mod tests {
         let pack = simulate_pack_send(&p, &c, &iov, &src, origin);
         let stream = simulate_streaming_put(&p, &c, &iov, &src, origin);
         let spin = simulate_process_put(&p, &c, &iov, &src, origin);
-        assert!(stream.inject_done < pack.inject_done, "{} vs {}", stream.inject_done, pack.inject_done);
+        assert!(
+            stream.inject_done < pack.inject_done,
+            "{} vs {}",
+            stream.inject_done,
+            pack.inject_done
+        );
         assert!(spin.cpu_busy * 1000 < pack.cpu_busy);
         assert!(spin.inject_done <= stream.inject_done);
     }
@@ -277,7 +287,10 @@ mod tests {
         let wire_floor = p.line_rate.time_for(reference.len() as u64);
         let cpu_floor = iov.entries.len() as u64 * c.cpu_stream_per_region;
         let floor = wire_floor.max(cpu_floor);
-        assert!(r.inject_done >= floor, "pipeline cannot beat its slowest stage");
+        assert!(
+            r.inject_done >= floor,
+            "pipeline cannot beat its slowest stage"
+        );
         assert!(
             r.inject_done < floor + floor / 2 + nca_sim::us(10),
             "pipeline must overlap: {} vs floor {}",

@@ -8,7 +8,9 @@ use nca_spin::multi::{run_concurrent, MessageSpec};
 use nca_spin::params::NicParams;
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| ((i * 7 + seed as usize) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 7 + seed as usize) % 251) as u8)
+        .collect()
 }
 
 proptest! {

@@ -1,0 +1,331 @@
+//! Trace exporters: Chrome/Perfetto `trace_event` JSON and CSV.
+//!
+//! The JSON exporter emits the "JSON array format" both `chrome://tracing`
+//! and [ui.perfetto.dev](https://ui.perfetto.dev) load directly:
+//!
+//! * each unique `(scope, component)` pair becomes a process (`pid`),
+//!   named via `process_name` metadata events,
+//! * tracks become thread ids (`tid`),
+//! * spans are `ph:"X"` complete events, instants `ph:"i"`, and
+//!   counter/gauge/value samples `ph:"C"` counter tracks (counters are
+//!   exported as running totals so the counter track shows the
+//!   cumulative count over time),
+//! * timestamps are microseconds (`ts`), converted from the simulated
+//!   picosecond clock.
+//!
+//! Everything is hand-rendered: the workspace builds offline, so no
+//! serde. Names come from instrumentation call sites but are escaped
+//! anyway.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{EventKind, Time, TraceEvent};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(t: Time) -> f64 {
+    t as f64 / 1e6
+}
+
+/// Render `events` as Chrome `trace_event` JSON (array format).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // Stable pid per (scope, component), in first-appearance order.
+    let mut pids: HashMap<(&str, &str), u32> = HashMap::new();
+    let mut processes: Vec<(&str, &str)> = Vec::new();
+    for ev in events {
+        pids.entry((ev.scope, ev.component)).or_insert_with(|| {
+            processes.push((ev.scope, ev.component));
+            processes.len() as u32
+        });
+    }
+
+    let mut out = String::from("[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&line);
+    };
+
+    for (i, (scope, component)) in processes.iter().enumerate() {
+        let pname = if scope.is_empty() {
+            (*component).to_string()
+        } else {
+            format!("{scope}/{component}")
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                r#"{{"ph":"M","pid":{},"name":"process_name","args":{{"name":"{}"}}}}"#,
+                i + 1,
+                esc(&pname)
+            ),
+        );
+    }
+
+    // Counter tracks show cumulative totals.
+    let mut totals: HashMap<(&str, &str, &str, u64), u64> = HashMap::new();
+    for ev in events {
+        let pid = pids[&(ev.scope, ev.component)];
+        let name = esc(ev.name);
+        let line = match ev.kind {
+            EventKind::Span { end } => format!(
+                r#"{{"ph":"X","pid":{pid},"tid":{},"ts":{},"dur":{},"name":"{name}","cat":"{}"}}"#,
+                ev.track,
+                ts_us(ev.time),
+                ts_us(end.saturating_sub(ev.time)),
+                esc(ev.component)
+            ),
+            EventKind::Instant => format!(
+                r#"{{"ph":"i","pid":{pid},"tid":{},"ts":{},"name":"{name}","s":"t"}}"#,
+                ev.track,
+                ts_us(ev.time)
+            ),
+            EventKind::Counter { delta } => {
+                let total = totals
+                    .entry((ev.scope, ev.component, ev.name, ev.track))
+                    .and_modify(|t| *t += delta)
+                    .or_insert(delta);
+                format!(
+                    r#"{{"ph":"C","pid":{pid},"tid":{},"ts":{},"name":"{name}","args":{{"{name}":{}}}}}"#,
+                    ev.track,
+                    ts_us(ev.time),
+                    total
+                )
+            }
+            EventKind::Gauge { value } | EventKind::Value { value } => format!(
+                r#"{{"ph":"C","pid":{pid},"tid":{},"ts":{},"name":"{name}","args":{{"{name}":{}}}}}"#,
+                ev.track,
+                ts_us(ev.time),
+                value
+            ),
+        };
+        push(&mut out, &mut first, line);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render `events` as CSV (`time_ps,scope,component,name,track,kind,value,end_ps`).
+pub fn csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("time_ps,scope,component,name,track,kind,value,end_ps\n");
+    for ev in events {
+        let (kind, value, end) = match ev.kind {
+            EventKind::Counter { delta } => ("counter", delta as f64, String::new()),
+            EventKind::Gauge { value } => ("gauge", value, String::new()),
+            EventKind::Value { value } => ("value", value, String::new()),
+            EventKind::Span { end } => ("span", 0.0, end.to_string()),
+            EventKind::Instant => ("instant", 0.0, String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            ev.time, ev.scope, ev.component, ev.name, ev.track, kind, value, end
+        );
+    }
+    out
+}
+
+/// An owned row parsed back from [`csv`] output (for round-trip tests
+/// and offline analysis scripts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRow {
+    /// Timestamp (ps).
+    pub time: Time,
+    /// Scope column.
+    pub scope: String,
+    /// Component column.
+    pub component: String,
+    /// Name column.
+    pub name: String,
+    /// Track column.
+    pub track: u64,
+    /// Kind column (`counter`/`gauge`/`value`/`span`/`instant`).
+    pub kind: String,
+    /// Value column (delta for counters, 0 for spans/instants).
+    pub value: f64,
+    /// Span end (ps), if the row is a span.
+    pub end: Option<Time>,
+}
+
+/// Parse [`csv`] output back into rows. Returns `None` on malformed
+/// input (wrong column count or unparsable numbers).
+pub fn csv_parse(text: &str) -> Option<Vec<CsvRow>> {
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 8 {
+            return None;
+        }
+        rows.push(CsvRow {
+            time: cols[0].parse().ok()?,
+            scope: cols[1].to_string(),
+            component: cols[2].to_string(),
+            name: cols[3].to_string(),
+            track: cols[4].parse().ok()?,
+            kind: cols[5].to_string(),
+            value: cols[6].parse().ok()?,
+            end: if cols[7].is_empty() {
+                None
+            } else {
+                Some(cols[7].parse().ok()?)
+            },
+        });
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                scope: "RW-CP",
+                component: "spin",
+                name: "handler",
+                track: 3,
+                time: 1_000_000,
+                kind: EventKind::Span { end: 2_500_000 },
+            },
+            TraceEvent {
+                scope: "RW-CP",
+                component: "spin",
+                name: "dma_queue",
+                track: 0,
+                time: 1_200_000,
+                kind: EventKind::Gauge { value: 4.0 },
+            },
+            TraceEvent {
+                scope: "RW-CP",
+                component: "core",
+                name: "checkpoint_revert",
+                track: 1,
+                time: 2_000_000,
+                kind: EventKind::Instant,
+            },
+            TraceEvent {
+                scope: "RW-CP",
+                component: "sim",
+                name: "events",
+                track: 0,
+                time: 500_000,
+                kind: EventKind::Counter { delta: 2 },
+            },
+            TraceEvent {
+                scope: "RW-CP",
+                component: "sim",
+                name: "events",
+                track: 0,
+                time: 900_000,
+                kind: EventKind::Counter { delta: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_json_has_processes_spans_counters_instants() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""name":"process_name""#));
+        assert!(json.contains(r#""name":"RW-CP/spin""#));
+        assert!(json.contains(r#""ph":"X""#), "span events present");
+        assert!(json.contains(r#""ph":"C""#), "counter samples present");
+        assert!(json.contains(r#""ph":"i""#), "instant events present");
+        // Span: ts 1 µs, dur 1.5 µs.
+        assert!(
+            json.contains(r#""ts":1,"dur":1.5"#),
+            "ps→µs conversion: {json}"
+        );
+        // Counter totals accumulate: 2 then 5.
+        assert!(json.contains(r#"{"events":2}"#));
+        assert!(json.contains(r#"{"events":5}"#));
+        // Balanced braces (cheap well-formedness check; no serde offline).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let evs = vec![TraceEvent {
+            scope: "",
+            component: "x",
+            name: "weird\"name\\with\nstuff",
+            track: 0,
+            time: 0,
+            kind: EventKind::Instant,
+        }];
+        let json = chrome_trace_json(&evs);
+        assert!(json.contains(r#"weird\"name\\with\nstuff"#));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let events = sample_events();
+        let text = csv(&events);
+        let rows = csv_parse(&text).expect("parsable");
+        assert_eq!(rows.len(), events.len());
+        for (row, ev) in rows.iter().zip(&events) {
+            assert_eq!(row.time, ev.time);
+            assert_eq!(row.scope, ev.scope);
+            assert_eq!(row.component, ev.component);
+            assert_eq!(row.name, ev.name);
+            assert_eq!(row.track, ev.track);
+            match ev.kind {
+                EventKind::Counter { delta } => {
+                    assert_eq!(row.kind, "counter");
+                    assert_eq!(row.value, delta as f64);
+                }
+                EventKind::Gauge { value } => {
+                    assert_eq!(row.kind, "gauge");
+                    assert_eq!(row.value, value);
+                }
+                EventKind::Value { value } => {
+                    assert_eq!(row.kind, "value");
+                    assert_eq!(row.value, value);
+                }
+                EventKind::Span { end } => {
+                    assert_eq!(row.kind, "span");
+                    assert_eq!(row.end, Some(end));
+                }
+                EventKind::Instant => assert_eq!(row.kind, "instant"),
+            }
+        }
+    }
+
+    #[test]
+    fn csv_parse_rejects_malformed_input() {
+        assert_eq!(csv_parse("header\n1,2,3\n"), None);
+        assert_eq!(csv_parse("h\nnot_a_number,,c,n,0,instant,0,\n"), None);
+    }
+}

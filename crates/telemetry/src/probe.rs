@@ -1,0 +1,65 @@
+//! Adapter between [`nca_sim::SimProbe`] and a [`Telemetry`] handle.
+//!
+//! `nca-sim` cannot depend on this crate (this crate uses its `Time`
+//! and `stats`), so the engine exposes a probe trait and this adapter
+//! closes the loop: install it with `Sim::set_probe` and the event
+//! loop's dispatch count and heap depth land in the trace.
+
+use nca_sim::{SimProbe, Time};
+
+use crate::Telemetry;
+
+/// Records, per executed simulation event, a `events_dispatched`
+/// counter increment and a `heap_depth` gauge sample under the given
+/// component name.
+pub struct SimTelemetryProbe {
+    telemetry: Telemetry,
+    component: &'static str,
+}
+
+impl SimTelemetryProbe {
+    /// An adapter feeding `telemetry`, labelled `component`.
+    pub fn new(telemetry: Telemetry, component: &'static str) -> Self {
+        SimTelemetryProbe {
+            telemetry,
+            component,
+        }
+    }
+}
+
+impl SimProbe for SimTelemetryProbe {
+    fn event_dispatched(&self, now: Time, _executed: u64, pending: usize) {
+        self.telemetry
+            .counter(self.component, "events_dispatched", 0, now, 1);
+        self.telemetry
+            .gauge(self.component, "heap_depth", 0, now, pending as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate;
+    use nca_sim::Sim;
+
+    #[test]
+    fn probe_traces_the_event_loop() {
+        let (tel, sink) = Telemetry::ring(1024);
+        let mut sim: Sim<u32> = Sim::new();
+        sim.set_probe(Box::new(SimTelemetryProbe::new(tel, "sim")));
+        for t in [10u64, 20, 30] {
+            sim.schedule(t, |w, _| *w += 1);
+        }
+        let mut world = 0u32;
+        sim.run(&mut world);
+        assert_eq!(world, 3);
+        let evs = sink.events();
+        assert_eq!(
+            aggregate::counter_total(&evs, "sim", "events_dispatched"),
+            3
+        );
+        let depths = aggregate::gauge_series(&evs, "sim", "heap_depth");
+        // Heap depth after each pop: 2, 1, 0.
+        assert_eq!(depths, vec![(10, 2.0), (20, 1.0), (30, 0.0)]);
+    }
+}

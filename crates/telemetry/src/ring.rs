@@ -1,0 +1,113 @@
+//! The bundled bounded in-memory sink.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::{Recorder, TraceEvent};
+
+/// A ring-buffered [`Recorder`]: keeps the most recent `capacity`
+/// events, counting (but not storing) anything older that overflowed.
+/// Interior mutability via a `Mutex` keeps `Recorder::record(&self)`
+/// usable from `Send + Sync` contexts (the concurrent multi-message
+/// pipeline runs worlds on scoped threads).
+pub struct RingRecorder {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            inner: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1 << 16)),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let g = self.inner.lock().expect("ring poisoned");
+        g.events.iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all retained events (the drop counter keeps its value).
+    pub fn clear(&self) {
+        self.inner.lock().expect("ring poisoned").events.clear();
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, ev: TraceEvent) {
+        let mut g = self.inner.lock().expect("ring poisoned");
+        if g.events.len() == g.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(time: u64) -> TraceEvent {
+        TraceEvent {
+            scope: "",
+            component: "t",
+            name: "n",
+            track: 0,
+            time,
+            kind: EventKind::Instant,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_when_full() {
+        let r = RingRecorder::new(3);
+        for t in 0..10 {
+            r.record(ev(t));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].time, 7);
+        assert_eq!(evs[2].time, 9);
+        assert_eq!(r.dropped(), 7);
+    }
+
+    #[test]
+    fn clear_retains_drop_count() {
+        let r = RingRecorder::new(2);
+        for t in 0..4 {
+            r.record(ev(t));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property: time-bucketed counter series conserve mass — the sum over
+//! all buckets equals the raw counter total, for any event stream and
+//! any bucket width.
+
+use nca_telemetry::aggregate::{bucket_counter_series, counter_total};
+use nca_telemetry::{EventKind, TraceEvent};
+use proptest::prelude::*;
+
+fn counter_events(samples: &[(u64, u64)]) -> Vec<TraceEvent> {
+    samples
+        .iter()
+        .map(|&(time, delta)| TraceEvent {
+            scope: "",
+            component: "c",
+            name: "pkts",
+            track: 0,
+            time,
+            kind: EventKind::Counter { delta },
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn bucket_totals_equal_raw_counter_sums(
+        samples in proptest::collection::vec((0u64..1_000_000, 0u64..1000), 1..200),
+        bucket in 1u64..100_000,
+    ) {
+        let events = counter_events(&samples);
+        let series = bucket_counter_series(&events, "c", "pkts", bucket);
+        let bucketed: u64 = series.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(bucketed, counter_total(&events, "c", "pkts"));
+        // Bucket starts are aligned and strictly increasing.
+        for w in series.windows(2) {
+            prop_assert_eq!(w[1].0 - w[0].0, bucket);
+        }
+        for &(start, _) in &series {
+            prop_assert_eq!(start % bucket, 0);
+        }
+    }
+
+    #[test]
+    fn bucketing_is_insensitive_to_event_order(
+        samples in proptest::collection::vec((0u64..10_000, 0u64..100), 1..50),
+        bucket in 1u64..1_000,
+    ) {
+        let forward = counter_events(&samples);
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let backward = counter_events(&reversed);
+        prop_assert_eq!(
+            bucket_counter_series(&forward, "c", "pkts", bucket),
+            bucket_counter_series(&backward, "c", "pkts", bucket)
+        );
+    }
+}

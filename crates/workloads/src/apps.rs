@@ -46,7 +46,13 @@ fn wl(
     dt: Datatype,
     count: u32,
 ) -> AppWorkload {
-    AppWorkload { app, ddt_class, input, dt, count }
+    AppWorkload {
+        app,
+        ddt_class,
+        input,
+        dt,
+        count,
+    }
 }
 
 /// COMB: n-dimensional array face exchanges, expressed as subarrays.
@@ -83,7 +89,12 @@ pub fn fft2d() -> Vec<AppWorkload> {
         let dt = Datatype::contiguous(1, &v);
         wl("FFT2D", "contiguous(vector)", input, dt, 1)
     };
-    vec![mk(2048, 16, 'a'), mk(4096, 16, 'b'), mk(8192, 16, 'c'), mk(8192, 8, 'd')]
+    vec![
+        mk(2048, 16, 'a'),
+        mk(4096, 16, 'b'),
+        mk(8192, 16, 'c'),
+        mk(8192, 8, 'd'),
+    ]
 }
 
 /// LAMMPS: exchange of particle properties at arbitrary indices —
@@ -104,7 +115,12 @@ pub fn lammps() -> Vec<AppWorkload> {
         let dt = Datatype::indexed(&lens, &displs, &d).unwrap();
         wl("LAMMPS", "index", input, dt, 1)
     };
-    vec![mk(2_000, 11, 'a'), mk(8_000, 12, 'b'), mk(32_000, 13, 'c'), mk(64_000, 14, 'd')]
+    vec![
+        mk(2_000, 11, 'a'),
+        mk(8_000, 12, 'b'),
+        mk(32_000, 13, 'c'),
+        mk(64_000, 14, 'd'),
+    ]
 }
 
 /// LAMMPS "full" variant: more properties per particle, fixed-size
@@ -122,7 +138,12 @@ pub fn lammps_full() -> Vec<AppWorkload> {
         let dt = Datatype::indexed_block(props, &displs, &d).unwrap();
         wl("LAMMPS-F", "index_block", input, dt, 1)
     };
-    vec![mk(2_000, 8, 21, 'a'), mk(8_000, 8, 22, 'b'), mk(16_000, 8, 23, 'c'), mk(48_000, 8, 24, 'd')]
+    vec![
+        mk(2_000, 8, 21, 'a'),
+        mk(8_000, 8, 22, 'b'),
+        mk(16_000, 8, 23, 'c'),
+        mk(48_000, 8, 24, 'd'),
+    ]
 }
 
 /// MILC: 4D lattice QCD halo exchange — `vector(vector)` of doubles
@@ -147,7 +168,12 @@ pub fn nas_lu() -> Vec<AppWorkload> {
         let dt = Datatype::vector((nx * nz) as u32, 5, (5 * (nx + 2)) as i64, &d);
         wl("NAS-LU", "vector", input, dt, 1)
     };
-    vec![mk(33, 33, 'a'), mk(64, 64, 'b'), mk(102, 102, 'c'), mk(162, 162, 'd')]
+    vec![
+        mk(33, 33, 'a'),
+        mk(64, 64, 'b'),
+        mk(102, 102, 'c'),
+        mk(162, 162, 'd'),
+    ]
 }
 
 /// NAS MG: 3D multigrid face exchange — row-sized blocks on the plane
@@ -176,7 +202,12 @@ pub fn spec_oc() -> Vec<AppWorkload> {
         let dt = Datatype::indexed_block(1, &displs, &f).unwrap();
         wl("SPEC-OC", "index_block", input, dt, 1)
     };
-    vec![mk(8_000, 31, 'a'), mk(32_000, 32, 'b'), mk(131_072, 33, 'c'), mk(262_144, 34, 'd')]
+    vec![
+        mk(8_000, 31, 'a'),
+        mk(32_000, 32, 'b'),
+        mk(131_072, 33, 'c'),
+        mk(262_144, 34, 'd'),
+    ]
 }
 
 /// SPECFEM3D crust-mantle exchange: 3-float blocks (vector fields) at
@@ -194,7 +225,12 @@ pub fn spec_cm() -> Vec<AppWorkload> {
         let dt = Datatype::indexed_block(3, &displs, &f).unwrap();
         wl("SPEC-CM", "index_block", input, dt, 1)
     };
-    vec![mk(4_000, 41, 'a'), mk(16_000, 42, 'b'), mk(65_536, 43, 'c'), mk(131_072, 44, 'd')]
+    vec![
+        mk(4_000, 41, 'a'),
+        mk(16_000, 42, 'b'),
+        mk(65_536, 43, 'c'),
+        mk(131_072, 44, 'd'),
+    ]
 }
 
 /// SW4LITE x-direction ghost planes: small strided blocks.
@@ -310,7 +346,11 @@ mod tests {
             assert_eq!(w.dt.signature(), "index(MPI_DOUBLE)");
         }
         for w in wrf_x() {
-            assert!(w.dt.signature().starts_with("struct("), "{}", w.dt.signature());
+            assert!(
+                w.dt.signature().starts_with("struct("),
+                "{}",
+                w.dt.signature()
+            );
         }
     }
 

@@ -22,15 +22,24 @@ impl C64 {
     }
 
     fn mul(self, o: C64) -> C64 {
-        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     /// Squared magnitude.
@@ -106,8 +115,9 @@ mod tests {
     #[test]
     fn roundtrip_recovers_signal() {
         let n = 256;
-        let mut x: Vec<C64> =
-            (0..n).map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let mut x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
         let orig = x.clone();
         fft_in_place(&mut x, false);
         ifft_normalized(&mut x);

@@ -145,6 +145,8 @@ fn main() {
     if speedup >= 1.0 {
         println!("(irregular scatter: the NIC writes each vertex slot directly — zero-copy)");
     } else {
-        println!("(tiny frontier messages sit below the Fig. 8 crossover — offload does not pay here)");
+        println!(
+            "(tiny frontier messages sit below the Fig. 8 crossover — offload does not pay here)"
+        );
     }
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use ncmt::core::api::{OffloadManager, TypeAttr};
-use ncmt::ddt::dataloop::compile;
 use ncmt::ddt::darray::{darray, Distribution};
+use ncmt::ddt::dataloop::compile;
 use ncmt::ddt::display::{dump, typemap_equal};
 use ncmt::ddt::flatten::flatten;
 use ncmt::ddt::normalize::{classify, normalize};
@@ -54,8 +54,14 @@ fn main() {
     inspect("particle exchange (indexed_block)", &particles, &mut mgr);
 
     // 4. A 3D face as a subarray.
-    let face = Datatype::subarray(&[64, 64, 64], &[64, 64, 2], &[0, 0, 62], ArrayOrder::C, &elem::float())
-        .unwrap();
+    let face = Datatype::subarray(
+        &[64, 64, 64],
+        &[64, 64, 2],
+        &[0, 0, 62],
+        ArrayOrder::C,
+        &elem::float(),
+    )
+    .unwrap();
     inspect("3D x-face (subarray)", &face, &mut mgr);
 
     // 5. A block-cyclic distributed array share.

@@ -53,9 +53,7 @@ fn main() {
     let recv_dt = Datatype::resized(0, 16, &column);
     let send_bytes: Vec<u8> = m
         .iter()
-        .flat_map(|c| {
-            c.re.to_le_bytes().into_iter().chain(c.im.to_le_bytes())
-        })
+        .flat_map(|c| c.re.to_le_bytes().into_iter().chain(c.im.to_le_bytes()))
         .collect();
     let (origin, span) = buffer_span(&recv_dt, n as u32);
     assert_eq!(origin, 0);
@@ -114,7 +112,10 @@ fn main() {
 
     // --- application scale: the Fig. 19 strong-scaling study ---
     println!("\nFFT2D strong scaling (n = 20480):");
-    println!("{:<8} {:>10} {:>10} {:>9}", "nodes", "host ms", "RW-CP ms", "speedup");
+    println!(
+        "{:<8} {:>10} {:>10} {:>9}",
+        "nodes", "host ms", "RW-CP ms", "speedup"
+    );
     for (p, host, rwcp, s) in strong_scaling(&Fft2dConfig::default(), &[64, 128, 256]) {
         println!(
             "{:<8} {:>10.1} {:>10.1} {:>8.1}%",

@@ -25,7 +25,13 @@ fn main() {
 
     // The user marks the halo type as high priority: it is reused every
     // iteration and should survive NIC-memory pressure.
-    let committed = mgr.commit(&face, TypeAttr { priority: 5, ..Default::default() });
+    let committed = mgr.commit(
+        &face,
+        TypeAttr {
+            priority: 5,
+            ..Default::default()
+        },
+    );
     println!("commit chose: {:?}", committed.strategy);
 
     let iterations = 5;

@@ -11,6 +11,7 @@ use ncmt::ddt::pack::{buffer_span, pack};
 use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
 use ncmt::spin::multi::{run_concurrent, MessageSpec};
 use ncmt::spin::params::NicParams;
+use ncmt::telemetry::Telemetry;
 
 fn make_spec(dt: &Datatype, strategy: Strategy, params: &NicParams, start_us: u64) -> MessageSpec {
     let (origin, span) = buffer_span(dt, 1);
@@ -18,7 +19,7 @@ fn make_spec(dt: &Datatype, strategy: Strategy, params: &NicParams, start_us: u6
     let packed = pack(dt, 1, &src, origin).expect("packable");
     MessageSpec {
         packed,
-        proc: strategy.build(dt, 1, params.clone(), 0.2),
+        proc: strategy.build(dt, 1, params.clone(), 0.2, Telemetry::disabled()),
         host_origin: origin,
         host_span: span,
         start_time: ncmt::sim::us(start_us),
@@ -51,10 +52,16 @@ fn main() {
     }
 
     // Together: all three start at t = 0.
-    let specs = tenants.iter().map(|(_, dt, s)| make_spec(dt, *s, &params, 0)).collect();
+    let specs = tenants
+        .iter()
+        .map(|(_, dt, s)| make_spec(dt, *s, &params, 0))
+        .collect();
     let together = run_concurrent(specs, &params);
 
-    println!("{:<20} {:>12} {:>14} {:>10}", "tenant", "alone (us)", "shared (us)", "slowdown");
+    println!(
+        "{:<20} {:>12} {:>14} {:>10}",
+        "tenant", "alone (us)", "shared (us)", "slowdown"
+    );
     for (i, (name, dt, _)) in tenants.iter().enumerate() {
         let shared = together[i].processing_time() as f64 / 1e6;
         println!(

@@ -16,7 +16,11 @@ fn main() {
     // (a 1 MiB message of 256 B blocks).
     let dt = Datatype::vector(4096, 32, 256, &elem::double());
     println!("datatype    : {}", dt.signature());
-    println!("message     : {} KiB, {} contiguous regions", dt.size / 1024, dt.leaf_blocks);
+    println!(
+        "message     : {} KiB, {} contiguous regions",
+        dt.size / 1024,
+        dt.leaf_blocks
+    );
 
     let exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
     println!("gamma       : {:.1} regions/packet\n", exp.gamma());

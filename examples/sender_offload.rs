@@ -32,12 +32,18 @@ fn main() {
         1,
         0xBEEF,
         params.payload_size,
-        Region { offset: iov.entries[0].offset as u64, len: iov.entries[0].len },
+        Region {
+            offset: iov.entries[0].offset as u64,
+            len: iov.entries[0].len,
+        },
     );
     let mut emitted = 0usize;
     for (i, e) in iov.entries.iter().enumerate().skip(1) {
         sp.stream(
-            Region { offset: e.offset as u64, len: e.len },
+            Region {
+                offset: e.offset as u64,
+                len: e.len,
+            },
             i == iov.entries.len() - 1,
         );
         emitted += sp.drain_ready_packets().len();
@@ -57,7 +63,10 @@ fn main() {
         cpu_stream_per_region: ncmt::sim::ns(40),
         nic_gather_per_region: ncmt::sim::ns(25),
     };
-    println!("\n{:<16} {:>14} {:>14}", "strategy", "inject (us)", "CPU busy (us)");
+    println!(
+        "\n{:<16} {:>14} {:>14}",
+        "strategy", "inject (us)", "CPU busy (us)"
+    );
     for (name, r) in [
         ("pack + send", pack_and_send(&params, &w)),
         ("streaming puts", streaming_put_send(&params, &w)),

@@ -51,7 +51,7 @@ fn reference() -> Vec<f64> {
 fn main() {
     let cols = N / RANKS;
     let width = cols + 2; // + ghost columns
-    // Local stripes with ghost columns.
+                          // Local stripes with ghost columns.
     let mut grids: Vec<Grid> = (0..RANKS)
         .map(|rk| {
             let mut g = vec![0.0f64; N * width];
@@ -91,10 +91,18 @@ fn main() {
         let mut reqs = Vec::new();
         for rk in 0..RANKS {
             if rk > 0 {
-                reqs.push((rk, 'L', world.irecv(rk as u32, &col_dt, 1, rk as u32 - 1, 1)));
+                reqs.push((
+                    rk,
+                    'L',
+                    world.irecv(rk as u32, &col_dt, 1, rk as u32 - 1, 1),
+                ));
             }
             if rk < RANKS - 1 {
-                reqs.push((rk, 'R', world.irecv(rk as u32, &col_dt, 1, rk as u32 + 1, 2)));
+                reqs.push((
+                    rk,
+                    'R',
+                    world.irecv(rk as u32, &col_dt, 1, rk as u32 + 1, 2),
+                ));
             }
         }
         for rk in 0..RANKS {
@@ -150,7 +158,9 @@ fn main() {
     println!("2D Jacobi over {RANKS} simulated ranks, {ITERS} iterations");
     println!("max |err| vs single-rank reference: {max_err:.3e}");
     assert!(max_err < 1e-12, "distributed stencil must match");
-    let t: Vec<f64> = (0..RANKS).map(|r| world.time(r as u32) as f64 / 1e6).collect();
+    let t: Vec<f64> = (0..RANKS)
+        .map(|r| world.time(r as u32) as f64 / 1e6)
+        .collect();
     println!("rank clocks (us): {t:?}");
     println!("halo receives went through the simulated sPIN NIC (offloaded column datatypes) ✓");
 }

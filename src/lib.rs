@@ -13,6 +13,8 @@
 //! * [`ddt`] — MPI derived-datatype engine (constructors, dataloops,
 //!   segments, checkpoints, pack/unpack, flattening, normalization).
 //! * [`sim`] — deterministic discrete-event engine.
+//! * [`telemetry`] — simulation-time-aware tracing & metrics
+//!   (ring sink, Perfetto/CSV export, aggregation).
 //! * [`memsim`] — host LLC/memory-traffic simulation.
 //! * [`portals`] — Portals 4 matching, packetization, streaming puts.
 //! * [`spin`] — the sPIN NIC model (HPUs, scheduler, DMA/PCIe).
@@ -46,4 +48,5 @@ pub use nca_portals as portals;
 pub use nca_pulp as pulp;
 pub use nca_sim as sim;
 pub use nca_spin as spin;
+pub use nca_telemetry as telemetry;
 pub use nca_workloads as workloads;

@@ -17,7 +17,11 @@ fn small_workloads() -> Vec<ncmt::workloads::AppWorkload> {
 #[test]
 fn every_strategy_unpacks_every_small_app_datatype() {
     let ws = small_workloads();
-    assert!(ws.len() >= 10, "need a representative sample, got {}", ws.len());
+    assert!(
+        ws.len() >= 10,
+        "need a representative sample, got {}",
+        ws.len()
+    );
     for w in &ws {
         let mut exp = Experiment::new(w.dt.clone(), w.count, NicParams::with_hpus(16));
         exp.verify = true; // Experiment::run panics on buffer mismatch
@@ -72,7 +76,10 @@ fn host_beats_offload_on_pathological_tiny_blocks() {
     exp.verify = false;
     let host = exp.run_host().processing_time;
     let off = exp.run(Strategy::RwCp).processing_time();
-    assert!(host < off, "host ({host}) must beat RW-CP ({off}) at 4 B blocks");
+    assert!(
+        host < off,
+        "host ({host}) must beat RW-CP ({off}) at 4 B blocks"
+    );
 }
 
 #[test]

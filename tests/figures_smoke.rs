@@ -8,7 +8,10 @@ fn fig02_overhead_near_24_percent() {
     let rows = figures::fig02::rows();
     assert_eq!(rows.len(), 2);
     let overhead = rows[1].total() as f64 / rows[0].total() as f64 - 1.0;
-    assert!((0.22..=0.27).contains(&overhead), "sPIN overhead {overhead}");
+    assert!(
+        (0.22..=0.27).contains(&overhead),
+        "sPIN overhead {overhead}"
+    );
     // end-to-end simulation within 10% of the component sum
     let sim = figures::fig02::simulated_spin_total() as f64;
     let sum = rows[1].total() as f64;
@@ -21,9 +24,16 @@ fn fig08_specialized_wins_large_blocks_host_wins_tiny() {
     let tiny = rows.first().expect("tiny block row");
     let large = rows.last().expect("large block row");
     // tiny (16 B in quick mode): host competitive or better vs general
-    assert!(tiny.host > tiny.offloaded[3], "host must beat HPU-local at tiny blocks");
+    assert!(
+        tiny.host > tiny.offloaded[3],
+        "host must beat HPU-local at tiny blocks"
+    );
     // large (2 KiB): specialized near line rate and above host
-    assert!(large.offloaded[0] > 150.0, "specialized {:.1}", large.offloaded[0]);
+    assert!(
+        large.offloaded[0] > 150.0,
+        "specialized {:.1}",
+        large.offloaded[0]
+    );
     assert!(large.offloaded[0] > large.host);
 }
 
@@ -78,7 +88,10 @@ fn fig13_nic_memory_trends() {
     let first = by_block.first().expect("first");
     let last = by_block.last().expect("last");
     assert_eq!(first.1[0], last.1[0], "specialized NIC state is O(1)");
-    assert!(last.1[1] >= first.1[1], "RW-CP checkpoints grow with block size");
+    assert!(
+        last.1[1] >= first.1[1],
+        "RW-CP checkpoints grow with block size"
+    );
     let by_hpus = figures::fig13::nicmem_vs_hpus(true);
     let f = by_hpus.first().expect("first");
     let l = by_hpus.last().expect("last");
@@ -106,11 +119,21 @@ fn fig15_timelines_have_host_overhead_for_checkpointed() {
 fn fig16_headline_claims() {
     let rows = figures::fig16::rows(true);
     assert!(rows.len() >= 20);
-    let best = rows.iter().map(|r| r.speedup[0].max(r.speedup[1])).fold(0.0f64, f64::max);
+    let best = rows
+        .iter()
+        .map(|r| r.speedup[0].max(r.speedup[1]))
+        .fold(0.0f64, f64::max);
     assert!(best > 4.0, "peak offload speedup {best}");
     // SPEC-OC (γ≈512) must NOT benefit from offload.
-    let oc = rows.iter().find(|r| r.label.starts_with("SPEC-OC")).expect("SPEC-OC");
-    assert!(oc.speedup[0] < 1.0, "SPEC-OC RW-CP speedup {}", oc.speedup[0]);
+    let oc = rows
+        .iter()
+        .find(|r| r.label.starts_with("SPEC-OC"))
+        .expect("SPEC-OC");
+    assert!(
+        oc.speedup[0] < 1.0,
+        "SPEC-OC RW-CP speedup {}",
+        oc.speedup[0]
+    );
     // iovec NIC state is linear in regions and far larger than RW-CP's
     // for fine-grained types.
     assert!(oc.nic_kib[2] > oc.nic_kib[0]);
@@ -150,6 +173,9 @@ fn sender_strategies_ordering() {
     let rows = figures::sender::rows(true);
     for (b, inject, cpu) in rows {
         assert!(inject[1] <= inject[0], "streaming ≤ pack at block {b}");
-        assert!(cpu[2] < cpu[1] / 10.0, "outbound sPIN frees the CPU at block {b}");
+        assert!(
+            cpu[2] < cpu[1] / 10.0,
+            "outbound sPIN frees the CPU at block {b}"
+        );
     }
 }

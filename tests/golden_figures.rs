@@ -9,8 +9,8 @@ use std::fmt::Write as _;
 
 fn check(name: &str, actual: String) {
     let path = format!("{}/tests/golden/{name}.tsv", env!("CARGO_MANIFEST_DIR"));
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    let expected =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
     assert_eq!(
         actual.trim(),
         expected.trim(),
@@ -37,7 +37,11 @@ fn fig02_golden() {
         );
     }
     let overhead = rows[1].total() as f64 / rows[0].total() as f64 - 1.0;
-    let _ = writeln!(out, "# sPIN overhead: {:.1}% (paper: +24.4%)", overhead * 100.0);
+    let _ = writeln!(
+        out,
+        "# sPIN overhead: {:.1}% (paper: +24.4%)",
+        overhead * 100.0
+    );
     let _ = writeln!(
         out,
         "# simulated sPIN end-to-end: {:.3} us",
@@ -50,7 +54,10 @@ fn fig02_golden() {
 fn fig09c_golden() {
     use nca_bench::figures::fig09c;
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 9c — DMA bandwidth vs block size (line rate = 200 Gbit/s)");
+    let _ = writeln!(
+        out,
+        "# Fig. 9c — DMA bandwidth vs block size (line rate = 200 Gbit/s)"
+    );
     let _ = writeln!(out, "block_bytes\tgbit_per_s");
     for (b, bw) in fig09c::rows() {
         let _ = writeln!(out, "{b}\t{bw:.1}");
@@ -62,7 +69,10 @@ fn fig09c_golden() {
 fn fig10_golden() {
     use nca_bench::figures::fig10;
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 10 — RW-CP throughput on PULP vs ARM (1 MiB message)");
+    let _ = writeln!(
+        out,
+        "# Fig. 10 — RW-CP throughput on PULP vs ARM (1 MiB message)"
+    );
     let _ = writeln!(out, "block_bytes\tpulp_gbit\tarm_gbit");
     for (b, p, a) in fig10::rows() {
         let _ = writeln!(out, "{b}\t{p:.1}\t{a:.1}");
@@ -74,7 +84,10 @@ fn fig10_golden() {
 fn fig11_golden() {
     use nca_bench::figures::fig11;
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 11 — RW-CP IPC on PULP (paper medians 0.14-0.26)");
+    let _ = writeln!(
+        out,
+        "# Fig. 11 — RW-CP IPC on PULP (paper medians 0.14-0.26)"
+    );
     let _ = writeln!(out, "block_bytes\tipc");
     for (b, ipc) in fig11::rows() {
         let _ = writeln!(out, "{b}\t{ipc:.3}");

@@ -8,7 +8,9 @@ use ncmt::mpi::World;
 use ncmt::spin::params::NicParams;
 
 fn pattern(span: u64, seed: usize) -> Vec<u8> {
-    (0..span as usize).map(|i| ((i * 31 + seed) % 251) as u8).collect()
+    (0..span as usize)
+        .map(|i| ((i * 31 + seed) % 251) as u8)
+        .collect()
 }
 
 fn verify_mapped(dt: &Datatype, origin: i64, got: &[u8], sent: &[u8]) {
@@ -30,7 +32,9 @@ fn ring_of_mixed_datatypes() {
     let mut w = World::new(ranks, NicParams::with_hpus(8));
     for (round, dt) in types.iter().enumerate() {
         let (origin, span) = buffer_span(dt, 1);
-        let bufs: Vec<Vec<u8>> = (0..ranks).map(|r| pattern(span, r as usize * 7 + round)).collect();
+        let bufs: Vec<Vec<u8>> = (0..ranks)
+            .map(|r| pattern(span, r as usize * 7 + round))
+            .collect();
         let reqs: Vec<_> = (0..ranks)
             .map(|r| w.irecv(r, dt, 1, (r + ranks - 1) % ranks, round as u32))
             .collect();
@@ -71,7 +75,11 @@ fn repeated_receives_reuse_offloaded_state() {
     // All iterations complete; later iterations are no slower than the
     // first (state resident, no re-commit cost in this model).
     for (i, t) in iter_times.iter().enumerate().skip(1) {
-        assert!(*t <= iter_times[0] * 2, "iteration {i} regressed: {t} vs {}", iter_times[0]);
+        assert!(
+            *t <= iter_times[0] * 2,
+            "iteration {i} regressed: {t} vs {}",
+            iter_times[0]
+        );
     }
 }
 

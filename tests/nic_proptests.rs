@@ -18,21 +18,25 @@ fn arb_message_type() -> impl Strategy<Value = (Datatype, u32)> {
                 (Datatype::vector(c, bl, bl as i64 + gap, &b1), count)
             }),
             // indexed_block with irregular gaps
-            (proptest::collection::vec(1i64..5, 16..128), 1u32..6).prop_map(
-                move |(gaps, bl)| {
-                    let mut displs = Vec::with_capacity(gaps.len());
-                    let mut at = 0i64;
-                    for g in gaps {
-                        displs.push(at);
-                        at += bl as i64 + g;
-                    }
-                    (Datatype::indexed_block(bl, &displs, &b2).expect("valid"), count)
+            (proptest::collection::vec(1i64..5, 16..128), 1u32..6).prop_map(move |(gaps, bl)| {
+                let mut displs = Vec::with_capacity(gaps.len());
+                let mut at = 0i64;
+                for g in gaps {
+                    displs.push(at);
+                    at += bl as i64 + g;
                 }
-            ),
+                (
+                    Datatype::indexed_block(bl, &displs, &b2).expect("valid"),
+                    count,
+                )
+            }),
             // nested vector (general strategies only path)
             (4u32..16, 2u32..6, 8u32..32).prop_map(move |(oc, ic, stride)| {
                 let inner = Datatype::vector(ic, 1, 3, &b3);
-                (Datatype::hvector(oc, 1, (stride as i64) * 64, &inner), count)
+                (
+                    Datatype::hvector(oc, 1, (stride as i64) * 64, &inner),
+                    count,
+                )
             }),
         ]
     })

@@ -1,0 +1,146 @@
+//! The trace-driven Fig. 15 harness must reproduce the DMA-occupancy
+//! series of the pipeline's bespoke `dma_history` probe exactly, and
+//! its rendered table must match the committed golden output.
+//!
+//! Regenerate the golden with
+//! `BLESS_GOLDEN=1 cargo test --release --test trace_fig15`.
+
+use ncmt::core::runner::{Experiment, Strategy};
+use ncmt::core::strategies::{GeneralKind, GeneralProcessor};
+use ncmt::ddt::pack::{buffer_span, pack};
+use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
+use ncmt::spin::handler::{MessageProcessor, PacketCtx};
+use ncmt::spin::params::NicParams;
+use ncmt::telemetry::{aggregate, export, Telemetry};
+
+use nca_bench::figures::fig15;
+
+/// γ=16 vector workload, small enough for a debug-mode test run.
+fn workload() -> (Datatype, u32) {
+    // 128 B blocks, 64 KiB total: 512 blocks of 16 doubles.
+    (Datatype::vector(512, 16, 32, &elem::double()), 1)
+}
+
+#[test]
+fn trace_gauge_series_equals_bespoke_dma_history() {
+    for s in [
+        Strategy::RwCp,
+        Strategy::RoCp,
+        Strategy::HpuLocal,
+        Strategy::Specialized,
+    ] {
+        let (dt, count) = workload();
+        let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+        exp.record_dma_history = true;
+        let (tel, sink) = Telemetry::ring(1 << 20);
+        exp.telemetry = tel;
+        let r = exp.run(s);
+        let traced: Vec<(u64, usize)> =
+            aggregate::gauge_series(&sink.events(), "spin", "dma_queue")
+                .into_iter()
+                .map(|(t, v)| (t, v as usize))
+                .collect();
+        assert!(
+            !traced.is_empty(),
+            "{}: trace must contain dma_queue samples",
+            s.label()
+        );
+        assert_eq!(
+            traced,
+            r.dma_history,
+            "{}: trace-driven series must equal the bespoke probe sample for sample",
+            s.label()
+        );
+    }
+}
+
+#[test]
+fn trace_contains_the_advertised_event_families() {
+    let (dt, count) = workload();
+    let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+    let (tel, sink) = Telemetry::ring(1 << 20);
+    exp.telemetry = tel.scoped("RW-CP");
+    exp.run(Strategy::RwCp);
+    let evs = sink.events();
+    let roll = aggregate::rollup(&evs);
+    // HPU handler spans with phase timings, sim-loop counters, DMA
+    // queue samples, and checkpoint bookkeeping all present.
+    assert!(roll["spin"].spans.contains_key("handler"));
+    assert!(roll["spin"].counters["packets_arrived"] > 0);
+    assert!(roll["sim"].counters["events_dispatched"] > 0);
+    assert!(roll["core"].counters["checkpoints_created"] > 0);
+    assert!(roll["core"].values.contains_key("t_processing"));
+    assert!(!aggregate::gauge_series(&evs, "spin", "dma_queue").is_empty());
+
+    // And the Perfetto export carries them as spans/counters/instants.
+    let json = export::chrome_trace_json(&evs);
+    assert!(json.contains(r#""name":"RW-CP/spin""#));
+    assert!(
+        json.contains(r#""ph":"X","pid":"#),
+        "handler spans exported"
+    );
+    assert!(
+        json.contains(r#""name":"dma_queue""#),
+        "dma counter track exported"
+    );
+    assert!(json.contains(r#""ph":"i""#), "instant events exported");
+}
+
+#[test]
+fn rwcp_revert_is_traced() {
+    // Drive the RW-CP processor directly with an out-of-order pair on
+    // one vHPU: the second packet rewinds past the progressed
+    // checkpoint and must emit revert telemetry.
+    let (dt, count) = workload();
+    let params = NicParams::with_hpus(16);
+    let (origin, span) = buffer_span(&dt, count);
+    let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
+    let packed = pack(&dt, count, &src, origin).unwrap();
+    let ps = params.payload_size as usize;
+
+    let (tel, sink) = Telemetry::ring(256);
+    let mut p =
+        GeneralProcessor::new(GeneralKind::RwCp, &dt, count, params, 0.2).with_telemetry(tel);
+    let later = PacketCtx {
+        payload: &packed[ps..2 * ps],
+        stream_offset: ps as u64,
+        seq: 1,
+        npkt: 2,
+        vhpu: 0,
+        now: 10,
+    };
+    p.on_payload(&later);
+    let earlier = PacketCtx {
+        payload: &packed[..ps],
+        stream_offset: 0,
+        seq: 0,
+        npkt: 2,
+        vhpu: 0,
+        now: 20,
+    };
+    p.on_payload(&earlier);
+    assert_eq!(p.reverts, 1);
+    let roll = aggregate::rollup(&sink.events());
+    assert_eq!(roll["core"].counters["checkpoint_reverts"], 1);
+    assert_eq!(roll["core"].instants["checkpoint_revert"], 1);
+}
+
+#[test]
+fn fig15_rows_match_golden() {
+    let actual = fig15::rows(true).join("\n") + "\n";
+    let path = format!(
+        "{}/tests/golden/fig15_dma_timeline.tsv",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "fig15 drifted from its golden output; regenerate {path} if intended"
+    );
+}

@@ -10,6 +10,7 @@ use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
 use ncmt::portals::matching::{MatchEntry, MatchingUnit};
 use ncmt::spin::nic::{MsgPath, PortalsSetup, ReceiveSim, RunConfig};
 use ncmt::spin::params::NicParams;
+use ncmt::telemetry::Telemetry;
 
 fn me(bits: u64, exec_ctx: Option<u32>, ignore: u64) -> MatchEntry {
     MatchEntry {
@@ -37,9 +38,13 @@ fn expected_ddt_message_processes_on_the_spin_path() {
         params: params.clone(),
         out_of_order: None,
         record_dma_history: false,
-        portals: Some(PortalsSetup { matching: mu, match_bits: 0xAA }),
+        portals: Some(PortalsSetup {
+            matching: mu,
+            match_bits: 0xAA,
+        }),
+        telemetry: Telemetry::disabled(),
     };
-    let proc_ = Strategy::RwCp.build(&dt, 1, params, 0.2);
+    let proc_ = Strategy::RwCp.build(&dt, 1, params, 0.2, Telemetry::disabled());
     let report = ReceiveSim::run(proc_, packed.clone(), origin, span, &cfg);
     assert_eq!(report.path, MsgPath::Spin);
     // handler-scattered result equals the reference unpack
@@ -64,23 +69,28 @@ fn unexpected_ddt_message_lands_packed_and_host_unpack_finishes_later() {
         params: params.clone(),
         out_of_order: None,
         record_dma_history: false,
-        portals: Some(PortalsSetup { matching: mu, match_bits: 0xAA }),
+        portals: Some(PortalsSetup {
+            matching: mu,
+            match_bits: 0xAA,
+        }),
+        telemetry: Telemetry::disabled(),
     };
-    let proc_ = Strategy::RwCp.build(&dt, 1, params.clone(), 0.2);
+    let proc_ = Strategy::RwCp.build(&dt, 1, params.clone(), 0.2, Telemetry::disabled());
     // Overflow landing is contiguous: the buffer receives the PACKED
     // stream, not the scattered layout.
-    let report =
-        ReceiveSim::run(proc_, packed.clone(), 0, packed.len() as u64, &cfg);
+    let report = ReceiveSim::run(proc_, packed.clone(), 0, packed.len() as u64, &cfg);
     assert_eq!(report.path, MsgPath::Unexpected);
-    assert_eq!(report.host_buf, packed, "overflow buffer holds packed bytes");
+    assert_eq!(
+        report.host_buf, packed,
+        "overflow buffer holds packed bytes"
+    );
     assert!(report.handler_costs.is_empty(), "no DDT handlers ran");
 
     // The eventual receive must fall back to the host unpack; total time
     // = landing + host unpack, which exceeds the offloaded path.
     let host = HostCostModel::default();
     let dl = compile(&dt, 1);
-    let t_unexpected =
-        report.processing_time() + host.unpack_time(dl.size, dl.blocks);
+    let t_unexpected = report.processing_time() + host.unpack_time(dl.size, dl.blocks);
 
     let mut mu2 = MatchingUnit::new();
     mu2.append_priority(me(0xAA, Some(1), 0));
@@ -88,9 +98,13 @@ fn unexpected_ddt_message_lands_packed_and_host_unpack_finishes_later() {
         params: params.clone(),
         out_of_order: None,
         record_dma_history: false,
-        portals: Some(PortalsSetup { matching: mu2, match_bits: 0xAA }),
+        portals: Some(PortalsSetup {
+            matching: mu2,
+            match_bits: 0xAA,
+        }),
+        telemetry: Telemetry::disabled(),
     };
-    let proc2 = Strategy::RwCp.build(&dt, 1, params, 0.2);
+    let proc2 = Strategy::RwCp.build(&dt, 1, params, 0.2, Telemetry::disabled());
     let offloaded = ReceiveSim::run(proc2, packed, origin, span, &cfg2);
     assert!(
         offloaded.processing_time() < t_unexpected,
