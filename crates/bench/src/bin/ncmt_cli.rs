@@ -16,10 +16,12 @@
 //! ncmt_cli list
 //! ```
 
+use nca_core::report::{report_config, strategy_report};
 use nca_core::runner::{Experiment, Strategy};
 use nca_ddt::normalize::classify;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
 use nca_spin::params::NicParams;
+use nca_telemetry::report::{diff_reports, Json, RunReportDoc, DEFAULT_THRESHOLD};
 use nca_telemetry::{export, Telemetry};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
@@ -53,6 +55,9 @@ subcommands:
   indexed  --blocks N --blocklen B --seed K    irregular fixed-size blocks
   app      <LABEL>                             a Fig. 16 workload (see `ncmt_cli list`)
   list                                         list application workloads
+  report-diff <BASE> <NEW> [--threshold T]     compare two --report-out files;
+                                               exit 1 when any metric regresses
+                                               more than T (default 0.05)
 
 common flags:
   --hpus N        handler processing units (default 16)
@@ -61,7 +66,10 @@ common flags:
   --epsilon E     RW-CP scheduling-overhead bound (default 0.2)
   --trace-out F   write a Chrome/Perfetto trace of all strategy runs to F
                   (load at https://ui.perfetto.dev; one process per
-                  strategy/component, HPU spans, DMA-queue counters)"
+                  strategy/component, HPU spans, DMA-queue counters)
+  --report-out F  write a machine-readable JSON run report to F: per-strategy
+                  latency attribution, histograms, and model-vs-measured
+                  validation (schema in EXPERIMENTS.md)"
     );
     std::process::exit(0)
 }
@@ -73,7 +81,10 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         .unwrap_or(0.2);
     let ooo = flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
     let trace_out = flag(args, "--trace-out");
-    let trace = trace_out.as_ref().map(|_| Telemetry::ring(1 << 22));
+    let report_out = flag(args, "--report-out");
+    // One shared ring serves both artifacts; per-strategy scopes keep
+    // the overlapping runs apart.
+    let trace = (trace_out.is_some() || report_out.is_some()).then(|| Telemetry::ring(1 << 22));
 
     let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
     exp.epsilon = epsilon;
@@ -95,20 +106,22 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         "{:<14} {:>12} {:>10} {:>12}",
         "method", "time (us)", "Gbit/s", "NIC KiB"
     );
+    let mut runs = Vec::new();
     for s in Strategy::ALL {
         // Scope each strategy's events so the shared trace keeps the
         // overlapping per-run timelines apart in Perfetto.
         if let Some((tel, _)) = &trace {
             exp.telemetry = tel.scoped(s.label());
         }
-        let r = exp.run(s);
+        let run = exp.run_modeled(s);
         println!(
             "{:<14} {:>12.1} {:>10.1} {:>12.2}",
             s.label(),
-            r.processing_time() as f64 / 1e6,
-            r.throughput_gbit(),
-            r.nic_mem_bytes as f64 / 1024.0
+            run.report.processing_time() as f64 / 1e6,
+            run.report.throughput_gbit(),
+            run.report.nic_mem_bytes as f64 / 1024.0
         );
+        runs.push((s, run));
     }
     let host = exp.run_host();
     println!(
@@ -129,21 +142,62 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     if exp.verify {
         println!("\nreceive buffers byte-verified ✓");
     }
-    if let (Some(path), Some((_, sink))) = (trace_out, trace) {
+    if let Some((_, sink)) = &trace {
         let events = sink.events();
-        std::fs::write(&path, export::chrome_trace_json(&events))
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        let dropped = sink.dropped();
-        println!(
-            "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
-            events.len(),
-            if dropped > 0 {
-                format!(", {dropped} oldest dropped")
-            } else {
-                String::new()
-            }
-        );
+        if let Some(path) = &trace_out {
+            std::fs::write(path, export::chrome_trace_json(&events))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            let dropped = sink.dropped();
+            println!(
+                "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
+                events.len(),
+                if dropped > 0 {
+                    format!(", {dropped} oldest dropped")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        if let Some(path) = &report_out {
+            let doc = RunReportDoc {
+                version: RunReportDoc::VERSION,
+                config: report_config(&exp),
+                strategies: runs
+                    .iter()
+                    .map(|(s, run)| strategy_report(&exp, run, &events, s.label()))
+                    .collect(),
+            };
+            std::fs::write(path, doc.to_json())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("report   : {} strategies → {path}", doc.strategies.len());
+        }
     }
+}
+
+fn report_diff(args: &[String]) -> ! {
+    let (Some(base_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+        die("report-diff needs <BASE> <NEW>")
+    };
+    let threshold: f64 = flag(args, "--threshold")
+        .map(|v| v.parse().unwrap_or_else(|_| die("bad --threshold")))
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let parse = |path: &String| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2)
+        })
+    };
+    let (base, new) = (parse(base_path), parse(new_path));
+    let diff = diff_reports(&base, &new, threshold).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2)
+    });
+    print!("{}", diff.render());
+    std::process::exit(if diff.regressions() > 0 { 1 } else { 0 })
 }
 
 fn main() {
@@ -202,6 +256,7 @@ fn main() {
                 );
             }
         }
+        "report-diff" => report_diff(&args),
         other => die(&format!("unknown subcommand {other}")),
     }
 }

@@ -8,7 +8,7 @@
 
 use nca_core::runner::{Experiment, Strategy};
 use nca_spin::params::NicParams;
-use nca_telemetry::{aggregate, Telemetry};
+use nca_telemetry::{aggregate, EventKind, Telemetry, TraceEvent};
 
 use super::vector_workload;
 
@@ -20,6 +20,22 @@ pub struct Timeline {
     pub host_overhead: u64,
     /// Sampled `(time_ps, queue_len)` series.
     pub series: Vec<(u64, usize)>,
+    /// Busy-interval spans DMA channel 0 served.
+    pub chan0_spans: usize,
+    /// Total busy time of DMA channel 0, ps.
+    pub chan0_busy: u64,
+}
+
+/// Count and total duration of the `dma_chan` busy spans on one
+/// channel track (the per-channel PCIe-utilization view).
+pub fn channel_busy(events: &[TraceEvent], chan: u64) -> (usize, u64) {
+    events
+        .iter()
+        .filter(|ev| ev.component == "spin" && ev.name == "dma_chan" && ev.track == chan)
+        .fold((0, 0), |(n, busy), ev| match ev.kind {
+            EventKind::Span { end } => (n + 1, busy + end.saturating_sub(ev.time)),
+            _ => (n, busy),
+        })
 }
 
 /// Strategies in the figure's panel order.
@@ -58,17 +74,20 @@ pub fn timelines(quick: bool) -> Vec<Timeline> {
             let (tel, sink) = Telemetry::ring(1 << 20);
             exp.telemetry = tel;
             let r = exp.run(s);
-            let history: Vec<(u64, usize)> =
-                aggregate::gauge_series(&sink.events(), "spin", "dma_queue")
-                    .into_iter()
-                    .map(|(t, v)| (t, v as usize))
-                    .collect();
+            let events = sink.events();
+            let history: Vec<(u64, usize)> = aggregate::gauge_series(&events, "spin", "dma_queue")
+                .into_iter()
+                .map(|(t, v)| (t, v as usize))
+                .collect();
             // Downsample to 48 points for the table.
             let series = sample(&history, 48);
+            let (chan0_spans, chan0_busy) = channel_busy(&events, 0);
             Timeline {
                 strategy: s.label(),
                 host_overhead: r.host_setup_time,
                 series,
+                chan0_spans,
+                chan0_busy,
             }
         })
         .collect()
@@ -92,6 +111,12 @@ pub fn rows(quick: bool) -> Vec<String> {
             t.strategy,
             t.host_overhead as f64 / 1e6
         ));
+        out.push(format!(
+            "{}\tdma_chan0\t{}\t{:.1}",
+            t.strategy,
+            t.chan0_spans,
+            t.chan0_busy as f64 / 1e6
+        ));
         for (time, q) in &t.series {
             out.push(format!("{}\t{:.4}\t{}", t.strategy, *time as f64 / 1e9, q));
         }
@@ -104,9 +129,11 @@ pub fn print(quick: bool) {
     println!("# Fig. 15 — DMA queue size over time (gamma = 16)");
     for t in timelines(quick) {
         println!(
-            "## {} (host overhead: {:.1} us)",
+            "## {} (host overhead: {:.1} us; DMA chan 0: {} spans, {:.1} us busy)",
             t.strategy,
-            t.host_overhead as f64 / 1e6
+            t.host_overhead as f64 / 1e6,
+            t.chan0_spans,
+            t.chan0_busy as f64 / 1e6
         );
         println!("time_ms\tqueue");
         for (time, q) in &t.series {

@@ -1,0 +1,195 @@
+//! End-to-end tests of `ncmt_cli --report-out` and `report-diff`:
+//! the emitted artifact parses with the advertised keys, self-diff is
+//! clean (exit 0), and a seeded regression trips the exit code.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use nca_telemetry::report::{
+    HistSummary, Json, ModelValidation, ReportConfig, RunReportDoc, StrategyReport,
+};
+
+const CLI: &str = env!("CARGO_BIN_EXE_ncmt_cli");
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ncmt-report-cli-{}-{name}", std::process::id()));
+    p
+}
+
+fn run_report(path: &std::path::Path) {
+    let out = Command::new(CLI)
+        .args([
+            "vector",
+            "--count",
+            "512",
+            "--blocklen",
+            "16",
+            "--stride",
+            "32",
+            "--report-out",
+        ])
+        .arg(path)
+        .output()
+        .expect("run ncmt_cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn report_out_emits_a_parsable_document_with_required_keys() {
+    let path = tmp_path("doc.json");
+    run_report(&path);
+    let text = std::fs::read_to_string(&path).expect("report written");
+    let v = Json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        v.get("kind").and_then(Json::as_str),
+        Some(RunReportDoc::KIND)
+    );
+    assert_eq!(
+        v.path("version").and_then(Json::as_f64),
+        Some(RunReportDoc::VERSION as f64)
+    );
+    for key in ["datatype", "msg_bytes", "npkt", "gamma", "hpus", "epsilon"] {
+        assert!(
+            v.path(&format!("config.{key}")).is_some(),
+            "config.{key} missing"
+        );
+    }
+    let strats = v.get("strategies").and_then(Json::as_arr).expect("array");
+    assert_eq!(strats.len(), 4);
+    for s in strats {
+        let name = s.get("name").and_then(Json::as_str).unwrap();
+        let e2e = s.path("end_to_end_ps").and_then(Json::as_f64).unwrap();
+        let sum = s.path("attribution_sum_ps").and_then(Json::as_f64).unwrap();
+        assert!(e2e > 0.0, "{name}: end_to_end_ps");
+        assert_eq!(sum, e2e, "{name}: attribution must tile the window");
+        assert!(
+            s.path("histograms.handler_ps.p99")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0,
+            "{name}: handler histogram"
+        );
+        let model = s.path("model").unwrap();
+        match name {
+            "RW-CP" | "RO-CP" => assert!(
+                model.path("sched_budget_ps").is_some(),
+                "{name}: model block expected"
+            ),
+            _ => assert_eq!(model, &Json::Null, "{name}: no Δr plan"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn report_diff_of_a_report_with_itself_exits_zero() {
+    let path = tmp_path("self.json");
+    run_report(&path);
+    let out = Command::new(CLI)
+        .arg("report-diff")
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .expect("run report-diff");
+    assert!(
+        out.status.success(),
+        "self-diff must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+fn synthetic_doc(e2e: u64) -> RunReportDoc {
+    let mut h = nca_telemetry::hist::LogHistogram::new();
+    h.record_n(e2e / 10, 20);
+    let mut histograms = BTreeMap::new();
+    histograms.insert("handler_ps".to_string(), HistSummary::of(&h));
+    histograms.insert("queue_wait_ps".to_string(), HistSummary::of(&h));
+    RunReportDoc {
+        version: RunReportDoc::VERSION,
+        config: ReportConfig {
+            datatype: "vector(MPI_DOUBLE)".to_string(),
+            msg_bytes: 65536,
+            npkt: 32,
+            gamma: 16.0,
+            hpus: 16,
+            payload_size: 2048,
+            epsilon: 0.2,
+            out_of_order: None,
+        },
+        strategies: vec![StrategyReport {
+            name: "RW-CP".to_string(),
+            end_to_end_ps: e2e,
+            host_setup_ps: 1_000,
+            throughput_gbit: 100.0,
+            nic_mem_bytes: 4096,
+            nic_mem_hwm_bytes: 4096,
+            dma_writes: 512,
+            dma_bytes: 65536,
+            dma_max_queue: 9,
+            attribution: vec![("handler_proc", e2e)],
+            hpu_busy_ps: e2e,
+            hpu_utilization: 0.1,
+            histograms,
+            model: Some(ModelValidation {
+                delta_r: 8192,
+                delta_p: 4,
+                num_checkpoints: 8,
+                ckpt_nic_bytes: 2048,
+                epsilon: 0.2,
+                planned_epsilon_violated: false,
+                t_ph_predicted_ps: 90_000,
+                t_ph_measured_ps: 92_000.0,
+                sched_budget_ps: 36_000,
+                sched_overhead_ps: e2e / 100,
+                epsilon_respected: true,
+            }),
+        }],
+    }
+}
+
+#[test]
+fn report_diff_exits_nonzero_on_a_seeded_regression() {
+    let base = tmp_path("base.json");
+    let worse = tmp_path("worse.json");
+    std::fs::write(&base, synthetic_doc(1_000_000).to_json()).unwrap();
+    std::fs::write(&worse, synthetic_doc(1_300_000).to_json()).unwrap();
+    let out = Command::new(CLI)
+        .arg("report-diff")
+        .arg(&base)
+        .arg(&worse)
+        .output()
+        .expect("run report-diff");
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A loose threshold waves the same change through.
+    let out = Command::new(CLI)
+        .args(["report-diff"])
+        .arg(&base)
+        .arg(&worse)
+        .args(["--threshold", "0.5"])
+        .output()
+        .expect("run report-diff");
+    assert_eq!(out.status.code(), Some(0));
+
+    // Garbage input is an operational error, not a regression.
+    let junk = tmp_path("junk.json");
+    std::fs::write(&junk, "not json").unwrap();
+    let out = Command::new(CLI)
+        .arg("report-diff")
+        .arg(&base)
+        .arg(&junk)
+        .output()
+        .expect("run report-diff");
+    assert_eq!(out.status.code(), Some(2), "parse failure must exit 2");
+    for p in [&base, &worse, &junk] {
+        let _ = std::fs::remove_file(p);
+    }
+}

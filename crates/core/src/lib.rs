@@ -33,6 +33,7 @@ pub mod baselines;
 pub mod costmodel;
 pub mod engine;
 pub mod heuristic;
+pub mod report;
 pub mod runner;
 pub mod strategies;
 
@@ -40,5 +41,6 @@ pub use api::{CommittedDdt, OffloadManager, PostOutcome, TypeAttr};
 pub use baselines::{host_pipelined_unpack, host_unpack, iovec_offload, BaselineReport};
 pub use costmodel::{HandlerCycles, HostCostModel};
 pub use heuristic::{select_checkpoint_interval, CheckpointPlan};
-pub use runner::{Experiment, Strategy};
+pub use report::{report_config, strategy_report};
+pub use runner::{Experiment, ModeledRun, Strategy};
 pub use strategies::{GeneralKind, GeneralProcessor, SpecializedProcessor};

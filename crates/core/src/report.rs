@@ -1,0 +1,173 @@
+//! Fills a [`nca_telemetry::report::RunReportDoc`] from an experiment:
+//! the glue between the NIC model (this crate) and the generic report
+//! schema (`nca-telemetry`). One [`strategy_report`] call turns a
+//! [`ModeledRun`] plus its captured trace into the measured +
+//! model-validated block `ncmt_cli --report-out` serializes.
+
+use nca_telemetry::aggregate::{gauge_series, merged_hist, rollup};
+use nca_telemetry::flight;
+use nca_telemetry::report::{HistSummary, ModelValidation, ReportConfig, StrategyReport};
+use nca_telemetry::TraceEvent;
+
+use crate::runner::{Experiment, ModeledRun};
+
+/// The workload/pipeline configuration block for `exp`.
+pub fn report_config(exp: &Experiment) -> ReportConfig {
+    let msg_bytes = exp.dt.size * exp.count as u64;
+    ReportConfig {
+        datatype: exp.dt.signature(),
+        msg_bytes,
+        npkt: msg_bytes.div_ceil(exp.params.payload_size).max(1),
+        gamma: exp.gamma(),
+        hpus: exp.params.hpus as u64,
+        payload_size: exp.params.payload_size,
+        epsilon: exp.epsilon,
+        out_of_order: exp.out_of_order,
+    }
+}
+
+/// Build the report entry for one strategy run from the events its
+/// trace captured. `scope` selects this run's events when several
+/// strategies share one ring (see [`nca_telemetry::Telemetry::scoped`]);
+/// pass `""` for an unscoped capture.
+pub fn strategy_report(
+    exp: &Experiment,
+    run: &ModeledRun,
+    events: &[TraceEvent],
+    scope: &str,
+) -> StrategyReport {
+    let evs: Vec<TraceEvent> = events
+        .iter()
+        .filter(|ev| ev.scope == scope)
+        .cloned()
+        .collect();
+    let r = &run.report;
+    let end_to_end = r.processing_time();
+
+    let attribution = flight::attribute(&evs, r.t_first_byte, r.t_complete);
+
+    let comps = rollup(&evs);
+    let spin = comps.get("spin");
+    let histograms = spin
+        .map(|c| {
+            c.hists
+                .iter()
+                .map(|(name, h)| (name.clone(), HistSummary::of(h)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let hpu_busy_ps = spin
+        .and_then(|c| c.spans.get("handler"))
+        .map(|&(_, total)| total)
+        .unwrap_or(0);
+    let hpus = exp.params.hpus as u64;
+    let hpu_utilization = if end_to_end > 0 {
+        hpu_busy_ps as f64 / (hpus * end_to_end) as f64
+    } else {
+        0.0
+    };
+
+    // The strategy's footprint is allocated up front, so the gauge's
+    // maximum *is* the high-water mark; fall back to the run report
+    // when the trace was disabled or evicted.
+    let nic_mem_hwm_bytes = gauge_series(&evs, "spin", "nic_mem_bytes")
+        .iter()
+        .map(|&(_, v)| v as u64)
+        .max()
+        .unwrap_or(r.nic_mem_bytes);
+
+    let model = run.plan.map(|plan| {
+        let npkt = r.npkt.max(1);
+        let sched_budget_ps =
+            (exp.epsilon * npkt.div_ceil(hpus.max(1)) as f64 * run.t_ph_predicted as f64) as u64;
+        let sched_overhead_ps = merged_hist(&evs, "spin", "queue_wait_ps")
+            .and_then(|h| h.max())
+            .unwrap_or(0);
+        ModelValidation {
+            delta_r: plan.delta_r,
+            delta_p: plan.delta_p,
+            num_checkpoints: plan.num_checkpoints,
+            ckpt_nic_bytes: plan.nic_bytes,
+            epsilon: exp.epsilon,
+            planned_epsilon_violated: plan.epsilon_violated,
+            t_ph_predicted_ps: run.t_ph_predicted,
+            t_ph_measured_ps: r.mean_handler_time(),
+            sched_budget_ps,
+            sched_overhead_ps,
+            epsilon_respected: !plan.epsilon_violated && sched_overhead_ps <= sched_budget_ps,
+        }
+    });
+
+    let mut out = StrategyReport {
+        name: r.strategy.to_string(),
+        end_to_end_ps: end_to_end,
+        host_setup_ps: r.host_setup_time,
+        throughput_gbit: r.throughput_gbit(),
+        nic_mem_bytes: r.nic_mem_bytes,
+        nic_mem_hwm_bytes,
+        dma_writes: r.dma_writes,
+        dma_bytes: r.dma_bytes,
+        dma_max_queue: r.dma_max_queue as u64,
+        attribution: Vec::new(),
+        hpu_busy_ps,
+        hpu_utilization,
+        histograms,
+        model,
+    };
+    out.set_attribution(&attribution);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Strategy;
+    use nca_ddt::types::{elem, Datatype, DatatypeExt};
+    use nca_spin::params::NicParams;
+    use nca_telemetry::Telemetry;
+
+    fn traced_experiment() -> (Experiment, std::sync::Arc<nca_telemetry::RingRecorder>) {
+        let dt = Datatype::vector(512, 16, 32, &elem::double());
+        let (tel, sink) = Telemetry::ring(1 << 20);
+        let mut exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
+        exp.telemetry = tel;
+        (exp, sink)
+    }
+
+    #[test]
+    fn strategy_report_attribution_tiles_the_window() {
+        let (exp, sink) = traced_experiment();
+        let run = exp.run_modeled(Strategy::RwCp);
+        let events = sink.events();
+        let rep = strategy_report(&exp, &run, &events, "");
+        assert_eq!(rep.name, "RW-CP");
+        assert_eq!(rep.attribution_sum(), rep.end_to_end_ps);
+        assert!(rep.histograms.contains_key("handler_ps"));
+        assert!(rep.hpu_busy_ps > 0);
+        assert!(rep.hpu_utilization > 0.0 && rep.hpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn model_block_present_only_for_checkpointed_strategies() {
+        let (exp, sink) = traced_experiment();
+        let rw = exp.run_modeled(Strategy::RwCp);
+        let spec = exp.run_modeled(Strategy::Specialized);
+        let events = sink.events();
+        let rep_rw = strategy_report(&exp, &rw, &events, "");
+        let rep_spec = strategy_report(&exp, &spec, &events, "");
+        let m = rep_rw.model.expect("RW-CP carries a Δr plan");
+        assert!(m.t_ph_predicted_ps > 0);
+        assert!(m.sched_budget_ps > 0);
+        assert!(rep_spec.model.is_none());
+    }
+
+    #[test]
+    fn config_block_matches_the_experiment() {
+        let (exp, _sink) = traced_experiment();
+        let cfg = report_config(&exp);
+        assert_eq!(cfg.msg_bytes, exp.dt.size);
+        assert_eq!(cfg.hpus, 16);
+        assert_eq!(cfg.npkt, cfg.msg_bytes.div_ceil(cfg.payload_size));
+        assert!(cfg.datatype.contains("vec") || !cfg.datatype.is_empty());
+    }
+}

@@ -5,14 +5,16 @@
 use nca_ddt::dataloop::compile;
 use nca_ddt::pack::{buffer_span, pack, unpack};
 use nca_ddt::types::Datatype;
+use nca_sim::Time;
 use nca_spin::handler::MessageProcessor;
 use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
 use nca_spin::params::NicParams;
 use nca_telemetry::Telemetry;
 
 use crate::baselines::{host_unpack, iovec_offload, BaselineReport};
-use crate::costmodel::HostCostModel;
-use crate::strategies::{GeneralKind, GeneralProcessor, SpecializedProcessor};
+use crate::costmodel::{HandlerCycles, HostCostModel};
+use crate::heuristic::CheckpointPlan;
+use crate::strategies::{estimate_t_ph, GeneralKind, GeneralProcessor, SpecializedProcessor};
 
 /// Which receive method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,17 @@ impl Strategy {
     }
 }
 
+/// A strategy run plus the model-side predictions that went into it,
+/// so reports can compare predicted vs measured (Sec. 3.2.4 ε bound).
+pub struct ModeledRun {
+    /// The pipeline run report.
+    pub report: RunReport,
+    /// The Δr plan the strategy committed to (RO-CP/RW-CP only).
+    pub plan: Option<CheckpointPlan>,
+    /// Predicted per-packet general-handler runtime T_PH(γ), ps.
+    pub t_ph_predicted: Time,
+}
+
 /// One experiment configuration.
 #[derive(Clone)]
 pub struct Experiment {
@@ -132,15 +145,51 @@ impl Experiment {
     /// Run one offloaded strategy; panics on receive-buffer corruption
     /// when verification is enabled.
     pub fn run(&self, strategy: Strategy) -> RunReport {
+        self.run_modeled(strategy).report
+    }
+
+    /// Like [`Experiment::run`], but also captures the strategy's Δr
+    /// plan and the predicted T_PH(γ) so a report can validate the
+    /// model against the measured run.
+    pub fn run_modeled(&self, strategy: Strategy) -> ModeledRun {
+        let dl = compile(&self.dt, self.count);
+        let t_ph_predicted = estimate_t_ph(&self.params, &HandlerCycles::default(), &dl);
+        let (proc_, plan): (Box<dyn MessageProcessor>, Option<CheckpointPlan>) = match strategy {
+            Strategy::Specialized => (
+                Box::new(
+                    SpecializedProcessor::new(&self.dt, self.count, self.params.clone())
+                        .with_telemetry(self.telemetry.clone()),
+                ),
+                None,
+            ),
+            Strategy::HpuLocal | Strategy::RoCp | Strategy::RwCp => {
+                let kind = match strategy {
+                    Strategy::HpuLocal => GeneralKind::HpuLocal,
+                    Strategy::RoCp => GeneralKind::RoCp,
+                    _ => GeneralKind::RwCp,
+                };
+                let gp = GeneralProcessor::new(
+                    kind,
+                    &self.dt,
+                    self.count,
+                    self.params.clone(),
+                    self.epsilon,
+                );
+                let plan = gp.plan().copied();
+                (Box::new(gp.with_telemetry(self.telemetry.clone())), plan)
+            }
+        };
+        let report = self.execute(strategy, proc_);
+        ModeledRun {
+            report,
+            plan,
+            t_ph_predicted,
+        }
+    }
+
+    fn execute(&self, strategy: Strategy, proc_: Box<dyn MessageProcessor>) -> RunReport {
         let (origin, span) = buffer_span(&self.dt, self.count);
         let packed = self.packed_message();
-        let proc_ = strategy.build(
-            &self.dt,
-            self.count,
-            self.params.clone(),
-            self.epsilon,
-            self.telemetry.clone(),
-        );
         let cfg = RunConfig {
             params: self.params.clone(),
             out_of_order: self.out_of_order,

@@ -17,9 +17,20 @@
 //! 500 ms warm-up) so `cargo bench` over the whole workspace stays
 //! fast; groups can override via the usual `sample_size` /
 //! `measurement_time` / `warm_up_time` setters.
+//!
+//! Each report line carries min/mean/max plus nearest-rank p50/p95.
+//! Criterion's named baselines are supported in TSV form:
+//! `cargo bench -- --save-baseline NAME` records every benchmark's
+//! stats under `target/nca-criterion/NAME.tsv` (or
+//! `$NCA_CRITERION_DIR`), and `cargo bench -- --baseline NAME` prints
+//! the percent change of mean/p50/p95 against that file.
 
+use std::collections::{BTreeMap, HashSet};
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
@@ -173,6 +184,123 @@ impl Bencher<'_> {
     }
 }
 
+/// Nearest-rank percentile of `samples` (any order); 0 when empty.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let k = ((q / 100.0) * xs.len() as f64).ceil().max(1.0) as usize;
+    xs[k.min(xs.len()) - 1]
+}
+
+/// Summary stats of one benchmark as stored in a baseline file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Mean nanoseconds per iteration.
+    pub mean: f64,
+    /// Median ns/iter (nearest rank).
+    pub p50: f64,
+    /// 95th-percentile ns/iter (nearest rank).
+    pub p95: f64,
+}
+
+impl Stats {
+    /// Summarize raw per-sample timings.
+    pub fn of(samples: &[f64]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        Some(Stats {
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50: percentile(samples, 50.0),
+            p95: percentile(samples, 95.0),
+        })
+    }
+}
+
+/// Where baseline TSVs live: `$NCA_CRITERION_DIR` or
+/// `target/nca-criterion` relative to the working directory.
+pub fn baseline_dir() -> PathBuf {
+    std::env::var_os("NCA_CRITERION_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/nca-criterion"))
+}
+
+fn baseline_path(dir: &Path, baseline: &str) -> PathBuf {
+    dir.join(format!("{baseline}.tsv"))
+}
+
+// Baseline files accumulate one line per benchmark across the whole
+// `cargo bench` process (many groups, one file): the first write in
+// this process truncates any stale file, later ones append.
+fn fresh_files() -> &'static Mutex<HashSet<PathBuf>> {
+    static SET: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Append one benchmark's stats to baseline `baseline` under `dir`
+/// (TSV: `name\tmean\tp50\tp95`). The first save per file in this
+/// process truncates it.
+pub fn save_baseline_entry(
+    dir: &Path,
+    baseline: &str,
+    bench: &str,
+    s: &Stats,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = baseline_path(dir, baseline);
+    let truncate = fresh_files().lock().unwrap().insert(path.clone());
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(!truncate)
+        .write(true)
+        .truncate(truncate)
+        .open(&path)?;
+    writeln!(f, "{bench}\t{}\t{}\t{}", s.mean, s.p50, s.p95)
+}
+
+/// Load baseline `baseline` from `dir`; benchmarks keyed by name.
+/// Malformed lines are skipped (forward compatibility).
+pub fn load_baseline(dir: &Path, baseline: &str) -> std::io::Result<BTreeMap<String, Stats>> {
+    let text = std::fs::read_to_string(baseline_path(dir, baseline))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let mut it = line.split('\t');
+        let (Some(name), Some(mean), Some(p50), Some(p95)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            continue;
+        };
+        let (Ok(mean), Ok(p50), Ok(p95)) = (mean.parse(), p50.parse(), p95.parse()) else {
+            continue;
+        };
+        out.insert(name.to_string(), Stats { mean, p50, p95 });
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, Default)]
+enum BaselineMode {
+    #[default]
+    Off,
+    Save(String),
+    Compare(String, BTreeMap<String, Stats>),
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            let prefix = format!("{name}=");
+            args.iter()
+                .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        })
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -185,21 +313,23 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn report(name: &str, cfg: &MeasureConfig, samples: &[f64]) {
-    if samples.is_empty() {
+fn report(name: &str, cfg: &MeasureConfig, samples: &[f64]) -> Option<Stats> {
+    let Some(stats) = Stats::of(samples) else {
         println!("{name:<40} (no samples collected)");
-        return;
-    }
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        return None;
+    };
     let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut line = format!(
-        "{:<40} time: [{} {} {}]",
+        "{:<40} time: [{} {} {}] p50: {} p95: {}",
         name,
         fmt_ns(min),
-        fmt_ns(mean),
-        fmt_ns(max)
+        fmt_ns(stats.mean),
+        fmt_ns(max),
+        fmt_ns(stats.p50),
+        fmt_ns(stats.p95)
     );
+    let mean = stats.mean;
     if let Some(tp) = cfg.throughput {
         let (amount, unit) = match tp {
             Throughput::Bytes(n) => (n as f64, "B"),
@@ -216,15 +346,73 @@ fn report(name: &str, cfg: &MeasureConfig, samples: &[f64]) {
         line.push_str(&format!(" thrpt: {thr}"));
     }
     println!("{line}");
+    Some(stats)
 }
 
 /// Benchmark registry/driver (stand-in for `criterion::Criterion`).
-#[derive(Default)]
+/// `Default` picks up `--save-baseline NAME` / `--baseline NAME` from
+/// the process arguments (the criterion CLI contract under
+/// `cargo bench -- …`).
 pub struct Criterion {
-    _priv: (),
+    mode: BaselineMode,
+    dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let dir = baseline_dir();
+        let mode = if let Some(name) = arg_value(&args, "--save-baseline") {
+            BaselineMode::Save(name)
+        } else if let Some(name) = arg_value(&args, "--baseline") {
+            match load_baseline(&dir, &name) {
+                Ok(entries) => BaselineMode::Compare(name, entries),
+                Err(e) => {
+                    eprintln!("warning: cannot load baseline '{name}': {e}");
+                    BaselineMode::Off
+                }
+            }
+        } else {
+            BaselineMode::Off
+        };
+        Criterion { mode, dir }
+    }
 }
 
 impl Criterion {
+    fn record(&mut self, name: &str, cfg: &MeasureConfig, samples: &[f64]) {
+        let Some(stats) = report(name, cfg, samples) else {
+            return;
+        };
+        match &self.mode {
+            BaselineMode::Off => {}
+            BaselineMode::Save(b) => {
+                if let Err(e) = save_baseline_entry(&self.dir, b, name, &stats) {
+                    eprintln!("warning: cannot save baseline '{b}': {e}");
+                }
+            }
+            BaselineMode::Compare(b, entries) => match entries.get(name) {
+                Some(base) => {
+                    let pct = |new: f64, old: f64| {
+                        if old > 0.0 {
+                            (new - old) / old * 100.0
+                        } else {
+                            0.0
+                        }
+                    };
+                    println!(
+                        "{:<40} change vs '{b}': mean {:+.2}%  p50 {:+.2}%  p95 {:+.2}%",
+                        "",
+                        pct(stats.mean, base.mean),
+                        pct(stats.p50, base.p50),
+                        pct(stats.p95, base.p95)
+                    );
+                }
+                None => println!("{:<40} (no entry in baseline '{b}')", ""),
+            },
+        }
+    }
+
     /// Run a single benchmark function.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
@@ -236,14 +424,14 @@ impl Criterion {
             samples: Vec::new(),
         };
         f(&mut b);
-        report(name, &cfg, &b.samples);
+        self.record(name, &cfg, &b.samples);
         self
     }
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.into(),
             cfg: MeasureConfig::default(),
         }
@@ -252,7 +440,7 @@ impl Criterion {
 
 /// A group of benchmarks sharing a name prefix and measurement config.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     cfg: MeasureConfig,
 }
@@ -293,7 +481,8 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), &self.cfg, &b.samples);
+        let name = format!("{}/{}", self.name, id.id);
+        self.parent.record(&name, &self.cfg, &b.samples);
         self
     }
 
@@ -313,7 +502,8 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), &self.cfg, &b.samples);
+        let name = format!("{}/{}", self.name, id.id);
+        self.parent.record(&name, &self.cfg, &b.samples);
         self
     }
 
@@ -380,6 +570,59 @@ mod tests {
         };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
         assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 95.0), 5.0);
+        assert_eq!(percentile(&xs, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let s = Stats::of(&xs).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!((s.p50, s.p95), (3.0, 5.0));
+    }
+
+    #[test]
+    fn baseline_save_load_round_trips_and_first_save_truncates() {
+        let dir = std::env::temp_dir().join(format!("nca-criterion-test-{}", std::process::id()));
+        // A stale file from a previous run must not leak entries.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.tsv"), "stale\t1\t1\t1\n").unwrap();
+        let s1 = Stats {
+            mean: 10.0,
+            p50: 9.0,
+            p95: 12.5,
+        };
+        let s2 = Stats {
+            mean: 20.0,
+            p50: 19.0,
+            p95: 25.0,
+        };
+        save_baseline_entry(&dir, "b", "bench/one", &s1).unwrap();
+        save_baseline_entry(&dir, "b", "bench/two", &s2).unwrap();
+        let loaded = load_baseline(&dir, "b").unwrap();
+        assert!(!loaded.contains_key("stale"), "first save must truncate");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["bench/one"], s1);
+        assert_eq!(loaded["bench/two"], s2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_baseline_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("nca-criterion-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("m.tsv"),
+            "good\t1\t2\t3\nbad line\nworse\tx\ty\tz\n",
+        )
+        .unwrap();
+        let loaded = load_baseline(&dir, "m").unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded["good"].p95, 3.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,11 +46,38 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.random_range(self.size.lo..self.size.hi);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Shorter first: halve the excess over the minimum length,
+        // then a single pop.
+        if value.len() > self.size.lo {
+            let half = self.size.lo + (value.len() - self.size.lo) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 != half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        // Then element-wise, capped so huge vectors don't explode the
+        // candidate list.
+        for i in 0..value.len().min(16) {
+            for c in self.element.shrink(&value[i]) {
+                let mut w = value.clone();
+                w[i] = c;
+                out.push(w);
+            }
+        }
+        out
     }
 }
 

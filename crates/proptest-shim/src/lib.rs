@@ -17,8 +17,10 @@
 //!
 //! Differences from upstream proptest, by design:
 //!
-//! * **No shrinking.** A failing case reports its generated inputs but
-//!   is not minimized.
+//! * **Greedy shrinking.** A failing case is minimized by re-testing
+//!   the candidates each strategy proposes via [`Strategy::shrink`]
+//!   (no lazy shrink tree like upstream); both the original and the
+//!   minimal failing inputs are reported.
 //! * **Deterministic seeding.** Each test's RNG is seeded from the
 //!   test's module path and name, so runs are reproducible in CI; set
 //!   `PROPTEST_SEED=<n>` to mix in a different seed.
@@ -66,21 +68,24 @@ macro_rules! __proptest_tests {
                 ));
                 let mut __ran: u32 = 0;
                 let mut __rejected: u32 = 0;
-                while __ran < __cfg.cases {
-                    let mut __inputs = String::new();
-                    $(
-                        let __val = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
-                        __inputs.push_str(concat!(stringify!($arg), " = "));
-                        __inputs.push_str(&$crate::test_runner::debug_truncated(&__val));
-                        __inputs.push_str("\n");
-                        let $arg = __val;
-                    )+
-                    // The closure catches the early `return Err(..)` that
-                    // prop_assert!/prop_assume! expand to.
+                // All arguments form one tuple strategy so a failing
+                // case can be shrunk as a unit (one component at a
+                // time, the others held fixed).
+                let __strat = ($( $strat, )+);
+                // Runs the property body on a borrowed input tuple;
+                // the closure catches the early `return Err(..)` that
+                // prop_assert!/prop_assume! expand to.
+                let __check = $crate::test_runner::tie_check(&__strat, |__tuple| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__tuple);
                     #[allow(clippy::redundant_closure_call)]
-                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    let __r: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| { $body ::std::result::Result::Ok(()) })();
-                    match __outcome {
+                    __r
+                });
+                while __ran < __cfg.cases {
+                    let __tuple =
+                        $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                    match __check(&__tuple) {
                         Ok(()) => __ran += 1,
                         Err($crate::test_runner::TestCaseError::Reject) => {
                             __rejected += 1;
@@ -90,10 +95,20 @@ macro_rules! __proptest_tests {
                                 stringify!($name), __rejected, __cfg.cases
                             );
                         }
-                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            let __orig = $crate::test_runner::debug_truncated(&__tuple);
+                            let (__min, __min_msg, __steps) = $crate::test_runner::shrink_loop(
+                                &__strat, __tuple, __msg, &__check,
+                            );
                             panic!(
-                                "proptest '{}' failed at case {}:\n{}\ninputs:\n{}",
-                                stringify!($name), __ran, msg, __inputs
+                                "proptest '{}' failed at case {}:\n{}\n\
+                                 original failing input: ({}) = {}\n\
+                                 minimal failing input (after {} shrink steps): ({}) = {}",
+                                stringify!($name), __ran, __min_msg,
+                                stringify!($($arg),+), __orig,
+                                __steps,
+                                stringify!($($arg),+),
+                                $crate::test_runner::debug_truncated(&__min),
                             );
                         }
                     }
@@ -220,6 +235,29 @@ mod tests {
         fn config_is_honoured(_x in 0u32..10) {
             // runs exactly 7 cases; nothing to assert beyond not panicking
         }
+    }
+
+    // Deliberately failing property used by the shrink test below.
+    // Declared without `#[test]` so the harness never runs it directly.
+    proptest! {
+        fn always_fails(x in 5u64..1000) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_is_shrunk_to_minimum() {
+        let err = std::panic::catch_unwind(always_fails).expect_err("always_fails must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(msg.contains("original failing input"), "{msg}");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        // x < 5 fails for every value the 5..1000 strategy can produce,
+        // so the greedy walk must land on the range's lower bound.
+        assert!(msg.contains("(5,)"), "{msg}");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Value-generation strategies (subset of `proptest::strategy`).
 //!
-//! A [`Strategy`] here is just a deterministic function from an RNG to a
-//! value; there is no shrinking tree. Combinators mirror the upstream
-//! names so test code compiles unchanged.
+//! A [`Strategy`] here is a deterministic function from an RNG to a
+//! value plus an optional [`Strategy::shrink`] step proposing smaller
+//! candidates (no lazy shrink *tree* like upstream — the runner
+//! greedily re-tests candidates instead). Combinators mirror the
+//! upstream names so test code compiles unchanged.
 
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
@@ -18,6 +20,15 @@ pub trait Strategy {
 
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidates for `value`, best first.
+    /// The runner re-tests each candidate and greedily walks toward a
+    /// minimal failing input; strategies without a useful notion of
+    /// smaller return nothing (the default) and failures are reported
+    /// unshrunk.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform every generated value with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -74,21 +85,28 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
+        let strat = Arc::new(self);
+        let gen_handle = Arc::clone(&strat);
         BoxedStrategy {
-            generate: Arc::new(move |rng| self.generate(rng)),
+            generate: Arc::new(move |rng| gen_handle.generate(rng)),
+            shrink: Arc::new(move |v| strat.shrink(v)),
         }
     }
 }
 
+type ShrinkFn<T> = Arc<dyn Fn(&T) -> Vec<T>>;
+
 /// A cheaply clonable, type-erased [`Strategy`].
 pub struct BoxedStrategy<T> {
     generate: Arc<dyn Fn(&mut TestRng) -> T>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy {
             generate: Arc::clone(&self.generate),
+            shrink: Arc::clone(&self.shrink),
         }
     }
 }
@@ -97,6 +115,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.generate)(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
     }
 }
 
@@ -127,6 +148,11 @@ impl<T> Strategy for Union<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         let idx = rng.random_range(0..self.options.len());
         self.options[idx].generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // The generating option is not tracked, so ask all of them;
+        // every candidate is re-tested by the runner anyway.
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
     }
 }
 
@@ -236,11 +262,23 @@ macro_rules! impl_range_strategies {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -248,19 +286,61 @@ macro_rules! impl_range_strategies {
 
 impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Candidates between a range's lower bound and the failing value: the
+// bound itself, the halfway point, and one step down (i128 to dodge
+// signed-width overflow; all the impl'd int types embed losslessly).
+fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v > lo {
+        for c in [lo, lo + (v - lo) / 2, v - 1] {
+            if c < v && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         rng.random_range(self.clone())
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let lo = self.start;
+        let mut out = Vec::new();
+        if *value > lo {
+            out.push(lo);
+            let mid = lo + (*value - lo) / 2.0;
+            if mid > lo && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategies {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = c;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     )*};

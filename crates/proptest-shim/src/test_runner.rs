@@ -3,6 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::strategy::Strategy;
+
 /// Per-test configuration. Only `cases` is modeled.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -65,6 +67,64 @@ impl Rng for TestRng {
     }
 }
 
+/// Pins a check closure's argument type to `&S::Value` so the
+/// `proptest!` expansion can define the closure before any value has
+/// been generated (plain `|t: &_| ..` leaves inference stuck).
+#[doc(hidden)]
+pub fn tie_check<S, F>(_strat: &S, check: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    check
+}
+
+/// Greedily minimize a failing input: ask the strategy for smaller
+/// candidates, re-run the property on each, and whenever one still
+/// fails adopt it and start over from its own candidates. Stops when
+/// no candidate fails (a local minimum) or after a fixed re-test
+/// budget. Returns the smallest failing value found, the failure
+/// message it produced, and how many shrink steps were taken.
+pub fn shrink_loop<S, F>(
+    strat: &S,
+    initial: S::Value,
+    first_msg: String,
+    check: F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    const BUDGET: u32 = 1024;
+
+    let mut current = initial;
+    let mut msg = first_msg;
+    let mut steps = 0u32;
+    let mut tested = 0u32;
+    'outer: loop {
+        for candidate in strat.shrink(&current) {
+            if tested >= BUDGET {
+                break 'outer;
+            }
+            tested += 1;
+            match check(&candidate) {
+                Err(TestCaseError::Fail(m)) => {
+                    current = candidate;
+                    msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+                // Passing and rejected candidates are simply not
+                // adopted; keep scanning siblings.
+                Ok(()) | Err(TestCaseError::Reject) => {}
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
 /// `format!("{:?}")` capped at `LIMIT` bytes, so failing cases with
 /// huge inputs (e.g. 100 KiB payload vectors) stay readable.
 pub fn debug_truncated<T: std::fmt::Debug>(value: &T) -> String {
@@ -119,6 +179,24 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = TestRng::for_test("mod::test_b");
         assert_ne!(TestRng::for_test("mod::test_a").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn shrink_loop_finds_known_minimum() {
+        // Property "x < 10" fails for any x >= 10; the minimal failing
+        // input under the strategy 0..1000 is exactly 10.
+        let strat = (0u64..1000,);
+        let check = |v: &(u64,)| -> Result<(), TestCaseError> {
+            if v.0 >= 10 {
+                Err(TestCaseError::Fail(format!("{} is too big", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = shrink_loop(&strat, (777,), "777 is too big".to_string(), check);
+        assert_eq!(min, (10,), "greedy shrink must land on the boundary");
+        assert_eq!(msg, "10 is too big");
+        assert!(steps > 0);
     }
 
     #[test]

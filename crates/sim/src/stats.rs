@@ -47,6 +47,24 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     Some(v[rank.min(v.len() - 1)])
 }
 
+/// Nearest-rank percentiles for several `qs` at once (one sort, same
+/// convention as [`percentile`]); `None` for empty input.
+pub fn percentiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
+    Some(
+        qs.iter()
+            .map(|&p| {
+                let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+                v[rank.min(v.len() - 1)]
+            })
+            .collect(),
+    )
+}
+
 /// A log₂ histogram over positive values (Fig. 17 uses a log-x histogram
 /// of transfer volumes).
 #[derive(Debug, Clone)]

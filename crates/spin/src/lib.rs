@@ -21,7 +21,7 @@ pub mod params;
 pub mod sender;
 
 pub use handler::{DmaWrite, HandlerCost, HandlerOutput, MessageProcessor, PacketCtx, SchedPolicy};
-pub use multi::{run_concurrent, MessageReport, MessageSpec};
+pub use multi::{run_concurrent, run_concurrent_traced, MessageReport, MessageSpec};
 pub use nic::{MsgPath, PortalsSetup, ReceiveSim, RunConfig, RunReport};
 pub use nicmem::NicMemory;
 pub use params::NicParams;

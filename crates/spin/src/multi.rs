@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use nca_portals::packet::{packetize, Packet};
 use nca_sim::{Sim, Time, TrackedFifo};
+use nca_telemetry::Telemetry;
 
 use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
 use crate::params::NicParams;
@@ -148,19 +149,29 @@ struct MultiWorld {
     msgs: Vec<MsgState>,
     sched: MultiScheduler,
     dma_queue: TrackedFifo<(usize, DmaWrite)>,
-    dma_busy: usize,
+    dma_chan_busy: Vec<bool>,
+    tel: Telemetry,
+    /// (msg, pkt idx) → vHPU-queue entry time (only when traced).
+    enq_time: HashMap<(usize, usize), Time>,
 }
 
 impl MultiWorld {
     fn packet_arrival(&mut self, sim: &mut Sim<MultiWorld>, m: usize, idx: usize) {
         let pkt = self.msgs[m].packets[idx].clone();
+        self.tel
+            .counter("spin", "packets_arrived", m as u64, sim.now(), 1);
         let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+        self.tel
+            .span("spin", "inbound", m as u64, sim.now(), sim.now() + inbound);
         sim.schedule_in(inbound, move |w, s| w.her_ready(s, m, idx));
     }
 
     fn her_ready(&mut self, sim: &mut Sim<MultiWorld>, m: usize, idx: usize) {
         let seq = self.msgs[m].packets[idx].seq;
         let vhpu = self.msgs[m].proc.policy().vhpu_of(seq);
+        if self.tel.is_enabled() {
+            self.enq_time.insert((m, idx), sim.now());
+        }
         self.sched.enqueue((m, vhpu), idx);
         self.try_dispatch(sim);
     }
@@ -168,6 +179,13 @@ impl MultiWorld {
     fn try_dispatch(&mut self, sim: &mut Sim<MultiWorld>) {
         while let Some((key, idx)) = self.sched.next_dispatch() {
             let dispatch = self.params.sched_dispatch;
+            let now = sim.now();
+            if let Some(enq) = self.enq_time.remove(&(key.0, idx)) {
+                if now > enq {
+                    self.tel.span("spin", "queue_wait", key.1, enq, now);
+                }
+            }
+            self.tel.span("spin", "sched", key.1, now, now + dispatch);
             sim.schedule_in(dispatch, move |w, s| w.run_handler(s, key, idx));
         }
     }
@@ -188,6 +206,8 @@ impl MultiWorld {
         let out = st.proc.on_payload(&ctx);
         st.handler_costs.push(out.cost);
         let runtime = out.cost.total();
+        self.tel
+            .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
         sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, out.dma));
     }
 
@@ -220,21 +240,28 @@ impl MultiWorld {
     }
 
     fn kick_dma(&mut self, sim: &mut Sim<MultiWorld>) {
-        while self.dma_busy < self.params.dma_channels.max(1) {
+        while let Some(chan) = self.dma_chan_busy.iter().position(|&b| !b) {
             if let Some((_, front)) = self.dma_queue.front() {
                 // Event writes must not overtake in-flight data writes.
-                if front.event && self.dma_busy > 0 {
+                if front.event && self.dma_chan_busy.iter().any(|&b| b) {
                     return;
                 }
             }
             let Some((m, w)) = self.dma_queue.pop(sim.now()) else {
                 return;
             };
-            self.dma_busy += 1;
+            self.dma_chan_busy[chan] = true;
             let service = self.params.dma_service_time(w.data.len() as u64);
             let landing = self.params.pcie_latency;
+            self.tel.span(
+                "spin",
+                "dma_chan",
+                chan as u64,
+                sim.now(),
+                sim.now() + service,
+            );
             sim.schedule_in(service, move |world, s| {
-                world.dma_busy -= 1;
+                world.dma_chan_busy[chan] = false;
                 s.schedule_in(landing, move |w2, s2| {
                     let t = s2.now();
                     w2.dma_landed(t, m, w);
@@ -252,6 +279,7 @@ impl MultiWorld {
         }
         if w.event {
             st.t_complete = Some(t);
+            self.tel.instant("spin", "message_complete", m as u64, t);
         }
     }
 }
@@ -301,6 +329,18 @@ fn schedule_arrivals(
 
 /// Run several concurrent receives sharing one NIC.
 pub fn run_concurrent(specs: Vec<MessageSpec>, params: &NicParams) -> Vec<MessageReport> {
+    run_concurrent_traced(specs, params, Telemetry::disabled())
+}
+
+/// [`run_concurrent`] with a trace sink: emits the same event families
+/// as the single-message pipeline (wire/inbound spans on per-message
+/// tracks, queue-wait/dispatch/handler spans on vHPU tracks, DMA busy
+/// intervals on per-channel tracks, completion instants).
+pub fn run_concurrent_traced(
+    specs: Vec<MessageSpec>,
+    params: &NicParams,
+    tel: Telemetry,
+) -> Vec<MessageReport> {
     let mut starts = Vec::with_capacity(specs.len());
     let mut msgs: Vec<MsgState> = Vec::with_capacity(specs.len());
     for (i, spec) in specs.into_iter().enumerate() {
@@ -324,13 +364,22 @@ pub fn run_concurrent(specs: Vec<MessageSpec>, params: &NicParams) -> Vec<Messag
         if pkt == 0 {
             msgs[m].t_first_byte = t - params.pkt_wire_time(msgs[m].packets[0].len);
         }
+        // Wire serialization span: the arrival time is one network
+        // latency after the packet left the shared link.
+        if tel.is_enabled() {
+            let end = t - params.net_latency;
+            let wire = params.pkt_wire_time(msgs[m].packets[pkt].len);
+            tel.span("spin", "wire", m as u64, end.saturating_sub(wire), end);
+        }
     }
     let mut world = MultiWorld {
         params: params.clone(),
         msgs,
         sched: MultiScheduler::new(params.hpus),
         dma_queue: TrackedFifo::new(false),
-        dma_busy: 0,
+        dma_chan_busy: vec![false; params.dma_channels.max(1)],
+        tel,
+        enq_time: HashMap::new(),
     };
     let mut sim: Sim<MultiWorld> = Sim::new();
     for (t, m, pkt) in arrivals {
@@ -432,6 +481,42 @@ mod tests {
         );
         assert!(reports[0].t_complete < reports[1].t_complete);
         assert!(reports[1].t_first_byte >= nca_sim::us(500));
+    }
+
+    #[test]
+    fn traced_run_emits_lifecycle_spans_with_disjoint_channel_tracks() {
+        let p = NicParams::with_hpus(4);
+        let h = p.spin_min_handler();
+        let (tel, sink) = Telemetry::ring(1 << 16);
+        let reports = run_concurrent_traced(
+            vec![spec(32 << 10, 1, 0, h), spec(32 << 10, 2, 0, h)],
+            &p,
+            tel,
+        );
+        assert_eq!(reports.len(), 2);
+        let evs = sink.events();
+        let roll = nca_telemetry::aggregate::rollup(&evs);
+        let spin = &roll["spin"];
+        assert!(spin.counters["packets_arrived"] > 0);
+        for name in ["wire", "inbound", "handler", "dma_chan"] {
+            assert!(spin.spans.contains_key(name), "missing {name} spans");
+        }
+        assert_eq!(spin.instants["message_complete"], 2);
+        // Per-channel DMA spans never overlap on their own track.
+        for chan in 0..p.dma_channels as u64 {
+            let mut spans: Vec<(Time, Time)> = evs
+                .iter()
+                .filter(|e| e.name == "dma_chan" && e.track == chan)
+                .filter_map(|e| match e.kind {
+                    nca_telemetry::EventKind::Span { end } => Some((e.time, end)),
+                    _ => None,
+                })
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1, "channel {chan} spans overlap: {w:?}");
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
 use nca_portals::packet::{packetize, Packet};
 use nca_sim::{Sim, Time, TrackedFifo};
-use nca_telemetry::{probe::SimTelemetryProbe, Telemetry};
+use nca_telemetry::{hist::LogHistogram, probe::SimTelemetryProbe, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -234,11 +234,20 @@ impl Scheduler {
 
 struct DmaEngine {
     queue: TrackedFifo<DmaWrite>,
-    /// Channels currently transmitting.
-    busy: usize,
-    channels: usize,
+    /// Per-channel busy flags (index = channel, i.e. the trace track).
+    chan_busy: Vec<bool>,
     writes: u64,
     bytes: u64,
+}
+
+impl DmaEngine {
+    fn busy_count(&self) -> usize {
+        self.chan_busy.iter().filter(|&&b| b).count()
+    }
+
+    fn free_channel(&self) -> Option<usize> {
+        self.chan_busy.iter().position(|&b| !b)
+    }
 }
 
 struct World {
@@ -260,6 +269,14 @@ struct World {
     events: EventQueue,
     arrived: u64,
     tel: Telemetry,
+    /// Packet idx → time it entered its vHPU queue (flight-recorder
+    /// bookkeeping; only populated when telemetry is enabled).
+    enq_time: HashMap<usize, Time>,
+    /// Latency distributions accumulated over the run and emitted as
+    /// single `Hist` events at the end (they survive ring eviction).
+    hist_handler: LogHistogram,
+    hist_queue_wait: LogHistogram,
+    hist_dma: LogHistogram,
 }
 
 impl World {
@@ -289,6 +306,8 @@ impl World {
             MsgPath::Spin => {
                 // Inbound engine: copy payload into NIC memory, then HER.
                 let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+                self.tel
+                    .span("spin", "inbound", 0, sim.now(), sim.now() + inbound);
                 sim.schedule_in(inbound, move |w, s| w.her_ready(s, idx));
             }
             MsgPath::NonProcessing | MsgPath::Unexpected => {
@@ -332,6 +351,9 @@ impl World {
     fn her_ready(&mut self, sim: &mut Sim<World>, idx: usize) {
         let seq = self.packets[idx].seq;
         let vhpu = self.proc.policy().vhpu_of(seq);
+        if self.tel.is_enabled() {
+            self.enq_time.insert(idx, sim.now());
+        }
         self.sched.enqueue(vhpu, idx);
         self.try_dispatch(sim);
     }
@@ -340,7 +362,15 @@ impl World {
         while let Some((vhpu, idx)) = self.sched.next_dispatch() {
             let pkt = self.packets[idx].clone();
             let dispatch = self.params.sched_dispatch;
-            self.tel.instant("spin", "dispatch", vhpu, sim.now());
+            let now = sim.now();
+            if let Some(enq) = self.enq_time.remove(&idx) {
+                self.hist_queue_wait.record(now - enq);
+                if now > enq {
+                    self.tel.span("spin", "queue_wait", vhpu, enq, now);
+                }
+            }
+            self.tel.instant("spin", "dispatch", vhpu, now);
+            self.tel.span("spin", "sched", vhpu, now, now + dispatch);
             sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, pkt));
         }
     }
@@ -358,6 +388,9 @@ impl World {
         let out = self.proc.on_payload(&ctx);
         self.handler_costs.push(out.cost);
         let runtime = out.cost.total();
+        if self.tel.is_enabled() {
+            self.hist_handler.record(runtime);
+        }
         self.tel
             .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
         sim.schedule_in(runtime, move |w, s| w.handler_done(s, vhpu, out.dma));
@@ -401,12 +434,12 @@ impl World {
     }
 
     fn kick_dma(&mut self, sim: &mut Sim<World>) {
-        while self.dma.busy < self.dma.channels {
+        while let Some(chan) = self.dma.free_channel() {
             // The event-generating completion write must land after all
             // data writes: dispatch it only once every channel is idle
             // and it is alone in the queue (Portals ordering guarantee).
             if let Some(front) = self.dma.queue.front() {
-                if front.event && self.dma.busy > 0 {
+                if front.event && self.dma.busy_count() > 0 {
                     return;
                 }
             }
@@ -420,15 +453,34 @@ impl World {
                 sim.now(),
                 self.dma.queue.len() as f64,
             );
-            self.dma.busy += 1;
+            self.dma.chan_busy[chan] = true;
             let service = self.params.dma_service_time(w.data.len() as u64);
             let landing = self.params.pcie_latency;
+            if self.tel.is_enabled() {
+                self.hist_dma.record(service);
+                // Busy-interval span on the channel's own track (the
+                // Perfetto PCIe-utilization view).
+                self.tel.span(
+                    "spin",
+                    "dma_chan",
+                    chan as u64,
+                    sim.now(),
+                    sim.now() + service,
+                );
+            }
             sim.schedule_in(service, move |world, s| {
                 // A channel is free once the write is on the wire; it
                 // lands in host memory one PCIe latency later.
-                world.dma.busy -= 1;
+                world.dma.chan_busy[chan] = false;
                 world.dma.writes += 1;
                 world.dma.bytes += w.data.len() as u64;
+                if w.event {
+                    // The completion drain: everything is on the wire,
+                    // the run now waits for the final PCIe landing.
+                    world
+                        .tel
+                        .span("spin", "dma_drain", chan as u64, s.now(), s.now() + landing);
+                }
                 s.schedule_in(landing, move |w2, s2| {
                     let t = s2.now();
                     w2.dma_landed(t, w);
@@ -492,8 +544,7 @@ impl ReceiveSim {
             sched: Scheduler::new(params.hpus),
             dma: DmaEngine {
                 queue: TrackedFifo::new(cfg.record_dma_history),
-                busy: 0,
-                channels: params.dma_channels.max(1),
+                chan_busy: vec![false; params.dma_channels.max(1)],
                 writes: 0,
                 bytes: 0,
             },
@@ -509,6 +560,10 @@ impl ReceiveSim {
             events: EventQueue::new(),
             arrived: 0,
             tel: cfg.telemetry.clone(),
+            enq_time: HashMap::new(),
+            hist_handler: LogHistogram::new(),
+            hist_queue_wait: LogHistogram::new(),
+            hist_dma: LogHistogram::new(),
         };
 
         let mut sim: Sim<World> = Sim::new();
@@ -526,12 +581,31 @@ impl ReceiveSim {
         let t_first_byte = params.net_latency;
         let mut t = t_first_byte;
         for &pkt_idx in &order {
-            t += params.pkt_wire_time(world.packets[pkt_idx].len);
+            let wire = params.pkt_wire_time(world.packets[pkt_idx].len);
+            world.tel.span("spin", "wire", 0, t, t + wire);
+            t += wire;
             sim.schedule(t, move |w, s| w.packet_arrival(s, pkt_idx));
         }
         sim.run(&mut world);
 
         let t_complete = world.t_complete.unwrap_or_else(|| sim.now());
+        // Emit the accumulated distributions as single mergeable events
+        // so percentiles survive however much the ring evicted.
+        if world.tel.is_enabled() {
+            world
+                .tel
+                .histogram("spin", "handler_ps", 0, t_complete, &world.hist_handler);
+            world.tel.histogram(
+                "spin",
+                "queue_wait_ps",
+                0,
+                t_complete,
+                &world.hist_queue_wait,
+            );
+            world
+                .tel
+                .histogram("spin", "dma_service_ps", 0, t_complete, &world.hist_dma);
+        }
         RunReport {
             strategy: strategy_name,
             msg_bytes: world.packed.len() as u64,

@@ -28,6 +28,18 @@ pub struct SendReport {
     pub cpu_busy: Time,
 }
 
+impl SendReport {
+    /// Trace the modelled send on `track`: CPU-busy and injection
+    /// spans from t=0 plus an injection-done instant, on the
+    /// `"outbound"` component (so sender strategies appear next to the
+    /// receive pipeline in the same Perfetto view).
+    pub fn record(&self, tel: &nca_telemetry::Telemetry, track: u64) {
+        tel.span("outbound", "cpu_busy", track, 0, self.cpu_busy);
+        tel.span("outbound", "inject", track, 0, self.inject_time);
+        tel.instant("outbound", "inject_done", track, self.inject_time);
+    }
+}
+
 /// Cost model inputs for the sender datatype walk.
 #[derive(Debug, Clone, Copy)]
 pub struct SendWorkload {
@@ -130,6 +142,20 @@ mod tests {
         );
         // With enough HPUs, injection stays comparable or better.
         assert!(spin.inject_time <= stream.inject_time * 2);
+    }
+
+    #[test]
+    fn send_report_record_emits_outbound_spans() {
+        let p = NicParams::default();
+        let w = workload(1 << 20, 1024);
+        let (tel, sink) = nca_telemetry::Telemetry::ring(256);
+        streaming_put_send(&p, &w).record(&tel, 7);
+        let evs = sink.events();
+        let names: Vec<&str> = evs.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["cpu_busy", "inject", "inject_done"]);
+        assert!(evs
+            .iter()
+            .all(|e| e.component == "outbound" && e.track == 7));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use nca_sim::stats;
 
+use crate::hist::LogHistogram;
 use crate::{EventKind, Time, TraceEvent};
 
 /// Five-number-style summary of the `Value` observations of one metric.
@@ -33,6 +34,9 @@ pub struct ComponentRollup {
     pub spans: BTreeMap<String, (usize, Time)>,
     /// Instant counts by name.
     pub instants: BTreeMap<String, u64>,
+    /// Merged histogram snapshots by name (all `Hist` events of the
+    /// same name fold into one distribution).
+    pub hists: BTreeMap<String, LogHistogram>,
 }
 
 /// Roll up `events` per component (scopes are merged; filter first if
@@ -42,7 +46,7 @@ pub fn rollup(events: &[TraceEvent]) -> BTreeMap<String, ComponentRollup> {
     let mut raw_values: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
     for ev in events {
         let comp = out.entry(ev.component.to_string()).or_default();
-        match ev.kind {
+        match &ev.kind {
             EventKind::Counter { delta } => {
                 *comp.counters.entry(ev.name.to_string()).or_insert(0) += delta;
             }
@@ -50,7 +54,7 @@ pub fn rollup(events: &[TraceEvent]) -> BTreeMap<String, ComponentRollup> {
                 raw_values
                     .entry((ev.component.to_string(), ev.name.to_string()))
                     .or_default()
-                    .push(value);
+                    .push(*value);
             }
             EventKind::Span { end } => {
                 let e = comp.spans.entry(ev.name.to_string()).or_insert((0, 0));
@@ -60,15 +64,22 @@ pub fn rollup(events: &[TraceEvent]) -> BTreeMap<String, ComponentRollup> {
             EventKind::Instant => {
                 *comp.instants.entry(ev.name.to_string()).or_insert(0) += 1;
             }
+            EventKind::Hist { hist } => {
+                comp.hists
+                    .entry(ev.name.to_string())
+                    .or_default()
+                    .merge(hist);
+            }
             EventKind::Gauge { .. } => {} // levels don't aggregate additively
         }
     }
     for ((component, name), xs) in raw_values {
+        let ps = stats::percentiles(&xs, &[50.0, 95.0]).expect("non-empty");
         let summary = ValueSummary {
             count: xs.len(),
             mean: stats::mean(&xs),
-            p50: stats::percentile(&xs, 50.0).expect("non-empty"),
-            p95: stats::percentile(&xs, 95.0).expect("non-empty"),
+            p50: ps[0],
+            p95: ps[1],
             max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         };
         out.entry(component)
@@ -88,7 +99,21 @@ pub fn counter_total(events: &[TraceEvent], component: &str, name: &str) -> u64 
             EventKind::Counter { delta } => delta,
             _ => 0,
         })
-        .sum()
+        .sum::<u64>()
+}
+
+/// The merged histogram of one metric across `events` (all tracks),
+/// `None` when no `Hist` event matches.
+pub fn merged_hist(events: &[TraceEvent], component: &str, name: &str) -> Option<LogHistogram> {
+    let mut out: Option<LogHistogram> = None;
+    for ev in events {
+        if ev.component == component && ev.name == name {
+            if let EventKind::Hist { hist } = &ev.kind {
+                out.get_or_insert_with(LogHistogram::new).merge(hist);
+            }
+        }
+    }
+    out
 }
 
 /// Sum a counter's deltas into fixed-width time buckets.

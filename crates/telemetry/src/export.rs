@@ -89,7 +89,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for ev in events {
         let pid = pids[&(ev.scope, ev.component)];
         let name = esc(ev.name);
-        let line = match ev.kind {
+        let line = match &ev.kind {
             EventKind::Span { end } => format!(
                 r#"{{"ph":"X","pid":{pid},"tid":{},"ts":{},"dur":{},"name":"{name}","cat":"{}"}}"#,
                 ev.track,
@@ -106,7 +106,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let total = totals
                     .entry((ev.scope, ev.component, ev.name, ev.track))
                     .and_modify(|t| *t += delta)
-                    .or_insert(delta);
+                    .or_insert(*delta);
                 format!(
                     r#"{{"ph":"C","pid":{pid},"tid":{},"ts":{},"name":"{name}","args":{{"{name}":{}}}}}"#,
                     ev.track,
@@ -120,6 +120,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 ts_us(ev.time),
                 value
             ),
+            // A distribution snapshot renders as one summary counter
+            // sample so Perfetto shows the percentiles on a track.
+            EventKind::Hist { hist } => format!(
+                r#"{{"ph":"C","pid":{pid},"tid":{},"ts":{},"name":"{name}","args":{{"count":{},"p50":{},"p90":{},"p99":{}}}}}"#,
+                ev.track,
+                ts_us(ev.time),
+                hist.count(),
+                hist.percentile_ps(50.0),
+                hist.percentile_ps(90.0),
+                hist.percentile_ps(99.0)
+            ),
         };
         push(&mut out, &mut first, line);
     }
@@ -131,12 +142,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 pub fn csv(events: &[TraceEvent]) -> String {
     let mut out = String::from("time_ps,scope,component,name,track,kind,value,end_ps\n");
     for ev in events {
-        let (kind, value, end) = match ev.kind {
-            EventKind::Counter { delta } => ("counter", delta as f64, String::new()),
-            EventKind::Gauge { value } => ("gauge", value, String::new()),
-            EventKind::Value { value } => ("value", value, String::new()),
+        let (kind, value, end) = match &ev.kind {
+            EventKind::Counter { delta } => ("counter", *delta as f64, String::new()),
+            EventKind::Gauge { value } => ("gauge", *value, String::new()),
+            EventKind::Value { value } => ("value", *value, String::new()),
             EventKind::Span { end } => ("span", 0.0, end.to_string()),
             EventKind::Instant => ("instant", 0.0, String::new()),
+            // Only the sample count survives the flat CSV form; the
+            // full distribution lives in the JSON run report.
+            EventKind::Hist { hist } => ("hist", hist.count() as f64, String::new()),
         };
         let _ = writeln!(
             out,
@@ -245,6 +259,21 @@ mod tests {
                 time: 900_000,
                 kind: EventKind::Counter { delta: 3 },
             },
+            TraceEvent {
+                scope: "RW-CP",
+                component: "spin",
+                name: "handler_ps",
+                track: 0,
+                time: 3_000_000,
+                kind: EventKind::Hist {
+                    hist: std::sync::Arc::new({
+                        let mut h = crate::hist::LogHistogram::new();
+                        h.record_n(100, 9);
+                        h.record(1_000_000);
+                        h
+                    }),
+                },
+            },
         ]
     }
 
@@ -301,26 +330,40 @@ mod tests {
             assert_eq!(row.component, ev.component);
             assert_eq!(row.name, ev.name);
             assert_eq!(row.track, ev.track);
-            match ev.kind {
+            match &ev.kind {
                 EventKind::Counter { delta } => {
                     assert_eq!(row.kind, "counter");
-                    assert_eq!(row.value, delta as f64);
+                    assert_eq!(row.value, *delta as f64);
                 }
                 EventKind::Gauge { value } => {
                     assert_eq!(row.kind, "gauge");
-                    assert_eq!(row.value, value);
+                    assert_eq!(row.value, *value);
                 }
                 EventKind::Value { value } => {
                     assert_eq!(row.kind, "value");
-                    assert_eq!(row.value, value);
+                    assert_eq!(row.value, *value);
                 }
                 EventKind::Span { end } => {
                     assert_eq!(row.kind, "span");
-                    assert_eq!(row.end, Some(end));
+                    assert_eq!(row.end, Some(*end));
                 }
                 EventKind::Instant => assert_eq!(row.kind, "instant"),
+                EventKind::Hist { hist } => {
+                    assert_eq!(row.kind, "hist");
+                    assert_eq!(row.value, hist.count() as f64);
+                }
             }
         }
+    }
+
+    #[test]
+    fn chrome_json_renders_histogram_percentiles() {
+        let json = chrome_trace_json(&sample_events());
+        // p50 is the upper bound of the bucket holding 100 (≤3.1% off).
+        assert!(
+            json.contains(r#""count":10,"p50":101,"#),
+            "histogram summary exported: {json}"
+        );
     }
 
     #[test]

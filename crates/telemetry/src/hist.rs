@@ -1,0 +1,297 @@
+//! Mergeable HDR-style histograms with logarithmic bucketing.
+//!
+//! The ring sink drops old events under pressure, so raw `Value`
+//! samples of a hot metric (per-packet handler runtimes, DMA service
+//! times) don't survive long runs. A [`LogHistogram`] fixes that: it
+//! compresses any `u64` distribution into ~2k log-spaced buckets with a
+//! bounded relative error, merges losslessly (bucket-wise addition),
+//! and answers percentile queries — so a distribution can be carried as
+//! a single [`crate::EventKind::Hist`] event however many samples fed
+//! it.
+//!
+//! Layout: values below `2^SUB_BITS` get exact unit buckets; above
+//! that, each power-of-two octave is split into `2^SUB_BITS` equal
+//! sub-buckets, i.e. the classic HDR-histogram scheme with
+//! `SUB_BITS` bits of precision (relative error ≤ `2^-SUB_BITS`,
+//! ~3.1% at the default 5 bits).
+
+use nca_sim::Time;
+
+/// Sub-bucket precision in bits: each octave splits into
+/// `2^SUB_BITS` buckets, bounding relative error by `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 5;
+
+const SUB: u64 = 1 << SUB_BITS; // sub-buckets per octave
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Index of the bucket holding `v`. Monotone in `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let offset = ((v >> (exp - SUB_BITS)) - SUB) as usize;
+        (exp - SUB_BITS + 1) as usize * SUB as usize + offset
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB as usize {
+        (idx as u64, idx as u64)
+    } else {
+        let exp = SUB_BITS - 1 + (idx / SUB as usize) as u32;
+        let off = (idx % SUB as usize) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        let lower = (SUB + off) << (exp - SUB_BITS);
+        (lower, lower + (width - 1)) // grouping avoids overflow at the top bucket
+    }
+}
+
+/// A mergeable log-bucketed histogram over `u64` values (picosecond
+/// durations in practice, hence the [`Time`] convenience methods).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition; lossless with
+    /// respect to the bucketed representation).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (exact), `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (exact), `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive bounds `(lo, hi)` on the nearest-rank `q`-th
+    /// percentile (0 < q ≤ 100): the true k-th smallest sample, with
+    /// `k = ceil(q/100 · count)`, lies in `lo..=hi`. `None` when empty.
+    pub fn percentile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let k = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let k = k.min(self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= k {
+                let (lo, hi) = bucket_bounds(idx);
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        Some((self.min, self.max)) // unreachable: cum reaches count
+    }
+
+    /// Nearest-rank `q`-th percentile estimate (upper bound of the
+    /// bucket holding the k-th sample, clamped to the observed range).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.percentile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// [`percentile`](Self::percentile) as a [`Time`], defaulting to 0
+    /// when empty (convenient for report fields).
+    pub fn percentile_ps(&self, q: f64) -> Time {
+        self.percentile(q).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(bucket_lower_bound, count)` pairs, in
+    /// ascending value order (the sparse wire form used by reports).
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_bounds(idx).0, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_unit_buckets() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_are_contiguous() {
+        // Walk the first few octaves exhaustively plus spot checks high up.
+        let mut prev = 0usize;
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must be monotone at v={v}");
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} outside bucket [{lo},{hi}]");
+            prev = idx;
+        }
+        for v in [u64::MAX, u64::MAX / 3, 1 << 40, (1 << 40) + 12345] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 1_000, 123_456, 99_999_999, 1 << 50] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let err = (hi - lo) as f64 / lo as f64;
+            assert!(err <= 1.0 / SUB as f64, "v={v}: err {err}");
+        }
+    }
+
+    #[test]
+    fn percentile_queries_on_known_data() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Values ≤ 100 sit within one octave of 32-wide sub-buckets:
+        // every estimate must be within the bucket width of truth.
+        for q in [10.0f64, 50.0, 90.0, 99.0, 100.0] {
+            let truth = ((q / 100.0) * 100.0).ceil().max(1.0) as u64;
+            let (lo, hi) = h.percentile_bounds(q).unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "q={q}: truth {truth} not in [{lo},{hi}]"
+            );
+        }
+        assert_eq!(h.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonempty_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let xs: Vec<u64> = (0..500).map(|i| i * i % 10_007).collect();
+        let mut all = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn sparse_buckets_round_trip_counts() {
+        let mut h = LogHistogram::new();
+        h.record_n(7, 3);
+        h.record_n(1_000_000, 2);
+        let buckets = h.nonempty_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (7, 3));
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+}

@@ -30,7 +30,10 @@
 
 pub mod aggregate;
 pub mod export;
+pub mod flight;
+pub mod hist;
 pub mod probe;
+pub mod report;
 pub mod ring;
 
 use std::sync::Arc;
@@ -39,7 +42,7 @@ pub use nca_sim::Time;
 pub use ring::RingRecorder;
 
 /// What a [`TraceEvent`] carries beyond its key and timestamp.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// Monotonic count increment (e.g. packets arrived, reverts).
     Counter {
@@ -64,6 +67,14 @@ pub enum EventKind {
     },
     /// A point event (e.g. a checkpoint revert).
     Instant,
+    /// A whole distribution snapshot: a merged [`hist::LogHistogram`]
+    /// emitted once per run so percentiles survive ring-buffer
+    /// eviction of the raw `Value` samples. Shared via `Arc` so the
+    /// event stays cheap to clone.
+    Hist {
+        /// The merged histogram.
+        hist: Arc<hist::LogHistogram>,
+    },
 }
 
 /// One telemetry record.
@@ -132,6 +143,11 @@ impl Telemetry {
             recorder: self.recorder.clone(),
             scope,
         }
+    }
+
+    /// The scope this handle stamps on events (empty when unscoped).
+    pub fn scope(&self) -> &'static str {
+        self.scope
     }
 
     #[inline]
@@ -213,6 +229,29 @@ impl Telemetry {
     pub fn instant(&self, component: &'static str, name: &'static str, track: u64, time: Time) {
         self.emit(component, name, track, time, EventKind::Instant);
     }
+
+    /// Record a distribution snapshot (cloned into the event; no-op on
+    /// a disabled handle, so callers can emit unconditionally).
+    pub fn histogram(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        track: u64,
+        time: Time,
+        hist: &hist::LogHistogram,
+    ) {
+        if self.recorder.is_some() {
+            self.emit(
+                component,
+                name,
+                track,
+                time,
+                EventKind::Hist {
+                    hist: Arc::new(hist.clone()),
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +280,26 @@ mod tests {
         assert_eq!(evs[0].kind, EventKind::Counter { delta: 2 });
         assert_eq!(evs[1].component, "spin");
         assert_eq!(evs[3].kind, EventKind::Span { end: 30 });
+    }
+
+    #[test]
+    fn histogram_snapshots_are_recorded_and_shared_cheaply() {
+        let (t, sink) = Telemetry::ring(8);
+        let mut h = hist::LogHistogram::new();
+        h.record(10);
+        h.record(1000);
+        t.histogram("spin", "handler_ps", 0, 99, &h);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::Hist { hist } => {
+                assert_eq!(hist.count(), 2);
+                assert_eq!(hist.max(), Some(1000));
+            }
+            other => panic!("expected Hist, got {other:?}"),
+        }
+        // Disabled handles skip even the clone.
+        Telemetry::disabled().histogram("spin", "handler_ps", 0, 0, &h);
     }
 
     #[test]

@@ -1,0 +1,830 @@
+//! Machine-readable run reports: the JSON artifact one strategy sweep
+//! emits (`ncmt_cli --report-out`), plus a parser and a thresholded
+//! baseline diff (`ncmt_cli report-diff`).
+//!
+//! This module is deliberately generic — it knows stage labels,
+//! histograms, and JSON, but nothing about the NIC model. The glue
+//! that fills a [`RunReportDoc`] from an experiment lives in
+//! `nca-core::report`, keeping the dependency direction
+//! `core → telemetry`.
+//!
+//! Everything is hand-rendered/hand-parsed: the workspace builds
+//! offline, so no serde. The schema is documented in EXPERIMENTS.md;
+//! bump [`RunReportDoc::VERSION`] on breaking changes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::flight::Attribution;
+use crate::hist::LogHistogram;
+use crate::Time;
+
+/// Summary form of a [`LogHistogram`] as serialized into a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (exact).
+    pub min: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median estimate (≤3.1% relative error).
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Sparse `(bucket_lower_bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSummary {
+    /// Summarize `h`.
+    pub fn of(h: &LogHistogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            mean: h.mean(),
+            p50: h.percentile_ps(50.0),
+            p90: h.percentile_ps(90.0),
+            p99: h.percentile_ps(99.0),
+            buckets: h.nonempty_buckets(),
+        }
+    }
+}
+
+/// Model-vs-measured validation block: what the analytic cost model
+/// predicted for this run against what the trace observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelValidation {
+    /// Planned checkpoint restart distance Δr (packets).
+    pub delta_r: u64,
+    /// Planned checkpoint interval Δp (packets).
+    pub delta_p: u64,
+    /// Planned number of checkpoints.
+    pub num_checkpoints: u64,
+    /// NIC memory the checkpoint plan claims (bytes).
+    pub ckpt_nic_bytes: u64,
+    /// The ε scheduling-overhead budget factor the plan was built for.
+    pub epsilon: f64,
+    /// The planner already knew ε could not be met (NIC-memory bound).
+    pub planned_epsilon_violated: bool,
+    /// Predicted per-packet handler time T_PH (ps).
+    pub t_ph_predicted_ps: u64,
+    /// Measured mean payload-handler runtime (ps).
+    pub t_ph_measured_ps: f64,
+    /// Absolute ε budget in time: `ε · ⌈n_pkt/P⌉ · T_PH_predicted` (ps).
+    pub sched_budget_ps: u64,
+    /// Observed worst-case scheduling overhead: the longest time any
+    /// packet waited in a vHPU queue (ps).
+    pub sched_overhead_ps: u64,
+    /// Whether the observed overhead respected the ε bound (and the
+    /// plan thought it would).
+    pub epsilon_respected: bool,
+}
+
+/// One strategy's measured results within a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyReport {
+    /// Strategy label (`"RW-CP"`, …).
+    pub name: String,
+    /// Message processing time, first byte → completion (ps).
+    pub end_to_end_ps: u64,
+    /// One-time host preparation (ps).
+    pub host_setup_ps: u64,
+    /// Receive throughput over the processing time (Gbit/s).
+    pub throughput_gbit: f64,
+    /// NIC memory the strategy occupied (bytes).
+    pub nic_mem_bytes: u64,
+    /// High-water mark of traced NIC-memory usage (bytes).
+    pub nic_mem_hwm_bytes: u64,
+    /// DMA writes issued.
+    pub dma_writes: u64,
+    /// Bytes DMA-written.
+    pub dma_bytes: u64,
+    /// Maximum DMA queue occupancy.
+    pub dma_max_queue: u64,
+    /// Attributed time per stage label, tiling the window.
+    pub attribution: Vec<(&'static str, Time)>,
+    /// Total handler-busy time across vHPUs (ps).
+    pub hpu_busy_ps: u64,
+    /// `hpu_busy / (hpus · end_to_end)`.
+    pub hpu_utilization: f64,
+    /// Latency distributions by metric name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Model-vs-measured block (checkpointed strategies only).
+    pub model: Option<ModelValidation>,
+}
+
+impl StrategyReport {
+    /// Fill the attribution fields from a sweep result.
+    pub fn set_attribution(&mut self, a: &Attribution) {
+        self.attribution = a.entries().map(|(s, t)| (s.label(), t)).collect();
+    }
+
+    /// Sum of the attributed stage times (ps).
+    pub fn attribution_sum(&self) -> Time {
+        self.attribution.iter().map(|&(_, t)| t).sum()
+    }
+}
+
+/// Workload/pipeline configuration stamped on a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportConfig {
+    /// Datatype signature string.
+    pub datatype: String,
+    /// Message size (bytes).
+    pub msg_bytes: u64,
+    /// Packets per message.
+    pub npkt: u64,
+    /// Blocks per packet γ.
+    pub gamma: f64,
+    /// Physical HPUs.
+    pub hpus: u64,
+    /// Packet payload size (bytes).
+    pub payload_size: u64,
+    /// ε scheduling-overhead budget factor.
+    pub epsilon: f64,
+    /// Out-of-order shuffle seed, if any.
+    pub out_of_order: Option<u64>,
+}
+
+/// The top-level report artifact. (Named `…Doc` to avoid colliding
+/// with the simulator's in-memory `nca_spin::nic::RunReport`.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReportDoc {
+    /// Schema version ([`RunReportDoc::VERSION`]).
+    pub version: u64,
+    /// Workload configuration.
+    pub config: ReportConfig,
+    /// One entry per strategy run.
+    pub strategies: Vec<StrategyReport>,
+}
+
+impl RunReportDoc {
+    /// Current schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Artifact type tag (`"kind"` key).
+    pub const KIND: &'static str = "ncmt-run-report";
+}
+
+// ---------------------------------------------------------------- JSON out
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string() // NaN/inf are not JSON; reports treat them as absent
+    }
+}
+
+impl RunReportDoc {
+    /// Render the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"kind\": \"{}\",", Self::KIND);
+        let _ = writeln!(o, "  \"version\": {},", self.version);
+        let c = &self.config;
+        let _ = writeln!(o, "  \"config\": {{");
+        let _ = writeln!(o, "    \"datatype\": \"{}\",", esc(&c.datatype));
+        let _ = writeln!(o, "    \"msg_bytes\": {},", c.msg_bytes);
+        let _ = writeln!(o, "    \"npkt\": {},", c.npkt);
+        let _ = writeln!(o, "    \"gamma\": {},", fmt_f64(c.gamma));
+        let _ = writeln!(o, "    \"hpus\": {},", c.hpus);
+        let _ = writeln!(o, "    \"payload_size\": {},", c.payload_size);
+        let _ = writeln!(o, "    \"epsilon\": {},", fmt_f64(c.epsilon));
+        match c.out_of_order {
+            Some(seed) => {
+                let _ = writeln!(o, "    \"out_of_order\": {seed}");
+            }
+            None => {
+                let _ = writeln!(o, "    \"out_of_order\": null");
+            }
+        }
+        let _ = writeln!(o, "  }},");
+        let _ = writeln!(o, "  \"strategies\": [");
+        for (i, s) in self.strategies.iter().enumerate() {
+            let comma = if i + 1 < self.strategies.len() {
+                ","
+            } else {
+                ""
+            };
+            o.push_str(&strategy_json(s, "    "));
+            let _ = writeln!(o, "{comma}");
+        }
+        let _ = writeln!(o, "  ]");
+        o.push_str("}\n");
+        o
+    }
+}
+
+fn strategy_json(s: &StrategyReport, ind: &str) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "{ind}{{");
+    let _ = writeln!(o, "{ind}  \"name\": \"{}\",", esc(&s.name));
+    let _ = writeln!(o, "{ind}  \"end_to_end_ps\": {},", s.end_to_end_ps);
+    let _ = writeln!(o, "{ind}  \"host_setup_ps\": {},", s.host_setup_ps);
+    let _ = writeln!(
+        o,
+        "{ind}  \"throughput_gbit\": {},",
+        fmt_f64(s.throughput_gbit)
+    );
+    let _ = writeln!(o, "{ind}  \"nic_mem_bytes\": {},", s.nic_mem_bytes);
+    let _ = writeln!(o, "{ind}  \"nic_mem_hwm_bytes\": {},", s.nic_mem_hwm_bytes);
+    let _ = writeln!(o, "{ind}  \"dma_writes\": {},", s.dma_writes);
+    let _ = writeln!(o, "{ind}  \"dma_bytes\": {},", s.dma_bytes);
+    let _ = writeln!(o, "{ind}  \"dma_max_queue\": {},", s.dma_max_queue);
+    let _ = writeln!(o, "{ind}  \"attribution\": {{");
+    for (i, (label, t)) in s.attribution.iter().enumerate() {
+        let comma = if i + 1 < s.attribution.len() { "," } else { "" };
+        let _ = writeln!(o, "{ind}    \"{label}_ps\": {t}{comma}");
+    }
+    let _ = writeln!(o, "{ind}  }},");
+    let _ = writeln!(o, "{ind}  \"attribution_sum_ps\": {},", s.attribution_sum());
+    let _ = writeln!(o, "{ind}  \"hpu_busy_ps\": {},", s.hpu_busy_ps);
+    let _ = writeln!(
+        o,
+        "{ind}  \"hpu_utilization\": {},",
+        fmt_f64(s.hpu_utilization)
+    );
+    let _ = writeln!(o, "{ind}  \"histograms\": {{");
+    for (i, (name, h)) in s.histograms.iter().enumerate() {
+        let comma = if i + 1 < s.histograms.len() { "," } else { "" };
+        let _ = writeln!(o, "{ind}    \"{}\": {{", esc(name));
+        let _ = writeln!(o, "{ind}      \"count\": {},", h.count);
+        let _ = writeln!(o, "{ind}      \"min\": {},", h.min);
+        let _ = writeln!(o, "{ind}      \"max\": {},", h.max);
+        let _ = writeln!(o, "{ind}      \"mean\": {},", fmt_f64(h.mean));
+        let _ = writeln!(o, "{ind}      \"p50\": {},", h.p50);
+        let _ = writeln!(o, "{ind}      \"p90\": {},", h.p90);
+        let _ = writeln!(o, "{ind}      \"p99\": {},", h.p99);
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|&(lo, c)| format!("[{lo},{c}]"))
+            .collect();
+        let _ = writeln!(o, "{ind}      \"buckets\": [{}]", buckets.join(","));
+        let _ = writeln!(o, "{ind}    }}{comma}");
+    }
+    let _ = writeln!(o, "{ind}  }},");
+    match &s.model {
+        None => {
+            let _ = write!(o, "{ind}  \"model\": null");
+        }
+        Some(m) => {
+            let _ = writeln!(o, "{ind}  \"model\": {{");
+            let _ = writeln!(o, "{ind}    \"delta_r\": {},", m.delta_r);
+            let _ = writeln!(o, "{ind}    \"delta_p\": {},", m.delta_p);
+            let _ = writeln!(o, "{ind}    \"num_checkpoints\": {},", m.num_checkpoints);
+            let _ = writeln!(o, "{ind}    \"ckpt_nic_bytes\": {},", m.ckpt_nic_bytes);
+            let _ = writeln!(o, "{ind}    \"epsilon\": {},", fmt_f64(m.epsilon));
+            let _ = writeln!(
+                o,
+                "{ind}    \"planned_epsilon_violated\": {},",
+                m.planned_epsilon_violated
+            );
+            let _ = writeln!(
+                o,
+                "{ind}    \"t_ph_predicted_ps\": {},",
+                m.t_ph_predicted_ps
+            );
+            let _ = writeln!(
+                o,
+                "{ind}    \"t_ph_measured_ps\": {},",
+                fmt_f64(m.t_ph_measured_ps)
+            );
+            let _ = writeln!(o, "{ind}    \"sched_budget_ps\": {},", m.sched_budget_ps);
+            let _ = writeln!(
+                o,
+                "{ind}    \"sched_overhead_ps\": {},",
+                m.sched_overhead_ps
+            );
+            let _ = writeln!(o, "{ind}    \"epsilon_respected\": {}", m.epsilon_respected);
+            let _ = write!(o, "{ind}  }}");
+        }
+    }
+    let _ = writeln!(o);
+    let _ = write!(o, "{ind}}}");
+    o
+}
+
+// ---------------------------------------------------------------- JSON in
+
+/// A parsed JSON value (minimal recursive-descent parser; enough for
+/// report files — no serde offline).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (f64; report integers stay exact below 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse `text`; `Err` carries a byte offset and message.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walk a dotted path of object keys (`"model.sched_overhead_ps"`).
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            cur = cur.get(key)?;
+        }
+        Some(cur)
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let s = &b[*pos..];
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = s
+                    .get(..ch_len)
+                    .ok_or_else(|| "truncated UTF-8 in string".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+// ---------------------------------------------------------------- diff
+
+/// Default relative regression threshold for [`diff_reports`] (5%).
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// Per-strategy metrics compared by [`diff_reports`]; all are
+/// "higher is worse". Dotted paths resolve inside each strategy object.
+pub const DIFF_METRICS: &[&str] = &[
+    "end_to_end_ps",
+    "host_setup_ps",
+    "attribution.queue_wait_ps",
+    "model.sched_overhead_ps",
+    "histograms.handler_ps.p99",
+    "histograms.queue_wait_ps.p99",
+];
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Metric path.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Relative change `(new - base) / base` (infinite when base is 0
+    /// and new is not).
+    pub delta_frac: f64,
+    /// Whether the change exceeds the threshold in the bad direction.
+    pub regressed: bool,
+}
+
+/// Result of comparing two parsed reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Threshold the rows were judged against.
+    pub threshold: f64,
+    /// All compared metrics.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Number of regressed rows.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Human-readable table (one line per row, regressions flagged).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let delta = if r.delta_frac.is_infinite() {
+                "new".to_string()
+            } else {
+                format!("{:+.2}%", r.delta_frac * 100.0)
+            };
+            let flag = if r.regressed { "  REGRESSED" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<32} {:>14.0} -> {:>14.0}  {}{}",
+                r.strategy, r.metric, r.base, r.new, delta, flag
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} regression(s) over {:.1}% threshold",
+            self.rows.len(),
+            self.regressions(),
+            self.threshold * 100.0
+        );
+        out
+    }
+}
+
+/// Compare two parsed report documents. Strategies are matched by
+/// name; metrics present in only one side are skipped. `Err` when
+/// either document lacks the report structure.
+pub fn diff_reports(base: &Json, new: &Json, threshold: f64) -> Result<DiffReport, String> {
+    for (label, doc) in [("baseline", base), ("candidate", new)] {
+        match doc.get("kind").and_then(Json::as_str) {
+            Some(k) if k == RunReportDoc::KIND => {}
+            _ => return Err(format!("{label} is not a {} document", RunReportDoc::KIND)),
+        }
+    }
+    let base_strats = base
+        .get("strategies")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no strategies array")?;
+    let new_strats = new
+        .get("strategies")
+        .and_then(Json::as_arr)
+        .ok_or("candidate has no strategies array")?;
+
+    let mut rows = Vec::new();
+    for bs in base_strats {
+        let Some(name) = bs.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(ns) = new_strats
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        for &metric in DIFF_METRICS {
+            let (Some(b), Some(n)) = (
+                bs.path(metric).and_then(Json::as_f64),
+                ns.path(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let delta_frac = if b > 0.0 {
+                (n - b) / b
+            } else if n > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            rows.push(DiffRow {
+                strategy: name.to_string(),
+                metric: metric.to_string(),
+                base: b,
+                new: n,
+                delta_frac,
+                regressed: delta_frac > threshold,
+            });
+        }
+    }
+    Ok(DiffReport { threshold, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc(e2e: u64) -> RunReportDoc {
+        let mut h = LogHistogram::new();
+        h.record_n(100, 50);
+        h.record(5_000);
+        let mut histograms = BTreeMap::new();
+        histograms.insert("handler_ps".to_string(), HistSummary::of(&h));
+        RunReportDoc {
+            version: RunReportDoc::VERSION,
+            config: ReportConfig {
+                datatype: "vec(512,16,32,f64)".to_string(),
+                msg_bytes: 65536,
+                npkt: 32,
+                gamma: 16.0,
+                hpus: 16,
+                payload_size: 2048,
+                epsilon: 0.2,
+                out_of_order: None,
+            },
+            strategies: vec![StrategyReport {
+                name: "RW-CP".to_string(),
+                end_to_end_ps: e2e,
+                host_setup_ps: 1_000,
+                throughput_gbit: 150.0,
+                nic_mem_bytes: 4096,
+                nic_mem_hwm_bytes: 4096,
+                dma_writes: 512,
+                dma_bytes: 65536,
+                dma_max_queue: 9,
+                attribution: vec![("handler_proc", e2e / 2), ("idle", e2e / 2)],
+                hpu_busy_ps: e2e / 2,
+                hpu_utilization: 0.03,
+                histograms,
+                model: Some(ModelValidation {
+                    delta_r: 3,
+                    delta_p: 4,
+                    num_checkpoints: 8,
+                    ckpt_nic_bytes: 2048,
+                    epsilon: 0.2,
+                    planned_epsilon_violated: false,
+                    t_ph_predicted_ps: 90_000,
+                    t_ph_measured_ps: 92_000.0,
+                    sched_budget_ps: 36_000,
+                    sched_overhead_ps: 20_000,
+                    epsilon_respected: true,
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let doc = sample_doc(1_000_000);
+        let json = doc.to_json();
+        let v = Json::parse(&json).expect("own output must parse");
+        assert_eq!(
+            v.get("kind").and_then(Json::as_str),
+            Some(RunReportDoc::KIND)
+        );
+        assert_eq!(
+            v.path("config.msg_bytes").and_then(Json::as_f64),
+            Some(65536.0)
+        );
+        let strat = &v.get("strategies").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(strat.get("name").and_then(Json::as_str), Some("RW-CP"));
+        assert_eq!(
+            strat
+                .path("attribution.handler_proc_ps")
+                .and_then(Json::as_f64),
+            Some(500_000.0)
+        );
+        assert_eq!(
+            strat.path("model.sched_overhead_ps").and_then(Json::as_f64),
+            Some(20_000.0)
+        );
+        assert_eq!(
+            strat
+                .path("histograms.handler_ps.count")
+                .and_then(Json::as_f64),
+            Some(51.0)
+        );
+        assert_eq!(
+            strat.path("model.epsilon_respected"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_nulls_and_rejects_garbage() {
+        let v = Json::parse(r#"{"a": "x\n\"y\"", "b": null, "c": [1, -2.5e1]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x\n\"y\""));
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert_eq!(
+            v.path("c").and_then(Json::as_arr).unwrap()[1].as_f64(),
+            Some(-25.0)
+        );
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn diff_is_clean_for_identical_reports() {
+        let json = sample_doc(1_000_000).to_json();
+        let a = Json::parse(&json).unwrap();
+        let d = diff_reports(&a, &a, DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.rows.is_empty());
+        assert_eq!(d.regressions(), 0);
+    }
+
+    #[test]
+    fn diff_flags_a_seeded_regression_over_threshold() {
+        let a = Json::parse(&sample_doc(1_000_000).to_json()).unwrap();
+        let b = Json::parse(&sample_doc(1_200_000).to_json()).unwrap();
+        let d = diff_reports(&a, &b, 0.05).unwrap();
+        assert!(
+            d.rows
+                .iter()
+                .any(|r| r.metric == "end_to_end_ps" && r.regressed),
+            "{:?}",
+            d.rows
+        );
+        // Improvements are never "regressions".
+        let rev = diff_reports(&b, &a, 0.05).unwrap();
+        assert_eq!(rev.regressions(), 0);
+        // A generous threshold accepts the change.
+        assert_eq!(diff_reports(&a, &b, 0.5).unwrap().regressions(), 0);
+    }
+
+    #[test]
+    fn diff_rejects_non_report_documents() {
+        let a = Json::parse(&sample_doc(1).to_json()).unwrap();
+        let junk = Json::parse("{\"kind\": \"other\"}").unwrap();
+        assert!(diff_reports(&a, &junk, 0.05).is_err());
+        assert!(diff_reports(&junk, &a, 0.05).is_err());
+    }
+}

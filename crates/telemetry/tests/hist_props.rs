@@ -1,0 +1,58 @@
+//! Property: merging histograms loses nothing a percentile query can
+//! see — for any split of a sample set into two histograms, the merged
+//! histogram's percentile *bounds* bracket the exact nearest-rank
+//! percentile of the concatenated raw samples.
+
+use nca_telemetry::hist::LogHistogram;
+use proptest::prelude::*;
+
+fn hist_of(xs: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merged_percentiles_bracket_concatenated_samples(
+        a in proptest::collection::vec(0u64..1_000_000_000, 1..150),
+        b in proptest::collection::vec(0u64..1_000_000_000, 1..150),
+        q in 1u64..=100,
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+
+        let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+
+        // Exact nearest-rank percentile of the raw concatenation.
+        let q = q as f64;
+        let k = ((q / 100.0) * all.len() as f64).ceil().max(1.0) as usize;
+        let truth = all[k.min(all.len()) - 1];
+
+        let (lo, hi) = merged.percentile_bounds(q).expect("non-empty");
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "q={}: exact percentile {} outside merged bounds [{}, {}]",
+            q, truth, lo, hi
+        );
+        // And the point estimate is the upper bound, clamped to range.
+        prop_assert_eq!(merged.percentile(q), Some(hi));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -126,6 +126,50 @@ fn rwcp_revert_is_traced() {
 }
 
 #[test]
+fn dma_channel_tracks_carry_disjoint_busy_spans() {
+    let (dt, count) = workload();
+    let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+    let (tel, sink) = Telemetry::ring(1 << 20);
+    exp.telemetry = tel;
+    let r = exp.run(Strategy::RwCp);
+    let evs = sink.events();
+
+    // Every DMA write is served by exactly one channel busy span.
+    let mut per_chan: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for ev in &evs {
+        if ev.component == "spin" && ev.name == "dma_chan" {
+            if let ncmt::telemetry::EventKind::Span { end } = ev.kind {
+                per_chan.entry(ev.track).or_default().push((ev.time, end));
+            }
+        }
+    }
+    let total: usize = per_chan.values().map(Vec::len).sum();
+    assert_eq!(
+        total as u64, r.dma_writes,
+        "one dma_chan span per DMA write"
+    );
+    // A channel serves one write at a time: spans on its track are
+    // non-overlapping in dispatch order.
+    for (chan, spans) in &per_chan {
+        let mut sorted = spans.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "channel {chan}: spans {:?} and {:?} overlap",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    // And the figure helper sees the same channel-0 spans.
+    let (n0, busy0) = fig15::channel_busy(&evs, 0);
+    assert_eq!(n0, per_chan.get(&0).map_or(0, Vec::len));
+    assert!(busy0 > 0);
+}
+
+#[test]
 fn fig15_rows_match_golden() {
     let actual = fig15::rows(true).join("\n") + "\n";
     let path = format!(
