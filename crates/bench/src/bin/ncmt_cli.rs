@@ -16,12 +16,16 @@
 //! ncmt_cli list
 //! ```
 
-use nca_core::report::{report_config, strategy_report};
+use nca_core::report::{fault_summary, report_config, strategy_report};
 use nca_core::runner::{Experiment, Strategy};
 use nca_ddt::normalize::classify;
+use nca_ddt::pack::{buffer_span, unpack};
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_sim::FaultSpec;
 use nca_spin::params::NicParams;
-use nca_telemetry::report::{diff_reports, Json, RunReportDoc, DEFAULT_THRESHOLD};
+use nca_telemetry::report::{
+    diff_reports, FaultSweepDoc, Json, RunReportDoc, SweepCell, DEFAULT_THRESHOLD,
+};
 use nca_telemetry::{export, Telemetry};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
@@ -38,6 +42,24 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
     flag(args, name)
         .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}"))))
         .unwrap_or(default)
+}
+
+fn flag_f64(args: &[String], name: &str, default: f64) -> f64 {
+    flag(args, name)
+        .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}"))))
+        .unwrap_or(default)
+}
+
+/// Parse the shared fault knobs (`--drop/--dup/--corrupt/--reorder-ns/
+/// --fault-seed`) into a [`FaultSpec`]; inert when none are given.
+fn fault_spec(args: &[String]) -> FaultSpec {
+    FaultSpec {
+        drop: flag_f64(args, "--drop", 0.0),
+        duplicate: flag_f64(args, "--dup", 0.0),
+        corrupt: flag_f64(args, "--corrupt", 0.0),
+        reorder_window: flag_u64(args, "--reorder-ns", 0) * 1_000,
+        seed: flag_u64(args, "--fault-seed", 1),
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -58,6 +80,16 @@ subcommands:
   report-diff <BASE> <NEW> [--threshold T]     compare two --report-out files;
                                                exit 1 when any metric regresses
                                                more than T (default 0.05)
+  fault-sweep [--seeds N] [fault flags]        run a seed × fault-rate matrix over
+                                               all strategies; exit 1 unless every
+                                               run is byte-exact & exactly-once
+
+fault flags (vector/indexed/app/fault-sweep):
+  --drop P        per-packet drop probability (default 0)
+  --dup P         per-packet duplication probability (default 0)
+  --corrupt P     per-packet payload-corruption probability (default 0)
+  --reorder-ns W  extra-delay reordering window in ns (default 0)
+  --fault-seed K  fault-schedule seed (default 1; sweep uses K..K+N-1)
 
 common flags:
   --hpus N        handler processing units (default 16)
@@ -90,6 +122,8 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     exp.epsilon = epsilon;
     exp.out_of_order = ooo;
     exp.verify = dt.size * copies as u64 <= 16 << 20;
+    exp.faults = fault_spec(args);
+    let faulty = !exp.faults.is_inert();
 
     println!("datatype : {}", dt.signature());
     println!("shape    : {:?}", classify(&dt));
@@ -114,12 +148,26 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
             exp.telemetry = tel.scoped(s.label());
         }
         let run = exp.run_modeled(s);
+        let rel = if faulty {
+            let r = &run.report.rel;
+            format!(
+                "  rtx {} drop {} dup {} corrupt {} fallback {}",
+                r.retransmissions,
+                r.drops_injected,
+                r.dups_suppressed,
+                r.corrupts_rejected,
+                r.host_fallback_packets
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{:<14} {:>12.1} {:>10.1} {:>12.2}",
+            "{:<14} {:>12.1} {:>10.1} {:>12.2}{}",
             s.label(),
             run.report.processing_time() as f64 / 1e6,
             run.report.throughput_gbit(),
-            run.report.nic_mem_bytes as f64 / 1024.0
+            run.report.nic_mem_bytes as f64 / 1024.0,
+            rel
         );
         runs.push((s, run));
     }
@@ -172,6 +220,124 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
             println!("report   : {} strategies → {path}", doc.strategies.len());
         }
     }
+}
+
+/// `fault-sweep`: run every strategy across a seed × fault-scale matrix
+/// and verify byte-exact, exactly-once delivery in every cell. Exits 1
+/// when any cell fails; `--report-out` writes the machine-readable
+/// matrix (`ncmt-fault-sweep` schema).
+fn fault_sweep(args: &[String]) -> ! {
+    let seeds = flag_u64(args, "--seeds", 4);
+    let seed0 = flag_u64(args, "--fault-seed", 1);
+    let hpus = flag_u64(args, "--hpus", 16) as usize;
+    let count = flag_u64(args, "--count", 512) as u32;
+    let blocklen = flag_u64(args, "--blocklen", 16) as u32;
+    let stride = flag_u64(args, "--stride", 32) as i64;
+    let report_out = flag(args, "--report-out");
+    let base = fault_spec(args);
+    if base.is_inert() {
+        die("fault-sweep needs at least one nonzero fault rate (--drop/--dup/--corrupt/--reorder-ns)");
+    }
+    // Scale 0.0 doubles as the lossless control: its cells must match
+    // the fault-free pipeline (no reliability machinery engaged).
+    const SCALES: [f64; 3] = [0.0, 0.5, 1.0];
+
+    let dt = Datatype::vector(count, blocklen, stride, &elem::double());
+    println!(
+        "fault-sweep: {} over {} seeds × {:?} scales × {} strategies",
+        dt.signature(),
+        seeds,
+        SCALES,
+        Strategy::ALL.len()
+    );
+    println!(
+        "rates at 1.0: drop {} dup {} corrupt {} reorder {} ns\n",
+        base.drop,
+        base.duplicate,
+        base.corrupt,
+        base.reorder_window / 1_000
+    );
+    println!(
+        "{:<6} {:>6} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+        "seed", "scale", "strategy", "exact", "tx", "rtx", "rejected", "fallback", "rcvry"
+    );
+
+    let mut cells = Vec::new();
+    let mut failures = 0u64;
+    for seed in seed0..seed0 + seeds {
+        for scale in SCALES {
+            let (tel, sink) = Telemetry::ring(1 << 20);
+            let mut exp = Experiment::new(dt.clone(), 1, NicParams::with_hpus(hpus));
+            exp.faults = base.scaled(scale).with_seed(seed);
+            exp.verify = false; // manual check below: report, don't panic
+            let (origin, span) = buffer_span(&exp.dt, exp.count);
+            let packed = exp.packed_message();
+            let mut expect = vec![0u8; span as usize];
+            unpack(&exp.dt, exp.count, &packed, &mut expect, origin).expect("unpackable");
+            for s in Strategy::ALL {
+                exp.telemetry = tel.scoped(s.label());
+                let run = exp.run_modeled(s);
+                let byte_exact = run.report.host_buf == expect;
+                let events = sink.events();
+                let evs: Vec<_> = events
+                    .iter()
+                    .filter(|ev| ev.scope == s.label())
+                    .cloned()
+                    .collect();
+                let f = fault_summary(&run, &evs).unwrap_or_default();
+                let ok = byte_exact && run.report.rel.delivered_exactly_once;
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "{:<6} {:>6.1} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+                    seed,
+                    scale,
+                    s.label(),
+                    if ok { "yes" } else { "NO" },
+                    f.transmissions,
+                    f.retransmissions,
+                    f.corrupts_rejected,
+                    f.host_fallback_packets,
+                    f.checkpoint_reverts + f.catchup_blocks
+                );
+                cells.push(SweepCell {
+                    seed,
+                    scale,
+                    strategy: s.label().to_string(),
+                    byte_exact,
+                    end_to_end_ps: run.report.processing_time(),
+                    faults: nca_telemetry::report::FaultSummary {
+                        delivered_exactly_once: run.report.rel.delivered_exactly_once,
+                        ..f
+                    },
+                });
+            }
+        }
+    }
+
+    let doc = FaultSweepDoc {
+        version: FaultSweepDoc::VERSION,
+        drop: base.drop,
+        duplicate: base.duplicate,
+        corrupt: base.corrupt,
+        reorder_ns: base.reorder_window / 1_000,
+        cells,
+    };
+    if let Some(path) = &report_out {
+        std::fs::write(path, doc.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\nsweep report → {path}");
+    }
+    if failures > 0 {
+        eprintln!("\nFAIL: {failures} cell(s) were not byte-exact exactly-once");
+        std::process::exit(1)
+    }
+    println!(
+        "\nall {} cells byte-exact, delivered exactly once ✓",
+        doc.cells.len()
+    );
+    std::process::exit(0)
 }
 
 fn report_diff(args: &[String]) -> ! {
@@ -257,6 +423,7 @@ fn main() {
             }
         }
         "report-diff" => report_diff(&args),
+        "fault-sweep" => fault_sweep(&args),
         other => die(&format!("unknown subcommand {other}")),
     }
 }

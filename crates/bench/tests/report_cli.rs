@@ -149,6 +149,7 @@ fn synthetic_doc(e2e: u64) -> RunReportDoc {
                 sched_overhead_ps: e2e / 100,
                 epsilon_respected: true,
             }),
+            faults: None,
         }],
     }
 }

@@ -4,9 +4,11 @@
 //! [`ModeledRun`] plus its captured trace into the measured +
 //! model-validated block `ncmt_cli --report-out` serializes.
 
-use nca_telemetry::aggregate::{gauge_series, merged_hist, rollup};
+use nca_telemetry::aggregate::{counter_total, gauge_series, merged_hist, rollup};
 use nca_telemetry::flight;
-use nca_telemetry::report::{HistSummary, ModelValidation, ReportConfig, StrategyReport};
+use nca_telemetry::report::{
+    FaultSummary, HistSummary, ModelValidation, ReportConfig, StrategyReport,
+};
 use nca_telemetry::TraceEvent;
 
 use crate::runner::{Experiment, ModeledRun};
@@ -98,6 +100,8 @@ pub fn strategy_report(
         }
     });
 
+    let faults = fault_summary(run, &evs);
+
     let mut out = StrategyReport {
         name: r.strategy.to_string(),
         end_to_end_ps: end_to_end,
@@ -113,9 +117,36 @@ pub fn strategy_report(
         hpu_utilization,
         histograms,
         model,
+        faults,
     };
     out.set_attribution(&attribution);
     out
+}
+
+/// The fault/reliability block for a run: the pipeline's
+/// [`nca_spin::nic::ReliabilityStats`] plus the strategy-level recovery
+/// counters the trace captured (checkpoint reverts, catch-up replays).
+/// `None` for lossless runs — they carry no reliability state.
+pub fn fault_summary(run: &ModeledRun, evs: &[TraceEvent]) -> Option<FaultSummary> {
+    let rel = &run.report.rel;
+    if rel.transmissions == 0 && !rel.nic_mem_fallback {
+        return None;
+    }
+    Some(FaultSummary {
+        transmissions: rel.transmissions,
+        retransmissions: rel.retransmissions,
+        drops_injected: rel.drops_injected,
+        dups_injected: rel.dups_injected,
+        dups_suppressed: rel.dups_suppressed,
+        corrupts_injected: rel.corrupts_injected,
+        corrupts_rejected: rel.corrupts_rejected,
+        acks_received: rel.acks_received,
+        host_fallback_packets: rel.host_fallback_packets,
+        nic_mem_fallback: rel.nic_mem_fallback,
+        delivered_exactly_once: rel.delivered_exactly_once,
+        checkpoint_reverts: counter_total(evs, "core", "checkpoint_reverts"),
+        catchup_blocks: counter_total(evs, "core", "catchup_blocks"),
+    })
 }
 
 #[cfg(test)]

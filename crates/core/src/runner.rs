@@ -5,10 +5,11 @@
 use nca_ddt::dataloop::compile;
 use nca_ddt::pack::{buffer_span, pack, unpack};
 use nca_ddt::types::Datatype;
-use nca_sim::Time;
+use nca_sim::{FaultSpec, Time};
+use nca_spin::builtin::ContigProcessor;
 use nca_spin::handler::MessageProcessor;
 use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
-use nca_spin::params::NicParams;
+use nca_spin::params::{NicParams, ReliabilityParams};
 use nca_telemetry::Telemetry;
 
 use crate::baselines::{host_unpack, iovec_offload, BaselineReport};
@@ -109,6 +110,16 @@ pub struct Experiment {
     /// Trace sink threaded into the strategy and the NIC pipeline
     /// (disabled by default).
     pub telemetry: Telemetry,
+    /// Network fault model (inert by default: the lossless pipeline is
+    /// taken unchanged, preserving bit-identical figure outputs).
+    pub faults: FaultSpec,
+    /// Reliable-delivery protocol knobs (only consulted when `faults`
+    /// is not inert).
+    pub reliability: ReliabilityParams,
+    /// Refuse to run a strategy whose NIC-memory footprint exceeds
+    /// `params.nic_mem_capacity`; instead degrade gracefully to a
+    /// contiguous landing + host unpack (still byte-exact).
+    pub enforce_nic_capacity: bool,
 }
 
 impl Experiment {
@@ -123,6 +134,9 @@ impl Experiment {
             record_dma_history: false,
             verify: true,
             telemetry: Telemetry::disabled(),
+            faults: FaultSpec::inert(),
+            reliability: ReliabilityParams::default(),
+            enforce_nic_capacity: false,
         }
     }
 
@@ -196,7 +210,12 @@ impl Experiment {
             record_dma_history: self.record_dma_history,
             portals: None,
             telemetry: self.telemetry.clone(),
+            faults: self.faults,
+            reliability: self.reliability.clone(),
         };
+        if self.enforce_nic_capacity && proc_.nic_mem_bytes() > self.params.nic_mem_capacity {
+            return self.execute_host_fallback(strategy, &packed, origin, span, &cfg);
+        }
         let report = ReceiveSim::run(proc_, packed.clone(), origin, span, &cfg);
         if self.verify {
             let mut expect = vec![0u8; span as usize];
@@ -208,6 +227,37 @@ impl Experiment {
                 strategy.label()
             );
         }
+        report
+    }
+
+    /// Graceful degradation when a strategy's NIC-memory footprint does
+    /// not fit: land the message contiguously (no per-packet scatter
+    /// state on the NIC) and unpack on the host. The receive buffer is
+    /// still byte-exact; only the completion time pays the host-unpack
+    /// cost. The transport-level fault/reliability machinery still
+    /// applies to the contiguous landing.
+    fn execute_host_fallback(
+        &self,
+        strategy: Strategy,
+        packed: &[u8],
+        origin: i64,
+        span: u64,
+        cfg: &RunConfig,
+    ) -> RunReport {
+        let landing = Box::new(ContigProcessor::new(0, self.params.spin_min_handler()));
+        let mut report = ReceiveSim::run(landing, packed.to_vec(), 0, packed.len() as u64, cfg);
+        debug_assert_eq!(report.host_buf, packed, "contiguous landing corrupted");
+        let dl = compile(&self.dt, self.count);
+        let unpack_cost = HostCostModel::default().unpack_time(dl.size, dl.blocks.max(1));
+        let mut host_buf = vec![0u8; span as usize];
+        unpack(&self.dt, self.count, packed, &mut host_buf, origin).expect("unpackable");
+        self.telemetry
+            .counter("core", "nic_mem_fallback", 0, report.t_complete, 1);
+        report.strategy = strategy.label();
+        report.host_buf = host_buf;
+        report.host_origin = origin;
+        report.t_complete += unpack_cost;
+        report.rel.nic_mem_fallback = true;
         report
     }
 

@@ -431,6 +431,8 @@ mod tests {
             record_dma_history: false,
             portals: None,
             telemetry: Telemetry::disabled(),
+            faults: nca_sim::FaultSpec::inert(),
+            reliability: nca_spin::params::ReliabilityParams::default(),
         };
         let name = proc_.name();
         let report = ReceiveSim::run(proc_, packed, origin, span, &cfg);

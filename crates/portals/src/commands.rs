@@ -141,6 +141,7 @@ impl StreamingPut {
             } else {
                 PacketKind::Payload
             },
+            checksum: 0,
         };
         self.emitted_pkts += 1;
         self.emitted_bytes += len;

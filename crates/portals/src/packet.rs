@@ -47,12 +47,52 @@ pub struct Packet {
     pub len: u64,
     /// Packet classification.
     pub kind: PacketKind,
+    /// Payload checksum the sender stamped into the header (FNV-1a over
+    /// the payload bytes; see [`payload_checksum`]). Receivers verify it
+    /// to detect in-flight corruption. `0` when the sender did not
+    /// checksum (e.g. closed-form pipelines that never hit a lossy
+    /// network path).
+    pub checksum: u32,
 }
 
 impl Packet {
     /// Bytes on the wire: payload plus link/protocol header.
     pub fn wire_bytes(&self, header_bytes: u64) -> u64 {
         self.len + header_bytes
+    }
+
+    /// Stamp the header checksum from the packed message stream this
+    /// packet's `[offset, offset+len)` range points into.
+    pub fn stamp_checksum(&mut self, stream: &[u8]) {
+        let lo = self.offset as usize;
+        let hi = lo + self.len as usize;
+        self.checksum = payload_checksum(&stream[lo..hi]);
+    }
+
+    /// Whether `payload` matches the stamped checksum.
+    pub fn verify_payload(&self, payload: &[u8]) -> bool {
+        self.checksum == payload_checksum(payload)
+    }
+}
+
+/// FNV-1a over the payload bytes (32-bit). Any single-byte change flips
+/// the digest: the per-byte transform `h = (h ^ b) * prime` is injective
+/// in `h` for fixed suffixes, so a one-byte flip always propagates to
+/// the final value — exactly the corruption model the fault injector
+/// produces.
+pub fn payload_checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Stamp checksums on every packet of a message from its packed stream.
+pub fn stamp_checksums(pkts: &mut [Packet], stream: &[u8]) {
+    for p in pkts {
+        p.stamp_checksum(stream);
     }
 }
 
@@ -68,6 +108,7 @@ pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
             offset: 0,
             len: 0,
             kind: PacketKind::Only,
+            checksum: payload_checksum(&[]),
         }];
     }
     let npkt = msg_len.div_ceil(payload_size);
@@ -87,6 +128,7 @@ pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
                 offset,
                 len,
                 kind,
+                checksum: 0,
             }
         })
         .collect()
@@ -136,6 +178,33 @@ mod tests {
     }
 
     #[test]
+    fn checksum_detects_any_single_byte_flip() {
+        let stream: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        let mut pkts = packetize(3, stream.len() as u64, 2048);
+        stamp_checksums(&mut pkts, &stream);
+        for p in &pkts {
+            let lo = p.offset as usize;
+            let payload = &stream[lo..lo + p.len as usize];
+            assert!(p.verify_payload(payload));
+            // Flip each byte in turn with several masks: all must fail.
+            let mut copy = payload.to_vec();
+            for at in [0usize, copy.len() / 2, copy.len() - 1] {
+                for mask in [1u8, 0x80, 0xFF] {
+                    copy[at] ^= mask;
+                    assert!(!p.verify_payload(&copy), "flip at {at} mask {mask:#x}");
+                    copy[at] ^= mask;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_packet_checksums_consistently() {
+        let pkts = packetize(1, 0, 2048);
+        assert!(pkts[0].verify_payload(&[]));
+    }
+
+    #[test]
     fn wire_bytes_include_header() {
         let p = Packet {
             msg_id: 0,
@@ -143,6 +212,7 @@ mod tests {
             offset: 0,
             len: 2048,
             kind: PacketKind::Only,
+            checksum: 0,
         };
         assert_eq!(p.wire_bytes(64), 2112);
     }

@@ -15,10 +15,12 @@
 //!   identically.
 
 pub mod engine;
+pub mod fault;
 pub mod fifo;
 pub mod stats;
 pub mod units;
 
 pub use engine::{Sim, SimProbe, Time};
+pub use fault::{DeliveredCopy, FaultInjector, FaultSpec, Verdict};
 pub use fifo::TrackedFifo;
 pub use units::{ns, ps, us, Bandwidth};

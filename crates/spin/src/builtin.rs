@@ -92,6 +92,8 @@ mod tests {
                 record_dma_history: false,
                 portals: None,
                 telemetry: nca_telemetry::Telemetry::disabled(),
+                faults: nca_sim::FaultSpec::inert(),
+                reliability: crate::params::ReliabilityParams::default(),
             };
             let report = ReceiveSim::run(proc, msg.clone(), 0, msg.len() as u64, &cfg);
             assert_eq!(report.host_buf, msg, "seed {seed}");

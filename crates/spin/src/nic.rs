@@ -22,15 +22,15 @@ use std::collections::{HashMap, VecDeque};
 
 use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
-use nca_portals::packet::{packetize, Packet};
-use nca_sim::{Sim, Time, TrackedFifo};
+use nca_portals::packet::{packetize, stamp_checksums, Packet};
+use nca_sim::{DeliveredCopy, FaultInjector, FaultSpec, Sim, Time, TrackedFifo};
 use nca_telemetry::{hist::LogHistogram, probe::SimTelemetryProbe, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
-use crate::params::NicParams;
+use crate::params::{NicParams, ReliabilityParams};
 
 /// Portals 4 state for a matched receive: the posted lists plus the
 /// match bits the incoming message carries.
@@ -71,6 +71,14 @@ pub struct RunConfig {
     /// Trace sink for the run. Disabled by default: every record call
     /// is then a single branch.
     pub telemetry: Telemetry,
+    /// Network fault model. When inert (the default), the run takes the
+    /// exact lossless code path — no sequence tracking, no acks, no
+    /// timers — so fault-free results are bit-identical to a build
+    /// without the fault layer.
+    pub faults: FaultSpec,
+    /// Retransmission/ack protocol parameters (consulted only when
+    /// `faults` is not inert).
+    pub reliability: ReliabilityParams,
 }
 
 impl RunConfig {
@@ -82,8 +90,59 @@ impl RunConfig {
             record_dma_history: false,
             portals: None,
             telemetry: Telemetry::disabled(),
+            faults: FaultSpec::inert(),
+            reliability: ReliabilityParams::default(),
         }
     }
+}
+
+/// Reliable-delivery outcome of one run: what the fault layer injected
+/// and how the protocol recovered. All-zero (with
+/// `delivered_exactly_once: true`) for lossless runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Wire transmissions (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// Sender retransmissions triggered by timeout.
+    pub retransmissions: u64,
+    /// Transmissions the fault layer dropped.
+    pub drops_injected: u64,
+    /// Transmissions the fault layer duplicated.
+    pub dups_injected: u64,
+    /// Arrivals discarded by receiver duplicate suppression.
+    pub dups_suppressed: u64,
+    /// Delivered copies the fault layer corrupted in flight.
+    pub corrupts_injected: u64,
+    /// Arrivals rejected by the per-packet checksum.
+    pub corrupts_rejected: u64,
+    /// Acknowledgements that reached the sender.
+    pub acks_received: u64,
+    /// Packets recovered over the reliable host-fallback channel after
+    /// retry-budget exhaustion.
+    pub host_fallback_packets: u64,
+    /// The whole message was degraded to contiguous landing + host
+    /// unpack because the strategy did not fit NIC memory (set by the
+    /// runner's admission control, not by this pipeline).
+    pub nic_mem_fallback: bool,
+    /// Every packet was accepted exactly once (dedup discarded the rest)
+    /// and none is missing.
+    pub delivered_exactly_once: bool,
+}
+
+/// Sender-side retransmission state for one packet.
+struct TxState {
+    acked: bool,
+    attempt: u32,
+    fallback: bool,
+}
+
+/// Reliable-delivery state (present only when faults are active).
+struct RelState {
+    injector: FaultInjector,
+    rparams: ReliabilityParams,
+    tx: Vec<TxState>,
+    received: Vec<bool>,
+    stats: ReliabilityStats,
 }
 
 /// Everything a run produced.
@@ -120,6 +179,8 @@ pub struct RunReport {
     pub path: MsgPath,
     /// Full events posted during the run (Put / PutOverflow / DMA).
     pub events: Vec<FullEvent>,
+    /// Fault-injection and reliable-delivery outcome.
+    pub rel: ReliabilityStats,
 }
 
 impl RunReport {
@@ -277,9 +338,115 @@ struct World {
     hist_handler: LogHistogram,
     hist_queue_wait: LogHistogram,
     hist_dma: LogHistogram,
+    /// Reliable-delivery state; `None` on a lossless network.
+    rel: Option<RelState>,
 }
 
 impl World {
+    /// One wire transmission attempt of packet `idx` with nominal
+    /// arrival time `arrival` (serialization already accounted). The
+    /// fault injector renders the deterministic verdict; every delivered
+    /// copy becomes an arrival event and a retransmission timer guards
+    /// the attempt.
+    fn transmit(&mut self, sim: &mut Sim<World>, idx: usize, attempt: u32, arrival: Time) {
+        let (msg_id, seq) = (self.packets[idx].msg_id, self.packets[idx].seq);
+        let rel = self.rel.as_mut().expect("transmit requires fault mode");
+        rel.stats.transmissions += 1;
+        let verdict = rel.injector.judge(msg_id, seq, attempt);
+        let now = sim.now();
+        if verdict.dropped {
+            rel.stats.drops_injected += 1;
+            self.tel.counter("spin", "fault_drop", 0, now, 1);
+        }
+        if verdict.duplicated {
+            rel.stats.dups_injected += 1;
+            self.tel.counter("spin", "fault_dup", 0, now, 1);
+        }
+        if verdict.corrupted {
+            rel.stats.corrupts_injected += 1;
+            self.tel.counter("spin", "fault_corrupt", 0, now, 1);
+        }
+        let rel = self.rel.as_ref().expect("fault mode");
+        for copy in verdict.copies {
+            sim.schedule(arrival + copy.extra_delay, move |w, s| {
+                w.packet_rx(s, idx, Some(copy));
+            });
+        }
+        let shift = attempt.min(rel.rparams.backoff_cap);
+        let deadline = arrival + (rel.rparams.rto << shift);
+        sim.schedule(deadline, move |w, s| w.retry_timeout(s, idx, attempt));
+    }
+
+    /// Retransmission timer for `attempt` of packet `idx` fired.
+    fn retry_timeout(&mut self, sim: &mut Sim<World>, idx: usize, attempt: u32) {
+        let params_net = self.params.net_latency;
+        let wire = self.params.pkt_wire_time(self.packets[idx].len);
+        let rel = self.rel.as_mut().expect("fault mode");
+        let tx = &mut rel.tx[idx];
+        if tx.acked || tx.fallback || tx.attempt != attempt {
+            return; // delivered, degraded, or a newer attempt owns the timer
+        }
+        if attempt >= rel.rparams.max_retries {
+            // Retry budget exhausted: recover the fragment over the
+            // reliable host channel instead of wedging the receive.
+            tx.fallback = true;
+            rel.stats.host_fallback_packets += 1;
+            let at = sim.now() + rel.rparams.fallback_latency;
+            self.tel.counter("spin", "host_fallback", 0, sim.now(), 1);
+            sim.schedule(at, move |w, s| w.packet_rx(s, idx, None));
+            return;
+        }
+        tx.attempt = attempt + 1;
+        rel.stats.retransmissions += 1;
+        self.tel.counter("spin", "retransmission", 0, sim.now(), 1);
+        let arrival = sim.now() + params_net + wire;
+        self.tel
+            .span("spin", "wire", 0, sim.now(), sim.now() + wire);
+        self.transmit(sim, idx, attempt + 1, arrival);
+    }
+
+    /// A copy of packet `idx` reached the NIC. `copy: None` means the
+    /// reliable host-fallback channel delivered it (never faulty).
+    fn packet_rx(&mut self, sim: &mut Sim<World>, idx: usize, copy: Option<DeliveredCopy>) {
+        let pkt = self.packets[idx].clone();
+        let now = sim.now();
+        // Corruption detection: recompute the checksum over the bytes as
+        // they arrived. A single-byte flip always breaks FNV-1a, so a
+        // corrupted copy never reaches the pipeline.
+        if let Some(c) = copy {
+            if c.corrupt && pkt.len > 0 {
+                let lo = pkt.offset as usize;
+                let mut bytes = self.packed[lo..lo + pkt.len as usize].to_vec();
+                let at = (c.corrupt_at % pkt.len) as usize;
+                bytes[at] ^= c.corrupt_mask;
+                if !pkt.verify_payload(&bytes) {
+                    let rel = self.rel.as_mut().expect("fault mode");
+                    rel.stats.corrupts_rejected += 1;
+                    self.tel.counter("spin", "corrupt_rejected", 0, now, 1);
+                    return; // discarded; the sender's timer recovers it
+                }
+                debug_assert!(false, "single-byte flip must break the checksum");
+            }
+        }
+        let rel = self.rel.as_mut().expect("fault mode");
+        if rel.received[idx] {
+            rel.stats.dups_suppressed += 1;
+            self.tel.counter("spin", "dup_suppressed", 0, now, 1);
+            return;
+        }
+        rel.received[idx] = true;
+        // Acknowledge so the sender cancels the retransmission timer.
+        let ack_at = now + rel.rparams.ack_latency;
+        sim.schedule(ack_at, move |w, _| {
+            let rel = w.rel.as_mut().expect("fault mode");
+            if !rel.tx[idx].acked {
+                rel.tx[idx].acked = true;
+                rel.stats.acks_received += 1;
+            }
+        });
+        self.packet_arrival(sim, idx);
+    }
+
     fn packet_arrival(&mut self, sim: &mut Sim<World>, idx: usize) {
         let pkt = self.packets[idx].clone();
         self.arrived += 1;
@@ -518,7 +685,16 @@ impl ReceiveSim {
         cfg: &RunConfig,
     ) -> RunReport {
         let params = cfg.params.clone();
-        let packets = packetize(0, packed.len() as u64, params.payload_size);
+        let faulty = !cfg.faults.is_inert();
+        assert!(
+            !faulty || cfg.portals.is_none(),
+            "fault injection requires an implicit sPIN ME: the matching walk \
+             assumes the header packet arrives first, which a lossy network \
+             cannot guarantee"
+        );
+        let mut packets = packetize(0, packed.len() as u64, params.payload_size);
+        stamp_checksums(&mut packets, &packed);
+        let packets = packets;
         let npkt = packets.len() as u64;
 
         // Network arrival schedule: serialization at line rate after the
@@ -564,6 +740,19 @@ impl ReceiveSim {
             hist_handler: LogHistogram::new(),
             hist_queue_wait: LogHistogram::new(),
             hist_dma: LogHistogram::new(),
+            rel: faulty.then(|| RelState {
+                injector: FaultInjector::new(cfg.faults),
+                rparams: cfg.reliability.clone(),
+                tx: (0..npkt)
+                    .map(|_| TxState {
+                        acked: false,
+                        attempt: 0,
+                        fallback: false,
+                    })
+                    .collect(),
+                received: vec![false; npkt as usize],
+                stats: ReliabilityStats::default(),
+            }),
         };
 
         let mut sim: Sim<World> = Sim::new();
@@ -580,11 +769,27 @@ impl ReceiveSim {
         }
         let t_first_byte = params.net_latency;
         let mut t = t_first_byte;
-        for &pkt_idx in &order {
-            let wire = params.pkt_wire_time(world.packets[pkt_idx].len);
-            world.tel.span("spin", "wire", 0, t, t + wire);
-            t += wire;
-            sim.schedule(t, move |w, s| w.packet_arrival(s, pkt_idx));
+        if faulty {
+            // Reliable mode: each serialization slot is a *transmission*
+            // through the fault layer; the retransmission protocol and
+            // receiver dedup guarantee exactly-once processing.
+            let mut slots = Vec::with_capacity(order.len());
+            for &pkt_idx in &order {
+                let wire = params.pkt_wire_time(world.packets[pkt_idx].len);
+                world.tel.span("spin", "wire", 0, t, t + wire);
+                t += wire;
+                slots.push((pkt_idx, t));
+            }
+            for (pkt_idx, at) in slots {
+                world.transmit(&mut sim, pkt_idx, 0, at);
+            }
+        } else {
+            for &pkt_idx in &order {
+                let wire = params.pkt_wire_time(world.packets[pkt_idx].len);
+                world.tel.span("spin", "wire", 0, t, t + wire);
+                t += wire;
+                sim.schedule(t, move |w, s| w.packet_arrival(s, pkt_idx));
+            }
         }
         sim.run(&mut world);
 
@@ -606,6 +811,16 @@ impl ReceiveSim {
                 .tel
                 .histogram("spin", "dma_service_ps", 0, t_complete, &world.hist_dma);
         }
+        let rel = match world.rel.take() {
+            Some(r) => ReliabilityStats {
+                delivered_exactly_once: r.received.iter().all(|&x| x),
+                ..r.stats
+            },
+            None => ReliabilityStats {
+                delivered_exactly_once: true,
+                ..ReliabilityStats::default()
+            },
+        };
         RunReport {
             strategy: strategy_name,
             msg_bytes: world.packed.len() as u64,
@@ -623,6 +838,7 @@ impl ReceiveSim {
             host_setup_time: host_setup,
             path: world.path,
             events: world.events.all().to_vec(),
+            rel,
         }
     }
 }
@@ -660,6 +876,8 @@ mod tests {
             record_dma_history: false,
             portals,
             telemetry: Telemetry::disabled(),
+            faults: FaultSpec::inert(),
+            reliability: ReliabilityParams::default(),
         };
         ReceiveSim::run(proc_, msg(n), 0, n as u64, &cfg)
     }

@@ -132,9 +132,55 @@ impl NicParams {
     }
 }
 
+/// Reliable-delivery protocol parameters (sender retransmission state
+/// machine + receiver acknowledgements). Only consulted when the run's
+/// [`nca_sim::FaultSpec`] is not inert: on a lossless network the
+/// pipeline behaves exactly as if this machinery did not exist.
+#[derive(Debug, Clone)]
+pub struct ReliabilityParams {
+    /// Base retransmission timeout (ps). Must exceed one data-direction
+    /// latency + processing + one ack-direction latency, or every packet
+    /// retransmits spuriously.
+    pub rto: Time,
+    /// Exponential backoff: attempt `a` waits `rto << min(a, backoff_cap)`.
+    pub backoff_cap: u32,
+    /// Retransmissions allowed per packet before the sender gives up and
+    /// the receiver recovers the fragment via host fallback.
+    pub max_retries: u32,
+    /// One-way latency of the acknowledgement path (receiver → sender).
+    pub ack_latency: Time,
+    /// Latency of recovering one packet over the reliable host-fallback
+    /// channel (host-assisted re-fetch after retry-budget exhaustion).
+    pub fallback_latency: Time,
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams {
+            // ~3× the 745 ns one-way latency round trip plus pipeline
+            // slack: spurious retransmits are rare but drops recover in
+            // a few µs.
+            rto: nca_sim::us(5),
+            backoff_cap: 6,
+            max_retries: 8,
+            ack_latency: nca_sim::ns(745),
+            fallback_latency: nca_sim::us(50),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reliability_defaults_cover_a_round_trip() {
+        let p = NicParams::default();
+        let r = ReliabilityParams::default();
+        assert!(r.rto > p.net_latency + r.ack_latency);
+        assert!(r.max_retries >= 1);
+        assert!(r.fallback_latency > r.rto);
+    }
 
     #[test]
     fn defaults_match_paper_anchors() {

@@ -86,6 +86,41 @@ pub struct ModelValidation {
     pub epsilon_respected: bool,
 }
 
+/// Fault-injection + reliable-delivery outcome of one strategy run.
+/// `None`/`null` when the run was configured lossless (inert faults):
+/// the lossless pipeline carries no reliability state at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Total packet transmissions (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// Timer-driven retransmissions.
+    pub retransmissions: u64,
+    /// Packets the injector dropped.
+    pub drops_injected: u64,
+    /// Packets the injector duplicated.
+    pub dups_injected: u64,
+    /// Duplicate copies the receiver suppressed.
+    pub dups_suppressed: u64,
+    /// Packets the injector corrupted.
+    pub corrupts_injected: u64,
+    /// Corrupted copies the checksum check rejected.
+    pub corrupts_rejected: u64,
+    /// Acknowledgements that reached the sender.
+    pub acks_received: u64,
+    /// Packets recovered over the host-fallback channel after
+    /// retry-budget exhaustion.
+    pub host_fallback_packets: u64,
+    /// The run degraded to contiguous landing + host unpack because the
+    /// strategy's state did not fit in NIC memory.
+    pub nic_mem_fallback: bool,
+    /// Every packet was delivered to the processor exactly once.
+    pub delivered_exactly_once: bool,
+    /// RW-CP checkpoint reverts the out-of-order/fault recovery took.
+    pub checkpoint_reverts: u64,
+    /// HPU-local / RO-CP catch-up replay blocks executed.
+    pub catchup_blocks: u64,
+}
+
 /// One strategy's measured results within a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StrategyReport {
@@ -117,6 +152,8 @@ pub struct StrategyReport {
     pub histograms: BTreeMap<String, HistSummary>,
     /// Model-vs-measured block (checkpointed strategies only).
     pub model: Option<ModelValidation>,
+    /// Fault/reliability outcome (lossy runs only).
+    pub faults: Option<FaultSummary>,
 }
 
 impl StrategyReport {
@@ -289,6 +326,14 @@ fn strategy_json(s: &StrategyReport, ind: &str) -> String {
         let _ = writeln!(o, "{ind}    }}{comma}");
     }
     let _ = writeln!(o, "{ind}  }},");
+    match &s.faults {
+        None => {
+            let _ = writeln!(o, "{ind}  \"faults\": null,");
+        }
+        Some(f) => {
+            let _ = writeln!(o, "{ind}  \"faults\": {},", fault_summary_json(f, ind));
+        }
+    }
     match &s.model {
         None => {
             let _ = write!(o, "{ind}  \"model\": null");
@@ -328,6 +373,132 @@ fn strategy_json(s: &StrategyReport, ind: &str) -> String {
     let _ = writeln!(o);
     let _ = write!(o, "{ind}}}");
     o
+}
+
+/// Render a [`FaultSummary`] as a JSON object. `ind` is the indentation
+/// of the *containing* line; inner members indent two further spaces.
+fn fault_summary_json(f: &FaultSummary, ind: &str) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "{{");
+    let _ = writeln!(o, "{ind}    \"transmissions\": {},", f.transmissions);
+    let _ = writeln!(o, "{ind}    \"retransmissions\": {},", f.retransmissions);
+    let _ = writeln!(o, "{ind}    \"drops_injected\": {},", f.drops_injected);
+    let _ = writeln!(o, "{ind}    \"dups_injected\": {},", f.dups_injected);
+    let _ = writeln!(o, "{ind}    \"dups_suppressed\": {},", f.dups_suppressed);
+    let _ = writeln!(
+        o,
+        "{ind}    \"corrupts_injected\": {},",
+        f.corrupts_injected
+    );
+    let _ = writeln!(
+        o,
+        "{ind}    \"corrupts_rejected\": {},",
+        f.corrupts_rejected
+    );
+    let _ = writeln!(o, "{ind}    \"acks_received\": {},", f.acks_received);
+    let _ = writeln!(
+        o,
+        "{ind}    \"host_fallback_packets\": {},",
+        f.host_fallback_packets
+    );
+    let _ = writeln!(o, "{ind}    \"nic_mem_fallback\": {},", f.nic_mem_fallback);
+    let _ = writeln!(
+        o,
+        "{ind}    \"delivered_exactly_once\": {},",
+        f.delivered_exactly_once
+    );
+    let _ = writeln!(
+        o,
+        "{ind}    \"checkpoint_reverts\": {},",
+        f.checkpoint_reverts
+    );
+    let _ = writeln!(o, "{ind}    \"catchup_blocks\": {}", f.catchup_blocks);
+    let _ = write!(o, "{ind}  }}");
+    o
+}
+
+// ------------------------------------------------------------- fault sweep
+
+/// One cell of a fault-sweep matrix: one strategy run at one
+/// (seed, fault-scale) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Fault-schedule seed of this run.
+    pub seed: u64,
+    /// Scale factor applied to the base fault rates (0.0 = lossless).
+    pub scale: f64,
+    /// Strategy label.
+    pub strategy: String,
+    /// The receive buffer matched the reference unpack byte-for-byte.
+    pub byte_exact: bool,
+    /// Message processing time (ps).
+    pub end_to_end_ps: u64,
+    /// Reliability counters of the run.
+    pub faults: FaultSummary,
+}
+
+/// Artifact of `ncmt_cli fault-sweep`: a seed × fault-rate matrix with
+/// delivered-exactly-once statistics per strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepDoc {
+    /// Schema version ([`FaultSweepDoc::VERSION`]).
+    pub version: u64,
+    /// Base per-packet drop probability (scale 1.0).
+    pub drop: f64,
+    /// Base per-packet duplication probability.
+    pub duplicate: f64,
+    /// Base per-packet corruption probability.
+    pub corrupt: f64,
+    /// Reordering-window width (ns).
+    pub reorder_ns: u64,
+    /// Every (seed, scale, strategy) run.
+    pub cells: Vec<SweepCell>,
+}
+
+impl FaultSweepDoc {
+    /// Current schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Artifact type tag (`"kind"` key).
+    pub const KIND: &'static str = "ncmt-fault-sweep";
+
+    /// Whether every cell delivered a byte-exact buffer exactly once.
+    pub fn all_byte_exact(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.byte_exact && c.faults.delivered_exactly_once)
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"kind\": \"{}\",", Self::KIND);
+        let _ = writeln!(o, "  \"version\": {},", self.version);
+        let _ = writeln!(o, "  \"drop\": {},", fmt_f64(self.drop));
+        let _ = writeln!(o, "  \"duplicate\": {},", fmt_f64(self.duplicate));
+        let _ = writeln!(o, "  \"corrupt\": {},", fmt_f64(self.corrupt));
+        let _ = writeln!(o, "  \"reorder_ns\": {},", self.reorder_ns);
+        let _ = writeln!(o, "  \"all_byte_exact\": {},", self.all_byte_exact());
+        let _ = writeln!(o, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(o, "    {{");
+            let _ = writeln!(o, "      \"seed\": {},", c.seed);
+            let _ = writeln!(o, "      \"scale\": {},", fmt_f64(c.scale));
+            let _ = writeln!(o, "      \"strategy\": \"{}\",", esc(&c.strategy));
+            let _ = writeln!(o, "      \"byte_exact\": {},", c.byte_exact);
+            let _ = writeln!(o, "      \"end_to_end_ps\": {},", c.end_to_end_ps);
+            let _ = writeln!(
+                o,
+                "      \"faults\": {}",
+                fault_summary_json(&c.faults, "    ")
+            );
+            let _ = writeln!(o, "    }}{comma}");
+        }
+        let _ = writeln!(o, "  ]");
+        o.push_str("}\n");
+        o
+    }
 }
 
 // ---------------------------------------------------------------- JSON in
@@ -737,6 +908,21 @@ mod tests {
                     sched_overhead_ps: 20_000,
                     epsilon_respected: true,
                 }),
+                faults: Some(FaultSummary {
+                    transmissions: 40,
+                    retransmissions: 8,
+                    drops_injected: 5,
+                    dups_injected: 2,
+                    dups_suppressed: 2,
+                    corrupts_injected: 1,
+                    corrupts_rejected: 1,
+                    acks_received: 32,
+                    host_fallback_packets: 0,
+                    nic_mem_fallback: false,
+                    delivered_exactly_once: true,
+                    checkpoint_reverts: 3,
+                    catchup_blocks: 0,
+                }),
             }],
         }
     }
@@ -775,6 +961,48 @@ mod tests {
         assert_eq!(
             strat.path("model.epsilon_respected"),
             Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            strat.path("faults.retransmissions").and_then(Json::as_f64),
+            Some(8.0)
+        );
+        assert_eq!(
+            strat.path("faults.delivered_exactly_once"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn fault_sweep_doc_round_trips_through_the_parser() {
+        let doc = FaultSweepDoc {
+            version: FaultSweepDoc::VERSION,
+            drop: 0.05,
+            duplicate: 0.02,
+            corrupt: 0.01,
+            reorder_ns: 2000,
+            cells: vec![SweepCell {
+                seed: 7,
+                scale: 1.0,
+                strategy: "RW-CP".to_string(),
+                byte_exact: true,
+                end_to_end_ps: 123_456,
+                faults: FaultSummary {
+                    transmissions: 35,
+                    delivered_exactly_once: true,
+                    ..FaultSummary::default()
+                },
+            }],
+        };
+        let v = Json::parse(&doc.to_json()).expect("own output must parse");
+        assert_eq!(
+            v.get("kind").and_then(Json::as_str),
+            Some(FaultSweepDoc::KIND)
+        );
+        assert_eq!(v.get("all_byte_exact"), Some(&Json::Bool(true)));
+        let cell = &v.get("cells").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            cell.path("faults.transmissions").and_then(Json::as_f64),
+            Some(35.0)
         );
     }
 

@@ -1,0 +1,111 @@
+//! Telemetry-overhead budget check (ROADMAP): the instrumentation
+//! hooks compiled into the pipeline must be effectively free when
+//! telemetry is off — a disabled handle costs one branch per call
+//! site. Budget: all disabled-hook invocations of a run together must
+//! account for < 2% of that run's wall time.
+//!
+//! Measured as `events_per_run × disabled_call_cost / run_wall_time`:
+//! the event count comes from a ring-recorded run of the same
+//! experiment (every recorded event is one hook crossing), the
+//! disabled-call cost from a hot loop over `Telemetry::disabled()`.
+//!
+//! Wall-clock timings in a shared-CPU container are noisy, so this is
+//! `#[ignore]`d by default and NOT part of the CI wall (the budget's
+//! safety margin is ~100×, but CI stays deterministic). Run it locally
+//! either way:
+//!
+//! ```sh
+//! cargo test --release --test telemetry_overhead -- --ignored
+//! NCMT_BENCH_STRICT=1 cargo test --release --test telemetry_overhead
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ncmt::core::runner::{Experiment, Strategy};
+use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
+use ncmt::spin::params::NicParams;
+use ncmt::telemetry::Telemetry;
+
+/// Budget: disabled-hook time per run over run wall time.
+const BUDGET: f64 = 0.02;
+
+/// Median wall time of `reps` runs of `f` (median resists scheduler
+/// hiccups better than mean or min on a shared CPU).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn assert_within_budget() {
+    let dt = Datatype::vector(512, 16, 32, &elem::double()); // 64 KiB
+    let mut exp = Experiment::new(dt, 1, NicParams::with_hpus(16));
+    exp.verify = false;
+
+    // Hook crossings per run: every ring-recorded event is one. The
+    // ring is sized to hold them all (no drops), and dropped events
+    // would be counted anyway.
+    let (tel, sink) = Telemetry::ring(1 << 22);
+    exp.telemetry = tel;
+    exp.run(Strategy::RwCp);
+    let events_per_run = (sink.events().len() + sink.dropped() as usize) as f64;
+    assert!(events_per_run > 0.0, "instrumented run recorded no events");
+
+    // Cost of one disabled hook crossing.
+    let off = Telemetry::disabled();
+    const CALLS: u64 = 4_000_000;
+    let loop_secs = median_secs(5, || {
+        for i in 0..CALLS {
+            off.counter("spin", "budget_probe", 0, black_box(i), 1);
+        }
+    });
+    let per_call = loop_secs / CALLS as f64;
+
+    // Wall time of the run the hooks are embedded in.
+    exp.telemetry = Telemetry::disabled();
+    exp.run(Strategy::RwCp); // warm-up
+    let run_secs = median_secs(15, || {
+        exp.run(Strategy::RwCp);
+    });
+
+    let overhead = events_per_run * per_call / run_secs;
+    eprintln!(
+        "telemetry-off overhead: {:.4}% ({} hook crossings × {:.2} ns / {:.3} ms run)",
+        overhead * 100.0,
+        events_per_run as u64,
+        per_call * 1e9,
+        run_secs * 1e3
+    );
+    assert!(
+        overhead < BUDGET,
+        "disabled-telemetry overhead {:.3}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        BUDGET * 100.0
+    );
+}
+
+/// The budget check proper. Ignored by default: container timings are
+/// too noisy for a CI gate (see ROADMAP).
+#[test]
+#[ignore = "wall-clock measurement; noisy on shared CPUs — opt in with --ignored or NCMT_BENCH_STRICT=1"]
+fn telemetry_overhead_within_budget() {
+    assert_within_budget();
+}
+
+/// Opt-in gate: `NCMT_BENCH_STRICT=1 cargo test` runs the budget check
+/// without needing `-- --ignored`. A no-op (green) otherwise.
+#[test]
+fn telemetry_overhead_within_budget_strict_opt_in() {
+    if std::env::var("NCMT_BENCH_STRICT").as_deref() != Ok("1") {
+        eprintln!("skipped: set NCMT_BENCH_STRICT=1 to measure the telemetry-overhead budget");
+        return;
+    }
+    assert_within_budget();
+}

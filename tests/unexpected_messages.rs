@@ -43,6 +43,8 @@ fn expected_ddt_message_processes_on_the_spin_path() {
             match_bits: 0xAA,
         }),
         telemetry: Telemetry::disabled(),
+        faults: ncmt::sim::FaultSpec::inert(),
+        reliability: ncmt::spin::params::ReliabilityParams::default(),
     };
     let proc_ = Strategy::RwCp.build(&dt, 1, params, 0.2, Telemetry::disabled());
     let report = ReceiveSim::run(proc_, packed.clone(), origin, span, &cfg);
@@ -74,6 +76,8 @@ fn unexpected_ddt_message_lands_packed_and_host_unpack_finishes_later() {
             match_bits: 0xAA,
         }),
         telemetry: Telemetry::disabled(),
+        faults: ncmt::sim::FaultSpec::inert(),
+        reliability: ncmt::spin::params::ReliabilityParams::default(),
     };
     let proc_ = Strategy::RwCp.build(&dt, 1, params.clone(), 0.2, Telemetry::disabled());
     // Overflow landing is contiguous: the buffer receives the PACKED
@@ -103,6 +107,8 @@ fn unexpected_ddt_message_lands_packed_and_host_unpack_finishes_later() {
             match_bits: 0xAA,
         }),
         telemetry: Telemetry::disabled(),
+        faults: ncmt::sim::FaultSpec::inert(),
+        reliability: ncmt::spin::params::ReliabilityParams::default(),
     };
     let proc2 = Strategy::RwCp.build(&dt, 1, params, 0.2, Telemetry::disabled());
     let offloaded = ReceiveSim::run(proc2, packed, origin, span, &cfg2);
