@@ -67,7 +67,7 @@ fn bench_concurrent(c: &mut Criterion) {
         b.iter(|| {
             let specs: Vec<MessageSpec> = (0..4)
                 .map(|i| MessageSpec {
-                    packed: vec![i as u8; 32 << 10],
+                    packed: vec![i as u8; 32 << 10].into(),
                     proc: Box::new(nca_spin::builtin::ContigProcessor::new(
                         0,
                         params.spin_min_handler(),

@@ -1,0 +1,122 @@
+//! Packet-path wall-clock benchmarks: packets/sec and bytes/sec through
+//! the receive pipeline, per strategy plus the contiguous landing.
+//!
+//! This is the benchmark wall for the zero-copy wire-buffer refactor:
+//! `cargo bench -p nca-bench --bench packet_path -- --save-baseline
+//! packet_path` writes `target/nca-criterion/packet_path.{tsv,json}`;
+//! the JSON is committed as `BENCH_packet_path.json` so future PRs can
+//! diff packet-path throughput against it (see EXPERIMENTS.md).
+//!
+//! The `contig` benchmarks isolate the pipeline itself (minimal handler,
+//! no datatype processing): their packets/sec is the per-packet overhead
+//! of the simulated receive path — message clone, checksum stamping,
+//! payload staging and DMA landing — which is exactly what the zero-copy
+//! refactor attacks. The per-strategy benchmarks include processor
+//! construction (dataloop compile, checkpoint tables), i.e. the full
+//! per-message receive cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use nca_core::runner::Strategy;
+use nca_ddt::pack::{buffer_span, pack};
+use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_sim::WireBuf;
+use nca_spin::builtin::ContigProcessor;
+use nca_spin::nic::{ReceiveSim, RunConfig};
+use nca_spin::params::NicParams;
+use nca_telemetry::Telemetry;
+
+/// Deterministic payload pattern.
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect()
+}
+
+fn npackets(params: &NicParams, bytes: u64) -> u64 {
+    bytes.div_ceil(params.payload_size).max(1)
+}
+
+/// Contiguous landing at two message sizes, reported as packets/sec.
+fn bench_contig_pkts(c: &mut Criterion) {
+    let params = NicParams::with_hpus(16);
+    let mut g = c.benchmark_group("packet_path_pkts");
+    g.sample_size(20);
+    for (label, bytes) in [("contig_64k", 64usize << 10), ("contig_1m", 1usize << 20)] {
+        // Built once; per-iteration clones are refcount bumps.
+        let packed: WireBuf = pattern(bytes).into();
+        g.throughput(Throughput::Elements(npackets(&params, bytes as u64)));
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let cfg = RunConfig::new(params.clone());
+            b.iter(|| {
+                let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
+                ReceiveSim::run(proc, packed.clone(), 0, bytes as u64, &cfg).t_complete
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Contiguous landing, reported as bytes/sec.
+fn bench_contig_bytes(c: &mut Criterion) {
+    let params = NicParams::with_hpus(16);
+    let bytes = 1usize << 20;
+    let packed: WireBuf = pattern(bytes).into();
+    let mut g = c.benchmark_group("packet_path_bytes");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function(BenchmarkId::from_parameter("contig_1m"), |b| {
+        let cfg = RunConfig::new(params.clone());
+        b.iter(|| {
+            let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
+            ReceiveSim::run(proc, packed.clone(), 0, bytes as u64, &cfg).t_complete
+        })
+    });
+    g.finish();
+}
+
+/// Full receive per strategy over a 64 KiB vector datatype (128 B
+/// blocks), both packets/sec and bytes/sec.
+fn bench_strategies(c: &mut Criterion) {
+    let dt = Datatype::vector(512, 16, 32, &elem::double()); // 64 KiB
+    let params = NicParams::with_hpus(16);
+    let (origin, span) = buffer_span(&dt, 1);
+    let src = pattern(span as usize);
+    let packed: WireBuf = pack(&dt, 1, &src, origin).expect("packable").into();
+    let msg_bytes = packed.len() as u64;
+    let npkt = npackets(&params, msg_bytes);
+
+    let mut g = c.benchmark_group("packet_path_pkts");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(npkt));
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |b, &s| {
+            let cfg = RunConfig::new(params.clone());
+            b.iter(|| {
+                let proc = s.build(&dt, 1, params.clone(), 0.2, Telemetry::disabled());
+                ReceiveSim::run(proc, packed.clone(), origin, span, &cfg).t_complete
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("packet_path_bytes");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(msg_bytes));
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |b, &s| {
+            let cfg = RunConfig::new(params.clone());
+            b.iter(|| {
+                let proc = s.build(&dt, 1, params.clone(), 0.2, Telemetry::disabled());
+                ReceiveSim::run(proc, packed.clone(), origin, span, &cfg).t_complete
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contig_pkts,
+    bench_contig_bytes,
+    bench_strategies
+);
+criterion_main!(benches);

@@ -8,12 +8,15 @@
 
 use nca_ddt::segment::{SegStats, Segment};
 use nca_ddt::sink::BlockSink;
+use nca_sim::PktView;
 use nca_spin::handler::DmaWrite;
 
 /// Sink that turns emitted blocks into DMA writes carrying real bytes.
+/// Each write is a subview of the packet payload — the block scatter
+/// re-slices the shared wire buffer instead of copying it.
 pub struct DmaSink<'a> {
     /// Packet payload (stream bytes `[stream_base, stream_base+len)`).
-    pub payload: &'a [u8],
+    pub payload: &'a PktView,
     /// Stream offset of `payload[0]`.
     pub stream_base: u64,
     /// Collected writes.
@@ -25,7 +28,7 @@ impl BlockSink for DmaSink<'_> {
         let s = (stream_off - self.stream_base) as usize;
         self.writes.push(DmaWrite::data(
             buf_off,
-            self.payload[s..s + len as usize].to_vec(),
+            self.payload.subview(s, len as usize),
         ));
     }
 }
@@ -33,7 +36,11 @@ impl BlockSink for DmaSink<'_> {
 /// Process stream range `[first, first+payload.len())` on `seg` with
 /// catch-up/reset semantics, returning the DMA writes and the statistics
 /// delta of this call.
-pub fn scatter_packet(seg: &mut Segment, first: u64, payload: &[u8]) -> (Vec<DmaWrite>, SegStats) {
+pub fn scatter_packet(
+    seg: &mut Segment,
+    first: u64,
+    payload: &PktView,
+) -> (Vec<DmaWrite>, SegStats) {
     let before = seg.stats;
     let mut sink = DmaSink {
         payload,
@@ -59,7 +66,7 @@ pub fn scatter_packet(seg: &mut Segment, first: u64, payload: &[u8]) -> (Vec<Dma
 pub fn scatter_packet_seek(
     seg: &mut Segment,
     first: u64,
-    payload: &[u8],
+    payload: &PktView,
 ) -> (Vec<DmaWrite>, SegStats) {
     seg.seek(first).expect("packet offset within message");
     scatter_packet(seg, first, payload)
@@ -76,7 +83,7 @@ mod tests {
         let dt = Datatype::vector(8, 1, 2, &elem::int()); // 8 x 4B blocks
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
-        let payload: Vec<u8> = (0..16u8).collect();
+        let payload: PktView = (0..16u8).collect::<Vec<u8>>().into();
         let (writes, stats) = scatter_packet(&mut seg, 0, &payload);
         assert_eq!(writes.len(), 4);
         assert_eq!(stats.blocks_emitted, 4);
@@ -89,7 +96,7 @@ mod tests {
         let dt = Datatype::vector(8, 1, 2, &elem::int());
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
-        let payload = vec![0u8; 8];
+        let payload: PktView = vec![0u8; 8].into();
         let (_, stats) = scatter_packet(&mut seg, 16, &payload);
         assert_eq!(stats.catchup_blocks, 4);
         assert_eq!(stats.blocks_emitted, 2);
@@ -100,7 +107,7 @@ mod tests {
         let dt = Datatype::vector(8, 1, 2, &elem::int());
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
-        let payload = vec![0u8; 8];
+        let payload: PktView = vec![0u8; 8].into();
         let (writes, stats) = scatter_packet_seek(&mut seg, 16, &payload);
         assert_eq!(stats.catchup_blocks, 0);
         assert_eq!(writes.len(), 2);

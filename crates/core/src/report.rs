@@ -69,14 +69,15 @@ pub fn strategy_report(
         0.0
     };
 
-    // The strategy's footprint is allocated up front, so the gauge's
-    // maximum *is* the high-water mark; fall back to the run report
-    // when the trace was disabled or evicted.
+    // The gauge tracks footprint plus resident payload bytes, so its
+    // maximum is the high-water mark; the run report carries the same
+    // peak even when the trace was disabled or evicted.
     let nic_mem_hwm_bytes = gauge_series(&evs, "spin", "nic_mem_bytes")
         .iter()
         .map(|&(_, v)| v as u64)
         .max()
-        .unwrap_or(r.nic_mem_bytes);
+        .unwrap_or(0)
+        .max(r.nic_mem_hwm_bytes);
 
     let model = run.plan.map(|plan| {
         let npkt = r.npkt.max(1);

@@ -5,7 +5,7 @@
 use nca_ddt::dataloop::compile;
 use nca_ddt::pack::{buffer_span, pack, unpack};
 use nca_ddt::types::Datatype;
-use nca_sim::{FaultSpec, Time};
+use nca_sim::{FaultSpec, Time, WireBuf};
 use nca_spin::builtin::ContigProcessor;
 use nca_spin::handler::MessageProcessor;
 use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
@@ -203,7 +203,9 @@ impl Experiment {
 
     fn execute(&self, strategy: Strategy, proc_: Box<dyn MessageProcessor>) -> RunReport {
         let (origin, span) = buffer_span(&self.dt, self.count);
-        let packed = self.packed_message();
+        // Build the shared wire buffer once; the pipeline, the fallback
+        // path and verification all view it without copying.
+        let packed: WireBuf = self.packed_message().into();
         let cfg = RunConfig {
             params: self.params.clone(),
             out_of_order: self.out_of_order,
@@ -239,14 +241,18 @@ impl Experiment {
     fn execute_host_fallback(
         &self,
         strategy: Strategy,
-        packed: &[u8],
+        packed: &WireBuf,
         origin: i64,
         span: u64,
         cfg: &RunConfig,
     ) -> RunReport {
         let landing = Box::new(ContigProcessor::new(0, self.params.spin_min_handler()));
-        let mut report = ReceiveSim::run(landing, packed.to_vec(), 0, packed.len() as u64, cfg);
-        debug_assert_eq!(report.host_buf, packed, "contiguous landing corrupted");
+        let mut report = ReceiveSim::run(landing, packed.clone(), 0, packed.len() as u64, cfg);
+        debug_assert_eq!(
+            report.host_buf[..],
+            packed[..],
+            "contiguous landing corrupted"
+        );
         let dl = compile(&self.dt, self.count);
         let unpack_cost = HostCostModel::default().unpack_time(dl.size, dl.blocks.max(1));
         let mut host_buf = vec![0u8; span as usize];

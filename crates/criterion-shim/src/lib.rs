@@ -24,6 +24,13 @@
 //! stats under `target/nca-criterion/NAME.tsv` (or
 //! `$NCA_CRITERION_DIR`), and `cargo bench -- --baseline NAME` prints
 //! the percent change of mean/p50/p95 against that file.
+//!
+//! Alongside the TSV, `--save-baseline NAME` also writes a
+//! machine-readable `NAME.json` (`nca-criterion-baseline` document):
+//! one entry per benchmark with mean/p50/p95 ns-per-iteration and, when
+//! the group declared a [`Throughput`], the per-iteration amount plus
+//! the derived per-second rate. This is the artifact committed as a
+//! benchmark wall (e.g. `BENCH_packet_path.json`) and diffed by CI.
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt::Display;
@@ -281,6 +288,98 @@ pub fn load_baseline(dir: &Path, baseline: &str) -> std::io::Result<BTreeMap<Str
     Ok(out)
 }
 
+/// One benchmark's entry in the JSON baseline document.
+#[derive(Debug, Clone)]
+struct JsonEntry {
+    name: String,
+    stats: Stats,
+    throughput: Option<Throughput>,
+}
+
+// Entries accumulated per JSON baseline file over the whole process, so
+// each `record` can rewrite the complete document (there is no end-of-
+// run hook in the criterion_main! contract to flush once).
+fn json_entries() -> &'static Mutex<BTreeMap<PathBuf, Vec<JsonEntry>>> {
+    static MAP: OnceLock<Mutex<BTreeMap<PathBuf, Vec<JsonEntry>>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Append one benchmark's stats to the JSON mirror of `baseline` under
+/// `dir` and rewrite the whole document. Mirrors the TSV lifecycle: the
+/// first save per file in this process starts a fresh entry list.
+pub fn save_baseline_json_entry(
+    dir: &Path,
+    baseline: &str,
+    bench: &str,
+    s: &Stats,
+    throughput: Option<Throughput>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{baseline}.json"));
+    let mut map = json_entries().lock().unwrap();
+    let entries = map.entry(path.clone()).or_default();
+    entries.retain(|e| e.name != bench);
+    entries.push(JsonEntry {
+        name: bench.to_string(),
+        stats: *s,
+        throughput,
+    });
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"kind\": \"nca-criterion-baseline\",\n");
+    doc.push_str(&format!("  \"baseline\": \"{}\",\n", json_escape(baseline)));
+    doc.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}",
+            json_escape(&e.name),
+            json_f64(e.stats.mean),
+            json_f64(e.stats.p50),
+            json_f64(e.stats.p95)
+        );
+        if let Some(tp) = e.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Bytes(n) => (n, "bytes"),
+                Throughput::Elements(n) => (n, "elements"),
+            };
+            let per_sec = amount as f64 / (e.stats.mean / 1e9);
+            line.push_str(&format!(
+                ", \"unit\": \"{unit}\", \"per_iter\": {amount}, \"per_sec\": {}",
+                json_f64(per_sec)
+            ));
+        }
+        line.push('}');
+        if i + 1 < entries.len() {
+            line.push(',');
+        }
+        doc.push_str(&line);
+        doc.push('\n');
+    }
+    doc.push_str("  ]\n}\n");
+    std::fs::write(&path, doc)
+}
+
 #[derive(Debug, Clone, Default)]
 enum BaselineMode {
     #[default]
@@ -389,6 +488,10 @@ impl Criterion {
             BaselineMode::Save(b) => {
                 if let Err(e) = save_baseline_entry(&self.dir, b, name, &stats) {
                     eprintln!("warning: cannot save baseline '{b}': {e}");
+                }
+                if let Err(e) = save_baseline_json_entry(&self.dir, b, name, &stats, cfg.throughput)
+                {
+                    eprintln!("warning: cannot save JSON baseline '{b}': {e}");
                 }
             }
             BaselineMode::Compare(b, entries) => match entries.get(name) {
@@ -607,6 +710,29 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded["bench/one"], s1);
         assert_eq!(loaded["bench/two"], s2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_baseline_accumulates_entries_with_throughput() {
+        let dir = std::env::temp_dir().join(format!("nca-criterion-json-{}", std::process::id()));
+        let s = Stats {
+            mean: 1000.0,
+            p50: 900.0,
+            p95: 1500.0,
+        };
+        save_baseline_json_entry(&dir, "j", "grp/one", &s, Some(Throughput::Elements(50))).unwrap();
+        save_baseline_json_entry(&dir, "j", "grp/two", &s, None).unwrap();
+        // Re-recording the same bench must replace, not duplicate.
+        save_baseline_json_entry(&dir, "j", "grp/one", &s, Some(Throughput::Bytes(64))).unwrap();
+        let text = std::fs::read_to_string(dir.join("j.json")).unwrap();
+        assert!(text.contains("\"kind\": \"nca-criterion-baseline\""));
+        assert!(text.contains("\"baseline\": \"j\""));
+        assert_eq!(text.matches("grp/one").count(), 1, "no duplicate entries");
+        assert!(text.contains("\"unit\": \"bytes\", \"per_iter\": 64"));
+        // 64 bytes per 1000 ns mean -> 64e6 bytes/s.
+        assert!(text.contains("\"per_sec\": 64000000"));
+        assert!(text.contains("\"name\": \"grp/two\", \"mean_ns\": 1000"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -67,7 +67,7 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                     Datatype::indexed(&lens, &displs, &t).unwrap()
                 }),
             // 2-field struct
-            (inner.clone(), inner.clone(), 0i64..64).prop_map(|(a, b, gap)| {
+            (inner.clone(), inner, 0i64..64).prop_map(|(a, b, gap)| {
                 let d1 = a.true_ub.max(a.ub) + gap;
                 Datatype::struct_(&[1, 1], &[0, d1], &[a, b]).unwrap()
             }),

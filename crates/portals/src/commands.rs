@@ -1,7 +1,7 @@
 //! NIC command descriptors issued through the command queue, including
 //! the paper's two sender-side extensions.
 
-use crate::packet::{packetize, Packet, PacketKind};
+use crate::packet::{packetize, PacketKind, PktHeader};
 
 /// A contiguous memory region `(offset, len)` in the initiator's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +108,7 @@ impl StreamingPut {
     /// partial packet once the put is closed. Packets of one streaming
     /// put form a single message (continuous sequence numbers); the last
     /// drained packet after closing is the completion packet.
-    pub fn drain_ready_packets(&mut self) -> Vec<Packet> {
+    pub fn drain_ready_packets(&mut self) -> Vec<PktHeader> {
         let mut out = Vec::new();
         while self.buffered >= self.payload_size {
             out.push(self.mk_packet(self.payload_size, false));
@@ -129,9 +129,9 @@ impl StreamingPut {
         out
     }
 
-    fn mk_packet(&mut self, len: u64, _last: bool) -> Packet {
+    fn mk_packet(&mut self, len: u64, _last: bool) -> PktHeader {
         let seq = self.emitted_pkts;
-        let pkt = Packet {
+        let pkt = PktHeader {
             msg_id: self.msg_id,
             seq,
             offset: self.emitted_bytes,
@@ -151,7 +151,7 @@ impl StreamingPut {
 
     /// The packet stream an equivalent single put of the same total
     /// length would produce (for equivalence testing).
-    pub fn equivalent_put_packets(&self) -> Vec<Packet> {
+    pub fn equivalent_put_packets(&self) -> Vec<PktHeader> {
         packetize(self.msg_id, self.bytes_supplied(), self.payload_size)
     }
 }

@@ -73,6 +73,12 @@ impl EventQueue {
     pub fn all(&self) -> &[FullEvent] {
         &self.events
     }
+
+    /// Consume the queue, returning every event ever posted (report
+    /// extraction without a copy).
+    pub fn into_all(self) -> Vec<FullEvent> {
+        self.events
+    }
 }
 
 #[cfg(test)]

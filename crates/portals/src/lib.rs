@@ -26,4 +26,4 @@ pub mod packet;
 pub use commands::{Command, ProcessPut, Put, StreamingPut};
 pub use event::{EventKind, EventQueue, FullEvent};
 pub use matching::{MatchBits, MatchEntry, MatchOutcome, MatchingUnit};
-pub use packet::{packetize, Packet, PacketKind};
+pub use packet::{packetize, packetize_wire, Packet, PacketKind, PktHeader};

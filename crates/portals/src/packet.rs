@@ -6,6 +6,13 @@
 //! completion handler), and **payload** packets in between. The network
 //! is assumed to deliver the header first and the completion last; payload
 //! packets may be reordered.
+//!
+//! Packet metadata ([`PktHeader`]) is a small `Copy` struct; a full
+//! [`Packet`] pairs it with a [`PktView`] payload handle into the shared
+//! [`WireBuf`] packed stream, so packets can be dispatched, retransmitted
+//! and DMA'd without ever copying payload bytes.
+
+use nca_sim::{PktView, WireBuf};
 
 /// Packet classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,11 +39,11 @@ impl PacketKind {
     }
 }
 
-/// One packet of a message. Payload bytes are carried by range into the
-/// packed message stream (the simulation materializes bytes lazily from
-/// the sender buffer, avoiding per-packet copies).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Packet {
+/// Packet metadata: everything on the wire except the payload bytes.
+/// Small and `Copy` — dispatch paths pass it by value instead of cloning
+/// a packet per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktHeader {
     /// Message this packet belongs to.
     pub msg_id: u64,
     /// Sequence number within the message (0-based).
@@ -55,7 +62,7 @@ pub struct Packet {
     pub checksum: u32,
 }
 
-impl Packet {
+impl PktHeader {
     /// Bytes on the wire: payload plus link/protocol header.
     pub fn wire_bytes(&self, header_bytes: u64) -> u64 {
         self.len + header_bytes
@@ -75,6 +82,37 @@ impl Packet {
     }
 }
 
+/// One packet of a message: `Copy` metadata plus a cheap shared-ownership
+/// handle to its payload bytes in the packed stream. Cloning a `Packet`
+/// copies the header and bumps the payload refcount — no bytes move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Wire metadata.
+    pub hdr: PktHeader,
+    /// Payload bytes, viewed into the message's [`WireBuf`].
+    pub payload: PktView,
+}
+
+impl Packet {
+    /// Stamp the header checksum from this packet's own payload view.
+    pub fn stamp_checksum(&mut self) {
+        self.hdr.checksum = payload_checksum(&self.payload);
+    }
+}
+
+impl std::ops::Deref for Packet {
+    type Target = PktHeader;
+    fn deref(&self) -> &PktHeader {
+        &self.hdr
+    }
+}
+
+impl std::ops::DerefMut for Packet {
+    fn deref_mut(&mut self) -> &mut PktHeader {
+        &mut self.hdr
+    }
+}
+
 /// FNV-1a over the payload bytes (32-bit). Any single-byte change flips
 /// the digest: the per-byte transform `h = (h ^ b) * prime` is injective
 /// in `h` for fixed suffixes, so a one-byte flip always propagates to
@@ -89,20 +127,22 @@ pub fn payload_checksum(payload: &[u8]) -> u32 {
     h
 }
 
-/// Stamp checksums on every packet of a message from its packed stream.
-pub fn stamp_checksums(pkts: &mut [Packet], stream: &[u8]) {
+/// Stamp checksums on every packet of a message from each packet's own
+/// payload view. Lossless pipelines skip this — checksums only matter
+/// when the fault layer can corrupt bytes in flight.
+pub fn stamp_checksums(pkts: &mut [Packet]) {
     for p in pkts {
-        p.stamp_checksum(stream);
+        p.stamp_checksum();
     }
 }
 
-/// Split a message of `msg_len` bytes into packets with at most
+/// Split a message of `msg_len` bytes into packet headers with at most
 /// `payload_size` payload each. A zero-length message still produces one
 /// (empty) `Only` packet so matching and completion semantics hold.
-pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
+pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<PktHeader> {
     assert!(payload_size > 0, "payload size must be positive");
     if msg_len == 0 {
-        return vec![Packet {
+        return vec![PktHeader {
             msg_id,
             seq: 0,
             offset: 0,
@@ -122,7 +162,7 @@ pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
                 (false, true) => PacketKind::Completion,
                 (false, false) => PacketKind::Payload,
             };
-            Packet {
+            PktHeader {
                 msg_id,
                 seq,
                 offset,
@@ -130,6 +170,18 @@ pub fn packetize(msg_id: u64, msg_len: u64, payload_size: u64) -> Vec<Packet> {
                 kind,
                 checksum: 0,
             }
+        })
+        .collect()
+}
+
+/// Packetize a packed stream, attaching each packet's payload view into
+/// the shared buffer. The only allocation is the `Vec` of packets.
+pub fn packetize_wire(msg_id: u64, buf: &WireBuf, payload_size: u64) -> Vec<Packet> {
+    packetize(msg_id, buf.len() as u64, payload_size)
+        .into_iter()
+        .map(|hdr| Packet {
+            payload: buf.view(hdr.offset as usize, hdr.len as usize),
+            hdr,
         })
         .collect()
 }
@@ -178,16 +230,53 @@ mod tests {
     }
 
     #[test]
-    fn checksum_detects_any_single_byte_flip() {
-        let stream: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
-        let mut pkts = packetize(3, stream.len() as u64, 2048);
-        stamp_checksums(&mut pkts, &stream);
+    fn packetize_wire_attaches_matching_views() {
+        let stream: WireBuf = (0..5000)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into();
+        let pkts = packetize_wire(9, &stream, 2048);
+        assert_eq!(pkts.len(), 3);
         for p in &pkts {
             let lo = p.offset as usize;
-            let payload = &stream[lo..lo + p.len as usize];
-            assert!(p.verify_payload(payload));
+            assert_eq!(&p.payload[..], &stream[lo..lo + p.len as usize]);
+        }
+        // Views share storage with the stream — no payload copies.
+        assert!(std::ptr::eq(
+            pkts[1].payload.as_ref().as_ptr(),
+            stream[2048..].as_ptr()
+        ));
+    }
+
+    #[test]
+    fn packetize_wire_zero_length_stream() {
+        let pkts = packetize_wire(1, &WireBuf::empty(), 2048);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].payload.is_empty());
+        assert!(pkts[0].verify_payload(&pkts[0].payload));
+    }
+
+    #[test]
+    fn packetize_wire_payload_size_exceeds_msg_len() {
+        let stream: WireBuf = vec![3u8; 100].into();
+        let pkts = packetize_wire(1, &stream, 2048);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].kind, PacketKind::Only);
+        assert_eq!(pkts[0].payload.len(), 100);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_byte_flip() {
+        let stream: WireBuf = (0..4096)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into();
+        let mut pkts = packetize_wire(3, &stream, 2048);
+        stamp_checksums(&mut pkts);
+        for p in &pkts {
+            assert!(p.verify_payload(&p.payload));
             // Flip each byte in turn with several masks: all must fail.
-            let mut copy = payload.to_vec();
+            let mut copy = p.payload.to_vec();
             for at in [0usize, copy.len() / 2, copy.len() - 1] {
                 for mask in [1u8, 0x80, 0xFF] {
                     copy[at] ^= mask;
@@ -206,7 +295,7 @@ mod tests {
 
     #[test]
     fn wire_bytes_include_header() {
-        let p = Packet {
+        let p = PktHeader {
             msg_id: 0,
             seq: 0,
             offset: 0,

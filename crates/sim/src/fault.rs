@@ -92,6 +92,25 @@ pub struct DeliveredCopy {
     pub corrupt_mask: u8,
 }
 
+impl DeliveredCopy {
+    /// The payload bytes this copy delivers, copy-on-write: pristine
+    /// copies borrow the original payload untouched; corrupted copies
+    /// get an owned clone with one byte XOR-flipped. The sender's
+    /// buffer is therefore provably never mutated by the fault layer —
+    /// the only payload copy in the whole lossless receive path is the
+    /// one this method makes, and it makes it only when a byte actually
+    /// has to change.
+    pub fn materialize<'a>(&self, payload: &'a [u8]) -> std::borrow::Cow<'a, [u8]> {
+        if !self.corrupt || payload.is_empty() {
+            return std::borrow::Cow::Borrowed(payload);
+        }
+        let mut bytes = payload.to_vec();
+        let at = (self.corrupt_at % bytes.len() as u64) as usize;
+        bytes[at] ^= self.corrupt_mask;
+        std::borrow::Cow::Owned(bytes)
+    }
+}
+
 /// The injector's decision for one transmission attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verdict {
@@ -329,5 +348,33 @@ mod tests {
             assert!(v.copies[0].corrupt);
             assert_ne!(v.copies[0].corrupt_mask, 0);
         }
+    }
+
+    #[test]
+    fn materialize_borrows_pristine_and_copies_corrupt() {
+        use std::borrow::Cow;
+        let payload = vec![7u8; 64];
+        let pristine = DeliveredCopy {
+            extra_delay: 0,
+            corrupt: false,
+            corrupt_at: 0,
+            corrupt_mask: 0,
+        };
+        match pristine.materialize(&payload) {
+            Cow::Borrowed(b) => assert!(std::ptr::eq(b.as_ptr(), payload.as_ptr())),
+            Cow::Owned(_) => panic!("pristine copy must borrow"),
+        }
+        let corrupt = DeliveredCopy {
+            extra_delay: 0,
+            corrupt: true,
+            corrupt_at: 70, // wraps to byte 6
+            corrupt_mask: 0x10,
+        };
+        let bytes = corrupt.materialize(&payload);
+        assert!(matches!(bytes, Cow::Owned(_)));
+        assert_eq!(bytes[6], 7 ^ 0x10);
+        assert_eq!(payload[6], 7, "sender's buffer must be untouched");
+        // Zero-length payloads have no byte to flip; still borrowed.
+        assert!(matches!(corrupt.materialize(&[]), Cow::Borrowed(_)));
     }
 }

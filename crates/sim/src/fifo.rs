@@ -88,6 +88,12 @@ impl<T> TrackedFifo<T> {
         &self.history
     }
 
+    /// Take ownership of the `(time, occupancy)` series, leaving the
+    /// FIFO's log empty (report extraction without a copy).
+    pub fn take_history(&mut self) -> Vec<(Time, usize)> {
+        std::mem::take(&mut self.history)
+    }
+
     /// Downsample the history to at most `n` evenly spaced points
     /// (for plotting Fig. 15-style timelines).
     pub fn sampled_history(&self, n: usize) -> Vec<(Time, usize)> {

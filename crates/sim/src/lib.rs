@@ -19,8 +19,10 @@ pub mod fault;
 pub mod fifo;
 pub mod stats;
 pub mod units;
+pub mod wire;
 
 pub use engine::{Sim, SimProbe, Time};
 pub use fault::{DeliveredCopy, FaultInjector, FaultSpec, Verdict};
 pub use fifo::TrackedFifo;
 pub use units::{ns, ps, us, Bandwidth};
+pub use wire::{PktView, WireBuf};

@@ -44,7 +44,7 @@ impl MessageProcessor for ContigProcessor {
             },
             dma: vec![DmaWrite::data(
                 self.base + ctx.stream_offset as i64,
-                ctx.payload.to_vec(),
+                ctx.payload.clone(),
             )],
         }
     }

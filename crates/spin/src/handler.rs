@@ -9,7 +9,7 @@
 //! processing function startup incl. catch-up), and `processing`
 //! (per-block work).
 
-use nca_sim::Time;
+use nca_sim::{PktView, Time};
 
 /// One DMA write toward host memory (`PltHandlerDMAToHostNB`).
 #[derive(Debug, Clone)]
@@ -17,8 +17,10 @@ pub struct DmaWrite {
     /// Destination offset in the receive buffer (relative to the
     /// datatype origin; may be negative for types with negative lb).
     pub host_off: i64,
-    /// The bytes to write (empty for the completion signal).
-    pub data: Vec<u8>,
+    /// The bytes to write (empty for the completion signal). A view into
+    /// the shared wire buffer — handlers scatter by re-slicing the
+    /// packet's payload, never by copying it.
+    pub data: PktView,
     /// Whether completion generates a full event (the paper's handlers
     /// pass `NO_EVENT` for all but the final zero-byte write).
     pub event: bool,
@@ -26,10 +28,10 @@ pub struct DmaWrite {
 
 impl DmaWrite {
     /// A data write without completion event.
-    pub fn data(host_off: i64, data: Vec<u8>) -> Self {
+    pub fn data(host_off: i64, data: impl Into<PktView>) -> Self {
         DmaWrite {
             host_off,
-            data,
+            data: data.into(),
             event: false,
         }
     }
@@ -38,7 +40,7 @@ impl DmaWrite {
     pub fn completion_signal() -> Self {
         DmaWrite {
             host_off: 0,
-            data: Vec::new(),
+            data: PktView::empty(),
             event: true,
         }
     }
@@ -81,8 +83,10 @@ pub struct HandlerOutput {
 
 /// Per-packet context handed to the payload handler.
 pub struct PacketCtx<'a> {
-    /// The packet payload bytes.
-    pub payload: &'a [u8],
+    /// The packet payload: a view into the shared wire buffer. Derefs to
+    /// `&[u8]`; handlers that scatter ranges of it into host memory use
+    /// [`PktView::subview`] so DMA writes share the buffer too.
+    pub payload: &'a PktView,
     /// Offset of `payload[0]` in the packed message stream.
     pub stream_offset: u64,
     /// Packet sequence number within the message.

@@ -15,8 +15,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use nca_portals::packet::{packetize, Packet};
-use nca_sim::{Sim, Time, TrackedFifo};
+use nca_portals::packet::{packetize_wire, Packet};
+use nca_sim::{Sim, Time, TrackedFifo, WireBuf};
 use nca_telemetry::Telemetry;
 
 use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
@@ -24,8 +24,9 @@ use crate::params::NicParams;
 
 /// One message to receive.
 pub struct MessageSpec {
-    /// Packed message bytes.
-    pub packed: Vec<u8>,
+    /// Packed message bytes (shared wire buffer; `Vec<u8>` converts via
+    /// `.into()` at the cost of one copy).
+    pub packed: WireBuf,
     /// The processing strategy.
     pub proc: Box<dyn MessageProcessor>,
     /// Receive-buffer offset of index 0.
@@ -61,7 +62,7 @@ impl MessageReport {
 
 struct MsgState {
     packets: Vec<Packet>,
-    packed: Vec<u8>,
+    packed: WireBuf,
     proc: Box<dyn MessageProcessor>,
     host_buf: Vec<u8>,
     host_origin: i64,
@@ -157,10 +158,10 @@ struct MultiWorld {
 
 impl MultiWorld {
     fn packet_arrival(&mut self, sim: &mut Sim<MultiWorld>, m: usize, idx: usize) {
-        let pkt = self.msgs[m].packets[idx].clone();
+        let len = self.msgs[m].packets[idx].len;
         self.tel
             .counter("spin", "packets_arrived", m as u64, sim.now(), 1);
-        let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+        let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(len);
         self.tel
             .span("spin", "inbound", m as u64, sim.now(), sim.now() + inbound);
         sim.schedule_in(inbound, move |w, s| w.her_ready(s, m, idx));
@@ -193,12 +194,11 @@ impl MultiWorld {
     fn run_handler(&mut self, sim: &mut Sim<MultiWorld>, key: (usize, u64), idx: usize) {
         let (m, vhpu) = key;
         let st = &mut self.msgs[m];
-        let pkt = st.packets[idx].clone();
-        let payload = &st.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize];
+        let hdr = st.packets[idx].hdr;
         let ctx = PacketCtx {
-            payload,
-            stream_offset: pkt.offset,
-            seq: pkt.seq,
+            payload: &st.packets[idx].payload,
+            stream_offset: hdr.offset,
+            seq: hdr.seq,
             npkt: st.packets.len() as u64,
             vhpu,
             now: sim.now(),
@@ -264,14 +264,14 @@ impl MultiWorld {
                 world.dma_chan_busy[chan] = false;
                 s.schedule_in(landing, move |w2, s2| {
                     let t = s2.now();
-                    w2.dma_landed(t, m, w);
+                    w2.dma_landed(t, m, &w);
                 });
                 world.kick_dma(s);
             });
         }
     }
 
-    fn dma_landed(&mut self, t: Time, m: usize, w: DmaWrite) {
+    fn dma_landed(&mut self, t: Time, m: usize, w: &DmaWrite) {
         let st = &mut self.msgs[m];
         if !w.data.is_empty() {
             let start = (w.host_off - st.host_origin) as usize;
@@ -344,7 +344,7 @@ pub fn run_concurrent_traced(
     let mut starts = Vec::with_capacity(specs.len());
     let mut msgs: Vec<MsgState> = Vec::with_capacity(specs.len());
     for (i, spec) in specs.into_iter().enumerate() {
-        let packets = packetize(i as u64, spec.packed.len() as u64, params.payload_size);
+        let packets = packetize_wire(i as u64, &spec.packed, params.payload_size);
         starts.push(spec.start_time);
         msgs.push(MsgState {
             pending_payload: packets.len() as u64,
@@ -413,7 +413,7 @@ mod tests {
 
     fn spec(len: usize, seed: u8, start: Time, handler: Time) -> MessageSpec {
         MessageSpec {
-            packed: pattern(len, seed),
+            packed: pattern(len, seed).into(),
             proc: Box::new(ContigProcessor::new(0, handler)),
             host_origin: 0,
             host_span: len as u64,

@@ -22,8 +22,8 @@ use std::collections::{HashMap, VecDeque};
 
 use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
-use nca_portals::packet::{packetize, stamp_checksums, Packet};
-use nca_sim::{DeliveredCopy, FaultInjector, FaultSpec, Sim, Time, TrackedFifo};
+use nca_portals::packet::{packetize_wire, stamp_checksums, Packet};
+use nca_sim::{DeliveredCopy, FaultInjector, FaultSpec, Sim, Time, TrackedFifo, WireBuf};
 use nca_telemetry::{hist::LogHistogram, probe::SimTelemetryProbe, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -173,6 +173,11 @@ pub struct RunReport {
     pub handler_costs: Vec<HandlerCost>,
     /// NIC memory the strategy occupied.
     pub nic_mem_bytes: u64,
+    /// NIC-memory high-water mark: the strategy's static footprint plus
+    /// the peak payload bytes resident in NIC memory at once (charged
+    /// when the inbound engine lands a packet, released when its handler
+    /// completes).
+    pub nic_mem_hwm_bytes: u64,
     /// One-time host preparation (checkpoint creation/copy).
     pub host_setup_time: Time,
     /// Data path the matching walk selected.
@@ -314,7 +319,7 @@ impl DmaEngine {
 struct World {
     params: NicParams,
     packets: Vec<Packet>,
-    packed: Vec<u8>,
+    packed: WireBuf,
     proc: Box<dyn MessageProcessor>,
     sched: Scheduler,
     dma: DmaEngine,
@@ -338,6 +343,13 @@ struct World {
     hist_handler: LogHistogram,
     hist_queue_wait: LogHistogram,
     hist_dma: LogHistogram,
+    /// The strategy's static NIC-memory footprint.
+    nic_mem: u64,
+    /// Payload bytes currently resident in NIC memory (landed by the
+    /// inbound engine, not yet consumed by a handler).
+    resident_payload: u64,
+    /// Peak of `resident_payload` over the run.
+    resident_hwm: u64,
     /// Reliable-delivery state; `None` on a lossless network.
     rel: Option<RelState>,
 }
@@ -408,18 +420,17 @@ impl World {
     /// A copy of packet `idx` reached the NIC. `copy: None` means the
     /// reliable host-fallback channel delivered it (never faulty).
     fn packet_rx(&mut self, sim: &mut Sim<World>, idx: usize, copy: Option<DeliveredCopy>) {
-        let pkt = self.packets[idx].clone();
+        let hdr = self.packets[idx].hdr;
         let now = sim.now();
         // Corruption detection: recompute the checksum over the bytes as
-        // they arrived. A single-byte flip always breaks FNV-1a, so a
-        // corrupted copy never reaches the pipeline.
+        // they arrived. The fault layer materializes corrupted copies
+        // copy-on-write, so the shared wire buffer is never mutated. A
+        // single-byte flip always breaks FNV-1a, so a corrupted copy
+        // never reaches the pipeline.
         if let Some(c) = copy {
-            if c.corrupt && pkt.len > 0 {
-                let lo = pkt.offset as usize;
-                let mut bytes = self.packed[lo..lo + pkt.len as usize].to_vec();
-                let at = (c.corrupt_at % pkt.len) as usize;
-                bytes[at] ^= c.corrupt_mask;
-                if !pkt.verify_payload(&bytes) {
+            if c.corrupt && hdr.len > 0 {
+                let bytes = c.materialize(&self.packets[idx].payload);
+                if !hdr.verify_payload(&bytes) {
                     let rel = self.rel.as_mut().expect("fault mode");
                     rel.stats.corrupts_rejected += 1;
                     self.tel.counter("spin", "corrupt_rejected", 0, now, 1);
@@ -448,14 +459,14 @@ impl World {
     }
 
     fn packet_arrival(&mut self, sim: &mut Sim<World>, idx: usize) {
-        let pkt = self.packets[idx].clone();
+        let hdr = self.packets[idx].hdr;
         self.arrived += 1;
         self.tel.counter("spin", "packets_arrived", 0, sim.now(), 1);
         // The header packet triggers the Portals matching walk and fixes
         // the message's data path (the pinned ME serves the rest).
-        if pkt.kind.is_header() {
+        if hdr.kind.is_header() {
             if let Some(mu) = self.matching.as_mut() {
-                let (outcome, me) = mu.match_header(pkt.msg_id, self.match_bits);
+                let (outcome, me) = mu.match_header(hdr.msg_id, self.match_bits);
                 self.path = match (outcome, me.and_then(|m| m.exec_ctx)) {
                     (MatchOutcome::Priority, Some(_)) => MsgPath::Spin,
                     (MatchOutcome::Priority, None) => MsgPath::NonProcessing,
@@ -464,31 +475,31 @@ impl World {
                 };
             }
         }
-        if pkt.kind.is_completion() {
+        if hdr.kind.is_completion() {
             if let Some(mu) = self.matching.as_mut() {
-                mu.complete(pkt.msg_id);
+                mu.complete(hdr.msg_id);
             }
         }
         match self.path {
             MsgPath::Spin => {
                 // Inbound engine: copy payload into NIC memory, then HER.
-                let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(pkt.len);
+                let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(hdr.len);
                 self.tel
                     .span("spin", "inbound", 0, sim.now(), sim.now() + inbound);
                 sim.schedule_in(inbound, move |w, s| w.her_ready(s, idx));
             }
             MsgPath::NonProcessing | MsgPath::Unexpected => {
                 // RDMA landing: one contiguous DMA write per packet at its
-                // stream offset; no HPU involvement.
+                // stream offset; no HPU involvement. The write reuses the
+                // packet's payload view — no bytes are copied.
                 let passthrough = self.params.nic_passthrough;
                 let last = self.arrived == self.packets.len() as u64;
                 let overflow = self.path == MsgPath::Unexpected;
                 sim.schedule_in(passthrough, move |w, s| {
-                    let payload =
-                        w.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize].to_vec();
+                    let payload = w.packets[idx].payload.clone();
                     w.enqueue_dma(
                         s,
-                        DmaWrite::data(w.host_origin + pkt.offset as i64, payload),
+                        DmaWrite::data(w.host_origin + hdr.offset as i64, payload),
                     );
                     if last {
                         w.events.post(FullEvent {
@@ -497,7 +508,7 @@ impl World {
                             } else {
                                 EventKind::Put
                             },
-                            msg_id: pkt.msg_id,
+                            msg_id: hdr.msg_id,
                             size: w.packed.len() as u64,
                             time: s.now(),
                         });
@@ -516,6 +527,20 @@ impl World {
     }
 
     fn her_ready(&mut self, sim: &mut Sim<World>, idx: usize) {
+        // The inbound engine has landed this payload in NIC memory:
+        // charge it against the NIC-memory budget until its handler
+        // consumes it.
+        self.resident_payload += self.packets[idx].len;
+        if self.resident_payload > self.resident_hwm {
+            self.resident_hwm = self.resident_payload;
+        }
+        self.tel.gauge(
+            "spin",
+            "nic_mem_bytes",
+            0,
+            sim.now(),
+            (self.nic_mem + self.resident_payload) as f64,
+        );
         let seq = self.packets[idx].seq;
         let vhpu = self.proc.policy().vhpu_of(seq);
         if self.tel.is_enabled() {
@@ -527,7 +552,6 @@ impl World {
 
     fn try_dispatch(&mut self, sim: &mut Sim<World>) {
         while let Some((vhpu, idx)) = self.sched.next_dispatch() {
-            let pkt = self.packets[idx].clone();
             let dispatch = self.params.sched_dispatch;
             let now = sim.now();
             if let Some(enq) = self.enq_time.remove(&idx) {
@@ -538,16 +562,16 @@ impl World {
             }
             self.tel.instant("spin", "dispatch", vhpu, now);
             self.tel.span("spin", "sched", vhpu, now, now + dispatch);
-            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, pkt));
+            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, idx));
         }
     }
 
-    fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, pkt: Packet) {
-        let payload = &self.packed[pkt.offset as usize..(pkt.offset + pkt.len) as usize];
+    fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize) {
+        let hdr = self.packets[idx].hdr;
         let ctx = PacketCtx {
-            payload,
-            stream_offset: pkt.offset,
-            seq: pkt.seq,
+            payload: &self.packets[idx].payload,
+            stream_offset: hdr.offset,
+            seq: hdr.seq,
             npkt: self.packets.len() as u64,
             vhpu,
             now: sim.now(),
@@ -560,10 +584,19 @@ impl World {
         }
         self.tel
             .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
-        sim.schedule_in(runtime, move |w, s| w.handler_done(s, vhpu, out.dma));
+        sim.schedule_in(runtime, move |w, s| w.handler_done(s, vhpu, idx, out.dma));
     }
 
-    fn handler_done(&mut self, sim: &mut Sim<World>, vhpu: u64, dma: Vec<DmaWrite>) {
+    fn handler_done(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize, dma: Vec<DmaWrite>) {
+        // The handler consumed the packet: its payload leaves NIC memory.
+        self.resident_payload -= self.packets[idx].len;
+        self.tel.gauge(
+            "spin",
+            "nic_mem_bytes",
+            0,
+            sim.now(),
+            (self.nic_mem + self.resident_payload) as f64,
+        );
         for w in dma {
             self.enqueue_dma(sim, w);
         }
@@ -650,14 +683,14 @@ impl World {
                 }
                 s.schedule_in(landing, move |w2, s2| {
                     let t = s2.now();
-                    w2.dma_landed(t, w);
+                    w2.dma_landed(t, &w);
                 });
                 world.kick_dma(s);
             });
         }
     }
 
-    fn dma_landed(&mut self, t: Time, w: DmaWrite) {
+    fn dma_landed(&mut self, t: Time, w: &DmaWrite) {
         if !w.data.is_empty() {
             let start = (w.host_off - self.host_origin) as usize;
             self.host_buf[start..start + w.data.len()].copy_from_slice(&w.data);
@@ -674,16 +707,19 @@ impl World {
 pub struct ReceiveSim;
 
 impl ReceiveSim {
-    /// Simulate receiving `packed` (the packed message bytes) processed
-    /// by `proc`, landing in a receive buffer spanning
+    /// Simulate receiving `packed` (the packed message bytes, anything
+    /// convertible into a shared [`WireBuf`] — a `Vec<u8>` costs one
+    /// copy at conversion, a `WireBuf` clone costs a refcount bump)
+    /// processed by `proc`, landing in a receive buffer spanning
     /// `[host_origin, host_origin + host_span)`.
     pub fn run(
         proc: Box<dyn MessageProcessor>,
-        packed: Vec<u8>,
+        packed: impl Into<WireBuf>,
         host_origin: i64,
         host_span: u64,
         cfg: &RunConfig,
     ) -> RunReport {
+        let packed: WireBuf = packed.into();
         let params = cfg.params.clone();
         let faulty = !cfg.faults.is_inert();
         assert!(
@@ -692,8 +728,12 @@ impl ReceiveSim {
              assumes the header packet arrives first, which a lossy network \
              cannot guarantee"
         );
-        let mut packets = packetize(0, packed.len() as u64, params.payload_size);
-        stamp_checksums(&mut packets, &packed);
+        let mut packets = packetize_wire(0, &packed, params.payload_size);
+        if faulty {
+            // Checksums only matter when the network can corrupt bytes;
+            // the lossless path skips the per-byte FNV pass entirely.
+            stamp_checksums(&mut packets);
+        }
         let packets = packets;
         let npkt = packets.len() as u64;
 
@@ -714,7 +754,7 @@ impl ReceiveSim {
 
         let mut world = World {
             params: params.clone(),
-            packets: packets.clone(),
+            packets,
             packed,
             proc,
             sched: Scheduler::new(params.hpus),
@@ -729,7 +769,7 @@ impl ReceiveSim {
             pending_payload: npkt,
             completion_dispatched: false,
             t_complete: None,
-            handler_costs: Vec::with_capacity(packets.len()),
+            handler_costs: Vec::with_capacity(npkt as usize),
             matching: cfg.portals.as_ref().map(|p| p.matching.clone()),
             match_bits: cfg.portals.as_ref().map(|p| p.match_bits).unwrap_or(0),
             path: MsgPath::Spin,
@@ -740,6 +780,9 @@ impl ReceiveSim {
             hist_handler: LogHistogram::new(),
             hist_queue_wait: LogHistogram::new(),
             hist_dma: LogHistogram::new(),
+            nic_mem,
+            resident_payload: 0,
+            resident_hwm: 0,
             rel: faulty.then(|| RelState {
                 injector: FaultInjector::new(cfg.faults),
                 rparams: cfg.reliability.clone(),
@@ -832,12 +875,13 @@ impl ReceiveSim {
             dma_writes: world.dma.writes,
             dma_bytes: world.dma.bytes,
             dma_max_queue: world.dma.queue.max_occupancy(),
-            dma_history: world.dma.queue.history().to_vec(),
+            dma_history: world.dma.queue.take_history(),
             handler_costs: world.handler_costs,
             nic_mem_bytes: nic_mem,
+            nic_mem_hwm_bytes: nic_mem + world.resident_hwm,
             host_setup_time: host_setup,
             path: world.path,
-            events: world.events.all().to_vec(),
+            events: world.events.into_all(),
             rel,
         }
     }

@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 
 use nca_ddt::flatten::Iovec;
-use nca_sim::{Sim, Time};
+use nca_sim::{Sim, Time, WireBuf};
 
 use crate::params::NicParams;
 
@@ -53,20 +53,24 @@ pub struct SendSimReport {
     /// Total CPU busy time.
     pub cpu_busy: Time,
     /// The packed stream as assembled on the wire (for verification).
-    pub wire_bytes: Vec<u8>,
+    /// Shared from here on: receivers and retransmission paths view it,
+    /// they never copy it.
+    pub wire_bytes: WireBuf,
     /// Packets injected.
     pub packets: u64,
 }
 
 /// Gather the iovec regions of `src` into packed order (reference and
-/// actual data movement of all three pipelines).
-fn gather(iov: &Iovec, src: &[u8], origin: i64) -> Vec<u8> {
+/// actual data movement of all three pipelines). This is the single
+/// copy of the send path: the returned [`WireBuf`] is shared by wire
+/// byte count, fault layer and receiver without further copies.
+fn gather(iov: &Iovec, src: &[u8], origin: i64) -> WireBuf {
     let mut out = Vec::with_capacity(iov.total_bytes() as usize);
     for e in &iov.entries {
         let s = (e.offset - origin) as usize;
         out.extend_from_slice(&src[s..s + e.len as usize]);
     }
-    out
+    out.into()
 }
 
 /// Pack + send: CPU packs everything, then the NIC streams.

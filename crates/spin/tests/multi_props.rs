@@ -27,7 +27,7 @@ proptest! {
         let n = sizes.len().min(starts.len());
         let specs: Vec<MessageSpec> = (0..n)
             .map(|i| MessageSpec {
-                packed: pattern(sizes[i], i as u8),
+                packed: pattern(sizes[i], i as u8).into(),
                 proc: Box::new(ContigProcessor::new(0, handler)),
                 host_origin: 0,
                 host_span: sizes[i] as u64,
@@ -50,7 +50,7 @@ proptest! {
         let params = NicParams::with_hpus(hpus);
         let handler = params.spin_min_handler();
         let specs = vec![MessageSpec {
-            packed: pattern(size, 3),
+            packed: pattern(size, 3).into(),
             proc: Box::new(ContigProcessor::new(0, handler)),
             host_origin: 0,
             host_span: size as u64,

@@ -18,7 +18,7 @@ fn make_spec(dt: &Datatype, strategy: Strategy, params: &NicParams, start_us: u6
     let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
     let packed = pack(dt, 1, &src, origin).expect("packable");
     MessageSpec {
-        packed,
+        packed: packed.into(),
         proc: strategy.build(dt, 1, params.clone(), 0.2, Telemetry::disabled()),
         host_origin: origin,
         host_span: span,

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use ncmt::core::runner::{Experiment, Strategy as Recv};
 use ncmt::ddt::types::{elem, Datatype, DatatypeExt};
-use ncmt::sim::FaultSpec;
+use ncmt::sim::{FaultSpec, WireBuf};
+use ncmt::spin::builtin::ContigProcessor;
+use ncmt::spin::nic::{ReceiveSim, RunConfig};
 use ncmt::spin::params::NicParams;
 
 /// Random small-but-multi-packet datatypes (messages of 4–64 KiB).
@@ -99,6 +101,34 @@ proptest! {
         }
     }
 
+    /// The zero-copy pipeline shares one `WireBuf` between the sender,
+    /// every retransmission, and the fault layer. Corruption must be
+    /// applied to a copy-on-write snapshot of the hit packet only: after
+    /// an aggressively corrupting run, the shared buffer is still
+    /// byte-identical to what the sender packed.
+    #[test]
+    fn corruption_never_touches_the_senders_buffer(
+        len_kb in 1usize..48,
+        fault_seed in 0u64..1000,
+        corrupt_pm in 100u64..800,
+    ) {
+        let bytes = len_kb << 10;
+        let msg: Vec<u8> = (0..bytes).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        let packed: WireBuf = msg.clone().into();
+        let params = NicParams::with_hpus(8);
+        let mut cfg = RunConfig::new(params.clone());
+        cfg.faults = FaultSpec {
+            corrupt: corrupt_pm as f64 / 1000.0,
+            seed: fault_seed,
+            ..FaultSpec::inert()
+        };
+        let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
+        let r = ReceiveSim::run(proc, packed.clone(), 0, bytes as u64, &cfg);
+        prop_assert_eq!(&packed[..], &msg[..], "sender's wire buffer was mutated");
+        prop_assert_eq!(r.host_buf, msg);
+        prop_assert_eq!(r.rel.corrupts_injected, r.rel.corrupts_rejected);
+    }
+
     #[test]
     fn processing_time_at_least_wire_time((dt, count) in arb_message_type()) {
         let exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
@@ -109,4 +139,33 @@ proptest! {
         let wire = NicParams::default().line_rate.time_for(msg);
         prop_assert!(r.processing_time() >= wire);
     }
+}
+
+/// A zero-length message still produces a well-formed run: one empty
+/// packet, an empty host buffer, and a completion signal.
+#[test]
+fn zero_length_message_completes() {
+    let params = NicParams::with_hpus(4);
+    let cfg = RunConfig::new(params.clone());
+    let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
+    let r = ReceiveSim::run(proc, WireBuf::empty(), 0, 0, &cfg);
+    assert_eq!(r.npkt, 1);
+    assert!(r.host_buf.is_empty());
+    assert!(r.t_complete > 0);
+}
+
+/// `payload_size` larger than the whole message degenerates to a single
+/// packet that carries the entire stream.
+#[test]
+fn payload_size_exceeding_message_is_one_packet() {
+    let msg: Vec<u8> = (0..100u32).map(|i| (i % 251) as u8).collect();
+    let params = NicParams::with_hpus(4);
+    assert!(params.payload_size > msg.len() as u64);
+    let cfg = RunConfig::new(params.clone());
+    let proc = Box::new(ContigProcessor::new(0, params.spin_min_handler()));
+    let packed: WireBuf = msg.clone().into();
+    let r = ReceiveSim::run(proc, packed.clone(), 0, msg.len() as u64, &cfg);
+    assert_eq!(r.npkt, 1);
+    assert_eq!(r.host_buf, msg);
+    assert_eq!(&packed[..], &msg[..]);
 }

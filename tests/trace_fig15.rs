@@ -95,14 +95,14 @@ fn rwcp_revert_is_traced() {
     let params = NicParams::with_hpus(16);
     let (origin, span) = buffer_span(&dt, count);
     let src: Vec<u8> = (0..span as usize).map(|i| (i % 251) as u8).collect();
-    let packed = pack(&dt, count, &src, origin).unwrap();
+    let packed: ncmt::sim::WireBuf = pack(&dt, count, &src, origin).unwrap().into();
     let ps = params.payload_size as usize;
 
     let (tel, sink) = Telemetry::ring(256);
     let mut p =
         GeneralProcessor::new(GeneralKind::RwCp, &dt, count, params, 0.2).with_telemetry(tel);
     let later = PacketCtx {
-        payload: &packed[ps..2 * ps],
+        payload: &packed.view(ps, ps),
         stream_offset: ps as u64,
         seq: 1,
         npkt: 2,
@@ -111,7 +111,7 @@ fn rwcp_revert_is_traced() {
     };
     p.on_payload(&later);
     let earlier = PacketCtx {
-        payload: &packed[..ps],
+        payload: &packed.view(0, ps),
         stream_offset: 0,
         seq: 0,
         npkt: 2,
