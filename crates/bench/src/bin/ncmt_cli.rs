@@ -16,17 +16,15 @@
 //! ncmt_cli list
 //! ```
 
-use nca_core::report::{fault_summary, report_config, strategy_report};
-use nca_core::runner::{Experiment, Strategy};
+use nca_core::report::{report_config, strategy_report};
+use nca_core::runner::Experiment;
+use nca_core::sweep::{cell_ok, FaultSweepSpec};
 use nca_ddt::normalize::classify;
-use nca_ddt::pack::{buffer_span, unpack};
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
-use nca_sim::FaultSpec;
+use nca_sim::{FaultSpec, Pool};
 use nca_spin::params::NicParams;
-use nca_telemetry::report::{
-    diff_reports, FaultSweepDoc, Json, RunReportDoc, SweepCell, DEFAULT_THRESHOLD,
-};
-use nca_telemetry::{export, Telemetry};
+use nca_telemetry::export;
+use nca_telemetry::report::{diff_reports, FaultSweepDoc, Json, RunReportDoc, DEFAULT_THRESHOLD};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,6 +46,13 @@ fn flag_f64(args: &[String], name: &str, default: f64) -> f64 {
     flag(args, name)
         .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad {name}"))))
         .unwrap_or(default)
+}
+
+/// Build the worker pool from `--jobs` (falling back to `NCMT_JOBS`,
+/// then to the detected core count; see [`Pool::from_env`]).
+fn pool(args: &[String]) -> Pool {
+    let requested = flag(args, "--jobs").map(|v| v.parse().unwrap_or_else(|_| die("bad --jobs")));
+    Pool::from_env(requested)
 }
 
 /// Parse the shared fault knobs (`--drop/--dup/--corrupt/--reorder-ns/
@@ -92,6 +97,9 @@ fault flags (vector/indexed/app/fault-sweep):
   --fault-seed K  fault-schedule seed (default 1; sweep uses K..K+N-1)
 
 common flags:
+  --jobs N        worker threads for the strategy/sweep loops (default:
+                  NCMT_JOBS, else the detected core count; 0 = auto;
+                  artifacts are byte-identical at any N)
   --hpus N        handler processing units (default 16)
   --copies N      datatype repetition count (default 1)
   --ooo SEED      shuffle payload-packet arrival order
@@ -114,9 +122,11 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     let ooo = flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
     let trace_out = flag(args, "--trace-out");
     let report_out = flag(args, "--report-out");
-    // One shared ring serves both artifacts; per-strategy scopes keep
-    // the overlapping runs apart.
-    let trace = (trace_out.is_some() || report_out.is_some()).then(|| Telemetry::ring(1 << 22));
+    // Per-strategy rings merged after the barrier reproduce exactly
+    // what one shared ring would capture from the serial loop;
+    // per-strategy scopes keep the overlapping runs apart.
+    let capture = (trace_out.is_some() || report_out.is_some()).then_some(1usize << 22);
+    let jobs = pool(args);
 
     let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
     exp.epsilon = epsilon;
@@ -140,14 +150,10 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         "{:<14} {:>12} {:>10} {:>12}",
         "method", "time (us)", "Gbit/s", "NIC KiB"
     );
-    let mut runs = Vec::new();
-    for s in Strategy::ALL {
-        // Scope each strategy's events so the shared trace keeps the
-        // overlapping per-run timelines apart in Perfetto.
-        if let Some((tel, _)) = &trace {
-            exp.telemetry = tel.scoped(s.label());
-        }
-        let run = exp.run_modeled(s);
+    // All strategies run as independent pool jobs; printing happens
+    // after the barrier, in Strategy::ALL order, from the merged sweep.
+    let sweep = exp.run_all_modeled(&jobs, capture);
+    for (s, run) in &sweep.runs {
         let rel = if faulty {
             let r = &run.report.rel;
             format!(
@@ -169,7 +175,6 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
             run.report.nic_mem_bytes as f64 / 1024.0,
             rel
         );
-        runs.push((s, run));
     }
     let host = exp.run_host();
     println!(
@@ -190,12 +195,12 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     if exp.verify {
         println!("\nreceive buffers byte-verified ✓");
     }
-    if let Some((_, sink)) = &trace {
-        let events = sink.events();
+    if capture.is_some() {
+        let events = sweep.events;
         if let Some(path) = &trace_out {
             std::fs::write(path, export::chrome_trace_json(&events))
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-            let dropped = sink.dropped();
+            let dropped = sweep.dropped;
             println!(
                 "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
                 events.len(),
@@ -210,7 +215,8 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
             let doc = RunReportDoc {
                 version: RunReportDoc::VERSION,
                 config: report_config(&exp),
-                strategies: runs
+                strategies: sweep
+                    .runs
                     .iter()
                     .map(|(s, run)| strategy_report(&exp, run, &events, s.label()))
                     .collect(),
@@ -243,12 +249,22 @@ fn fault_sweep(args: &[String]) -> ! {
     const SCALES: [f64; 3] = [0.0, 0.5, 1.0];
 
     let dt = Datatype::vector(count, blocklen, stride, &elem::double());
+    let spec = FaultSweepSpec {
+        dt: dt.clone(),
+        count: 1,
+        params: NicParams::with_hpus(hpus),
+        base,
+        seed0,
+        seeds,
+        scales: SCALES.to_vec(),
+        ring_capacity: 1 << 20,
+    };
     println!(
         "fault-sweep: {} over {} seeds × {:?} scales × {} strategies",
         dt.signature(),
         seeds,
         SCALES,
-        Strategy::ALL.len()
+        nca_core::runner::Strategy::ALL.len()
     );
     println!(
         "rates at 1.0: drop {} dup {} corrupt {} reorder {} ns\n",
@@ -262,58 +278,29 @@ fn fault_sweep(args: &[String]) -> ! {
         "seed", "scale", "strategy", "exact", "tx", "rtx", "rejected", "fallback", "rcvry"
     );
 
-    let mut cells = Vec::new();
+    // The matrix runs in parallel at (seed, scale)-cell granularity;
+    // cells come back in serial order, so the table and the report
+    // below are byte-identical at any --jobs value.
+    let cells = nca_core::sweep::fault_sweep(&spec, &pool(args));
     let mut failures = 0u64;
-    for seed in seed0..seed0 + seeds {
-        for scale in SCALES {
-            let (tel, sink) = Telemetry::ring(1 << 20);
-            let mut exp = Experiment::new(dt.clone(), 1, NicParams::with_hpus(hpus));
-            exp.faults = base.scaled(scale).with_seed(seed);
-            exp.verify = false; // manual check below: report, don't panic
-            let (origin, span) = buffer_span(&exp.dt, exp.count);
-            let packed = exp.packed_message();
-            let mut expect = vec![0u8; span as usize];
-            unpack(&exp.dt, exp.count, &packed, &mut expect, origin).expect("unpackable");
-            for s in Strategy::ALL {
-                exp.telemetry = tel.scoped(s.label());
-                let run = exp.run_modeled(s);
-                let byte_exact = run.report.host_buf == expect;
-                let events = sink.events();
-                let evs: Vec<_> = events
-                    .iter()
-                    .filter(|ev| ev.scope == s.label())
-                    .cloned()
-                    .collect();
-                let f = fault_summary(&run, &evs).unwrap_or_default();
-                let ok = byte_exact && run.report.rel.delivered_exactly_once;
-                if !ok {
-                    failures += 1;
-                }
-                println!(
-                    "{:<6} {:>6.1} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
-                    seed,
-                    scale,
-                    s.label(),
-                    if ok { "yes" } else { "NO" },
-                    f.transmissions,
-                    f.retransmissions,
-                    f.corrupts_rejected,
-                    f.host_fallback_packets,
-                    f.checkpoint_reverts + f.catchup_blocks
-                );
-                cells.push(SweepCell {
-                    seed,
-                    scale,
-                    strategy: s.label().to_string(),
-                    byte_exact,
-                    end_to_end_ps: run.report.processing_time(),
-                    faults: nca_telemetry::report::FaultSummary {
-                        delivered_exactly_once: run.report.rel.delivered_exactly_once,
-                        ..f
-                    },
-                });
-            }
+    for cell in &cells {
+        let ok = cell_ok(cell);
+        if !ok {
+            failures += 1;
         }
+        let f = &cell.faults;
+        println!(
+            "{:<6} {:>6.1} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+            cell.seed,
+            cell.scale,
+            cell.strategy,
+            if ok { "yes" } else { "NO" },
+            f.transmissions,
+            f.retransmissions,
+            f.corrupts_rejected,
+            f.host_fallback_packets,
+            f.checkpoint_reverts + f.catchup_blocks
+        );
     }
 
     let doc = FaultSweepDoc {

@@ -12,75 +12,69 @@
 use nca_core::baselines::host_pipelined_unpack;
 use nca_core::costmodel::HostCostModel;
 use nca_core::runner::{Experiment, Strategy};
+use nca_sim::Pool;
 use nca_spin::params::NicParams;
 use nca_telemetry::Telemetry;
 
 use super::vector_workload;
 
 /// ε sweep: `(epsilon, throughput Gbit/s, nic KiB)` for RW-CP.
+/// Configurations are independent; they run on an `NCMT_JOBS`-sized
+/// pool (as do the other sweeps here), results in sweep order.
 pub fn epsilon_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
     let msg: u64 = if quick { 256 << 10 } else { 4 << 20 };
-    [0.02, 0.05, 0.1, 0.2, 0.5, 1.0]
-        .iter()
-        .map(|&eps| {
-            let (dt, count) = vector_workload(msg, 256);
-            let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
-            exp.epsilon = eps;
-            exp.verify = false;
-            let r = exp.run(Strategy::RwCp);
-            let nic = Strategy::RwCp
-                .build(
-                    &dt,
-                    count,
-                    NicParams::with_hpus(16),
-                    eps,
-                    Telemetry::disabled(),
-                )
-                .nic_mem_bytes() as f64
-                / 1024.0;
-            (eps, r.throughput_gbit(), nic)
-        })
-        .collect()
+    Pool::from_env(None).par_map(vec![0.02, 0.05, 0.1, 0.2, 0.5, 1.0], |_, eps| {
+        let (dt, count) = vector_workload(msg, 256);
+        let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
+        exp.epsilon = eps;
+        exp.verify = false;
+        let r = exp.run(Strategy::RwCp);
+        let nic = Strategy::RwCp
+            .build(
+                &dt,
+                count,
+                NicParams::with_hpus(16),
+                eps,
+                Telemetry::disabled(),
+            )
+            .nic_mem_bytes() as f64
+            / 1024.0;
+        (eps, r.throughput_gbit(), nic)
+    })
 }
 
 /// Payload-size sweep: `(payload, [throughput per strategy])`.
 pub fn payload_sweep(quick: bool) -> Vec<(u64, [f64; 4])> {
     let msg: u64 = if quick { 256 << 10 } else { 2 << 20 };
-    [512u64, 1024, 2048, 4096, 8192]
-        .iter()
-        .map(|&payload| {
-            let mut params = NicParams::with_hpus(16);
-            params.payload_size = payload;
-            let (dt, count) = vector_workload(msg, 128);
-            let mut exp = Experiment::new(dt, count, params);
-            exp.verify = false;
-            let mut t = [0.0f64; 4];
-            for (i, s) in Strategy::ALL.iter().enumerate() {
-                t[i] = exp.run(*s).throughput_gbit();
-            }
-            (payload, t)
-        })
-        .collect()
+    Pool::from_env(None).par_map(vec![512u64, 1024, 2048, 4096, 8192], |_, payload| {
+        let mut params = NicParams::with_hpus(16);
+        params.payload_size = payload;
+        let (dt, count) = vector_workload(msg, 128);
+        let mut exp = Experiment::new(dt, count, params);
+        exp.verify = false;
+        let mut t = [0.0f64; 4];
+        for (i, s) in Strategy::ALL.iter().enumerate() {
+            t[i] = exp.run(*s).throughput_gbit();
+        }
+        (payload, t)
+    })
 }
 
 /// Out-of-order sweep: `(seed?, [processing ms per strategy])`, first
 /// row in order.
 pub fn ooo_sweep(quick: bool) -> Vec<(Option<u64>, [f64; 4])> {
     let msg: u64 = if quick { 128 << 10 } else { 1 << 20 };
-    [None, Some(1u64), Some(17), Some(99)]
-        .iter()
-        .map(|&seed| {
-            let (dt, count) = vector_workload(msg, 256);
-            let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
-            exp.out_of_order = seed;
-            exp.verify = true; // correctness under reordering is the point
-            let mut t = [0.0f64; 4];
-            for (i, s) in Strategy::ALL.iter().enumerate() {
-                t[i] = exp.run(*s).processing_time() as f64 / 1e9;
-            }
-            (seed, t)
-        })
-        .collect()
+    Pool::from_env(None).par_map(vec![None, Some(1u64), Some(17), Some(99)], |_, seed| {
+        let (dt, count) = vector_workload(msg, 256);
+        let mut exp = Experiment::new(dt, count, NicParams::with_hpus(16));
+        exp.out_of_order = seed;
+        exp.verify = true; // correctness under reordering is the point
+        let mut t = [0.0f64; 4];
+        for (i, s) in Strategy::ALL.iter().enumerate() {
+            t[i] = exp.run(*s).processing_time() as f64 / 1e9;
+        }
+        (seed, t)
+    })
 }
 
 /// Pipelined-host ablation: `(block, host_gbit, pipelined_gbit,
@@ -88,24 +82,21 @@ pub fn ooo_sweep(quick: bool) -> Vec<(Option<u64>, [f64; 4])> {
 /// baseline that overlaps unpack with reception.
 pub fn pipelined_host_sweep(quick: bool) -> Vec<(u64, f64, f64, f64)> {
     let msg: u64 = if quick { 256 << 10 } else { 2 << 20 };
-    [64u64, 256, 1024, 4096]
-        .iter()
-        .map(|&block| {
-            let (dt, count) = vector_workload(msg, block);
-            let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
-            exp.verify = false;
-            let host = exp.run_host().throughput_gbit();
-            let piped = host_pipelined_unpack(
-                &dt,
-                count,
-                &NicParams::with_hpus(16),
-                &HostCostModel::default(),
-            )
-            .throughput_gbit();
-            let rwcp = exp.run(Strategy::RwCp).throughput_gbit();
-            (block, host, piped, rwcp)
-        })
-        .collect()
+    Pool::from_env(None).par_map(vec![64u64, 256, 1024, 4096], |_, block| {
+        let (dt, count) = vector_workload(msg, block);
+        let mut exp = Experiment::new(dt.clone(), count, NicParams::with_hpus(16));
+        exp.verify = false;
+        let host = exp.run_host().throughput_gbit();
+        let piped = host_pipelined_unpack(
+            &dt,
+            count,
+            &NicParams::with_hpus(16),
+            &HostCostModel::default(),
+        )
+        .throughput_gbit();
+        let rwcp = exp.run(Strategy::RwCp).throughput_gbit();
+        (block, host, piped, rwcp)
+    })
 }
 
 /// Print all four ablations.

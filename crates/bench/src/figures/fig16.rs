@@ -4,6 +4,7 @@
 //! time T, the message size S, and the data moved to the NIC.
 
 use nca_core::runner::{Experiment, Strategy};
+use nca_sim::Pool;
 use nca_spin::params::NicParams;
 use nca_workloads::apps::all_workloads;
 
@@ -26,64 +27,55 @@ pub struct Row {
 }
 
 /// Compute the figure (quick mode keeps only messages ≤ 512 KiB).
-/// Workload experiments are independent and deterministic, so they run
-/// in parallel across a thread scope (results keep figure order).
-pub fn rows(quick: bool) -> Vec<Row> {
+/// Workload experiments are independent and deterministic; `pool`
+/// bounds the concurrency and results keep figure order.
+pub fn rows_on(quick: bool, pool: &Pool) -> Vec<Row> {
     let workloads: Vec<_> = all_workloads()
         .into_iter()
         .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
         .collect();
-    let mut out: Vec<Option<Row>> = (0..workloads.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, w) in out.iter_mut().zip(&workloads) {
-            scope.spawn(move || {
-                *slot = Some(compute_row(w));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    pool.par_map(workloads, |_, w| compute_row(&w))
+}
+
+/// [`rows_on`] with a pool sized from `NCMT_JOBS`/core count.
+pub fn rows(quick: bool) -> Vec<Row> {
+    rows_on(quick, &Pool::from_env(None))
 }
 
 fn compute_row(w: &nca_workloads::AppWorkload) -> Row {
-    {
-        {
-            let w = w.clone();
-            let params = NicParams::with_hpus(16);
-            let mut exp = Experiment::new(w.dt.clone(), w.count, params);
-            exp.verify = false;
-            let host = exp.run_host();
-            let iovec = exp.run_iovec();
-            let rwcp = exp.run(Strategy::RwCp);
-            let spec = exp.run(Strategy::Specialized);
-            let host_t = host.processing_time as f64;
-            Row {
-                label: w.label(),
-                class: w.ddt_class,
-                gamma: w.gamma(2048),
-                host_ms: host_t / 1e9,
-                size_kib: w.msg_bytes() as f64 / 1024.0,
-                speedup: [
-                    host_t / rwcp.processing_time() as f64,
-                    host_t / spec.processing_time() as f64,
-                    host_t / iovec.processing_time as f64,
-                ],
-                nic_kib: [
-                    rwcp.nic_mem_bytes as f64 / 1024.0,
-                    spec.nic_mem_bytes as f64 / 1024.0,
-                    iovec.nic_bytes as f64 / 1024.0,
-                ],
-            }
-        }
+    let params = NicParams::with_hpus(16);
+    let mut exp = Experiment::new(w.dt.clone(), w.count, params);
+    exp.verify = false;
+    let host = exp.run_host();
+    let iovec = exp.run_iovec();
+    let rwcp = exp.run(Strategy::RwCp);
+    let spec = exp.run(Strategy::Specialized);
+    let host_t = host.processing_time as f64;
+    Row {
+        label: w.label(),
+        class: w.ddt_class,
+        gamma: w.gamma(2048),
+        host_ms: host_t / 1e9,
+        size_kib: w.msg_bytes() as f64 / 1024.0,
+        speedup: [
+            host_t / rwcp.processing_time() as f64,
+            host_t / spec.processing_time() as f64,
+            host_t / iovec.processing_time as f64,
+        ],
+        nic_kib: [
+            rwcp.nic_mem_bytes as f64 / 1024.0,
+            spec.nic_mem_bytes as f64 / 1024.0,
+            iovec.nic_bytes as f64 / 1024.0,
+        ],
     }
 }
 
-/// Print the figure table.
-pub fn print(quick: bool) {
+/// Print the figure table, computing rows on `pool`.
+pub fn print_on(quick: bool, pool: &Pool) {
     println!("# Fig. 16 — speedup over host-based unpacking (13 app DDTs)");
     println!("app\tclass\tgamma\tT_host_ms\tS_kib\tRW-CP\tSpecialized\tPortals4-iovec\tnic_rwcp_kib\tnic_spec_kib\tnic_iovec_kib");
-    for r in rows(quick) {
+    let rows = rows_on(quick, pool);
+    for r in &rows {
         println!(
             "{}\t{}\t{:.1}\t{:.3}\t{:.1}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
             r.label,
@@ -99,9 +91,16 @@ pub fn print(quick: bool) {
             r.nic_kib[2]
         );
     }
-    let best = rows(quick)
+    // Reuse the rows just computed — the old code recomputed the whole
+    // figure a second time for this one summary line.
+    let best = rows
         .iter()
         .map(|r| r.speedup[0].max(r.speedup[1]))
         .fold(0.0f64, f64::max);
     println!("# max offload speedup: {best:.1}x (paper: up to ~12x)");
+}
+
+/// Print the figure table.
+pub fn print(quick: bool) {
+    print_on(quick, &Pool::from_env(None));
 }

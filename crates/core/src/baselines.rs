@@ -9,7 +9,7 @@
 //!   entries (ConnectX-3 limit); every `v` consumed regions cost one
 //!   500 ns PCIe read to refill. Assumes in-order arrival.
 
-use nca_ddt::dataloop::compile;
+use nca_ddt::dataloop::compile_cached;
 use nca_ddt::flatten::flatten;
 use nca_ddt::types::Datatype;
 use nca_sim::Time;
@@ -64,7 +64,7 @@ pub fn host_unpack(
     p: &NicParams,
     host: &HostCostModel,
 ) -> BaselineReport {
-    let dl = compile(dt, count);
+    let dl = compile_cached(dt, count);
     let staged = staging_time(p, dl.size);
     let unpack = host.unpack_time(dl.size, dl.blocks);
     BaselineReport {
@@ -118,7 +118,7 @@ pub fn host_pipelined_unpack(
     p: &NicParams,
     host: &HostCostModel,
 ) -> BaselineReport {
-    let dl = compile(dt, count);
+    let dl = compile_cached(dt, count);
     let msg = dl.size;
     let npkt = msg.div_ceil(p.payload_size).max(1);
     let blocks_per_pkt = (dl.blocks as f64 / npkt as f64).ceil() as u64;

@@ -36,11 +36,13 @@ pub mod heuristic;
 pub mod report;
 pub mod runner;
 pub mod strategies;
+pub mod sweep;
 
 pub use api::{CommittedDdt, OffloadManager, PostOutcome, TypeAttr};
 pub use baselines::{host_pipelined_unpack, host_unpack, iovec_offload, BaselineReport};
 pub use costmodel::{HandlerCycles, HostCostModel};
 pub use heuristic::{select_checkpoint_interval, CheckpointPlan};
 pub use report::{report_config, strategy_report};
-pub use runner::{Experiment, ModeledRun, Strategy};
+pub use runner::{Experiment, ModeledRun, Strategy, StrategySweep};
 pub use strategies::{GeneralKind, GeneralProcessor, SpecializedProcessor};
+pub use sweep::{cell_ok, fault_sweep, FaultSweepSpec};

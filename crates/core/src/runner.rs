@@ -2,15 +2,15 @@
 //! strategy through the NIC pipeline, verify correctness, and report
 //! the metrics every figure harness consumes.
 
-use nca_ddt::dataloop::compile;
+use nca_ddt::dataloop::compile_cached;
 use nca_ddt::pack::{buffer_span, pack, unpack};
 use nca_ddt::types::Datatype;
-use nca_sim::{FaultSpec, Time, WireBuf};
+use nca_sim::{FaultSpec, Pool, Time, WireBuf};
 use nca_spin::builtin::ContigProcessor;
 use nca_spin::handler::MessageProcessor;
 use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
 use nca_spin::params::{NicParams, ReliabilityParams};
-use nca_telemetry::Telemetry;
+use nca_telemetry::{merge_ring_events, Telemetry, TraceEvent};
 
 use crate::baselines::{host_unpack, iovec_offload, BaselineReport};
 use crate::costmodel::{HandlerCycles, HostCostModel};
@@ -90,6 +90,19 @@ pub struct ModeledRun {
     pub t_ph_predicted: Time,
 }
 
+/// Result of [`Experiment::run_all_modeled`]: one run per strategy (in
+/// [`Strategy::ALL`] order) plus the deterministically merged telemetry
+/// capture.
+pub struct StrategySweep {
+    /// `(strategy, run)` pairs in [`Strategy::ALL`] order.
+    pub runs: Vec<(Strategy, ModeledRun)>,
+    /// Merged event stream — byte-identical to a serial shared-ring
+    /// capture (empty when capture was off).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by ring pressure (per-job + merge-time).
+    pub dropped: u64,
+}
+
 /// One experiment configuration.
 #[derive(Clone)]
 pub struct Experiment {
@@ -151,7 +164,7 @@ impl Experiment {
 
     /// Average contiguous regions per packet (the paper's γ).
     pub fn gamma(&self) -> f64 {
-        let dl = compile(&self.dt, self.count);
+        let dl = compile_cached(&self.dt, self.count);
         let npkt = dl.size.div_ceil(self.params.payload_size).max(1);
         dl.blocks as f64 / npkt as f64
     }
@@ -166,7 +179,7 @@ impl Experiment {
     /// plan and the predicted T_PH(γ) so a report can validate the
     /// model against the measured run.
     pub fn run_modeled(&self, strategy: Strategy) -> ModeledRun {
-        let dl = compile(&self.dt, self.count);
+        let dl = compile_cached(&self.dt, self.count);
         let t_ph_predicted = estimate_t_ph(&self.params, &HandlerCycles::default(), &dl);
         let (proc_, plan): (Box<dyn MessageProcessor>, Option<CheckpointPlan>) = match strategy {
             Strategy::Specialized => (
@@ -253,7 +266,7 @@ impl Experiment {
             packed[..],
             "contiguous landing corrupted"
         );
-        let dl = compile(&self.dt, self.count);
+        let dl = compile_cached(&self.dt, self.count);
         let unpack_cost = HostCostModel::default().unpack_time(dl.size, dl.blocks.max(1));
         let mut host_buf = vec![0u8; span as usize];
         unpack(&self.dt, self.count, packed, &mut host_buf, origin).expect("unpackable");
@@ -265,6 +278,46 @@ impl Experiment {
         report.t_complete += unpack_cost;
         report.rel.nic_mem_fallback = true;
         report
+    }
+
+    /// Run every strategy of [`Strategy::ALL`] as independent jobs on
+    /// `pool`, one experiment sweep cell per strategy.
+    ///
+    /// With `ring_capacity = Some(cap)` each job records into its own
+    /// private ring sink (scoped to the strategy label); after the
+    /// barrier the captures are merged in `Strategy::ALL` order, so the
+    /// returned runs, event stream and drop count are **byte-identical
+    /// to a serial loop sharing one `Telemetry::ring(cap)`**, at any
+    /// worker count. With `None`, each job inherits this experiment's
+    /// telemetry handle unchanged (typically disabled) and no events
+    /// are returned.
+    pub fn run_all_modeled(&self, pool: &Pool, ring_capacity: Option<usize>) -> StrategySweep {
+        let out = pool.par_map(Strategy::ALL.to_vec(), |_, s| {
+            let mut exp = self.clone();
+            let sink = ring_capacity.map(|cap| {
+                let (tel, sink) = Telemetry::ring(cap);
+                exp.telemetry = tel.scoped(s.label());
+                sink
+            });
+            let run = exp.run_modeled(s);
+            let capture = sink.map(|k| (k.events(), k.dropped())).unwrap_or_default();
+            (s, run, capture)
+        });
+        let mut runs = Vec::with_capacity(out.len());
+        let mut per_job = Vec::with_capacity(out.len());
+        for (s, run, capture) in out {
+            runs.push((s, run));
+            per_job.push(capture);
+        }
+        let (events, dropped) = match ring_capacity {
+            Some(cap) => merge_ring_events(per_job, cap),
+            None => (Vec::new(), 0),
+        };
+        StrategySweep {
+            runs,
+            events,
+            dropped,
+        }
     }
 
     /// Host-based unpack baseline for this experiment.

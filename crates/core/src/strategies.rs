@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use nca_ddt::checkpoint::CheckpointTable;
-use nca_ddt::dataloop::{compile, Dataloop};
+use nca_ddt::dataloop::{compile_cached, Dataloop};
 use nca_ddt::normalize::{classify, Shape};
 use nca_ddt::segment::Segment;
 use nca_ddt::types::Datatype;
@@ -82,7 +82,7 @@ impl GeneralProcessor {
         params: NicParams,
         epsilon: f64,
     ) -> Self {
-        let dl = compile(dt, count);
+        let dl = compile_cached(dt, count);
         let cyc = HandlerCycles::default();
         let npkt = dl.size.div_ceil(params.payload_size).max(1);
         let (table, plan) = match kind {
@@ -301,7 +301,7 @@ impl SpecializedProcessor {
     /// length lists degenerate to a full flatten for `Shape::General`,
     /// like a user-written custom handler would).
     pub fn new(dt: &Datatype, count: u32, params: NicParams) -> Self {
-        let dl = compile(dt, count);
+        let dl = compile_cached(dt, count);
         let shape = classify(dt);
         let nic_mem = Self::shape_nic_bytes(&shape, &dl);
         let seg = Segment::new(Arc::clone(&dl));

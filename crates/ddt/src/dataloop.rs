@@ -18,6 +18,7 @@
 //!   with variable block lengths), with stream-size prefix sums for
 //!   O(log n) random positioning.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::types::{Datatype, DatatypeKind};
@@ -168,6 +169,145 @@ impl Dataloop {
             depth,
         })
     }
+}
+
+/// Entries the process-wide compile cache holds before it is wiped and
+/// repopulated (a sweep touches a handful of distinct types; the cap
+/// only guards against pathological type-churn workloads).
+const COMPILE_CACHE_CAP: usize = 256;
+
+/// Cache key: a structural fingerprint of the full constructor tree
+/// plus the cheap exact discriminants. A false hit would need two
+/// different types with identical size, extent, leaf-block count *and*
+/// a 64-bit FNV collision over their full constructor trees (every
+/// count, stride, bound and displacement list is hashed).
+#[derive(PartialEq, Eq, Hash)]
+struct CompileKey {
+    fingerprint: u64,
+    size: u64,
+    extent: i64,
+    leaf_blocks: u64,
+    count: u32,
+}
+
+static COMPILE_CACHE: std::sync::OnceLock<std::sync::Mutex<HashMap<CompileKey, Arc<Dataloop>>>> =
+    std::sync::OnceLock::new();
+
+/// FNV-1a over the full structural description of a type tree: the
+/// constructor kind and all of its parameters at every node, recursing
+/// into children/fields. Two types with equal fingerprints (and equal
+/// cached discriminants, see [`CompileKey`]) compile to identical
+/// dataloops.
+fn fingerprint(dt: &Datatype) -> u64 {
+    fn mix(h: &mut u64, v: u64) {
+        // FNV-1a, folded a byte at a time.
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn node(h: &mut u64, dt: &Datatype) {
+        mix(h, dt.lb as u64);
+        mix(h, dt.ub as u64);
+        mix(h, dt.true_lb as u64);
+        mix(h, dt.true_ub as u64);
+        mix(h, dt.size);
+        match &dt.kind {
+            DatatypeKind::Elementary(e) => {
+                mix(h, 1);
+                for b in e.name().bytes() {
+                    mix(h, b as u64);
+                }
+            }
+            DatatypeKind::Contiguous { count } => {
+                mix(h, 2);
+                mix(h, *count as u64);
+            }
+            DatatypeKind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+            } => {
+                mix(h, 3);
+                mix(h, *count as u64);
+                mix(h, *blocklen as u64);
+                mix(h, *stride_bytes as u64);
+            }
+            DatatypeKind::IndexedBlock {
+                blocklen,
+                displs_bytes,
+            } => {
+                mix(h, 4);
+                mix(h, *blocklen as u64);
+                mix(h, displs_bytes.len() as u64);
+                for &d in displs_bytes.iter() {
+                    mix(h, d as u64);
+                }
+            }
+            DatatypeKind::Indexed { blocks } => {
+                mix(h, 5);
+                mix(h, blocks.len() as u64);
+                for &(len, off) in blocks.iter() {
+                    mix(h, len as u64);
+                    mix(h, off as u64);
+                }
+            }
+            DatatypeKind::Struct { fields } => {
+                mix(h, 6);
+                mix(h, fields.len() as u64);
+                for f in fields.iter() {
+                    mix(h, f.count as u64);
+                    mix(h, f.displ as u64);
+                    node(h, &f.ty);
+                }
+            }
+            DatatypeKind::Resized { .. } => {
+                mix(h, 7);
+            }
+        }
+        if let Some(c) = &dt.child {
+            mix(h, 8);
+            node(h, c);
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    node(&mut h, dt);
+    h
+}
+
+/// Like [`compile`], but through a process-wide, thread-safe cache
+/// keyed by the type's structural signature, so identical workloads
+/// across concurrent sweep jobs (every seed × scale cell of a fault
+/// sweep re-receives the same datatype) pay the compile — offset-list
+/// materialization included — exactly once. The returned `Arc` is
+/// shared between all hits; dataloops are immutable, so sharing is
+/// invisible to callers.
+pub fn compile_cached(dt: &Datatype, count: u32) -> Arc<Dataloop> {
+    let key = CompileKey {
+        fingerprint: fingerprint(dt),
+        size: dt.size,
+        extent: dt.extent(),
+        leaf_blocks: dt.leaf_blocks,
+        count,
+    };
+    let cache = COMPILE_CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    if let Some(dl) = cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&key)
+        .cloned()
+    {
+        return dl;
+    }
+    // Compile outside the lock: concurrent first-misses of *different*
+    // types shouldn't serialize on each other.
+    let dl = compile(dt, count);
+    let mut g = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if g.len() >= COMPILE_CACHE_CAP {
+        g.clear();
+    }
+    g.entry(key).or_insert_with(|| dl.clone());
+    dl
 }
 
 /// Compile `count` copies of a datatype into a dataloop tree, collapsing
@@ -426,5 +566,66 @@ mod tests {
         let dl = compile(&t, 7);
         assert_eq!(dl.size, 0);
         assert_eq!(dl.blocks, 0);
+    }
+
+    #[test]
+    fn cache_shares_one_dataloop_across_equal_types() {
+        // Structurally equal types built from *separate* allocations hit
+        // the same cache entry; different parameters miss.
+        let a = Datatype::vector(700, 3, 9, &elem::double());
+        let b = Datatype::vector(700, 3, 9, &elem::double());
+        let dl_a = compile_cached(&a, 2);
+        let dl_b = compile_cached(&b, 2);
+        assert!(Arc::ptr_eq(&dl_a, &dl_b), "equal types share the compile");
+        assert!(
+            !Arc::ptr_eq(&compile_cached(&a, 3), &dl_a),
+            "count is part of the key"
+        );
+        let c = Datatype::vector(700, 3, 10, &elem::double());
+        assert!(
+            !Arc::ptr_eq(&compile_cached(&c, 2), &dl_a),
+            "stride is part of the key"
+        );
+        // And the cached loop is the same structure compile() builds.
+        let fresh = compile(&a, 2);
+        assert_eq!(dl_a.size, fresh.size);
+        assert_eq!(dl_a.blocks, fresh.blocks);
+        assert_eq!(dl_a.depth, fresh.depth);
+    }
+
+    #[test]
+    fn cache_distinguishes_offset_lists() {
+        let x = Datatype::indexed_block(2, &[0, 8, 32, 40], &elem::int()).unwrap();
+        let y = Datatype::indexed_block(2, &[0, 8, 32, 48], &elem::int()).unwrap();
+        // Same size / blocklen / block count — only a displacement
+        // differs, so the fingerprint must separate them.
+        let dx = compile_cached(&x, 1);
+        let dy = compile_cached(&y, 1);
+        assert!(!Arc::ptr_eq(&dx, &dy));
+        match (&dx.body, &dy.body) {
+            (Body::BlockIndexed { offsets: ox, .. }, Body::BlockIndexed { offsets: oy, .. }) => {
+                assert_ne!(ox.as_ref(), oy.as_ref());
+            }
+            other => panic!("unexpected bodies {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_is_thread_safe_and_converges() {
+        let t = Datatype::vector(123, 5, 11, &elem::float());
+        let loops: Vec<Arc<Dataloop>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| compile_cached(&t, 4))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // However the first-miss race resolved, every caller ends up
+        // with a loop equivalent to a fresh compile.
+        let fresh = compile(&t, 4);
+        for dl in &loops {
+            assert_eq!(dl.size, fresh.size);
+            assert_eq!(dl.blocks, fresh.blocks);
+        }
+        // And subsequent lookups all share one entry.
+        let one = compile_cached(&t, 4);
+        assert!(Arc::ptr_eq(&one, &compile_cached(&t, 4)));
     }
 }

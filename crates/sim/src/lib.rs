@@ -17,6 +17,7 @@
 pub mod engine;
 pub mod fault;
 pub mod fifo;
+pub mod pool;
 pub mod stats;
 pub mod units;
 pub mod wire;
@@ -24,5 +25,6 @@ pub mod wire;
 pub use engine::{Sim, SimProbe, Time};
 pub use fault::{DeliveredCopy, FaultInjector, FaultSpec, Verdict};
 pub use fifo::TrackedFifo;
+pub use pool::Pool;
 pub use units::{ns, ps, us, Bandwidth};
 pub use wire::{PktView, WireBuf};

@@ -36,33 +36,41 @@ pub fn geomean(xs: &[f64]) -> Option<f64> {
     Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
-/// p-th percentile (0..=100), nearest-rank; `None` for empty input.
-pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+/// Sorted copy of `xs`; `None` for empty input. Panics on NaN (all
+/// stats here share that contract).
+fn sorted(xs: &[f64]) -> Option<Vec<f64>> {
     if xs.is_empty() {
         return None;
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
-    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-    Some(v[rank.min(v.len() - 1)])
+    Some(v)
+}
+
+/// Nearest-rank selection from an already-sorted slice: the
+/// `⌈p/100 · n⌉`-th smallest sample (1-based), clamped to `[1, n]` so
+/// `p ≤ 0` yields the minimum and `p ≥ 100` the maximum. Always an
+/// actual sample, never an interpolated value — the same convention the
+/// `LogHistogram` percentiles and the criterion shim use.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// p-th percentile (0..=100), nearest-rank (see [`percentiles`] for the
+/// exact rank rule); `None` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    Some(nearest_rank(&sorted(xs)?, p))
 }
 
 /// Nearest-rank percentiles for several `qs` at once (one sort, same
-/// convention as [`percentile`]); `None` for empty input.
+/// convention as [`percentile`]): each result is the `⌈q/100 · n⌉`-th
+/// smallest sample (1-based, clamped), always a member of `xs`. `None`
+/// for empty input.
 pub fn percentiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
-    if xs.is_empty() {
-        return None;
-    }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
-    Some(
-        qs.iter()
-            .map(|&p| {
-                let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-                v[rank.min(v.len() - 1)]
-            })
-            .collect(),
-    )
+    let v = sorted(xs)?;
+    Some(qs.iter().map(|&p| nearest_rank(&v, p)).collect())
 }
 
 /// A log₂ histogram over positive values (Fig. 17 uses a log-x histogram
@@ -71,18 +79,36 @@ pub fn percentiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
 pub struct Log2Histogram {
     /// `(bucket_floor, count)` pairs; bucket_floor = 2^k.
     pub buckets: Vec<(u64, u32)>,
+    /// Inputs skipped because they were not finite (NaN or ±∞). They
+    /// belong to no bucket; counting them keeps the total auditable.
+    pub non_finite: u32,
 }
 
-/// Build a log₂ histogram of `xs` (values < 1 land in bucket 1).
+/// Build a log₂ histogram of `xs`. Finite values < 1 (including
+/// negatives) land in bucket 1; values at or beyond 2⁶³ saturate into
+/// the top bucket (floor 2⁶³) instead of overflowing the shift; NaN and
+/// ±∞ are skipped and tallied in [`Log2Histogram::non_finite`].
 pub fn log2_histogram(xs: &[f64]) -> Log2Histogram {
     use std::collections::BTreeMap;
     let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut non_finite = 0u32;
     for &x in xs {
-        let k = if x < 1.0 { 0 } else { x.log2().floor() as u32 };
+        if !x.is_finite() {
+            non_finite += 1;
+            continue;
+        }
+        let k = if x < 1.0 {
+            0
+        } else {
+            // log2().floor() of a huge f64 can reach 1023; clamp to the
+            // last representable bucket floor, 2^63.
+            (x.log2().floor() as u32).min(63)
+        };
         *map.entry(k).or_insert(0) += 1;
     }
     Log2Histogram {
         buckets: map.into_iter().map(|(k, c)| (1u64 << k, c)).collect(),
+        non_finite,
     }
 }
 
@@ -116,9 +142,34 @@ mod tests {
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         assert_eq!(percentile(&xs, 0.0), Some(1.0));
         assert_eq!(percentile(&xs, 100.0), Some(100.0));
-        let p50 = percentile(&xs, 50.0).expect("defined");
-        assert!((p50 - 50.0).abs() <= 1.0);
+        // Nearest rank ⌈p/100·n⌉ is exact, not interpolated.
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        assert_eq!(percentile(&xs, 0.1), Some(1.0), "⌈0.1⌉ = first sample");
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_returns_a_sample_even_between_ranks() {
+        // n = 4: p50 → rank ⌈2⌉ = 2 → the 2nd smallest, never (2+3)/2.
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&xs, 51.0), Some(3.0));
+        // n = 5 matches the criterion shim's documented behaviour.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 95.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentiles_match_percentile_with_one_sort() {
+        let xs: Vec<f64> = (0..37).map(|i| ((i * 29) % 37) as f64).collect();
+        let qs = [0.0, 12.5, 50.0, 90.0, 99.0, 100.0];
+        let many = percentiles(&xs, &qs).expect("non-empty");
+        for (q, got) in qs.iter().zip(&many) {
+            assert_eq!(percentile(&xs, *q), Some(*got), "q = {q}");
+        }
+        assert_eq!(percentiles(&[], &qs), None);
     }
 
     #[test]
@@ -126,7 +177,29 @@ mod tests {
         let h = log2_histogram(&[1.5, 2.0, 3.9, 1024.0, 0.2]);
         let total: u32 = h.buckets.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 5);
+        assert_eq!(h.non_finite, 0);
         assert!(h.buckets.iter().any(|&(b, c)| b == 2 && c == 2)); // 2.0, 3.9
         assert!(h.buckets.iter().any(|&(b, _)| b == 1024));
+    }
+
+    #[test]
+    fn histogram_saturates_huge_values_and_counts_non_finite() {
+        let h = log2_histogram(&[
+            2.0f64.powi(64), // would shift-overflow unclamped
+            1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -5.0, // finite negative: documented bucket-1 landing
+        ]);
+        let total: u32 = h.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3, "two saturated + one negative are bucketed");
+        assert_eq!(h.non_finite, 3, "NaN and ±∞ are skipped but counted");
+        assert!(
+            h.buckets.iter().any(|&(b, c)| b == 1u64 << 63 && c == 2),
+            "≥ 2^63 saturates into the top bucket: {:?}",
+            h.buckets
+        );
+        assert!(h.buckets.iter().any(|&(b, c)| b == 1 && c == 1));
     }
 }

@@ -51,6 +51,13 @@ impl NicMemory {
         self.peak_used
     }
 
+    /// The free list: sorted, disjoint, non-adjacent `(start, len)`
+    /// ranges (adjacent frees are coalesced eagerly). Exposed for the
+    /// allocator invariant tests.
+    pub fn free_ranges(&self) -> &[(u64, u64)] {
+        &self.free
+    }
+
     /// Allocate `len` bytes; `None` if no free range fits.
     pub fn alloc(&mut self, len: u64) -> Option<AllocId> {
         if len == 0 {

@@ -1,0 +1,160 @@
+//! Property tests for the NIC memory allocator's free-list invariants:
+//! random alloc/free interleavings must keep the free list sorted,
+//! disjoint and fully coalesced, and the byte accounting must balance
+//! (`used() + free bytes == capacity`, no underflow).
+
+use proptest::prelude::*;
+
+use nca_spin::nicmem::NicMemory;
+
+const CAPACITY: u64 = 1024;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate this many bytes (may legitimately fail when full or
+    /// fragmented).
+    Alloc(u64),
+    /// Free the live allocation at this index (mod live count).
+    Free(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..200).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+        ],
+        1..120,
+    )
+}
+
+/// All allocator invariants, checked after every step.
+fn check_invariants(m: &NicMemory) {
+    let free = m.free_ranges();
+    let free_total: u64 = free.iter().map(|&(_, l)| l).sum();
+    assert!(m.used() <= m.capacity(), "used exceeds capacity");
+    assert_eq!(
+        m.used() + free_total,
+        m.capacity(),
+        "accounting must balance: used {} + free {free_total} != {}",
+        m.used(),
+        m.capacity()
+    );
+    for w in free.windows(2) {
+        let ((s1, l1), (s2, _)) = (w[0], w[1]);
+        assert!(s1 + l1 <= s2, "free ranges overlap: {w:?}");
+        assert!(
+            s1 + l1 < s2,
+            "adjacent free ranges must have been coalesced: {w:?}"
+        );
+    }
+    for &(s, l) in free {
+        assert!(l > 0, "empty free range retained");
+        assert!(s + l <= m.capacity(), "free range outside capacity");
+    }
+}
+
+/// Directed coverage of every coalescing direction: merge with the
+/// successor only, the predecessor only, and both at once.
+#[test]
+fn both_coalesce_directions_merge() {
+    let mut m = NicMemory::new(CAPACITY);
+    let a = m.alloc(100).unwrap();
+    let b = m.alloc(100).unwrap();
+    let c = m.alloc(100).unwrap();
+    let _rest = m.alloc(CAPACITY - 300).unwrap();
+
+    m.free(c); // frees [200, 300): no neighbor yet
+    check_invariants(&m);
+    m.free(a); // frees [0, 100): no neighbor yet
+    assert_eq!(m.free_ranges(), &[(0, 100), (200, 100)]);
+    m.free(b); // [100, 200) touches both: must fuse into one range
+    check_invariants(&m);
+    assert_eq!(m.free_ranges(), &[(0, 300)]);
+
+    // Successor-only and predecessor-only merges.
+    let a = m.alloc(100).unwrap();
+    let b = m.alloc(100).unwrap();
+    let c = m.alloc(100).unwrap();
+    m.free(b);
+    m.free(a); // [0,100) merges forward into [100,200)
+    check_invariants(&m);
+    assert_eq!(m.free_ranges(), &[(0, 200)]);
+    m.free(c); // [200,300) merges backward into [0,200)
+    check_invariants(&m);
+    assert_eq!(m.free_ranges(), &[(0, 300)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn free_list_invariants_hold(ops in arb_ops()) {
+        let mut m = NicMemory::new(CAPACITY);
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Some(id) = m.alloc(len) {
+                        if len > 0 {
+                            live.push(id);
+                        }
+                    }
+                }
+                Op::Free(idx) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(idx % live.len());
+                        m.free(id);
+                    }
+                }
+            }
+            check_invariants(&m);
+        }
+    }
+
+    /// Freeing everything always coalesces back to one full-capacity
+    /// range, no matter the interleaving.
+    #[test]
+    fn full_drain_coalesces_to_one_range(ops in arb_ops()) {
+        let mut m = NicMemory::new(CAPACITY);
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Some(id) = m.alloc(len) {
+                        if len > 0 {
+                            live.push(id);
+                        }
+                    }
+                }
+                Op::Free(idx) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(idx % live.len());
+                        m.free(id);
+                    }
+                }
+            }
+        }
+        for id in live {
+            m.free(id);
+        }
+        check_invariants(&m);
+        prop_assert_eq!(m.used(), 0);
+        prop_assert_eq!(m.free_ranges(), &[(0, CAPACITY)][..]);
+    }
+
+    /// Double-free of an id is a no-op: accounting never underflows and
+    /// the free list never gains an overlapping range.
+    #[test]
+    fn double_free_is_inert(lens in proptest::collection::vec(1u64..200, 1..8)) {
+        let mut m = NicMemory::new(CAPACITY);
+        let ids: Vec<_> = lens.iter().filter_map(|&l| m.alloc(l)).collect();
+        for &id in &ids {
+            m.free(id);
+            m.free(id); // second free of the same id must do nothing
+            check_invariants(&m);
+        }
+        prop_assert_eq!(m.used(), 0);
+        prop_assert_eq!(m.free_ranges(), &[(0, CAPACITY)][..]);
+    }
+}

@@ -39,7 +39,7 @@ pub mod ring;
 use std::sync::Arc;
 
 pub use nca_sim::Time;
-pub use ring::RingRecorder;
+pub use ring::{merge_ring_events, RingRecorder};
 
 /// What a [`TraceEvent`] carries beyond its key and timestamp.
 #[derive(Debug, Clone, PartialEq)]

@@ -60,6 +60,37 @@ impl RingRecorder {
     }
 }
 
+/// Deterministically merge per-job event captures after a parallel
+/// sweep barrier.
+///
+/// Each entry is one job's `(events, dropped)` pair (from its private
+/// [`RingRecorder`]), **in the order the jobs would have run
+/// serially**. Independent jobs emit nothing concurrently into a shared
+/// sink, so concatenating the captures in that order reproduces exactly
+/// the stream one shared ring would have recorded from the serial loop;
+/// the `capacity` bound is then applied to the merged stream (oldest
+/// events evicted and counted), matching serial eviction. The result is
+/// therefore byte-identical to the serial capture at any worker count —
+/// the contract the golden-gate report diff relies on.
+///
+/// Returns the merged stream plus the total dropped count (per-job
+/// drops + merge-time evictions).
+pub fn merge_ring_events(
+    per_job: Vec<(Vec<TraceEvent>, u64)>,
+    capacity: usize,
+) -> (Vec<TraceEvent>, u64) {
+    let capacity = capacity.max(1);
+    let mut dropped = 0u64;
+    let mut all = Vec::new();
+    for (events, job_dropped) in per_job {
+        dropped += job_dropped;
+        all.extend(events);
+    }
+    let evict = all.len().saturating_sub(capacity);
+    all.drain(..evict);
+    (all, dropped + evict as u64)
+}
+
 impl Recorder for RingRecorder {
     fn record(&self, ev: TraceEvent) {
         let mut g = self.inner.lock().expect("ring poisoned");
@@ -98,6 +129,42 @@ mod tests {
         assert_eq!(evs[0].time, 7);
         assert_eq!(evs[2].time, 9);
         assert_eq!(r.dropped(), 7);
+    }
+
+    /// The merge contract: per-job rings concatenated in job order +
+    /// merged-stream eviction == one shared serial ring.
+    #[test]
+    fn merge_equals_serial_shared_ring() {
+        let capacity = 5;
+        // Serial reference: one shared ring sees jobs back to back.
+        let shared = RingRecorder::new(capacity);
+        // Parallel: each "job" records into its own (amply sized) ring.
+        let jobs: Vec<Vec<u64>> = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8]];
+        let mut per_job = Vec::new();
+        for times in &jobs {
+            let own = RingRecorder::new(capacity);
+            for &t in times {
+                shared.record(ev(t));
+                own.record(ev(t));
+            }
+            per_job.push((own.events(), own.dropped()));
+        }
+        let (merged, dropped) = merge_ring_events(per_job, capacity);
+        assert_eq!(merged, shared.events());
+        assert_eq!(dropped, shared.dropped());
+        assert_eq!(dropped, 4, "9 events through capacity 5");
+    }
+
+    /// A job whose own ring overflowed still contributes its drop count.
+    #[test]
+    fn merge_accumulates_per_job_drops() {
+        let own = RingRecorder::new(2);
+        for t in 0..5 {
+            own.record(ev(t));
+        }
+        let (merged, dropped) = merge_ring_events(vec![(own.events(), own.dropped())], 10);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(dropped, 3);
     }
 
     #[test]

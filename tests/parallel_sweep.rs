@@ -1,0 +1,98 @@
+//! Determinism wall for the parallel executor: every artifact the pool
+//! produces must be identical to its serial counterpart at any worker
+//! count — the contract DESIGN.md's executor section promises and the
+//! CI golden gate re-checks end to end through `ncmt_cli`.
+
+use nca_core::runner::{Experiment, Strategy};
+use nca_core::sweep::{cell_ok, fault_sweep, FaultSweepSpec};
+use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_sim::{FaultSpec, Pool};
+use nca_spin::params::NicParams;
+
+fn sweep_spec(seeds: u64) -> FaultSweepSpec {
+    FaultSweepSpec {
+        dt: Datatype::vector(128, 8, 16, &elem::double()),
+        count: 1,
+        params: NicParams::with_hpus(8),
+        base: FaultSpec {
+            drop: 0.05,
+            duplicate: 0.02,
+            corrupt: 0.01,
+            reorder_window: 2_000_000,
+            seed: 1,
+        },
+        seed0: 1,
+        seeds,
+        scales: vec![0.0, 0.5, 1.0],
+        ring_capacity: 1 << 18,
+    }
+}
+
+/// The fault-sweep matrix is cell-for-cell identical (order included)
+/// at worker counts 1, 3 and 4.
+#[test]
+fn fault_sweep_cells_identical_across_worker_counts() {
+    let spec = sweep_spec(2);
+    let serial = fault_sweep(&spec, &Pool::serial());
+    assert_eq!(
+        serial.len(),
+        2 * 3 * Strategy::ALL.len(),
+        "seeds × scales × strategies"
+    );
+    assert!(serial.iter().all(cell_ok), "reference sweep must pass");
+    for jobs in [3, 4] {
+        let parallel = fault_sweep(&spec, &Pool::new(jobs));
+        assert_eq!(serial, parallel, "jobs = {jobs}");
+    }
+}
+
+/// A strategy sweep with telemetry capture returns the same runs and
+/// the same merged event stream serially and in parallel.
+#[test]
+fn run_all_modeled_events_identical_serial_vs_parallel() {
+    let dt = Datatype::vector(128, 8, 16, &elem::double());
+    let mut exp = Experiment::new(dt, 1, NicParams::with_hpus(8));
+    exp.verify = false;
+    let cap = Some(1 << 18);
+
+    let serial = exp.run_all_modeled(&Pool::serial(), cap);
+    let parallel = exp.run_all_modeled(&Pool::new(4), cap);
+
+    let labels: Vec<_> = serial.runs.iter().map(|(s, _)| s.label()).collect();
+    assert_eq!(
+        labels,
+        Strategy::ALL.map(|s| s.label()).to_vec(),
+        "runs come back in Strategy::ALL order"
+    );
+    assert!(!serial.events.is_empty(), "capture must record events");
+    for ((s1, r1), (s2, r2)) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(s1.label(), s2.label());
+        assert_eq!(
+            r1.report.processing_time(),
+            r2.report.processing_time(),
+            "{} timing must not depend on worker count",
+            s1.label()
+        );
+        assert_eq!(r1.report.host_buf, r2.report.host_buf);
+    }
+    assert_eq!(serial.events, parallel.events);
+    assert_eq!(serial.dropped, parallel.dropped);
+}
+
+/// Ring eviction is part of the determinism contract: when the shared
+/// capacity is smaller than the event volume, the merged stream still
+/// matches the serial shared-ring capture, drop count included.
+#[test]
+fn run_all_modeled_merge_matches_serial_under_eviction() {
+    let dt = Datatype::vector(64, 4, 8, &elem::double());
+    let mut exp = Experiment::new(dt, 1, NicParams::with_hpus(4));
+    exp.verify = false;
+    let cap = Some(256); // far below the events one run emits
+
+    let serial = exp.run_all_modeled(&Pool::serial(), cap);
+    let parallel = exp.run_all_modeled(&Pool::new(4), cap);
+    assert_eq!(serial.events.len(), 256, "ring must be full");
+    assert!(serial.dropped > 0, "eviction must have happened");
+    assert_eq!(serial.events, parallel.events);
+    assert_eq!(serial.dropped, parallel.dropped);
+}
