@@ -17,17 +17,35 @@
 //! ```
 
 use nca_core::report::{report_config, strategy_report};
-use nca_core::runner::Experiment;
+use nca_core::runner::{Experiment, Strategy};
 use nca_core::sweep::{cell_ok, FaultSweepSpec};
 use nca_ddt::normalize::classify;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
 use nca_sim::{FaultSpec, Pool};
 use nca_spin::params::NicParams;
+use nca_spin::sched::QueueDiscipline;
 use nca_telemetry::export;
 use nca_telemetry::report::{diff_reports, FaultSweepDoc, Json, RunReportDoc, DEFAULT_THRESHOLD};
+use nca_traffic::{app_group, traffic_sweep, ArrivalKind, TrafficSweepSpec, APP_GROUPS};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Every subcommand, for help text and the unknown-subcommand message.
+const SUBCOMMANDS: [&str; 7] = [
+    "vector",
+    "indexed",
+    "app",
+    "list",
+    "report-diff",
+    "fault-sweep",
+    "traffic",
+];
+
+/// Whether the args ask for help (`--help`/`-h` anywhere).
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -69,7 +87,10 @@ fn fault_spec(args: &[String]) -> FaultSpec {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: ncmt_cli <vector|indexed|app|list> [flags]  (see --help)");
+    eprintln!(
+        "usage: ncmt_cli <{}> [flags]  (see --help)",
+        SUBCOMMANDS.join("|")
+    );
     std::process::exit(2)
 }
 
@@ -88,6 +109,12 @@ subcommands:
   fault-sweep [--seeds N] [fault flags]        run a seed × fault-rate matrix over
                                                all strategies; exit 1 unless every
                                                run is byte-exact & exactly-once
+  traffic [--apps A --loads L ...]             open-loop multi-tenant traffic sweep:
+                                               offered-load × discipline grid with
+                                               per-tenant p50/p99/p999 + drop counts
+
+`ncmt_cli fault-sweep --help` / `ncmt_cli traffic --help` print the full
+per-subcommand flag reference.
 
 fault flags (vector/indexed/app/fault-sweep):
   --drop P        per-packet drop probability (default 0)
@@ -228,11 +255,41 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     }
 }
 
+fn fault_sweep_usage() -> ! {
+    println!(
+        "ncmt_cli fault-sweep — seed × fault-rate matrix over all strategies
+
+Runs every strategy at fault scales 0.0/0.5/1.0 of the given rates for
+each seed and verifies byte-exact, exactly-once delivery in every cell.
+Exits 1 when any cell fails.
+
+flags:
+  --seeds N       number of fault seeds (default 4; uses K..K+N-1)
+  --fault-seed K  first fault-schedule seed (default 1)
+  --drop P        per-packet drop probability at scale 1.0 (default 0)
+  --dup P         per-packet duplication probability (default 0)
+  --corrupt P     per-packet payload-corruption probability (default 0)
+  --reorder-ns W  extra-delay reordering window in ns (default 0)
+  --count N       vector blocks of the swept datatype (default 512)
+  --blocklen B    block length in doubles (default 16)
+  --stride S      block stride (default 32)
+  --hpus N        handler processing units (default 16)
+  --jobs N        worker threads (default: NCMT_JOBS, else cores)
+  --report-out F  write the ncmt-fault-sweep JSON matrix to F
+
+at least one of --drop/--dup/--corrupt/--reorder-ns must be nonzero."
+    );
+    std::process::exit(0)
+}
+
 /// `fault-sweep`: run every strategy across a seed × fault-scale matrix
 /// and verify byte-exact, exactly-once delivery in every cell. Exits 1
 /// when any cell fails; `--report-out` writes the machine-readable
 /// matrix (`ncmt-fault-sweep` schema).
 fn fault_sweep(args: &[String]) -> ! {
+    if wants_help(args) {
+        fault_sweep_usage();
+    }
     let seeds = flag_u64(args, "--seeds", 4);
     let seed0 = flag_u64(args, "--fault-seed", 1);
     let hpus = flag_u64(args, "--hpus", 16) as usize;
@@ -327,6 +384,163 @@ fn fault_sweep(args: &[String]) -> ! {
     std::process::exit(0)
 }
 
+fn traffic_usage() -> ! {
+    println!(
+        "ncmt_cli traffic — open-loop multi-tenant traffic sweep
+
+Drives the NIC model with concurrent tenants at sustained offered loads
+and reports per-tenant p50/p99/p999 offer→completion latency, drops and
+goodput for each (app × load × discipline) grid cell. All cells of one
+(app, load) point share the arrival schedule, so latency differences
+between disciplines are attributable to scheduling alone. The artifact
+is byte-identical at any --jobs count.
+
+flags:
+  --apps A,B      application mixes: a Fig. 16 family ({}),
+                  or an exact workload label like MILC/b
+                  (default milc,comb,fft2d)
+  --loads L,M     offered loads as fractions of line rate
+                  (default 0.3,0.6,0.9,1.2)
+  --disciplines D queue disciplines: blocked-rr,cfcfs,dfcfs (default all)
+  --tenants N     concurrent tenants (default 4)
+  --strategy S    strategy all tenants run: specialized|hpu-local|
+                  ro-cp|rw-cp (default rw-cp)
+  --arrival A     poisson | lognormal | mixed (default poisson;
+                  mixed alternates per tenant)
+  --sigma S       lognormal shape parameter (default 1.5)
+  --flows N       flows per tenant for RSS steering (default 8)
+  --rss N         RSS indirection-table slots (default 64)
+  --horizon-us T  open-loop generation horizon in us (default 400)
+  --buffer-kib N  override the NIC packet-buffer admission budget
+  --seed K        master schedule seed (default 1)
+  --hpus N        handler processing units (default 16)
+  --jobs N        worker threads (default: NCMT_JOBS, else cores;
+                  the report is byte-identical at any N)
+  --report-out F  write the ncmt-traffic JSON document to F
+
+exit status is 1 when any completed message failed byte verification.",
+        APP_GROUPS.join(", ")
+    );
+    std::process::exit(0)
+}
+
+fn parse_strategy(s: &str) -> Option<Strategy> {
+    let t = s.to_ascii_lowercase().replace(['-', '_'], "");
+    Strategy::ALL
+        .into_iter()
+        .find(|st| st.label().to_ascii_lowercase().replace('-', "") == t)
+}
+
+/// Parse a comma-separated flag value through `parse`, with a default.
+fn flag_csv<T>(
+    args: &[String],
+    name: &str,
+    default: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Vec<T> {
+    flag(args, name)
+        .unwrap_or_else(|| default.to_string())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).unwrap_or_else(|| die(&format!("bad {name} entry {s:?}"))))
+        .collect()
+}
+
+/// `traffic`: offered-load × discipline × app sweep with per-tenant
+/// tail-latency accounting (`ncmt-traffic` schema).
+fn traffic(args: &[String]) -> ! {
+    if wants_help(args) {
+        traffic_usage();
+    }
+    let mut spec = TrafficSweepSpec::new(flag_u64(args, "--seed", 1));
+    spec.apps = flag_csv(args, "--apps", "milc,comb,fft2d", |s| {
+        app_group(s).map(|_| s.to_string())
+    });
+    spec.loads = flag_csv(args, "--loads", "0.3,0.6,0.9,1.2", |s| {
+        s.parse::<f64>().ok().filter(|l| *l > 0.0)
+    });
+    spec.disciplines = flag_csv(
+        args,
+        "--disciplines",
+        "blocked-rr,cfcfs,dfcfs",
+        QueueDiscipline::parse,
+    );
+    spec.tenants = flag_u64(args, "--tenants", 4) as usize;
+    spec.strategy = flag(args, "--strategy")
+        .map(|s| parse_strategy(&s).unwrap_or_else(|| die(&format!("bad --strategy {s:?}"))))
+        .unwrap_or(Strategy::RwCp);
+    spec.arrival = flag(args, "--arrival")
+        .map(|s| ArrivalKind::parse(&s).unwrap_or_else(|| die(&format!("bad --arrival {s:?}"))))
+        .unwrap_or(ArrivalKind::Poisson);
+    spec.sigma = flag_f64(args, "--sigma", 1.5);
+    spec.flows_per_tenant = flag_u64(args, "--flows", 8);
+    spec.rss_entries = flag_u64(args, "--rss", 64) as usize;
+    spec.horizon_ps = nca_sim::us(flag_u64(args, "--horizon-us", 400));
+    spec.hpus = flag_u64(args, "--hpus", 16) as usize;
+    spec.pkt_buffer_bytes = flag(args, "--buffer-kib")
+        .map(|v| v.parse::<u64>().unwrap_or_else(|_| die("bad --buffer-kib")) << 10);
+    let report_out = flag(args, "--report-out");
+
+    println!(
+        "traffic: {} × {:?} loads × {} disciplines, {} {} tenants ({} arrivals), {} HPUs",
+        spec.apps.join("/"),
+        spec.loads,
+        spec.disciplines.len(),
+        spec.tenants,
+        spec.strategy.label(),
+        spec.arrival.label(),
+        spec.hpus
+    );
+    println!();
+    println!(
+        "{:<8} {:<11} {:>5} {:<4} {:>7} {:>7} {:>6} {:>5} {:>9} {:>9} {:>9} {:>8}",
+        "app",
+        "discipline",
+        "load",
+        "ten",
+        "offered",
+        "compl",
+        "drop",
+        "lost",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "Gbit/s"
+    );
+    let doc = traffic_sweep(&spec, &pool(args));
+    for c in &doc.cells {
+        for t in &c.tenants {
+            println!(
+                "{:<8} {:<11} {:>5.2} {:<4} {:>7} {:>7} {:>6} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>8.1}",
+                c.app,
+                c.discipline,
+                c.offered_load,
+                t.tenant,
+                t.offered,
+                t.completed,
+                t.dropped,
+                t.lost,
+                t.latency.p50 as f64 / 1e6,
+                t.latency.p99 as f64 / 1e6,
+                t.latency.p999 as f64 / 1e6,
+                t.goodput_gbit
+            );
+        }
+    }
+    if let Some(path) = &report_out {
+        std::fs::write(path, doc.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\ntraffic report → {path}");
+    }
+    if !doc.all_byte_exact() {
+        eprintln!("\nFAIL: a completed message was not byte-exact");
+        std::process::exit(1)
+    }
+    println!("\nall completed messages byte-verified ✓");
+    std::process::exit(0)
+}
+
 fn report_diff(args: &[String]) -> ! {
     let (Some(base_path), Some(new_path)) = (args.get(1), args.get(2)) else {
         die("report-diff needs <BASE> <NEW>")
@@ -355,7 +569,11 @@ fn report_diff(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    // `fault-sweep --help` / `traffic --help` print their own flag
+    // reference; everywhere else help falls through to the global usage.
+    if args.is_empty()
+        || (wants_help(&args) && !matches!(args[0].as_str(), "fault-sweep" | "traffic"))
+    {
         usage();
     }
     let copies = |a: &[String]| flag_u64(a, "--copies", 1) as u32;
@@ -411,6 +629,10 @@ fn main() {
         }
         "report-diff" => report_diff(&args),
         "fault-sweep" => fault_sweep(&args),
-        other => die(&format!("unknown subcommand {other}")),
+        "traffic" => traffic(&args),
+        other => die(&format!(
+            "unknown subcommand {other}; valid subcommands: {}",
+            SUBCOMMANDS.join(", ")
+        )),
     }
 }

@@ -165,6 +165,17 @@ impl FaultInjector {
         (self.draw(msg_id, seq, attempt, lane) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Deterministic uniform timer jitter in `[0, max]` picoseconds for
+    /// transmission `attempt` of `(msg_id, seq)`. Used to de-synchronize
+    /// retransmission timeouts; a pure function of the schedule seed, so
+    /// replays stay identical. `max == 0` disables jitter.
+    pub fn jitter(&self, msg_id: u64, seq: u64, attempt: u32, max: Time) -> Time {
+        if max == 0 {
+            return 0;
+        }
+        self.draw(msg_id, seq, attempt, 5) % (max + 1)
+    }
+
     /// Render the verdict for transmission `attempt` of `(msg_id, seq)`.
     pub fn judge(&self, msg_id: u64, seq: u64, attempt: u32) -> Verdict {
         if self.spec.is_inert() {
@@ -224,6 +235,32 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jitter_is_bounded_seeded_and_replayable() {
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 42,
+            ..FaultSpec::inert()
+        });
+        let max = 1_000_000;
+        let mut seen_nonzero = false;
+        for seq in 0..64 {
+            let j = inj.jitter(7, seq, 1, max);
+            assert!(j <= max);
+            assert_eq!(j, inj.jitter(7, seq, 1, max), "replay must match");
+            seen_nonzero |= j > 0;
+        }
+        assert!(seen_nonzero, "64 draws in [0,1e6] can't all be zero");
+        assert_eq!(inj.jitter(7, 0, 1, 0), 0, "max 0 disables jitter");
+        let other = FaultInjector::new(FaultSpec {
+            seed: 43,
+            ..FaultSpec::inert()
+        });
+        assert!(
+            (0..64).any(|s| inj.jitter(7, s, 1, max) != other.jitter(7, s, 1, max)),
+            "different seeds must draw different jitter"
+        );
+    }
 
     #[test]
     fn inert_spec_delivers_exactly_one_pristine_copy() {

@@ -13,7 +13,7 @@
 //! shared ingress link serializes packets of all eligible messages
 //! round-robin at line rate (an idealized fair switch).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use nca_portals::packet::{packetize_wire, Packet};
 use nca_sim::{Sim, Time, TrackedFifo, WireBuf};
@@ -21,6 +21,7 @@ use nca_telemetry::Telemetry;
 
 use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
 use crate::params::NicParams;
+use crate::sched::Scheduler;
 
 /// One message to receive.
 pub struct MessageSpec {
@@ -73,82 +74,20 @@ struct MsgState {
     handler_costs: Vec<HandlerCost>,
 }
 
-/// Scheduler over (message, vHPU) pairs sharing the physical HPUs.
-struct MultiScheduler {
-    free_hpus: usize,
-    queues: HashMap<(usize, u64), VecDeque<usize>>,
-    busy: std::collections::HashSet<(usize, u64)>,
-    runnable: VecDeque<(usize, u64)>,
-}
-
-impl MultiScheduler {
-    fn new(hpus: usize) -> Self {
-        MultiScheduler {
-            free_hpus: hpus,
-            queues: HashMap::new(),
-            busy: Default::default(),
-            runnable: VecDeque::new(),
-        }
-    }
-
-    fn enqueue(&mut self, key: (usize, u64), pkt: usize) {
-        self.queues.entry(key).or_default().push_back(pkt);
-        self.runnable.push_back(key);
-    }
-
-    fn next_dispatch(&mut self) -> Option<((usize, u64), usize)> {
-        if self.free_hpus == 0 {
-            return None;
-        }
-        let mut rotated = 0;
-        while let Some(key) = self.runnable.pop_front() {
-            let has_work = self
-                .queues
-                .get(&key)
-                .map(|q| !q.is_empty())
-                .unwrap_or(false);
-            if !has_work {
-                continue;
-            }
-            if self.busy.contains(&key) {
-                self.runnable.push_back(key);
-                rotated += 1;
-                if rotated > self.runnable.len() {
-                    return None;
-                }
-                continue;
-            }
-            let pkt = self
-                .queues
-                .get_mut(&key)
-                .expect("queue")
-                .pop_front()
-                .expect("work");
-            self.busy.insert(key);
-            self.free_hpus -= 1;
-            return Some((key, pkt));
-        }
-        None
-    }
-
-    fn done(&mut self, key: (usize, u64)) {
-        self.free_hpus += 1;
-        self.busy.remove(&key);
-        if self
-            .queues
-            .get(&key)
-            .map(|q| !q.is_empty())
-            .unwrap_or(false)
-        {
-            self.runnable.push_back(key);
-        }
-    }
+/// Mix the message index into a well-spread dFCFS steering hint.
+/// (splitmix64 finalizer; identity for blocked-RR/cFCFS which ignore
+/// the hint.)
+fn steer_hint(m: usize, vhpu: u64) -> usize {
+    let mut z = (m as u64) ^ (vhpu.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize
 }
 
 struct MultiWorld {
     params: NicParams,
     msgs: Vec<MsgState>,
-    sched: MultiScheduler,
+    sched: Scheduler<(usize, u64)>,
     dma_queue: TrackedFifo<(usize, DmaWrite)>,
     dma_chan_busy: Vec<bool>,
     tel: Telemetry,
@@ -173,12 +112,13 @@ impl MultiWorld {
         if self.tel.is_enabled() {
             self.enq_time.insert((m, idx), sim.now());
         }
-        self.sched.enqueue((m, vhpu), idx);
+        self.sched.enqueue((m, vhpu), idx, steer_hint(m, vhpu));
         self.try_dispatch(sim);
     }
 
     fn try_dispatch(&mut self, sim: &mut Sim<MultiWorld>) {
-        while let Some((key, idx)) = self.sched.next_dispatch() {
+        while let Some(d) = self.sched.next_dispatch() {
+            let (key, idx, hpu) = (d.key, d.pkt, d.hpu);
             let dispatch = self.params.sched_dispatch;
             let now = sim.now();
             if let Some(enq) = self.enq_time.remove(&(key.0, idx)) {
@@ -187,11 +127,17 @@ impl MultiWorld {
                 }
             }
             self.tel.span("spin", "sched", key.1, now, now + dispatch);
-            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, key, idx));
+            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, key, idx, hpu));
         }
     }
 
-    fn run_handler(&mut self, sim: &mut Sim<MultiWorld>, key: (usize, u64), idx: usize) {
+    fn run_handler(
+        &mut self,
+        sim: &mut Sim<MultiWorld>,
+        key: (usize, u64),
+        idx: usize,
+        hpu: usize,
+    ) {
         let (m, vhpu) = key;
         let st = &mut self.msgs[m];
         let hdr = st.packets[idx].hdr;
@@ -208,15 +154,21 @@ impl MultiWorld {
         let runtime = out.cost.total();
         self.tel
             .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
-        sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, out.dma));
+        sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, hpu, out.dma));
     }
 
-    fn handler_done(&mut self, sim: &mut Sim<MultiWorld>, key: (usize, u64), dma: Vec<DmaWrite>) {
+    fn handler_done(
+        &mut self,
+        sim: &mut Sim<MultiWorld>,
+        key: (usize, u64),
+        hpu: usize,
+        dma: Vec<DmaWrite>,
+    ) {
         let (m, _) = key;
         for w in dma {
             self.enqueue_dma(sim, m, w);
         }
-        self.sched.done(key);
+        self.sched.done(key, hpu);
         self.msgs[m].pending_payload -= 1;
         if self.msgs[m].pending_payload == 0 && !self.msgs[m].completion_dispatched {
             self.msgs[m].completion_dispatched = true;
@@ -375,7 +327,7 @@ pub fn run_concurrent_traced(
     let mut world = MultiWorld {
         params: params.clone(),
         msgs,
-        sched: MultiScheduler::new(params.hpus),
+        sched: Scheduler::new(params.discipline, params.hpus),
         dma_queue: TrackedFifo::new(false),
         dma_chan_busy: vec![false; params.dma_channels.max(1)],
         tel,

@@ -18,7 +18,7 @@
 //! byte landing in the receive buffer (signalled by the completion
 //! handler's event-generating zero-byte DMA).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
@@ -31,6 +31,7 @@ use rand::SeedableRng;
 
 use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
 use crate::params::{NicParams, ReliabilityParams};
+use crate::sched::Scheduler;
 
 /// Portals 4 state for a matched receive: the posted lists plus the
 /// match bits the incoming message carries.
@@ -221,83 +222,6 @@ impl RunReport {
     }
 }
 
-struct Scheduler {
-    free_hpus: usize,
-    /// Per-vHPU FIFO of packet indices awaiting execution.
-    queues: HashMap<u64, VecDeque<usize>>,
-    /// vHPUs currently occupying a physical HPU.
-    busy: std::collections::HashSet<u64>,
-    /// vHPUs with pending work, in arrival order (deduplicated lazily).
-    runnable: VecDeque<u64>,
-}
-
-impl Scheduler {
-    fn new(hpus: usize) -> Self {
-        Scheduler {
-            free_hpus: hpus,
-            queues: HashMap::new(),
-            busy: std::collections::HashSet::new(),
-            runnable: VecDeque::new(),
-        }
-    }
-
-    fn enqueue(&mut self, vhpu: u64, pkt: usize) {
-        self.queues.entry(vhpu).or_default().push_back(pkt);
-        self.runnable.push_back(vhpu);
-    }
-
-    /// Pick the next (vhpu, pkt) to dispatch, if an HPU is free and some
-    /// non-busy vHPU has work.
-    fn next_dispatch(&mut self) -> Option<(u64, usize)> {
-        if self.free_hpus == 0 {
-            return None;
-        }
-        let mut rotated = 0;
-        while let Some(vhpu) = self.runnable.pop_front() {
-            let has_work = self
-                .queues
-                .get(&vhpu)
-                .map(|q| !q.is_empty())
-                .unwrap_or(false);
-            if !has_work {
-                continue; // stale entry
-            }
-            if self.busy.contains(&vhpu) {
-                // vHPU already running a handler: rotate to the back.
-                self.runnable.push_back(vhpu);
-                rotated += 1;
-                if rotated > self.runnable.len() {
-                    return None; // all pending vHPUs are busy
-                }
-                continue;
-            }
-            let pkt = self
-                .queues
-                .get_mut(&vhpu)
-                .expect("queue exists")
-                .pop_front()
-                .expect("work");
-            self.busy.insert(vhpu);
-            self.free_hpus -= 1;
-            return Some((vhpu, pkt));
-        }
-        None
-    }
-
-    fn handler_done(&mut self, vhpu: u64) {
-        self.free_hpus += 1;
-        self.busy.remove(&vhpu);
-        if self
-            .queues
-            .get(&vhpu)
-            .map(|q| !q.is_empty())
-            .unwrap_or(false)
-        {
-            self.runnable.push_back(vhpu);
-        }
-    }
-}
-
 struct DmaEngine {
     queue: TrackedFifo<DmaWrite>,
     /// Per-channel busy flags (index = channel, i.e. the trace track).
@@ -321,7 +245,7 @@ struct World {
     packets: Vec<Packet>,
     packed: WireBuf,
     proc: Box<dyn MessageProcessor>,
-    sched: Scheduler,
+    sched: Scheduler<u64>,
     dma: DmaEngine,
     host_buf: Vec<u8>,
     host_origin: i64,
@@ -384,8 +308,17 @@ impl World {
                 w.packet_rx(s, idx, Some(copy));
             });
         }
+        // Exponential backoff, capped absolutely at rto_max, with a
+        // seeded uniform jitter so the timers of a correlated drop
+        // burst spread out instead of firing in lockstep (retransmit
+        // storms under open-loop overload). The jitter draw is a pure
+        // function of (seed, msg, seq, attempt): replays are identical.
         let shift = attempt.min(rel.rparams.backoff_cap);
-        let deadline = arrival + (rel.rparams.rto << shift);
+        let backoff = (rel.rparams.rto << shift).min(rel.rparams.rto_max.max(rel.rparams.rto));
+        let jitter = rel
+            .injector
+            .jitter(msg_id, seq, attempt, rel.rparams.rto_jitter);
+        let deadline = arrival + backoff + jitter;
         sim.schedule(deadline, move |w, s| w.retry_timeout(s, idx, attempt));
     }
 
@@ -546,12 +479,16 @@ impl World {
         if self.tel.is_enabled() {
             self.enq_time.insert(idx, sim.now());
         }
-        self.sched.enqueue(vhpu, idx);
+        // The vHPU id doubles as the dFCFS steering hint: the single-
+        // message pipeline has no flow table, so vHPUs map straight
+        // onto physical HPUs.
+        self.sched.enqueue(vhpu, idx, vhpu as usize);
         self.try_dispatch(sim);
     }
 
     fn try_dispatch(&mut self, sim: &mut Sim<World>) {
-        while let Some((vhpu, idx)) = self.sched.next_dispatch() {
+        while let Some(d) = self.sched.next_dispatch() {
+            let (vhpu, idx, hpu) = (d.key, d.pkt, d.hpu);
             let dispatch = self.params.sched_dispatch;
             let now = sim.now();
             if let Some(enq) = self.enq_time.remove(&idx) {
@@ -562,11 +499,11 @@ impl World {
             }
             self.tel.instant("spin", "dispatch", vhpu, now);
             self.tel.span("spin", "sched", vhpu, now, now + dispatch);
-            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, idx));
+            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, idx, hpu));
         }
     }
 
-    fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize) {
+    fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize, hpu: usize) {
         let hdr = self.packets[idx].hdr;
         let ctx = PacketCtx {
             payload: &self.packets[idx].payload,
@@ -584,10 +521,19 @@ impl World {
         }
         self.tel
             .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
-        sim.schedule_in(runtime, move |w, s| w.handler_done(s, vhpu, idx, out.dma));
+        sim.schedule_in(runtime, move |w, s| {
+            w.handler_done(s, vhpu, idx, hpu, out.dma)
+        });
     }
 
-    fn handler_done(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize, dma: Vec<DmaWrite>) {
+    fn handler_done(
+        &mut self,
+        sim: &mut Sim<World>,
+        vhpu: u64,
+        idx: usize,
+        hpu: usize,
+        dma: Vec<DmaWrite>,
+    ) {
         // The handler consumed the packet: its payload leaves NIC memory.
         self.resident_payload -= self.packets[idx].len;
         self.tel.gauge(
@@ -600,7 +546,7 @@ impl World {
         for w in dma {
             self.enqueue_dma(sim, w);
         }
-        self.sched.handler_done(vhpu);
+        self.sched.done(vhpu, hpu);
         self.pending_payload -= 1;
         if self.pending_payload == 0 && !self.completion_dispatched {
             self.completion_dispatched = true;
@@ -757,7 +703,7 @@ impl ReceiveSim {
             packets,
             packed,
             proc,
-            sched: Scheduler::new(params.hpus),
+            sched: Scheduler::new(params.discipline, params.hpus),
             dma: DmaEngine {
                 queue: TrackedFifo::new(cfg.record_dma_history),
                 chan_busy: vec![false; params.dma_channels.max(1)],

@@ -7,6 +7,8 @@
 use nca_sim::units::Bandwidth;
 use nca_sim::Time;
 
+use crate::sched::QueueDiscipline;
+
 /// All timing/size parameters of the simulated sPIN NIC.
 #[derive(Debug, Clone)]
 pub struct NicParams {
@@ -56,8 +58,13 @@ pub struct NicParams {
     /// to 4 MiB for the accounting experiments.
     pub nic_mem_capacity: u64,
     /// Packet buffer capacity in bytes (for the checkpoint-interval
-    /// heuristic's third constraint).
+    /// heuristic's third constraint, and the traffic engine's admission
+    /// limit on in-flight message payload).
     pub pkt_buffer_bytes: u64,
+    /// HPU queueing discipline of the scheduler. [`QueueDiscipline::BlockedRR`]
+    /// reproduces the paper's scheduler bit-exactly and is the default;
+    /// the alternatives exist for the multi-tenant traffic experiments.
+    pub discipline: QueueDiscipline,
 }
 
 impl Default for NicParams {
@@ -78,6 +85,7 @@ impl Default for NicParams {
             nic_mem_bw: Bandwidth::gib_per_s(50.0),
             nic_mem_capacity: 4 << 20,
             pkt_buffer_bytes: 512 << 10,
+            discipline: QueueDiscipline::BlockedRR,
         }
     }
 }
@@ -144,6 +152,17 @@ pub struct ReliabilityParams {
     pub rto: Time,
     /// Exponential backoff: attempt `a` waits `rto << min(a, backoff_cap)`.
     pub backoff_cap: u32,
+    /// Absolute ceiling on the backed-off timeout (ps), applied after
+    /// the shift. Keeps deep retry chains from waiting geometrically
+    /// long once the network is congested rather than dead. Values
+    /// below `rto` are treated as `rto`.
+    pub rto_max: Time,
+    /// Maximum uniform jitter added on top of each backoff deadline
+    /// (ps); 0 disables. The jitter is drawn deterministically from the
+    /// fault-schedule seed, so runs stay replayable while synchronized
+    /// retransmit storms (all timers of a drop burst firing in the same
+    /// picosecond) cannot form.
+    pub rto_jitter: Time,
     /// Retransmissions allowed per packet before the sender gives up and
     /// the receiver recovers the fragment via host fallback.
     pub max_retries: u32,
@@ -162,6 +181,10 @@ impl Default for ReliabilityParams {
             // a few µs.
             rto: nca_sim::us(5),
             backoff_cap: 6,
+            // 5 µs << 6 = 320 µs would dominate the fallback channel;
+            // cap the wait at 80 µs and spread timers over a 1 µs window.
+            rto_max: nca_sim::us(80),
+            rto_jitter: nca_sim::us(1),
             max_retries: 8,
             ack_latency: nca_sim::ns(745),
             fallback_latency: nca_sim::us(50),
@@ -180,6 +203,8 @@ mod tests {
         assert!(r.rto > p.net_latency + r.ack_latency);
         assert!(r.max_retries >= 1);
         assert!(r.fallback_latency > r.rto);
+        assert!(r.rto_max >= r.rto, "cap must not undercut the base RTO");
+        assert!(r.rto_jitter < r.rto, "jitter must stay a perturbation");
     }
 
     #[test]

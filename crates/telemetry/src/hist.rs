@@ -148,14 +148,27 @@ impl LogHistogram {
     }
 
     /// Inclusive bounds `(lo, hi)` on the nearest-rank `q`-th
-    /// percentile (0 < q ≤ 100): the true k-th smallest sample, with
-    /// `k = ceil(q/100 · count)`, lies in `lo..=hi`. `None` when empty.
+    /// percentile: the true k-th smallest sample, with
+    /// `k = ceil(q/100 · count)` clamped to `[1, count]` (so, matching
+    /// `nca_sim::stats::percentile`, `q ≤ 0` yields the minimum and
+    /// `q ≥ 100` the maximum — both *exact*, since the extreme ranks
+    /// are the tracked min/max rather than bucket bounds). `None` when
+    /// empty or `q` is not finite.
     pub fn percentile_bounds(&self, q: f64) -> Option<(u64, u64)> {
-        if self.count == 0 {
+        if self.count == 0 || !q.is_finite() {
             return None;
         }
         let k = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let k = k.min(self.count);
+        // The extreme ranks are known exactly: rank 1 is the tracked
+        // min, rank `count` the tracked max. Answering from the bucket
+        // would widen them to the bucket bounds for no reason.
+        if k == 1 {
+            return Some((self.min, self.min));
+        }
+        if k == self.count {
+            return Some((self.max, self.max));
+        }
         let mut cum = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             cum += c;
@@ -171,6 +184,19 @@ impl LogHistogram {
     /// bucket holding the k-th sample, clamped to the observed range).
     pub fn percentile(&self, q: f64) -> Option<u64> {
         self.percentile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// Nearest-rank quantile for `q` in `[0, 1]` (`0.999` = p999).
+    /// Same clamping as [`percentile`](Self::percentile): `q ≤ 0`
+    /// yields the exact minimum, `q ≥ 1` the exact maximum; `None`
+    /// when empty or `q` is not finite.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.percentile(q * 100.0)
+    }
+
+    /// The p999 tail (99.9th percentile); `None` when empty.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(99.9)
     }
 
     /// [`percentile`](Self::percentile) as a [`Time`], defaulting to 0
@@ -260,8 +286,65 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p999(), None);
         assert_eq!(h.mean(), 0.0);
         assert!(h.nonempty_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_boundaries_are_exact_and_match_stats_percentile() {
+        // Unit buckets (< 2^SUB_BITS) are exact, so every nearest-rank
+        // answer must equal the sorted-sample convention of
+        // `nca_sim::stats::percentile` bit-for-bit.
+        let xs: Vec<u64> = (0..SUB).flat_map(|v| [v, v, v]).collect();
+        let mut h = LogHistogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let xs_f: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        for q in [0.0, 0.1, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let reference = nca_sim::stats::percentile(&xs_f, q).unwrap() as u64;
+            assert_eq!(h.percentile(q), Some(reference), "q={q}");
+            assert_eq!(h.quantile(q / 100.0), h.percentile(q), "q={q}");
+        }
+        // Out-of-range clamps to the exact extremes, like stats does.
+        assert_eq!(h.quantile(-0.5), h.min());
+        assert_eq!(h.quantile(7.0), h.max());
+    }
+
+    #[test]
+    fn extreme_ranks_answer_exact_min_max_not_bucket_bounds() {
+        // 1_000_000 sits in a wide bucket; the extreme ranks must still
+        // come back exact from the tracked min/max.
+        let mut h = LogHistogram::new();
+        h.record(999_983);
+        h.record(1_000_003);
+        assert_eq!(h.percentile_bounds(0.0), Some((999_983, 999_983)));
+        assert_eq!(h.percentile_bounds(100.0), Some((1_000_003, 1_000_003)));
+        assert_eq!(h.p999(), Some(1_000_003));
+    }
+
+    #[test]
+    fn non_finite_quantiles_answer_none() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(h.percentile(q), None);
+            assert_eq!(h.quantile(q), None);
+            assert_eq!(h.percentile_bounds(q), None);
+        }
+    }
+
+    #[test]
+    fn p999_distinguishes_the_extreme_tail() {
+        let mut h = LogHistogram::new();
+        h.record_n(100, 9_990);
+        h.record_n(1 << 20, 10);
+        let p99 = h.percentile(99.0).unwrap();
+        let p999 = h.p999().unwrap();
+        assert!(p99 < 200, "99% of samples are 100: p99={p99}");
+        assert!(p999 >= 1 << 20, "the last 0.1% must surface: p999={p999}");
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct HistSummary {
     pub p90: u64,
     /// 99th percentile estimate.
     pub p99: u64,
+    /// 99.9th percentile estimate (the tail the traffic engine chases).
+    pub p999: u64,
     /// Sparse `(bucket_lower_bound, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -51,6 +53,7 @@ impl HistSummary {
             p50: h.percentile_ps(50.0),
             p90: h.percentile_ps(90.0),
             p99: h.percentile_ps(99.0),
+            p999: h.percentile_ps(99.9),
             buckets: h.nonempty_buckets(),
         }
     }
@@ -310,19 +313,7 @@ fn strategy_json(s: &StrategyReport, ind: &str) -> String {
     for (i, (name, h)) in s.histograms.iter().enumerate() {
         let comma = if i + 1 < s.histograms.len() { "," } else { "" };
         let _ = writeln!(o, "{ind}    \"{}\": {{", esc(name));
-        let _ = writeln!(o, "{ind}      \"count\": {},", h.count);
-        let _ = writeln!(o, "{ind}      \"min\": {},", h.min);
-        let _ = writeln!(o, "{ind}      \"max\": {},", h.max);
-        let _ = writeln!(o, "{ind}      \"mean\": {},", fmt_f64(h.mean));
-        let _ = writeln!(o, "{ind}      \"p50\": {},", h.p50);
-        let _ = writeln!(o, "{ind}      \"p90\": {},", h.p90);
-        let _ = writeln!(o, "{ind}      \"p99\": {},", h.p99);
-        let buckets: Vec<String> = h
-            .buckets
-            .iter()
-            .map(|&(lo, c)| format!("[{lo},{c}]"))
-            .collect();
-        let _ = writeln!(o, "{ind}      \"buckets\": [{}]", buckets.join(","));
+        o.push_str(&hist_summary_members(h, &format!("{ind}      ")));
         let _ = writeln!(o, "{ind}    }}{comma}");
     }
     let _ = writeln!(o, "{ind}  }},");
@@ -372,6 +363,27 @@ fn strategy_json(s: &StrategyReport, ind: &str) -> String {
     }
     let _ = writeln!(o);
     let _ = write!(o, "{ind}}}");
+    o
+}
+
+/// Render the members of a [`HistSummary`] object, one per line at
+/// indentation `ind` (the caller writes the braces).
+fn hist_summary_members(h: &HistSummary, ind: &str) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "{ind}\"count\": {},", h.count);
+    let _ = writeln!(o, "{ind}\"min\": {},", h.min);
+    let _ = writeln!(o, "{ind}\"max\": {},", h.max);
+    let _ = writeln!(o, "{ind}\"mean\": {},", fmt_f64(h.mean));
+    let _ = writeln!(o, "{ind}\"p50\": {},", h.p50);
+    let _ = writeln!(o, "{ind}\"p90\": {},", h.p90);
+    let _ = writeln!(o, "{ind}\"p99\": {},", h.p99);
+    let _ = writeln!(o, "{ind}\"p999\": {},", h.p999);
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|&(lo, c)| format!("[{lo},{c}]"))
+        .collect();
+    let _ = writeln!(o, "{ind}\"buckets\": [{}]", buckets.join(","));
     o
 }
 
@@ -493,6 +505,128 @@ impl FaultSweepDoc {
                 "      \"faults\": {}",
                 fault_summary_json(&c.faults, "    ")
             );
+            let _ = writeln!(o, "    }}{comma}");
+        }
+        let _ = writeln!(o, "  ]");
+        o.push_str("}\n");
+        o
+    }
+}
+
+// ------------------------------------------------------------ traffic doc
+
+/// One tenant's outcome within a [`TrafficCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTrafficReport {
+    /// Tenant label (`"t0"`, …).
+    pub tenant: String,
+    /// Messages the arrival process offered inside the horizon.
+    pub offered: u64,
+    /// Offers admitted into the NIC (first attempt or after retry).
+    pub admitted: u64,
+    /// Admitted messages that completed inside the drain window.
+    pub completed: u64,
+    /// Admission rejections (each backed-off attempt counts once).
+    pub dropped: u64,
+    /// Re-offered attempts after an admission rejection.
+    pub retried: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub lost: u64,
+    /// Completed payload over the active window (Gbit/s).
+    pub goodput_gbit: f64,
+    /// Offer→completion latency distribution (ps), including admission
+    /// backoff delay.
+    pub latency: HistSummary,
+}
+
+/// One (app × discipline × offered-load) point of a traffic sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficCell {
+    /// Application workload label (`"MILC/b"`, …).
+    pub app: String,
+    /// Queue-discipline label (`"blocked-rr"` / `"cfcfs"` / `"dfcfs"`).
+    pub discipline: String,
+    /// Offered load as a fraction of line rate.
+    pub offered_load: f64,
+    /// Every completed message unpacked byte-exactly.
+    pub byte_exact: bool,
+    /// Per-tenant accounting, in tenant order.
+    pub tenants: Vec<TenantTrafficReport>,
+}
+
+/// Artifact of `ncmt_cli traffic`: per-tenant tail-latency and
+/// drop/goodput accounting over an offered-load × discipline × app grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDoc {
+    /// Schema version ([`TrafficDoc::VERSION`]).
+    pub version: u64,
+    /// Master schedule seed.
+    pub seed: u64,
+    /// Physical HPUs.
+    pub hpus: u64,
+    /// Strategy label all tenants ran.
+    pub strategy: String,
+    /// Arrival-process label (`"poisson"` / `"lognormal"` / `"mixed"`).
+    pub arrival: String,
+    /// Open-loop generation horizon (ps).
+    pub horizon_ps: u64,
+    /// Every grid point.
+    pub cells: Vec<TrafficCell>,
+}
+
+impl TrafficDoc {
+    /// Current schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Artifact type tag (`"kind"` key).
+    pub const KIND: &'static str = "ncmt-traffic";
+
+    /// Whether every cell stayed byte-exact.
+    pub fn all_byte_exact(&self) -> bool {
+        self.cells.iter().all(|c| c.byte_exact)
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"kind\": \"{}\",", Self::KIND);
+        let _ = writeln!(o, "  \"version\": {},", self.version);
+        let _ = writeln!(o, "  \"seed\": {},", self.seed);
+        let _ = writeln!(o, "  \"hpus\": {},", self.hpus);
+        let _ = writeln!(o, "  \"strategy\": \"{}\",", esc(&self.strategy));
+        let _ = writeln!(o, "  \"arrival\": \"{}\",", esc(&self.arrival));
+        let _ = writeln!(o, "  \"horizon_ps\": {},", self.horizon_ps);
+        let _ = writeln!(o, "  \"all_byte_exact\": {},", self.all_byte_exact());
+        let _ = writeln!(o, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(o, "    {{");
+            let _ = writeln!(o, "      \"app\": \"{}\",", esc(&c.app));
+            let _ = writeln!(o, "      \"discipline\": \"{}\",", esc(&c.discipline));
+            let _ = writeln!(o, "      \"offered_load\": {},", fmt_f64(c.offered_load));
+            let _ = writeln!(o, "      \"byte_exact\": {},", c.byte_exact);
+            let _ = writeln!(o, "      \"tenants\": [");
+            for (j, t) in c.tenants.iter().enumerate() {
+                let tcomma = if j + 1 < c.tenants.len() { "," } else { "" };
+                let _ = writeln!(o, "        {{");
+                let _ = writeln!(o, "          \"tenant\": \"{}\",", esc(&t.tenant));
+                let _ = writeln!(o, "          \"offered\": {},", t.offered);
+                let _ = writeln!(o, "          \"admitted\": {},", t.admitted);
+                let _ = writeln!(o, "          \"completed\": {},", t.completed);
+                let _ = writeln!(o, "          \"dropped\": {},", t.dropped);
+                let _ = writeln!(o, "          \"retried\": {},", t.retried);
+                let _ = writeln!(o, "          \"lost\": {},", t.lost);
+                let _ = writeln!(
+                    o,
+                    "          \"goodput_gbit\": {},",
+                    fmt_f64(t.goodput_gbit)
+                );
+                let _ = writeln!(o, "          \"latency\": {{");
+                o.push_str(&hist_summary_members(&t.latency, "            "));
+                let _ = writeln!(o, "          }}");
+                let _ = writeln!(o, "        }}{tcomma}");
+            }
+            let _ = writeln!(o, "      ]");
             let _ = writeln!(o, "    }}{comma}");
         }
         let _ = writeln!(o, "  ]");
@@ -1004,6 +1138,49 @@ mod tests {
             cell.path("faults.transmissions").and_then(Json::as_f64),
             Some(35.0)
         );
+    }
+
+    #[test]
+    fn traffic_doc_round_trips_through_the_parser() {
+        let mut h = LogHistogram::new();
+        h.record_n(2_000_000, 995);
+        h.record_n(40_000_000, 5);
+        let doc = TrafficDoc {
+            version: TrafficDoc::VERSION,
+            seed: 11,
+            hpus: 16,
+            strategy: "RW-CP".to_string(),
+            arrival: "poisson".to_string(),
+            horizon_ps: 1_000_000_000,
+            cells: vec![TrafficCell {
+                app: "MILC/b".to_string(),
+                discipline: "cfcfs".to_string(),
+                offered_load: 0.9,
+                byte_exact: true,
+                tenants: vec![TenantTrafficReport {
+                    tenant: "t0".to_string(),
+                    offered: 1000,
+                    admitted: 950,
+                    completed: 910,
+                    dropped: 60,
+                    retried: 55,
+                    lost: 5,
+                    goodput_gbit: 88.5,
+                    latency: HistSummary::of(&h),
+                }],
+            }],
+        };
+        let v = Json::parse(&doc.to_json()).expect("own output must parse");
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some(TrafficDoc::KIND));
+        assert_eq!(v.get("all_byte_exact"), Some(&Json::Bool(true)));
+        let cell = &v.get("cells").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(cell.get("discipline").and_then(Json::as_str), Some("cfcfs"));
+        let t = &cell.get("tenants").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(t.path("latency.count").and_then(Json::as_f64), Some(1000.0));
+        let p99 = t.path("latency.p99").and_then(Json::as_f64).unwrap();
+        let p999 = t.path("latency.p999").and_then(Json::as_f64).unwrap();
+        assert!(p999 > p99, "the 1% tail must surface in p999");
+        assert_eq!(t.get("dropped").and_then(Json::as_f64), Some(60.0));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Seeded open-loop arrival processes.
+//!
+//! Each tenant owns one sampler: Poisson (exponential interarrivals,
+//! the memoryless baseline) or lognormal (heavy-tailed — bursts of
+//! closely spaced messages followed by long gaps, the regime where
+//! queue-discipline choice separates in the tail). Sampling goes
+//! through [`crate::detmath`] so the drawn gaps are bit-identical on
+//! every platform.
+
+use nca_sim::Time;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::detmath::{exp, ln};
+
+/// An interarrival-gap distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential gaps with the given mean (a Poisson process).
+    Poisson {
+        /// Mean interarrival gap (ps).
+        mean_gap_ps: f64,
+    },
+    /// Lognormal gaps: `median · e^(σ·Z)` with `Z ~ N(0,1)`.
+    LogNormal {
+        /// Median interarrival gap (ps).
+        median_gap_ps: f64,
+        /// Shape parameter σ of the underlying normal (σ ≈ 1.5 gives a
+        /// pronounced heavy tail; σ → 0 degenerates to constant gaps).
+        sigma: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::LogNormal { .. } => "lognormal",
+        }
+    }
+
+    /// The distribution mean (ps). For the lognormal this is
+    /// `median · e^(σ²/2)` — use it to equalize offered load across
+    /// processes.
+    pub fn mean_gap_ps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap_ps } => mean_gap_ps,
+            ArrivalProcess::LogNormal {
+                median_gap_ps,
+                sigma,
+            } => median_gap_ps * exp(sigma * sigma / 2.0),
+        }
+    }
+
+    /// A Poisson process whose mean gap offers `load` (fraction of line
+    /// rate) when `ntenants` tenants of mean message wire time
+    /// `mean_msg_wire_ps` share the link.
+    pub fn poisson_for_load(mean_msg_wire_ps: f64, ntenants: usize, load: f64) -> Self {
+        ArrivalProcess::Poisson {
+            mean_gap_ps: mean_gap_for_load(mean_msg_wire_ps, ntenants, load),
+        }
+    }
+
+    /// A lognormal process with the same *mean* gap as
+    /// [`poisson_for_load`](Self::poisson_for_load) would give — equal
+    /// offered load, heavier tail.
+    pub fn lognormal_for_load(
+        mean_msg_wire_ps: f64,
+        ntenants: usize,
+        load: f64,
+        sigma: f64,
+    ) -> Self {
+        let mean = mean_gap_for_load(mean_msg_wire_ps, ntenants, load);
+        ArrivalProcess::LogNormal {
+            median_gap_ps: mean / exp(sigma * sigma / 2.0),
+            sigma,
+        }
+    }
+}
+
+/// Per-tenant mean interarrival gap (ps) that offers `load` of line
+/// rate across `ntenants` equal tenants.
+pub fn mean_gap_for_load(mean_msg_wire_ps: f64, ntenants: usize, load: f64) -> f64 {
+    assert!(load > 0.0, "offered load must be positive");
+    mean_msg_wire_ps * ntenants.max(1) as f64 / load
+}
+
+/// A stateful sampler: the process plus the tenant's RNG stream and the
+/// spare normal from the Marsaglia polar draw.
+#[derive(Debug, Clone)]
+pub struct GapSampler {
+    process: ArrivalProcess,
+    spare_normal: Option<f64>,
+}
+
+impl GapSampler {
+    /// A sampler for `process`.
+    pub fn new(process: ArrivalProcess) -> Self {
+        GapSampler {
+            process,
+            spare_normal: None,
+        }
+    }
+
+    /// Draw the next interarrival gap in whole picoseconds (≥ 1, so
+    /// arrivals always advance the clock).
+    pub fn next_gap(&mut self, rng: &mut StdRng) -> Time {
+        let gap = match self.process {
+            ArrivalProcess::Poisson { mean_gap_ps } => {
+                // Inverse CDF: −ln(1−u)·mean, u ∈ [0, 1).
+                let u: f64 = rng.random();
+                -ln(1.0 - u) * mean_gap_ps
+            }
+            ArrivalProcess::LogNormal {
+                median_gap_ps,
+                sigma,
+            } => median_gap_ps * exp(sigma * self.next_normal(rng)),
+        };
+        // Clamp into [1, 2^63) ps — a heavy tail can in principle draw
+        // a gap beyond any horizon; one clamped sample just ends the
+        // tenant's schedule.
+        if gap < 1.0 {
+            1
+        } else if gap >= 9.2e18 {
+            i64::MAX as Time
+        } else {
+            gap as Time
+        }
+    }
+
+    /// Standard normal via Marsaglia polar (needs only `ln`/`sqrt`,
+    /// both bit-deterministic; no trig).
+    fn next_normal(&mut self, rng: &mut StdRng) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * ln(s) / s).sqrt();
+                self.spare_normal = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of(process: ArrivalProcess, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = GapSampler::new(process);
+        (0..n).map(|_| s.next_gap(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_empirical_mean_approaches_parameter() {
+        let mean = mean_of(
+            ArrivalProcess::Poisson {
+                mean_gap_ps: 50_000.0,
+            },
+            20_000,
+            7,
+        );
+        assert!((mean - 50_000.0).abs() < 2_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_empirical_mean_matches_closed_form() {
+        let p = ArrivalProcess::LogNormal {
+            median_gap_ps: 40_000.0,
+            sigma: 1.0,
+        };
+        let mean = mean_of(p, 200_000, 9);
+        let want = p.mean_gap_ps();
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "mean {mean} vs closed form {want}"
+        );
+    }
+
+    #[test]
+    fn lognormal_is_heavier_tailed_than_poisson_at_equal_mean() {
+        let wire = 100_000.0;
+        let pois = ArrivalProcess::poisson_for_load(wire, 4, 0.8);
+        let logn = ArrivalProcess::lognormal_for_load(wire, 4, 0.8, 1.5);
+        assert!((pois.mean_gap_ps() - logn.mean_gap_ps()).abs() < 1.0);
+        let draw = |p: ArrivalProcess| -> Vec<Time> {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut s = GapSampler::new(p);
+            let mut v: Vec<Time> = (0..50_000).map(|_| s.next_gap(&mut rng)).collect();
+            v.sort_unstable();
+            v
+        };
+        let (a, b) = (draw(pois), draw(logn));
+        // p999 gap of the heavy-tailed process dwarfs the exponential's.
+        assert!(b[49_950] > 2 * a[49_950], "{} vs {}", b[49_950], a[49_950]);
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_seed() {
+        let p = ArrivalProcess::LogNormal {
+            median_gap_ps: 10_000.0,
+            sigma: 1.5,
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut s = GapSampler::new(p);
+            (0..256).map(|_| s.next_gap(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

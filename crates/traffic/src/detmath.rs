@@ -1,0 +1,138 @@
+//! Bit-deterministic `ln`/`exp` for arrival-process sampling.
+//!
+//! The traffic engine commits byte-exact golden artifacts, and CI
+//! compares runs produced on whatever glibc the runner ships. libm's
+//! `ln`/`exp` are *not* guaranteed to round identically across
+//! implementations, so sampling through `f64::ln` would make the
+//! committed schedule an accident of the build host. These routines use
+//! only IEEE-754 operations with exactly-specified results (`+`, `-`,
+//! `*`, `/`, and bit manipulation), evaluated in a fixed order, so every
+//! platform produces the same bits.
+//!
+//! Accuracy is a few ulp — far below the picosecond rounding of the
+//! sampled interarrival gaps — but the point is determinism, not
+//! last-ulp correctness.
+
+const LN2_HI: f64 = std::f64::consts::LN_2; // nearest f64 to ln 2
+
+/// Natural logarithm, deterministic across platforms. Requires
+/// `x > 0` and finite; out-of-domain inputs panic (the samplers only
+/// pass `1 - u` with `u ∈ [0, 1)` and positive scale factors).
+pub fn ln(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "ln domain: {x}");
+    // Decompose x = m · 2^e exactly via the bit pattern, m ∈ [1, 2).
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    if e == -1023 {
+        // Subnormal: renormalize by scaling up exactly (2^64 is a power
+        // of two, so the multiply is exact).
+        let scaled = x * 18_446_744_073_709_551_616.0; // 2^64
+        let sb = scaled.to_bits();
+        e = ((sb >> 52) & 0x7ff) as i64 - 1023 - 64;
+        m = f64::from_bits((sb & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    }
+    // Center m on 1: for m ≥ √2 use m/2 (exact) and bump the exponent,
+    // so m ∈ [√2/2, √2) and |s| ≤ 3 - 2√2 ≈ 0.1716.
+    if m >= std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    // atanh series: ln(m) = 2·(s + s³/3 + s⁵/5 + …), s = (m-1)/(m+1).
+    let s = (m - 1.0) / (m + 1.0);
+    let s2 = s * s;
+    let mut sum = 0.0;
+    // Fixed 11 terms (k = 21, 19, …, 1), Horner-style from the tail:
+    // s²ᵏ⁺¹ ≤ 0.1716²¹ < 10⁻¹⁶, so the truncation is below double ulp.
+    for k in (0..11).rev() {
+        sum = sum * s2 + 1.0 / (2 * k + 1) as f64;
+    }
+    e as f64 * LN2_HI + 2.0 * s * sum
+}
+
+/// Exponential, deterministic across platforms. Finite inputs only;
+/// extreme magnitudes saturate to 0 / `f64::MAX` rather than producing
+/// platform-dependent edge behavior.
+pub fn exp(x: f64) -> f64 {
+    assert!(x.is_finite(), "exp domain: {x}");
+    if x < -708.0 {
+        return 0.0;
+    }
+    if x > 709.0 {
+        return f64::MAX;
+    }
+    // x = k·ln2 + r with |r| ≤ ln2/2; e^x = 2^k · e^r.
+    let k = (x / LN2_HI + if x >= 0.0 { 0.5 } else { -0.5 }) as i64;
+    let r = x - k as f64 * LN2_HI;
+    // Taylor e^r = Σ rⁿ/n!, 14 fixed terms: |r| ≤ 0.347, and
+    // 0.347¹⁴/14! < 10⁻¹⁸.
+    let mut sum = 1.0;
+    for n in (1..=14u64).rev() {
+        sum = sum * r / n as f64 + 1.0;
+    }
+    // Scale by 2^k exactly through the exponent field (k is within
+    // [-1075, 1024] here; split the scaling to dodge overflow of the
+    // intermediate power for large negative k).
+    scale_pow2(sum, k)
+}
+
+/// `v · 2^k` using only exact power-of-two multiplies.
+fn scale_pow2(v: f64, k: i64) -> f64 {
+    let mut v = v;
+    let mut k = k;
+    while k > 511 {
+        v *= f64::from_bits(((1023 + 511) as u64) << 52);
+        k -= 511;
+    }
+    while k < -511 {
+        v *= f64::from_bits(((1023 - 511) as u64) << 52);
+        k += 511;
+    }
+    v * f64::from_bits(((1023 + k) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_tracks_std_to_twelve_digits() {
+        for &x in &[
+            1e-12, 0.001, 0.5, 0.9999, 1.0, 1.0001, 2.0, 10.0, 12345.678, 1e18,
+        ] {
+            let got = ln(x);
+            let want = f64::ln(x);
+            let tol = want.abs().max(1.0) * 1e-12;
+            assert!((got - want).abs() <= tol, "ln({x}): {got} vs {want}");
+        }
+        assert_eq!(ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn exp_tracks_std_to_twelve_digits() {
+        for &x in &[-700.0, -20.0, -1.0, -1e-9, 0.0, 1e-9, 0.5, 1.0, 20.0, 700.0] {
+            let got = exp(x);
+            let want = f64::exp(x);
+            let tol = want.abs().max(f64::MIN_POSITIVE) * 1e-12;
+            assert!((got - want).abs() <= tol, "exp({x}): {got} vs {want}");
+        }
+        assert_eq!(exp(0.0), 1.0);
+        assert_eq!(exp(-1000.0), 0.0);
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        for &x in &[0.037, 1.0, 2.5, 1e6] {
+            let rt = exp(ln(x));
+            assert!((rt - x).abs() <= x * 1e-12, "round trip {x} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn ln_handles_subnormals() {
+        let tiny = f64::MIN_POSITIVE / 1024.0; // subnormal
+        let got = ln(tiny);
+        let want = f64::ln(tiny);
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+}

@@ -1,0 +1,724 @@
+//! The open-loop traffic engine.
+//!
+//! A cell run drives the sPIN NIC model with many concurrent tenants.
+//! Each tenant owns a seeded arrival process ([`crate::arrival`]), a
+//! message mix over application datatypes, and a strategy; the engine
+//! offers messages open-loop (arrivals do not wait for completions),
+//! admits them against the NIC packet-buffer budget, serializes
+//! admitted packets onto the shared ingress link, and runs the full
+//! receive pipeline — inbound engine, pluggable-discipline HPU
+//! scheduler, real handler execution, DMA/PCIe — to completion.
+//!
+//! Overload shows up as admission rejections: a rejected offer backs
+//! off (capped exponential + seeded jitter, the same policy the
+//! reliability layer's retransmit timers use) and re-offers, up to the
+//! retry budget; past it the message is *lost*. Offer→completion
+//! latency therefore includes backoff delay, link serialization, HPU
+//! queueing and DMA — the end-to-end number a tenant would see.
+//!
+//! Everything is a pure function of the config (seed included): two
+//! runs produce bit-identical schedules, latencies and counters.
+
+use std::collections::HashMap;
+
+use nca_core::runner::Strategy;
+use nca_ddt::pack::{buffer_span, pack, unpack};
+use nca_portals::packet::{packetize_wire, Packet};
+use nca_sim::{FaultInjector, FaultSpec, Sim, Time, TrackedFifo, WireBuf};
+use nca_spin::handler::{DmaWrite, MessageProcessor};
+use nca_spin::params::{NicParams, ReliabilityParams};
+use nca_spin::sched::Scheduler;
+use nca_telemetry::hist::LogHistogram;
+use nca_telemetry::Telemetry;
+use nca_workloads::apps::AppWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrival::{ArrivalProcess, GapSampler};
+use crate::rss::{flow_hash, IndirectionTable};
+
+/// One tenant of a traffic run.
+#[derive(Clone)]
+pub struct TenantSpec {
+    /// Label used in reports (`"t0"`, …).
+    pub name: String,
+    /// The tenant's interarrival process.
+    pub arrival: ArrivalProcess,
+    /// Message mix: each offer picks one workload uniformly.
+    pub mix: Vec<AppWorkload>,
+    /// Receive strategy for every message of this tenant.
+    pub strategy: Strategy,
+}
+
+/// Configuration of one traffic cell run.
+#[derive(Clone)]
+pub struct TrafficConfig {
+    /// NIC parameters; `params.discipline` selects the HPU scheduler.
+    pub params: NicParams,
+    /// Backoff policy for admission retries (rto / backoff_cap /
+    /// rto_max / rto_jitter / max_retries).
+    pub reliability: ReliabilityParams,
+    /// Master seed: arrival schedules and retry jitter derive from it.
+    pub seed: u64,
+    /// Open-loop generation horizon (ps); admitted work drains fully.
+    pub horizon_ps: Time,
+    /// Flows per tenant (RSS steering granularity).
+    pub flows_per_tenant: u64,
+    /// RSS indirection-table slots.
+    pub rss_entries: usize,
+    /// ε scheduling-overhead budget handed to checkpointed strategies.
+    pub epsilon: f64,
+    /// Verify every completed receive buffer against a reference unpack.
+    pub verify: bool,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl TrafficConfig {
+    /// Sensible defaults around a tenant set: 64-slot RSS table, 8
+    /// flows per tenant, 1 ms horizon, verification on.
+    pub fn new(params: NicParams, seed: u64, tenants: Vec<TenantSpec>) -> Self {
+        TrafficConfig {
+            params,
+            reliability: ReliabilityParams::default(),
+            seed,
+            horizon_ps: nca_sim::us(1000),
+            flows_per_tenant: 8,
+            rss_entries: 64,
+            epsilon: 0.2,
+            verify: true,
+            tenants,
+        }
+    }
+}
+
+/// One scheduled offer (before admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledMsg {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Per-tenant message sequence number.
+    pub seq: u64,
+    /// Offer time (ps).
+    pub arrival_ps: Time,
+    /// Index into the tenant's mix.
+    pub mix_idx: usize,
+    /// Flow id within the tenant (RSS steering key).
+    pub flow: u64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate the full offer schedule: per-tenant seeded streams, merged
+/// by `(arrival, tenant, seq)`. Pure function of the config — the
+/// schedule is identical however the run is later parallelized.
+pub fn generate_schedule(cfg: &TrafficConfig) -> Vec<ScheduledMsg> {
+    let mut out = Vec::new();
+    for (t, spec) in cfg.tenants.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(splitmix64(cfg.seed ^ (t as u64).wrapping_mul(0xA5)));
+        let mut sampler = GapSampler::new(spec.arrival);
+        let mut at: Time = 0;
+        let mut seq = 0u64;
+        loop {
+            at = at.saturating_add(sampler.next_gap(&mut rng));
+            if at > cfg.horizon_ps {
+                break;
+            }
+            let mix_idx = if spec.mix.len() > 1 {
+                rng.random_range(0..spec.mix.len())
+            } else {
+                0
+            };
+            let flow = if cfg.flows_per_tenant > 1 {
+                rng.random_range(0..cfg.flows_per_tenant)
+            } else {
+                0
+            };
+            out.push(ScheduledMsg {
+                tenant: t,
+                seq,
+                arrival_ps: at,
+                mix_idx,
+                flow,
+            });
+            seq += 1;
+        }
+    }
+    out.sort_by_key(|m| (m.arrival_ps, m.tenant, m.seq));
+    out
+}
+
+/// Render a schedule as one line per offer — the canonical byte form
+/// determinism tests compare.
+pub fn render_schedule(sched: &[ScheduledMsg]) -> String {
+    use std::fmt::Write as _;
+    let mut o = String::new();
+    for m in sched {
+        let _ = writeln!(
+            o,
+            "t={} tenant={} seq={} mix={} flow={}",
+            m.arrival_ps, m.tenant, m.seq, m.mix_idx, m.flow
+        );
+    }
+    o
+}
+
+/// Per-tenant accounting of one run.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant label.
+    pub name: String,
+    /// Offers generated inside the horizon.
+    pub offered: u64,
+    /// Offers admitted into the NIC.
+    pub admitted: u64,
+    /// Admitted messages that completed.
+    pub completed: u64,
+    /// Admission rejections (each backed-off attempt counts once).
+    pub dropped: u64,
+    /// Re-offers scheduled after a rejection.
+    pub retried: u64,
+    /// Messages abandoned after the retry budget.
+    pub lost: u64,
+    /// Payload bytes of completed messages.
+    pub bytes_completed: u64,
+    /// Offer→completion latency (ps).
+    pub latency: LogHistogram,
+}
+
+impl TenantStats {
+    fn new(name: &str) -> Self {
+        TenantStats {
+            name: name.to_string(),
+            offered: 0,
+            admitted: 0,
+            completed: 0,
+            dropped: 0,
+            retried: 0,
+            lost: 0,
+            bytes_completed: 0,
+            latency: LogHistogram::new(),
+        }
+    }
+}
+
+/// Outcome of one traffic cell run.
+#[derive(Debug, Clone)]
+pub struct TrafficRunResult {
+    /// Per-tenant accounting, in tenant order.
+    pub tenants: Vec<TenantStats>,
+    /// Every completed receive buffer unpacked byte-exactly (always
+    /// true when `verify` was off — nothing was checked).
+    pub byte_exact: bool,
+    /// Last completion time (ps); at least the horizon.
+    pub t_end: Time,
+}
+
+/// A workload instantiated once and shared by every message using it.
+struct CachedWorkload {
+    dt: nca_ddt::types::Datatype,
+    count: u32,
+    packed: WireBuf,
+    expect: Vec<u8>,
+    origin: i64,
+    span: u64,
+}
+
+/// Wire occupancy (ps) of a packed message of `len` bytes under
+/// `params` (payload plus per-packet header bytes at line rate).
+pub fn message_wire_ps(params: &NicParams, len: u64) -> Time {
+    let npkt = len.div_ceil(params.payload_size).max(1);
+    params
+        .line_rate
+        .time_for(len + npkt * params.pkt_header_bytes)
+}
+
+/// Mean wire occupancy (ps) over a tenant mix — the per-message cost
+/// figure offered-load calculations divide by.
+pub fn mean_mix_wire_ps(params: &NicParams, mix: &[AppWorkload]) -> f64 {
+    assert!(!mix.is_empty(), "empty tenant mix");
+    let total: u128 = mix
+        .iter()
+        .map(|w| {
+            let packed = packed_message(&w.dt, w.count);
+            message_wire_ps(params, packed.len() as u64) as u128
+        })
+        .sum();
+    total as f64 / mix.len() as f64
+}
+
+/// The deterministic packed byte pattern every message of a workload
+/// carries (same generator as `core::runner::Experiment`).
+fn packed_message(dt: &nca_ddt::types::Datatype, count: u32) -> Vec<u8> {
+    let (origin, span) = buffer_span(dt, count);
+    let src: Vec<u8> = (0..span as usize)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    pack(dt, count, &src, origin).expect("packable")
+}
+
+struct MsgState {
+    tenant: usize,
+    wl: usize,
+    flow: u64,
+    offered_at: Time,
+    packets: Vec<Packet>,
+    proc: Box<dyn MessageProcessor>,
+    host_buf: Vec<u8>,
+    host_origin: i64,
+    pending_payload: u64,
+    completion_dispatched: bool,
+}
+
+struct TrafficWorld {
+    params: NicParams,
+    rel: ReliabilityParams,
+    /// Seeded jitter source for admission-retry backoff (the fault
+    /// spec is inert: only the jitter lane is drawn).
+    jitter_src: FaultInjector,
+    epsilon: f64,
+    verify: bool,
+    cache: Vec<CachedWorkload>,
+    /// `(tenant, mix_idx)` → cache slot.
+    mix_slot: Vec<Vec<usize>>,
+    strategies: Vec<Strategy>,
+    schedule: Vec<ScheduledMsg>,
+    rss: IndirectionTable,
+    msgs: Vec<MsgState>,
+    sched: Scheduler<(usize, u64)>,
+    dma_queue: TrackedFifo<(usize, DmaWrite)>,
+    dma_chan_busy: Vec<bool>,
+    link_free: Time,
+    inflight_bytes: u64,
+    stats: Vec<TenantStats>,
+    byte_exact: bool,
+    t_end: Time,
+}
+
+impl TrafficWorld {
+    fn offer(&mut self, sim: &mut Sim<TrafficWorld>, sched_idx: usize, attempt: u32) {
+        let m = self.schedule[sched_idx];
+        let wl = self.mix_slot[m.tenant][m.mix_idx];
+        let bytes = self.cache[wl].packed.len() as u64;
+        if self.inflight_bytes + bytes > self.params.pkt_buffer_bytes {
+            // Admission rejection: the NIC's packet buffer cannot hold
+            // another in-flight message. Back off and re-offer.
+            self.stats[m.tenant].dropped += 1;
+            if attempt < self.rel.max_retries {
+                self.stats[m.tenant].retried += 1;
+                let shift = attempt.min(self.rel.backoff_cap);
+                let backoff = (self.rel.rto << shift).min(self.rel.rto_max.max(self.rel.rto));
+                let jitter =
+                    self.jitter_src
+                        .jitter(sched_idx as u64, 0, attempt, self.rel.rto_jitter);
+                sim.schedule_in(backoff + jitter, move |w, s| {
+                    w.offer(s, sched_idx, attempt + 1)
+                });
+            } else {
+                self.stats[m.tenant].lost += 1;
+            }
+            return;
+        }
+        self.admit(sim, sched_idx);
+    }
+
+    fn admit(&mut self, sim: &mut Sim<TrafficWorld>, sched_idx: usize) {
+        let m = self.schedule[sched_idx];
+        let wl = self.mix_slot[m.tenant][m.mix_idx];
+        let run = self.msgs.len();
+        let (proc, packed, span, origin) = {
+            let c = &self.cache[wl];
+            let proc = self.strategies[m.tenant].build(
+                &c.dt,
+                c.count,
+                self.params.clone(),
+                self.epsilon,
+                Telemetry::disabled(),
+            );
+            (proc, c.packed.clone(), c.span, c.origin)
+        };
+        let packets = packetize_wire(run as u64, &packed, self.params.payload_size);
+        self.inflight_bytes += packed.len() as u64;
+        self.stats[m.tenant].admitted += 1;
+        // Serialize onto the shared ingress link FIFO from now (or from
+        // whenever the link frees up).
+        let now = sim.now();
+        let mut begin = self.link_free.max(now);
+        for (i, pkt) in packets.iter().enumerate() {
+            let end = begin + self.params.pkt_wire_time(pkt.len);
+            let at = end + self.params.net_latency;
+            sim.schedule(at, move |w, s| w.packet_arrival(s, run, i));
+            begin = end;
+        }
+        self.link_free = begin;
+        self.msgs.push(MsgState {
+            tenant: m.tenant,
+            wl,
+            flow: m.flow,
+            offered_at: m.arrival_ps,
+            pending_payload: packets.len() as u64,
+            packets,
+            proc,
+            host_buf: vec![0u8; span as usize],
+            host_origin: origin,
+            completion_dispatched: false,
+        });
+    }
+
+    fn packet_arrival(&mut self, sim: &mut Sim<TrafficWorld>, run: usize, idx: usize) {
+        let len = self.msgs[run].packets[idx].len;
+        let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(len);
+        sim.schedule_in(inbound, move |w, s| w.her_ready(s, run, idx));
+    }
+
+    fn her_ready(&mut self, sim: &mut Sim<TrafficWorld>, run: usize, idx: usize) {
+        let st = &self.msgs[run];
+        let seq = st.packets[idx].seq;
+        let vhpu = st.proc.policy().vhpu_of(seq);
+        let hint = self.rss.hpu_for(flow_hash(st.tenant, st.flow));
+        self.sched.enqueue((run, vhpu), idx, hint);
+        self.try_dispatch(sim);
+    }
+
+    fn try_dispatch(&mut self, sim: &mut Sim<TrafficWorld>) {
+        while let Some(d) = self.sched.next_dispatch() {
+            let (key, idx, hpu) = (d.key, d.pkt, d.hpu);
+            let dispatch = self.params.sched_dispatch;
+            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, key, idx, hpu));
+        }
+    }
+
+    fn run_handler(
+        &mut self,
+        sim: &mut Sim<TrafficWorld>,
+        key: (usize, u64),
+        idx: usize,
+        hpu: usize,
+    ) {
+        let (run, vhpu) = key;
+        let st = &mut self.msgs[run];
+        let hdr = st.packets[idx].hdr;
+        let ctx = nca_spin::handler::PacketCtx {
+            payload: &st.packets[idx].payload,
+            stream_offset: hdr.offset,
+            seq: hdr.seq,
+            npkt: st.packets.len() as u64,
+            vhpu,
+            now: sim.now(),
+        };
+        let out = st.proc.on_payload(&ctx);
+        let runtime = out.cost.total();
+        sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, hpu, out.dma));
+    }
+
+    fn handler_done(
+        &mut self,
+        sim: &mut Sim<TrafficWorld>,
+        key: (usize, u64),
+        hpu: usize,
+        dma: Vec<DmaWrite>,
+    ) {
+        let (run, _) = key;
+        for w in dma {
+            self.enqueue_dma(sim, run, w);
+        }
+        self.sched.done(key, hpu);
+        self.msgs[run].pending_payload -= 1;
+        if self.msgs[run].pending_payload == 0 && !self.msgs[run].completion_dispatched {
+            self.msgs[run].completion_dispatched = true;
+            let dispatch = self.params.sched_dispatch;
+            sim.schedule_in(dispatch, move |w, s| {
+                let out = w.msgs[run].proc.on_completion();
+                let runtime = out.cost.total();
+                s.schedule_in(runtime, move |w2, s2| {
+                    for wr in out.dma {
+                        w2.enqueue_dma(s2, run, wr);
+                    }
+                });
+            });
+        }
+        self.try_dispatch(sim);
+    }
+
+    fn enqueue_dma(&mut self, sim: &mut Sim<TrafficWorld>, run: usize, w: DmaWrite) {
+        self.dma_queue.push(sim.now(), (run, w));
+        self.kick_dma(sim);
+    }
+
+    fn kick_dma(&mut self, sim: &mut Sim<TrafficWorld>) {
+        while let Some(chan) = self.dma_chan_busy.iter().position(|&b| !b) {
+            if let Some((_, front)) = self.dma_queue.front() {
+                // Event writes must not overtake in-flight data writes.
+                if front.event && self.dma_chan_busy.iter().any(|&b| b) {
+                    return;
+                }
+            }
+            let Some((run, w)) = self.dma_queue.pop(sim.now()) else {
+                return;
+            };
+            self.dma_chan_busy[chan] = true;
+            let service = self.params.dma_service_time(w.data.len() as u64);
+            let landing = self.params.pcie_latency;
+            sim.schedule_in(service, move |world, s| {
+                world.dma_chan_busy[chan] = false;
+                s.schedule_in(landing, move |w2, s2| {
+                    let t = s2.now();
+                    w2.dma_landed(t, run, &w);
+                });
+                world.kick_dma(s);
+            });
+        }
+    }
+
+    fn dma_landed(&mut self, t: Time, run: usize, w: &DmaWrite) {
+        let st = &mut self.msgs[run];
+        if !w.data.is_empty() {
+            let start = (w.host_off - st.host_origin) as usize;
+            st.host_buf[start..start + w.data.len()].copy_from_slice(&w.data);
+        }
+        if w.event {
+            self.complete(t, run);
+        }
+    }
+
+    fn complete(&mut self, t: Time, run: usize) {
+        let st = &mut self.msgs[run];
+        let c = &self.cache[st.wl];
+        if self.verify && st.host_buf != c.expect {
+            self.byte_exact = false;
+        }
+        let stats = &mut self.stats[st.tenant];
+        stats.completed += 1;
+        stats.bytes_completed += c.packed.len() as u64;
+        stats.latency.record(t.saturating_sub(st.offered_at));
+        self.inflight_bytes -= c.packed.len() as u64;
+        self.t_end = self.t_end.max(t);
+        // The buffer and packets are dead weight from here; a soak run
+        // admits tens of thousands of messages.
+        st.host_buf = Vec::new();
+        st.packets = Vec::new();
+    }
+}
+
+/// Run one traffic cell to completion.
+pub fn run_traffic(cfg: &TrafficConfig) -> TrafficRunResult {
+    assert!(!cfg.tenants.is_empty(), "at least one tenant");
+    // Instantiate each distinct workload once, shared across tenants.
+    let mut cache: Vec<CachedWorkload> = Vec::new();
+    let mut by_label: HashMap<String, usize> = HashMap::new();
+    let mut mix_slot: Vec<Vec<usize>> = Vec::new();
+    for spec in &cfg.tenants {
+        assert!(
+            !spec.mix.is_empty(),
+            "tenant {} has an empty mix",
+            spec.name
+        );
+        let mut slots = Vec::with_capacity(spec.mix.len());
+        for w in &spec.mix {
+            let label = w.label();
+            let slot = *by_label.entry(label).or_insert_with(|| {
+                let (origin, span) = buffer_span(&w.dt, w.count);
+                let packed: WireBuf = packed_message(&w.dt, w.count).into();
+                let mut expect = vec![0u8; span as usize];
+                unpack(&w.dt, w.count, &packed, &mut expect, origin).expect("unpackable");
+                cache.push(CachedWorkload {
+                    dt: w.dt.clone(),
+                    count: w.count,
+                    packed,
+                    expect,
+                    origin,
+                    span,
+                });
+                cache.len() - 1
+            });
+            slots.push(slot);
+        }
+        mix_slot.push(slots);
+    }
+    let schedule = generate_schedule(cfg);
+    let mut stats: Vec<TenantStats> = cfg
+        .tenants
+        .iter()
+        .map(|t| TenantStats::new(&t.name))
+        .collect();
+    for m in &schedule {
+        stats[m.tenant].offered += 1;
+    }
+    let mut world = TrafficWorld {
+        params: cfg.params.clone(),
+        rel: cfg.reliability.clone(),
+        jitter_src: FaultInjector::new(FaultSpec::inert().with_seed(splitmix64(cfg.seed ^ 0x7261))),
+        epsilon: cfg.epsilon,
+        verify: cfg.verify,
+        cache,
+        mix_slot,
+        strategies: cfg.tenants.iter().map(|t| t.strategy).collect(),
+        schedule: schedule.clone(),
+        rss: IndirectionTable::new(cfg.rss_entries, cfg.params.hpus),
+        msgs: Vec::new(),
+        sched: Scheduler::new(cfg.params.discipline, cfg.params.hpus),
+        dma_queue: TrackedFifo::new(false),
+        dma_chan_busy: vec![false; cfg.params.dma_channels.max(1)],
+        link_free: 0,
+        inflight_bytes: 0,
+        stats,
+        byte_exact: true,
+        t_end: cfg.horizon_ps,
+    };
+    let mut sim: Sim<TrafficWorld> = Sim::new();
+    for (i, m) in schedule.iter().enumerate() {
+        let at = m.arrival_ps;
+        sim.schedule(at, move |w, s| w.offer(s, i, 0));
+    }
+    sim.run(&mut world);
+    debug_assert_eq!(world.inflight_bytes, 0, "all admitted work must drain");
+    TrafficRunResult {
+        tenants: world.stats,
+        byte_exact: world.byte_exact,
+        t_end: world.t_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nca_spin::sched::QueueDiscipline;
+    use nca_workloads::apps;
+
+    fn small_mix() -> Vec<AppWorkload> {
+        // Pick the two smallest COMB inputs: single-packet messages run
+        // fast and still exercise the full pipeline.
+        apps::comb().into_iter().take(2).collect()
+    }
+
+    fn cfg(load: f64, discipline: QueueDiscipline, seed: u64) -> TrafficConfig {
+        let mut params = NicParams::with_hpus(8);
+        params.discipline = discipline;
+        let wire = mean_mix_wire_ps(&params, &small_mix());
+        let tenants: Vec<TenantSpec> = (0..3)
+            .map(|t| TenantSpec {
+                name: format!("t{t}"),
+                arrival: ArrivalProcess::poisson_for_load(wire, 3, load),
+                mix: small_mix(),
+                strategy: Strategy::RwCp,
+            })
+            .collect();
+        let mut c = TrafficConfig::new(params, seed, tenants);
+        c.horizon_ps = nca_sim::us(300);
+        c
+    }
+
+    #[test]
+    fn light_load_completes_everything_byte_exact() {
+        let r = run_traffic(&cfg(0.3, QueueDiscipline::BlockedRR, 1));
+        assert!(r.byte_exact);
+        for t in &r.tenants {
+            assert!(t.offered > 0, "{}: no offers inside horizon", t.name);
+            assert_eq!(
+                t.admitted, t.offered,
+                "{}: light load must admit all",
+                t.name
+            );
+            assert_eq!(t.completed, t.admitted);
+            assert_eq!(t.lost, 0);
+            assert!(t.latency.count() == t.completed);
+        }
+    }
+
+    #[test]
+    fn runs_are_a_pure_function_of_the_seed() {
+        let a = run_traffic(&cfg(0.8, QueueDiscipline::CFcfs, 42));
+        let b = run_traffic(&cfg(0.8, QueueDiscipline::CFcfs, 42));
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.dropped, y.dropped);
+            assert_eq!(x.latency, y.latency);
+        }
+        assert_eq!(a.t_end, b.t_end);
+        // A different seed draws a different schedule.
+        let c = run_traffic(&cfg(0.8, QueueDiscipline::CFcfs, 43));
+        assert_ne!(
+            a.tenants.iter().map(|t| t.offered).collect::<Vec<_>>(),
+            c.tenants.iter().map(|t| t.offered).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn overload_drops_and_accounting_balances() {
+        // 4× line rate into a tiny packet buffer: admission must reject.
+        let mut c = cfg(4.0, QueueDiscipline::BlockedRR, 7);
+        c.params.pkt_buffer_bytes = 4 << 10;
+        c.reliability.max_retries = 2;
+        let r = run_traffic(&c);
+        let drops: u64 = r.tenants.iter().map(|t| t.dropped).sum();
+        let lost: u64 = r.tenants.iter().map(|t| t.lost).sum();
+        assert!(drops > 0, "4x overload must reject offers");
+        assert!(
+            lost > 0,
+            "retry budget must exhaust under sustained overload"
+        );
+        for t in &r.tenants {
+            assert_eq!(t.admitted + t.lost, t.offered, "{}: conservation", t.name);
+            assert_eq!(t.completed, t.admitted, "admitted work drains");
+            assert_eq!(
+                t.dropped,
+                t.retried + t.lost,
+                "each rejection retries or loses"
+            );
+        }
+        assert!(
+            r.byte_exact,
+            "completed messages stay byte-exact under overload"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_offered_load() {
+        let lo = run_traffic(&cfg(0.2, QueueDiscipline::BlockedRR, 5));
+        let hi = run_traffic(&cfg(1.5, QueueDiscipline::BlockedRR, 5));
+        let p99 = |r: &TrafficRunResult| {
+            let mut h = LogHistogram::new();
+            for t in &r.tenants {
+                h.merge(&t.latency);
+            }
+            h.percentile_ps(99.0)
+        };
+        assert!(
+            p99(&hi) > p99(&lo),
+            "queueing must show in the tail: {} vs {}",
+            p99(&hi),
+            p99(&lo)
+        );
+    }
+
+    #[test]
+    fn all_disciplines_run_all_strategies_byte_exact() {
+        for d in QueueDiscipline::ALL {
+            for s in [Strategy::Specialized, Strategy::HpuLocal] {
+                let mut c = cfg(0.7, d, 11);
+                c.horizon_ps = nca_sim::us(120);
+                for t in &mut c.tenants {
+                    t.strategy = s;
+                }
+                let r = run_traffic(&c);
+                assert!(r.byte_exact, "{} / {}", d.label(), s.label());
+                assert!(r.tenants.iter().any(|t| t.completed > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_renders_deterministically() {
+        let c = cfg(0.5, QueueDiscipline::BlockedRR, 99);
+        let a = render_schedule(&generate_schedule(&c));
+        let b = render_schedule(&generate_schedule(&c));
+        assert_eq!(a, b);
+        assert!(a.lines().count() > 10, "horizon should yield many offers");
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`loggopsim`] — LogGOPS simulator + FFT2D strong scaling.
 //! * [`mpi`] — mini message-passing layer tying it all together.
 //! * [`workloads`] — the thirteen application datatypes of Fig. 16.
+//! * [`traffic`] — open-loop multi-tenant traffic engine with
+//!   per-tenant tail-latency accounting over the queue disciplines.
 //!
 //! ## Quickstart
 //!
@@ -49,4 +51,5 @@ pub use nca_pulp as pulp;
 pub use nca_sim as sim;
 pub use nca_spin as spin;
 pub use nca_telemetry as telemetry;
+pub use nca_traffic as traffic;
 pub use nca_workloads as workloads;

@@ -1,0 +1,167 @@
+//! End-to-end tests of the `nca-traffic` engine through the `ncmt`
+//! facade, plus the golden gate for the committed `ncmt-traffic`
+//! artifact: the baseline in `tests/golden/traffic_baseline.json` must
+//! reproduce byte-for-byte on any host at any worker count.
+
+use ncmt::core::runner::Strategy;
+use ncmt::sim::Pool;
+use ncmt::spin::sched::QueueDiscipline;
+use ncmt::telemetry::report::{Json, TrafficDoc};
+use ncmt::traffic::{run_traffic, traffic_sweep, ArrivalKind, TenantStats, TrafficSweepSpec};
+
+/// The spec behind `tests/golden/traffic_baseline.json`. Regenerate
+/// with the command in the golden test's failure message.
+fn golden_spec() -> TrafficSweepSpec {
+    let mut s = TrafficSweepSpec::new(1);
+    s.apps = vec!["COMB/b".into(), "NAS-MG/a".into()];
+    s.loads = vec![0.4, 1.0];
+    s.disciplines = QueueDiscipline::ALL.to_vec();
+    s.tenants = 3;
+    s.hpus = 8;
+    s.horizon_ps = ncmt::sim::us(200);
+    s
+}
+
+#[test]
+fn golden_traffic_baseline_reproduces_byte_identically() {
+    let path = format!(
+        "{}/tests/golden/traffic_baseline.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let want =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    let got = traffic_sweep(&golden_spec(), &Pool::from_env(None)).to_json();
+    assert_eq!(
+        got, want,
+        "traffic engine drifted from its golden artifact; if the model \
+         change is intended, regenerate with \
+         `cargo test --test traffic_engine -- --ignored regenerate` \
+         and commit the new {path}"
+    );
+}
+
+/// Not a test: rewrites the golden artifact. Run explicitly via
+/// `cargo test --test traffic_engine -- --ignored regenerate`.
+#[test]
+#[ignore]
+fn regenerate_golden_traffic_baseline() {
+    let path = format!(
+        "{}/tests/golden/traffic_baseline.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let doc = traffic_sweep(&golden_spec(), &Pool::from_env(None));
+    std::fs::write(&path, doc.to_json()).expect("write golden");
+}
+
+#[test]
+fn golden_artifact_round_trips_through_the_parser() {
+    let doc = traffic_sweep(&golden_spec(), &Pool::from_env(None));
+    let json = doc.to_json();
+    let parsed = Json::parse(&json).expect("self-emitted JSON parses");
+    assert_eq!(
+        parsed.get("kind").and_then(Json::as_str),
+        Some(TrafficDoc::KIND)
+    );
+    assert_eq!(parsed.get("seed").and_then(Json::as_f64), Some(1.0));
+    let cells = parsed.get("cells").and_then(Json::as_arr).expect("cells");
+    assert_eq!(cells.len(), doc.cells.len());
+    for (cell, c) in cells.iter().zip(&doc.cells) {
+        assert_eq!(cell.get("app").and_then(Json::as_str), Some(c.app.as_str()));
+        let tenants = cell.get("tenants").and_then(Json::as_arr).expect("tenants");
+        assert_eq!(tenants.len(), c.tenants.len());
+        for (tj, t) in tenants.iter().zip(&c.tenants) {
+            assert_eq!(
+                tj.get("offered").and_then(Json::as_f64),
+                Some(t.offered as f64)
+            );
+            assert_eq!(
+                tj.path("latency.p999").and_then(Json::as_f64),
+                Some(t.latency.p999 as f64)
+            );
+        }
+    }
+}
+
+#[test]
+fn disciplines_separate_in_the_tail_under_skewed_steering() {
+    // dFCFS serves per-HPU FIFOs fed by the RSS hash; with few flows the
+    // table maps traffic onto a few HPUs and the tail inflates relative
+    // to work-conserving cFCFS over the same arrival schedule.
+    let mut s = golden_spec();
+    s.apps = vec!["COMB/b".into()];
+    s.loads = vec![0.6];
+    s.flows_per_tenant = 2;
+    let doc = traffic_sweep(&s, &Pool::from_env(None));
+    let p99_of = |label: &str| -> u64 {
+        doc.cells
+            .iter()
+            .find(|c| c.discipline == label)
+            .expect(label)
+            .tenants
+            .iter()
+            .map(|t| t.latency.p99)
+            .max()
+            .expect("tenants")
+    };
+    assert!(
+        p99_of("dfcfs") > p99_of("cfcfs"),
+        "steering imbalance must show: dfcfs {} vs cfcfs {}",
+        p99_of("dfcfs"),
+        p99_of("cfcfs")
+    );
+}
+
+#[test]
+fn heavy_tailed_arrivals_inflate_the_tail_at_equal_load() {
+    // At 0.3 offered load the system is stable, so the tail reflects
+    // arrival burstiness, not saturation (where every process pins the
+    // latency near the horizon and the comparison degenerates).
+    let mut pois = golden_spec();
+    pois.apps = vec!["COMB/b".into()];
+    pois.loads = vec![0.3];
+    pois.disciplines = vec![QueueDiscipline::BlockedRR];
+    let mut logn = pois.clone();
+    logn.arrival = ArrivalKind::LogNormal;
+    let tail = |spec: &TrafficSweepSpec| -> u64 {
+        traffic_sweep(spec, &Pool::from_env(None)).cells[0]
+            .tenants
+            .iter()
+            .map(|t| t.latency.p99)
+            .max()
+            .expect("tenants")
+    };
+    assert!(
+        tail(&logn) > tail(&pois),
+        "bursty lognormal arrivals must queue deeper than Poisson"
+    );
+}
+
+#[test]
+fn strategies_and_specialized_pipeline_compose_with_the_engine() {
+    // The engine is strategy-agnostic: the specialized processor (whose
+    // Default policy spreads packets over any free HPU) completes the
+    // same offered schedule the RW-CP tenants do.
+    let mut s = golden_spec();
+    s.apps = vec!["NAS-MG/a".into()];
+    s.loads = vec![0.5];
+    s.disciplines = vec![QueueDiscipline::CFcfs];
+    s.strategy = Strategy::Specialized;
+    let doc = traffic_sweep(&s, &Pool::from_env(None));
+    assert!(doc.all_byte_exact());
+    let cell = &doc.cells[0];
+    for t in &cell.tenants {
+        assert_eq!(t.completed + t.lost, t.offered);
+        assert!(t.completed > 0);
+    }
+}
+
+#[test]
+fn run_traffic_exposes_per_tenant_stats_directly() {
+    let cfg = golden_spec().cell_config("COMB/b", 0.4, QueueDiscipline::BlockedRR);
+    let r = run_traffic(&cfg);
+    assert_eq!(r.tenants.len(), 3);
+    let total: u64 = r.tenants.iter().map(|t: &TenantStats| t.completed).sum();
+    assert!(total > 0);
+    assert!(r.byte_exact);
+    assert!(r.t_end >= cfg.horizon_ps);
+}
