@@ -113,10 +113,72 @@ fn bench_strategies(c: &mut Criterion) {
     g.finish();
 }
 
+/// The CI telemetry-overhead gate (ISSUE 7): one RW-CP receive carried
+/// through to the rollups both ways. The `stream` arm runs with
+/// aggregation **on** — events fold into a [`StreamingRecorder`] at
+/// emission, and reading the rollups afterwards touches only the tiny
+/// reducer state. The `ring` arm runs with aggregation **fully off** —
+/// every event is retained, and the identical rollups (byte-identical,
+/// CI-enforced by `tests/streaming_equiv.rs`) are computed from the
+/// retained stream afterwards. Both arms pay the same emission cost and
+/// deliver the same result, so the ratio is exactly what streaming
+/// aggregation costs relative to retention; CI fails when `stream`
+/// exceeds `ring` by more than 5%.
+///
+/// A receive emits one event per ~35 ns of simulated host work, so any
+/// per-event sink — even one that discards — reads as a large fraction
+/// of a telemetry-disabled run; `disabled` is recorded for context
+/// (the pay-for-use cost of capture as a whole), not as the baseline.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use nca_telemetry::aggregate::rollup;
+    use nca_telemetry::{Recorder, StreamingRecorder};
+
+    let dt = Datatype::vector(512, 16, 32, &elem::double()); // 64 KiB
+    let params = NicParams::with_hpus(16);
+    let (origin, span) = buffer_span(&dt, 1);
+    let src = pattern(span as usize);
+    let packed: WireBuf = pack(&dt, 1, &src, origin).expect("packable").into();
+    let s = Strategy::RwCp;
+    let receive = |tel: &Telemetry| {
+        let mut cfg = RunConfig::new(params.clone());
+        cfg.telemetry = tel.clone();
+        let proc = s.build(&dt, 1, params.clone(), 0.2, tel.clone());
+        ReceiveSim::run(proc, packed.clone(), origin, span, &cfg).t_complete
+    };
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::from_parameter("ring"), |b| {
+        b.iter(|| {
+            // Big enough that nothing drops (a receive emits ~4.3k
+            // events); retention must see the whole stream.
+            let (tel, ring) = Telemetry::ring(1 << 13);
+            receive(&tel);
+            rollup(&ring.events())
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("stream"), |b| {
+        b.iter(|| {
+            let rec = Arc::new(StreamingRecorder::new(1_000_000));
+            let tel = Telemetry::with_recorder(rec.clone() as Arc<dyn Recorder>);
+            receive(&tel);
+            rec.take().rollups()
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| receive(&tel))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_contig_pkts,
     bench_contig_bytes,
-    bench_strategies
+    bench_strategies,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -16,23 +16,26 @@
 //! ncmt_cli list
 //! ```
 
-use nca_core::report::{report_config, strategy_report};
-use nca_core::runner::{Experiment, Strategy};
+use nca_core::report::{report_config, strategy_report, UTILIZATION_BUCKET_PS};
+use nca_core::runner::{CaptureSpec, Experiment, Strategy};
 use nca_core::sweep::{cell_ok, FaultSweepSpec};
 use nca_ddt::normalize::classify;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
-use nca_sim::{FaultSpec, Pool};
+use nca_sim::{profile, FaultSpec, Pool};
 use nca_spin::params::NicParams;
 use nca_spin::sched::QueueDiscipline;
 use nca_telemetry::export;
-use nca_telemetry::report::{diff_reports, FaultSweepDoc, Json, RunReportDoc, DEFAULT_THRESHOLD};
+use nca_telemetry::report::{
+    diff_reports, FaultSweepDoc, Json, ProfileDoc, ProfilePhase, ProfileWorker, RunReportDoc,
+    DEFAULT_THRESHOLD,
+};
 use nca_traffic::{app_group, traffic_sweep, ArrivalKind, TrafficSweepSpec, APP_GROUPS};
 use nca_workloads::apps::all_workloads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every subcommand, for help text and the unknown-subcommand message.
-const SUBCOMMANDS: [&str; 7] = [
+const SUBCOMMANDS: [&str; 8] = [
     "vector",
     "indexed",
     "app",
@@ -40,6 +43,7 @@ const SUBCOMMANDS: [&str; 7] = [
     "report-diff",
     "fault-sweep",
     "traffic",
+    "profile",
 ];
 
 /// Whether the args ask for help (`--help`/`-h` anywhere).
@@ -112,9 +116,14 @@ subcommands:
   traffic [--apps A --loads L ...]             open-loop multi-tenant traffic sweep:
                                                offered-load × discipline grid with
                                                per-tenant p50/p99/p999 + drop counts
+  profile [--count N ...]                      self-profile a serial strategy sweep:
+                                               attribute host wall-clock to simulator
+                                               phases (event queue, handlers, DMA
+                                               copies, telemetry, allocation) and
+                                               write an ncmt-profile JSON artifact
 
-`ncmt_cli fault-sweep --help` / `ncmt_cli traffic --help` print the full
-per-subcommand flag reference.
+`ncmt_cli fault-sweep --help` / `ncmt_cli traffic --help` /
+`ncmt_cli profile --help` print the full per-subcommand flag reference.
 
 fault flags (vector/indexed/app/fault-sweep):
   --drop P        per-packet drop probability (default 0)
@@ -179,7 +188,15 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
     );
     // All strategies run as independent pool jobs; printing happens
     // after the barrier, in Strategy::ALL order, from the merged sweep.
-    let sweep = exp.run_all_modeled(&jobs, capture);
+    // Alongside the raw ring, each job folds its events into a
+    // bounded streaming aggregate (utilization block, counter tracks).
+    let sweep = exp.run_all_captured(
+        &jobs,
+        CaptureSpec {
+            ring_capacity: capture,
+            stream_bucket_ps: capture.is_some().then_some(UTILIZATION_BUCKET_PS),
+        },
+    );
     for (s, run) in &sweep.runs {
         let rel = if faulty {
             let r = &run.report.rel;
@@ -223,10 +240,27 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         println!("\nreceive buffers byte-verified ✓");
     }
     if capture.is_some() {
+        if sweep.dropped > 0 {
+            eprintln!(
+                "warning: trace ring dropped {} event(s); the exported trace is a \
+                 suffix of the run (see trace_dropped_events in the report)",
+                sweep.dropped
+            );
+        }
         let events = sweep.events;
         if let Some(path) = &trace_out {
-            std::fs::write(path, export::chrome_trace_json(&events))
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            // Streaming time series ride along as Perfetto counter
+            // tracks, scoped per strategy like the raw events.
+            let aggs: Vec<(&str, &nca_telemetry::StreamAggregate)> = sweep
+                .aggregates
+                .iter()
+                .map(|(s, a)| (s.label(), a))
+                .collect();
+            std::fs::write(
+                path,
+                export::chrome_trace_json_with_aggregates(&events, &aggs),
+            )
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             let dropped = sweep.dropped;
             println!(
                 "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
@@ -241,6 +275,7 @@ fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
         if let Some(path) = &report_out {
             let doc = RunReportDoc {
                 version: RunReportDoc::VERSION,
+                trace_dropped_events: sweep.dropped,
                 config: report_config(&exp),
                 strategies: sweep
                     .runs
@@ -541,6 +576,142 @@ fn traffic(args: &[String]) -> ! {
     std::process::exit(0)
 }
 
+fn profile_usage() -> ! {
+    println!(
+        "ncmt_cli profile — simulator self-profiler
+
+Runs the full strategy sweep serially with the self-profiler on and
+attributes the host wall-clock of the sweep to simulator phases:
+event-queue operations, handler execution, DMA-copy kernels, telemetry
+emission, and allocation/packing. Phases nest innermost-wins, so the
+totals are disjoint and tile the wall-clock exactly
+(attributed + other = wall).
+
+flags:
+  --count N       vector blocks of the profiled datatype (default 512)
+  --blocklen B    block length in doubles (default 16)
+  --stride S      block stride (default 32)
+  --copies N      datatype repetition count (default 1)
+  --hpus N        handler processing units (default 16)
+  --epsilon E     RW-CP scheduling-overhead bound (default 0.2)
+  --out F         write the ncmt-profile JSON artifact to F
+
+needs a binary compiled with the nca-sim `self-profile` feature (the
+nca-bench build turns it on); otherwise the subcommand exits 2."
+    );
+    std::process::exit(0)
+}
+
+/// `profile`: run the strategy sweep serially under the self-profiler
+/// and render/write the `ncmt-profile` phase attribution.
+fn profile_cmd(args: &[String]) -> ! {
+    if wants_help(args) {
+        profile_usage();
+    }
+    if !profile::is_compiled() {
+        die("this binary was built without the nca-sim `self-profile` feature");
+    }
+    let count = flag_u64(args, "--count", 512) as u32;
+    let blocklen = flag_u64(args, "--blocklen", 16) as u32;
+    let stride = flag_u64(args, "--stride", 32) as i64;
+    let copies = flag_u64(args, "--copies", 1) as u32;
+    let hpus = flag_u64(args, "--hpus", 16) as usize;
+    let out = flag(args, "--out");
+
+    let dt = Datatype::vector(count, blocklen, stride, &elem::double());
+    let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
+    exp.epsilon = flag_f64(args, "--epsilon", 0.2);
+    let command = format!(
+        "profile vector --count {count} --blocklen {blocklen} --stride {stride} \
+         --copies {copies} --hpus {hpus}"
+    );
+    println!(
+        "profiling: {} × {copies}, {hpus} HPUs (serial sweep)",
+        dt.signature()
+    );
+
+    // Serial pool: the whole sweep runs on this thread, so the profile
+    // is one clean timeline under worker 0. Streaming aggregation stays
+    // on so the telemetry phase reflects the production emission path.
+    profile::reset();
+    profile::set_enabled(true);
+    let wall = std::time::Instant::now();
+    let sweep = exp.run_all_captured(
+        &Pool::serial(),
+        CaptureSpec {
+            ring_capacity: None,
+            stream_bucket_ps: Some(UTILIZATION_BUCKET_PS),
+        },
+    );
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    profile::set_enabled(false);
+    let snap = profile::snapshot();
+    profile::reset();
+    drop(sweep);
+
+    let doc = ProfileDoc {
+        version: ProfileDoc::VERSION,
+        command,
+        wall_ns,
+        workers: snap
+            .iter()
+            .map(|w| ProfileWorker {
+                worker: w.worker as u64,
+                phases: profile::Phase::ALL
+                    .iter()
+                    .map(|p| ProfilePhase {
+                        phase: p.label().to_string(),
+                        ns: w.ns[p.index()],
+                        count: w.counts[p.index()],
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+
+    println!();
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "phase", "ms", "enters", "% wall"
+    );
+    for p in doc.totals() {
+        println!(
+            "{:<14} {:>12.3} {:>12} {:>8.1}",
+            p.phase,
+            p.ns as f64 / 1e6,
+            p.count,
+            if wall_ns > 0 {
+                p.ns as f64 / wall_ns as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    println!(
+        "{:<14} {:>12.3} {:>12} {:>8.1}",
+        "other",
+        doc.other_ns() as f64 / 1e6,
+        "",
+        if wall_ns > 0 {
+            doc.other_ns() as f64 / wall_ns as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "{:<14} {:>12.3}  ({} worker(s); attributed + other = wall)",
+        "wall",
+        wall_ns as f64 / 1e6,
+        doc.workers.len()
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, doc.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\nprofile  → {path}");
+    }
+    std::process::exit(0)
+}
+
 fn report_diff(args: &[String]) -> ! {
     let (Some(base_path), Some(new_path)) = (args.get(1), args.get(2)) else {
         die("report-diff needs <BASE> <NEW>")
@@ -569,10 +740,11 @@ fn report_diff(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `fault-sweep --help` / `traffic --help` print their own flag
-    // reference; everywhere else help falls through to the global usage.
+    // `fault-sweep --help` / `traffic --help` / `profile --help` print
+    // their own flag reference; everywhere else help falls through to
+    // the global usage.
     if args.is_empty()
-        || (wants_help(&args) && !matches!(args[0].as_str(), "fault-sweep" | "traffic"))
+        || (wants_help(&args) && !matches!(args[0].as_str(), "fault-sweep" | "traffic" | "profile"))
     {
         usage();
     }
@@ -630,6 +802,7 @@ fn main() {
         "report-diff" => report_diff(&args),
         "fault-sweep" => fault_sweep(&args),
         "traffic" => traffic(&args),
+        "profile" => profile_cmd(&args),
         other => die(&format!(
             "unknown subcommand {other}; valid subcommands: {}",
             SUBCOMMANDS.join(", ")

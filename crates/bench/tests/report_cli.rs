@@ -59,6 +59,11 @@ fn report_out_emits_a_parsable_document_with_required_keys() {
             "config.{key} missing"
         );
     }
+    assert_eq!(
+        v.path("trace_dropped_events").and_then(Json::as_f64),
+        Some(0.0),
+        "the CI-sized ring must not drop events on this workload"
+    );
     let strats = v.get("strategies").and_then(Json::as_arr).expect("array");
     assert_eq!(strats.len(), 4);
     for s in strats {
@@ -74,6 +79,16 @@ fn report_out_emits_a_parsable_document_with_required_keys() {
                 > 0.0,
             "{name}: handler histogram"
         );
+        let peak = s
+            .path("utilization.peak_queue_depth")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(peak > 0.0, "{name}: utilization block");
+        let fracs = s
+            .path("utilization.hpu_busy_frac")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(!fracs.is_empty(), "{name}: per-HPU busy fractions");
         let model = s.path("model").unwrap();
         match name {
             "RW-CP" | "RO-CP" => assert!(
@@ -83,6 +98,52 @@ fn report_out_emits_a_parsable_document_with_required_keys() {
             _ => assert_eq!(model, &Json::Null, "{name}: no Δr plan"),
         }
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `ncmt_cli profile` acceptance: the artifact parses, carries every
+/// phase, and its phase totals tile the measured wall-clock — the sum
+/// of attributed and unattributed time must equal `wall_ns` within 2%
+/// (it is exact by construction; the slack guards the JSON round-trip).
+#[test]
+fn profile_artifact_phase_totals_tile_the_wall_clock() {
+    let path = tmp_path("profile.json");
+    let out = Command::new(CLI)
+        .args(["profile", "--count", "256", "--out"])
+        .arg(&path)
+        .output()
+        .expect("run ncmt_cli profile");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    let v = Json::parse(&text).expect("valid JSON");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("ncmt-profile"));
+    let wall = v.path("wall_ns").and_then(Json::as_f64).unwrap();
+    let attributed = v.path("attributed_ns").and_then(Json::as_f64).unwrap();
+    let other = v.path("other_ns").and_then(Json::as_f64).unwrap();
+    assert!(wall > 0.0);
+    assert!(
+        ((attributed + other) - wall).abs() <= 0.02 * wall,
+        "attributed {attributed} + other {other} must tile wall {wall}"
+    );
+    let mut sum = 0.0;
+    for phase in ["event_queue", "handler", "dma_copy", "telemetry", "alloc"] {
+        let ns = v
+            .path(&format!("totals.{phase}.ns"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("totals.{phase} missing"));
+        sum += ns;
+    }
+    assert_eq!(sum, attributed, "totals must re-sum to attributed_ns");
+    assert!(
+        v.get("workers")
+            .and_then(Json::as_arr)
+            .is_some_and(|w| !w.is_empty()),
+        "per-worker breakdown present"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -112,6 +173,7 @@ fn synthetic_doc(e2e: u64) -> RunReportDoc {
     histograms.insert("queue_wait_ps".to_string(), HistSummary::of(&h));
     RunReportDoc {
         version: RunReportDoc::VERSION,
+        trace_dropped_events: 0,
         config: ReportConfig {
             datatype: "vector(MPI_DOUBLE)".to_string(),
             msg_bytes: 65536,
@@ -136,6 +198,7 @@ fn synthetic_doc(e2e: u64) -> RunReportDoc {
             hpu_busy_ps: e2e,
             hpu_utilization: 0.1,
             histograms,
+            utilization: None,
             model: Some(ModelValidation {
                 delta_r: 8192,
                 delta_p: 4,

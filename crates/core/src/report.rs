@@ -7,11 +7,15 @@
 use nca_telemetry::aggregate::{counter_total, gauge_series, merged_hist, rollup};
 use nca_telemetry::flight;
 use nca_telemetry::report::{
-    FaultSummary, HistSummary, ModelValidation, ReportConfig, StrategyReport,
+    FaultSummary, HistSummary, ModelValidation, ReportConfig, StrategyReport, UtilizationReport,
 };
-use nca_telemetry::TraceEvent;
+use nca_telemetry::{StreamAggregate, Time, TraceEvent};
 
 use crate::runner::{Experiment, ModeledRun};
+
+/// Default time-series bucket width for the report utilization block
+/// (1 µs of simulated time per bucket).
+pub const UTILIZATION_BUCKET_PS: Time = 1_000_000;
 
 /// The workload/pipeline configuration block for `exp`.
 pub fn report_config(exp: &Experiment) -> ReportConfig {
@@ -103,6 +107,18 @@ pub fn strategy_report(
 
     let faults = fault_summary(run, &evs);
 
+    // Utilization from the streaming reducers: fold this run's events
+    // into a bounded aggregate (callers that streamed during the run
+    // get the identical block — the fold is deterministic in event
+    // order). The gauge peak can lag the pipeline's own counter when
+    // the trace was evicted, so take the max of both views.
+    let mut agg = StreamAggregate::new(UTILIZATION_BUCKET_PS);
+    for ev in &evs {
+        agg.fold(ev);
+    }
+    let mut utilization = UtilizationReport::from_aggregate(&agg, "spin", end_to_end, hpus);
+    utilization.peak_queue_depth = utilization.peak_queue_depth.max(r.dma_max_queue as f64);
+
     let mut out = StrategyReport {
         name: r.strategy.to_string(),
         end_to_end_ps: end_to_end,
@@ -117,6 +133,7 @@ pub fn strategy_report(
         hpu_busy_ps,
         hpu_utilization,
         histograms,
+        utilization: Some(utilization),
         model,
         faults,
     };
@@ -177,6 +194,36 @@ mod tests {
         assert!(rep.histograms.contains_key("handler_ps"));
         assert!(rep.hpu_busy_ps > 0);
         assert!(rep.hpu_utilization > 0.0 && rep.hpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn utilization_block_matches_the_trace() {
+        let (exp, sink) = traced_experiment();
+        let run = exp.run_modeled(Strategy::RwCp);
+        let events = sink.events();
+        let rep = strategy_report(&exp, &run, &events, "");
+        let u = rep.utilization.expect("utilization is always filled");
+        assert_eq!(u.bucket_ps, UTILIZATION_BUCKET_PS);
+        assert!(
+            u.hpu_busy_frac.len() >= 16,
+            "at least one entry per physical HPU, got {}",
+            u.hpu_busy_frac.len()
+        );
+        let busy_sum: f64 = u.hpu_busy_frac.iter().sum();
+        // Per-vHPU fractions must re-sum to the scalar utilization the
+        // retained-event path computed over the 16 physical HPUs.
+        let scalar = busy_sum / 16.0;
+        assert!(
+            (scalar - rep.hpu_utilization).abs() < 1e-9,
+            "streamed {scalar} vs retained {}",
+            rep.hpu_utilization
+        );
+        assert!(u.peak_queue_depth >= rep.dma_max_queue as f64);
+        assert!(!u.dma_chan_occupancy.is_empty(), "DMA channels were busy");
+        assert!(u
+            .dma_chan_occupancy
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f)));
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl<W> Sim<W> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let _phase = crate::profile::enter(crate::profile::Phase::EventQueue);
         self.queue.push(Reverse(Event {
             at,
             seq,
@@ -149,7 +150,11 @@ impl<W> Sim<W> {
 
     /// Execute the next event, if any. Returns whether one ran.
     pub fn step(&mut self, world: &mut W) -> bool {
-        match self.queue.pop() {
+        let popped = {
+            let _phase = crate::profile::enter(crate::profile::Phase::EventQueue);
+            self.queue.pop()
+        };
+        match popped {
             Some(Reverse(ev)) => {
                 debug_assert!(ev.at >= self.now, "time went backwards");
                 self.now = ev.at;
@@ -157,6 +162,10 @@ impl<W> Sim<W> {
                 if let Some(p) = &self.probe {
                     p.event_dispatched(self.now, self.executed, self.queue.len());
                 }
+                // Everything the event closure does — in the NIC model,
+                // dominated by sPIN handler work — is the `Handler`
+                // phase; nested DMA/telemetry/alloc slices pause it.
+                let _phase = crate::profile::enter(crate::profile::Phase::Handler);
                 (ev.f)(world, self);
                 true
             }

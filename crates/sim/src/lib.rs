@@ -18,6 +18,7 @@ pub mod engine;
 pub mod fault;
 pub mod fifo;
 pub mod pool;
+pub mod profile;
 pub mod stats;
 pub mod units;
 pub mod wire;

@@ -130,6 +130,7 @@ impl Pool {
                 .map(|w| {
                     let (queues, slots, f) = (&queues, &slots, &f);
                     scope.spawn(move || {
+                        crate::profile::set_worker(w);
                         let mut out: Vec<(usize, R)> = Vec::new();
                         loop {
                             // Own deque first (front), then steal from a
@@ -147,6 +148,9 @@ impl Pool {
                                 out.push((i, f(i, item)));
                             }
                         }
+                        // Self-profiler: worker threads die with the
+                        // scope; bank their phase totals first.
+                        crate::profile::flush();
                         out
                     })
                 })

@@ -638,6 +638,7 @@ impl World {
 
     fn dma_landed(&mut self, t: Time, w: &DmaWrite) {
         if !w.data.is_empty() {
+            let _phase = nca_sim::profile::enter(nca_sim::profile::Phase::DmaCopy);
             let start = (w.host_off - self.host_origin) as usize;
             self.host_buf[start..start + w.data.len()].copy_from_slice(&w.data);
         }

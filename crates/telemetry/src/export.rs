@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::streaming::StreamAggregate;
 use crate::{EventKind, Time, TraceEvent};
 
 fn esc(s: &str) -> String {
@@ -46,6 +47,20 @@ fn ts_us(t: Time) -> f64 {
 
 /// Render `events` as Chrome `trace_event` JSON (array format).
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_with_aggregates(events, &[])
+}
+
+/// [`chrome_trace_json`] plus `ph:"C"` counter tracks rendered from
+/// streaming aggregates: one `<name>_busy_frac` track per busy series
+/// (span overlap per bucket, as a fraction of the bucket) and one
+/// `<name>_peak` track per gauge-peak series. `aggs` pairs each
+/// aggregate with the scope its samples should appear under (use the
+/// strategy label, or `""`). Raw events can be empty — a pure
+/// streaming capture still yields a loadable trace.
+pub fn chrome_trace_json_with_aggregates(
+    events: &[TraceEvent],
+    aggs: &[(&str, &StreamAggregate)],
+) -> String {
     // Stable pid per (scope, component), in first-appearance order.
     let mut pids: HashMap<(&str, &str), u32> = HashMap::new();
     let mut processes: Vec<(&str, &str)> = Vec::new();
@@ -54,6 +69,18 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             processes.push((ev.scope, ev.component));
             processes.len() as u32
         });
+    }
+    for (scope, agg) in aggs {
+        let series_comps = agg
+            .busy_series_iter()
+            .map(|((c, _, _), _)| c)
+            .chain(agg.gauge_peak_iter().map(|((c, _, _), _)| c));
+        for comp in series_comps {
+            pids.entry((scope, comp)).or_insert_with(|| {
+                processes.push((scope, comp));
+                processes.len() as u32
+            });
+        }
     }
 
     let mut out = String::from("[");
@@ -133,6 +160,43 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             ),
         };
         push(&mut out, &mut first, line);
+    }
+
+    // Streaming time series: one counter sample per bucket.
+    for (scope, agg) in aggs {
+        let bp = agg.bucket_ps();
+        for ((comp, name, track), series) in agg.busy_series_iter() {
+            let pid = pids[&(*scope, comp)];
+            let tname = format!("{}_busy_frac", esc(name));
+            for (b, &busy) in series.iter().enumerate() {
+                let frac = busy as f64 / bp as f64;
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        r#"{{"ph":"C","pid":{pid},"tid":{track},"ts":{},"name":"{tname}","args":{{"{tname}":{frac}}}}}"#,
+                        ts_us(b as Time * bp)
+                    ),
+                );
+            }
+        }
+        for ((comp, name, track), series) in agg.gauge_peak_iter() {
+            let pid = pids[&(*scope, comp)];
+            let tname = format!("{}_peak", esc(name));
+            for (b, &peak) in series.iter().enumerate() {
+                if !peak.is_finite() {
+                    continue; // bucket without a sample
+                }
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        r#"{{"ph":"C","pid":{pid},"tid":{track},"ts":{},"name":"{tname}","args":{{"{tname}":{peak}}}}}"#,
+                        ts_us(b as Time * bp)
+                    ),
+                );
+            }
+        }
     }
     out.push_str("\n]\n");
     out
@@ -364,6 +428,39 @@ mod tests {
             json.contains(r#""count":10,"p50":101,"#),
             "histogram summary exported: {json}"
         );
+    }
+
+    #[test]
+    fn streaming_aggregates_render_counter_tracks() {
+        let mut agg = StreamAggregate::new(1_000_000);
+        agg.fold(&TraceEvent {
+            scope: "",
+            component: "spin",
+            name: "handler",
+            track: 2,
+            time: 500_000,
+            kind: EventKind::Span { end: 1_500_000 },
+        });
+        agg.fold(&TraceEvent {
+            scope: "",
+            component: "spin",
+            name: "dma_queue",
+            track: 0,
+            time: 100_000,
+            kind: EventKind::Gauge { value: 3.0 },
+        });
+        let json = chrome_trace_json_with_aggregates(&[], &[("RW-CP", &agg)]);
+        assert!(json.contains(r#""name":"RW-CP/spin""#), "{json}");
+        assert!(json.contains("handler_busy_frac"), "{json}");
+        assert!(json.contains("dma_queue_peak"), "{json}");
+        // The [0.5 µs, 1.5 µs) span half-fills both buckets.
+        assert!(json.contains(r#"{"handler_busy_frac":0.5}"#), "{json}");
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 
     #[test]

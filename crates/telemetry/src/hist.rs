@@ -205,6 +205,12 @@ impl LogHistogram {
         self.percentile(q).unwrap_or(0)
     }
 
+    /// Heap bytes held by the bucket array (the fixed cost one
+    /// histogram adds to a streaming aggregate's memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Non-empty buckets as `(bucket_lower_bound, count)` pairs, in
     /// ascending value order (the sparse wire form used by reports).
     pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {

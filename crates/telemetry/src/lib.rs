@@ -35,11 +35,13 @@ pub mod hist;
 pub mod probe;
 pub mod report;
 pub mod ring;
+pub mod streaming;
 
 use std::sync::Arc;
 
 pub use nca_sim::Time;
 pub use ring::{merge_ring_events, RingRecorder};
+pub use streaming::{NullRecorder, StreamAggregate, StreamingRecorder, TeeRecorder};
 
 /// What a [`TraceEvent`] carries beyond its key and timestamp.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +162,10 @@ impl Telemetry {
         kind: EventKind,
     ) {
         if let Some(r) = &self.recorder {
+            // Self-profiler: emission + sink work is its own phase, so
+            // the cost of telemetry never pollutes the phase it fires
+            // from (no-op unless `nca-sim/self-profile` is active).
+            let _phase = nca_sim::profile::enter(nca_sim::profile::Phase::Telemetry);
             r.record(TraceEvent {
                 scope: self.scope,
                 component,

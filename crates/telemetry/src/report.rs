@@ -17,6 +17,7 @@ use std::fmt::Write as _;
 
 use crate::flight::Attribution;
 use crate::hist::LogHistogram;
+use crate::streaming::StreamAggregate;
 use crate::Time;
 
 /// Summary form of a [`LogHistogram`] as serialized into a report.
@@ -124,6 +125,71 @@ pub struct FaultSummary {
     pub catchup_blocks: u64,
 }
 
+/// Utilization block computed by the streaming reducers: where the
+/// simulated hardware spent the run. Unlike [`StrategyReport::attribution`]
+/// (which tiles the end-to-end window once), this is *per resource* —
+/// one busy fraction per vHPU and per DMA channel — so skew across
+/// HPUs/channels is visible, and it comes from bounded-memory folds
+/// rather than retained events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Time-series bucket width the fractions were folded at (ps).
+    pub bucket_ps: Time,
+    /// Handler-busy fraction of the end-to-end window, one entry per
+    /// vHPU in track order.
+    pub hpu_busy_frac: Vec<f64>,
+    /// Peak DMA queue occupancy observed by the `dma_queue` gauge.
+    pub peak_queue_depth: f64,
+    /// DMA-channel busy fraction of the end-to-end window, one entry
+    /// per channel in track order.
+    pub dma_chan_occupancy: Vec<f64>,
+}
+
+impl UtilizationReport {
+    /// Compute the block from a streaming aggregate. Busy fractions are
+    /// `busy_total / end_to_end` for the `handler` (per-vHPU) and
+    /// `dma_chan` (per-channel) span series under `component`; the peak
+    /// queue depth is the `dma_queue` gauge high-water mark. The busy
+    /// vector covers at least `min_hpu_tracks` entries so idle vHPUs
+    /// still show up as zeros.
+    pub fn from_aggregate(
+        agg: &StreamAggregate,
+        component: &str,
+        end_to_end: Time,
+        min_hpu_tracks: u64,
+    ) -> UtilizationReport {
+        let frac = |busy: Time| {
+            if end_to_end > 0 {
+                busy as f64 / end_to_end as f64
+            } else {
+                0.0
+            }
+        };
+        let mut hpu_tracks = min_hpu_tracks;
+        for t in agg.busy_tracks(component, "handler") {
+            hpu_tracks = hpu_tracks.max(t + 1);
+        }
+        let hpu_busy_frac = (0..hpu_tracks)
+            .map(|t| frac(agg.busy_total(component, "handler", t)))
+            .collect();
+        let chans = agg
+            .busy_tracks(component, "dma_chan")
+            .iter()
+            .map(|&t| t + 1)
+            .max()
+            .unwrap_or(0);
+        let dma_chan_occupancy = (0..chans)
+            .map(|t| frac(agg.busy_total(component, "dma_chan", t)))
+            .collect();
+        UtilizationReport {
+            bucket_ps: agg.bucket_ps(),
+            hpu_busy_frac,
+            peak_queue_depth: agg.gauge_hwm(component, "dma_queue").unwrap_or(0.0),
+            dma_chan_occupancy,
+        }
+    }
+}
+
 /// One strategy's measured results within a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StrategyReport {
@@ -153,6 +219,9 @@ pub struct StrategyReport {
     pub hpu_utilization: f64,
     /// Latency distributions by metric name.
     pub histograms: BTreeMap<String, HistSummary>,
+    /// Streaming-aggregation utilization block (`None` only for
+    /// pre-streaming producers; every current writer fills it).
+    pub utilization: Option<UtilizationReport>,
     /// Model-vs-measured block (checkpointed strategies only).
     pub model: Option<ModelValidation>,
     /// Fault/reliability outcome (lossy runs only).
@@ -198,6 +267,10 @@ pub struct ReportConfig {
 pub struct RunReportDoc {
     /// Schema version ([`RunReportDoc::VERSION`]).
     pub version: u64,
+    /// Events evicted from the `--trace-out` ring sink during capture
+    /// (0 when capture was off or the ring never overflowed). Nonzero
+    /// means the exported trace is a *suffix* of the run, not the run.
+    pub trace_dropped_events: u64,
     /// Workload configuration.
     pub config: ReportConfig,
     /// One entry per strategy run.
@@ -246,6 +319,11 @@ impl RunReportDoc {
         let mut o = String::from("{\n");
         let _ = writeln!(o, "  \"kind\": \"{}\",", Self::KIND);
         let _ = writeln!(o, "  \"version\": {},", self.version);
+        let _ = writeln!(
+            o,
+            "  \"trace_dropped_events\": {},",
+            self.trace_dropped_events
+        );
         let c = &self.config;
         let _ = writeln!(o, "  \"config\": {{");
         let _ = writeln!(o, "    \"datatype\": \"{}\",", esc(&c.datatype));
@@ -317,6 +395,25 @@ fn strategy_json(s: &StrategyReport, ind: &str) -> String {
         let _ = writeln!(o, "{ind}    }}{comma}");
     }
     let _ = writeln!(o, "{ind}  }},");
+    match &s.utilization {
+        None => {
+            let _ = writeln!(o, "{ind}  \"utilization\": null,");
+        }
+        Some(u) => {
+            let _ = writeln!(o, "{ind}  \"utilization\": {{");
+            let _ = writeln!(o, "{ind}    \"bucket_ps\": {},", u.bucket_ps);
+            let fracs: Vec<String> = u.hpu_busy_frac.iter().map(|&f| fmt_f64(f)).collect();
+            let _ = writeln!(o, "{ind}    \"hpu_busy_frac\": [{}],", fracs.join(","));
+            let _ = writeln!(
+                o,
+                "{ind}    \"peak_queue_depth\": {},",
+                fmt_f64(u.peak_queue_depth)
+            );
+            let chans: Vec<String> = u.dma_chan_occupancy.iter().map(|&f| fmt_f64(f)).collect();
+            let _ = writeln!(o, "{ind}    \"dma_chan_occupancy\": [{}]", chans.join(","));
+            let _ = writeln!(o, "{ind}  }},");
+        }
+    }
     match &s.faults {
         None => {
             let _ = writeln!(o, "{ind}  \"faults\": null,");
@@ -550,6 +647,9 @@ pub struct TrafficCell {
     pub offered_load: f64,
     /// Every completed message unpacked byte-exactly.
     pub byte_exact: bool,
+    /// Streaming-aggregation utilization block for the whole cell
+    /// (all tenants share the NIC).
+    pub utilization: Option<UtilizationReport>,
     /// Per-tenant accounting, in tenant order.
     pub tenants: Vec<TenantTrafficReport>,
 }
@@ -605,6 +705,26 @@ impl TrafficDoc {
             let _ = writeln!(o, "      \"discipline\": \"{}\",", esc(&c.discipline));
             let _ = writeln!(o, "      \"offered_load\": {},", fmt_f64(c.offered_load));
             let _ = writeln!(o, "      \"byte_exact\": {},", c.byte_exact);
+            match &c.utilization {
+                None => {
+                    let _ = writeln!(o, "      \"utilization\": null,");
+                }
+                Some(u) => {
+                    let _ = writeln!(o, "      \"utilization\": {{");
+                    let _ = writeln!(o, "        \"bucket_ps\": {},", u.bucket_ps);
+                    let fracs: Vec<String> = u.hpu_busy_frac.iter().map(|&f| fmt_f64(f)).collect();
+                    let _ = writeln!(o, "        \"hpu_busy_frac\": [{}],", fracs.join(","));
+                    let _ = writeln!(
+                        o,
+                        "        \"peak_queue_depth\": {},",
+                        fmt_f64(u.peak_queue_depth)
+                    );
+                    let chans: Vec<String> =
+                        u.dma_chan_occupancy.iter().map(|&f| fmt_f64(f)).collect();
+                    let _ = writeln!(o, "        \"dma_chan_occupancy\": [{}]", chans.join(","));
+                    let _ = writeln!(o, "      }},");
+                }
+            }
             let _ = writeln!(o, "      \"tenants\": [");
             for (j, t) in c.tenants.iter().enumerate() {
                 let tcomma = if j + 1 < c.tenants.len() { "," } else { "" };
@@ -627,6 +747,122 @@ impl TrafficDoc {
                 let _ = writeln!(o, "        }}{tcomma}");
             }
             let _ = writeln!(o, "      ]");
+            let _ = writeln!(o, "    }}{comma}");
+        }
+        let _ = writeln!(o, "  ]");
+        o.push_str("}\n");
+        o
+    }
+}
+
+// ------------------------------------------------------------ profile doc
+
+/// One phase's accumulated host time within a [`ProfileWorker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePhase {
+    /// Stable phase label (`"event_queue"`, `"handler"`, …).
+    pub phase: String,
+    /// Wall-clock nanoseconds attributed to the phase (innermost wins:
+    /// a nested phase pauses its parent).
+    pub ns: u64,
+    /// Times the phase was entered.
+    pub count: u64,
+}
+
+/// One worker thread's phase breakdown. Worker 0 includes the
+/// coordinating (main) thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileWorker {
+    /// Pool worker index.
+    pub worker: u64,
+    /// Phase totals, in the profiler's canonical phase order.
+    pub phases: Vec<ProfilePhase>,
+}
+
+/// Artifact of `ncmt_cli profile`: the simulator self-profiler's
+/// attribution of host wall-clock to simulator phases, per worker.
+/// Because phases nest innermost-wins, the per-phase totals are
+/// disjoint and `attributed + other` tiles `wall_ns` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileDoc {
+    /// Schema version ([`ProfileDoc::VERSION`]).
+    pub version: u64,
+    /// Human-readable label of what was profiled.
+    pub command: String,
+    /// Wall-clock of the profiled region (ns).
+    pub wall_ns: u64,
+    /// Per-worker phase breakdowns.
+    pub workers: Vec<ProfileWorker>,
+}
+
+impl ProfileDoc {
+    /// Current schema version.
+    pub const VERSION: u64 = 1;
+
+    /// Artifact type tag (`"kind"` key).
+    pub const KIND: &'static str = "ncmt-profile";
+
+    /// Phase totals summed across workers, preserving first-appearance
+    /// phase order.
+    pub fn totals(&self) -> Vec<ProfilePhase> {
+        let mut out: Vec<ProfilePhase> = Vec::new();
+        for w in &self.workers {
+            for p in &w.phases {
+                match out.iter_mut().find(|t| t.phase == p.phase) {
+                    Some(t) => {
+                        t.ns += p.ns;
+                        t.count += p.count;
+                    }
+                    None => out.push(p.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Total nanoseconds attributed to any phase.
+    pub fn attributed_ns(&self) -> u64 {
+        self.totals().iter().map(|p| p.ns).sum()
+    }
+
+    /// Unattributed remainder of the wall clock (clamped at zero: timer
+    /// granularity can make attribution nominally exceed the wall).
+    pub fn other_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.attributed_ns())
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        fn phase_members(o: &mut String, phases: &[ProfilePhase], ind: &str) {
+            for (i, p) in phases.iter().enumerate() {
+                let comma = if i + 1 < phases.len() { "," } else { "" };
+                let _ = writeln!(
+                    o,
+                    "{ind}\"{}\": {{\"ns\": {}, \"count\": {}}}{comma}",
+                    esc(&p.phase),
+                    p.ns,
+                    p.count
+                );
+            }
+        }
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"kind\": \"{}\",", Self::KIND);
+        let _ = writeln!(o, "  \"version\": {},", self.version);
+        let _ = writeln!(o, "  \"command\": \"{}\",", esc(&self.command));
+        let _ = writeln!(o, "  \"wall_ns\": {},", self.wall_ns);
+        let _ = writeln!(o, "  \"attributed_ns\": {},", self.attributed_ns());
+        let _ = writeln!(o, "  \"other_ns\": {},", self.other_ns());
+        let _ = writeln!(o, "  \"totals\": {{");
+        phase_members(&mut o, &self.totals(), "    ");
+        let _ = writeln!(o, "  }},");
+        let _ = writeln!(o, "  \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            let comma = if i + 1 < self.workers.len() { "," } else { "" };
+            let _ = writeln!(o, "    {{");
+            let _ = writeln!(o, "      \"worker\": {},", w.worker);
+            let _ = writeln!(o, "      \"phases\": {{");
+            phase_members(&mut o, &w.phases, "        ");
+            let _ = writeln!(o, "      }}");
             let _ = writeln!(o, "    }}{comma}");
         }
         let _ = writeln!(o, "  ]");
@@ -1005,6 +1241,7 @@ mod tests {
         histograms.insert("handler_ps".to_string(), HistSummary::of(&h));
         RunReportDoc {
             version: RunReportDoc::VERSION,
+            trace_dropped_events: 0,
             config: ReportConfig {
                 datatype: "vec(512,16,32,f64)".to_string(),
                 msg_bytes: 65536,
@@ -1029,6 +1266,12 @@ mod tests {
                 hpu_busy_ps: e2e / 2,
                 hpu_utilization: 0.03,
                 histograms,
+                utilization: Some(UtilizationReport {
+                    bucket_ps: 1_000_000,
+                    hpu_busy_frac: vec![0.5, 0.25],
+                    peak_queue_depth: 9.0,
+                    dma_chan_occupancy: vec![0.75],
+                }),
                 model: Some(ModelValidation {
                     delta_r: 3,
                     delta_p: 4,
@@ -1104,6 +1347,98 @@ mod tests {
             strat.path("faults.delivered_exactly_once"),
             Some(&Json::Bool(true))
         );
+        assert_eq!(
+            v.get("trace_dropped_events").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            strat
+                .path("utilization.peak_queue_depth")
+                .and_then(Json::as_f64),
+            Some(9.0)
+        );
+        let fracs = strat
+            .path("utilization.hpu_busy_frac")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(fracs[0].as_f64(), Some(0.5));
+        assert_eq!(fracs[1].as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn profile_doc_round_trips_and_tiles_the_wall() {
+        let doc = ProfileDoc {
+            version: ProfileDoc::VERSION,
+            command: "vector --count 512".to_string(),
+            wall_ns: 1_000_000,
+            workers: vec![
+                ProfileWorker {
+                    worker: 0,
+                    phases: vec![
+                        ProfilePhase {
+                            phase: "event_queue".to_string(),
+                            ns: 100_000,
+                            count: 512,
+                        },
+                        ProfilePhase {
+                            phase: "handler".to_string(),
+                            ns: 600_000,
+                            count: 512,
+                        },
+                    ],
+                },
+                ProfileWorker {
+                    worker: 1,
+                    phases: vec![ProfilePhase {
+                        phase: "handler".to_string(),
+                        ns: 200_000,
+                        count: 128,
+                    }],
+                },
+            ],
+        };
+        assert_eq!(doc.attributed_ns(), 900_000);
+        assert_eq!(doc.other_ns(), 100_000);
+        let totals = doc.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[1].phase, "handler");
+        assert_eq!(totals[1].ns, 800_000);
+        assert_eq!(totals[1].count, 640);
+        let v = Json::parse(&doc.to_json()).expect("own output must parse");
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some(ProfileDoc::KIND));
+        assert_eq!(
+            v.path("totals.handler.ns").and_then(Json::as_f64),
+            Some(800_000.0)
+        );
+        assert_eq!(v.get("other_ns").and_then(Json::as_f64), Some(100_000.0));
+        let w = &v.get("workers").and_then(Json::as_arr).unwrap()[1];
+        assert_eq!(
+            w.path("phases.handler.count").and_then(Json::as_f64),
+            Some(128.0)
+        );
+        // attributed + other tiles the wall exactly.
+        let attributed = v.get("attributed_ns").and_then(Json::as_f64).unwrap();
+        let other = v.get("other_ns").and_then(Json::as_f64).unwrap();
+        let wall = v.get("wall_ns").and_then(Json::as_f64).unwrap();
+        assert_eq!(attributed + other, wall);
+    }
+
+    #[test]
+    fn profile_doc_other_ns_clamps_overattribution() {
+        let doc = ProfileDoc {
+            version: ProfileDoc::VERSION,
+            command: "x".to_string(),
+            wall_ns: 100,
+            workers: vec![ProfileWorker {
+                worker: 0,
+                phases: vec![ProfilePhase {
+                    phase: "handler".to_string(),
+                    ns: 150,
+                    count: 1,
+                }],
+            }],
+        };
+        assert_eq!(doc.other_ns(), 0);
     }
 
     #[test]
@@ -1157,6 +1492,12 @@ mod tests {
                 discipline: "cfcfs".to_string(),
                 offered_load: 0.9,
                 byte_exact: true,
+                utilization: Some(UtilizationReport {
+                    bucket_ps: 1_000_000,
+                    hpu_busy_frac: vec![0.9, 0.8],
+                    peak_queue_depth: 4.0,
+                    dma_chan_occupancy: vec![0.6, 0.5],
+                }),
                 tenants: vec![TenantTrafficReport {
                     tenant: "t0".to_string(),
                     offered: 1000,
@@ -1181,6 +1522,10 @@ mod tests {
         let p999 = t.path("latency.p999").and_then(Json::as_f64).unwrap();
         assert!(p999 > p99, "the 1% tail must surface in p999");
         assert_eq!(t.get("dropped").and_then(Json::as_f64), Some(60.0));
+        assert_eq!(
+            cell.path("utilization.bucket_ps").and_then(Json::as_f64),
+            Some(1_000_000.0)
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use nca_portals::packet::{packetize_wire, Packet};
 use nca_sim::{FaultInjector, FaultSpec, Sim, Time, TrackedFifo, WireBuf};
 use nca_spin::handler::{DmaWrite, MessageProcessor};
 use nca_spin::params::{NicParams, ReliabilityParams};
-use nca_spin::sched::Scheduler;
+use nca_spin::sched::{QueueDiscipline, Scheduler};
 use nca_telemetry::hist::LogHistogram;
 use nca_telemetry::Telemetry;
 use nca_workloads::apps::AppWorkload;
@@ -255,6 +255,7 @@ pub fn mean_mix_wire_ps(params: &NicParams, mix: &[AppWorkload]) -> f64 {
 /// The deterministic packed byte pattern every message of a workload
 /// carries (same generator as `core::runner::Experiment`).
 fn packed_message(dt: &nca_ddt::types::Datatype, count: u32) -> Vec<u8> {
+    let _phase = nca_sim::profile::enter(nca_sim::profile::Phase::Alloc);
     let (origin, span) = buffer_span(dt, count);
     let src: Vec<u8> = (0..span as usize)
         .map(|i| (i.wrapping_mul(31) % 251) as u8)
@@ -291,6 +292,12 @@ struct TrafficWorld {
     rss: IndirectionTable,
     msgs: Vec<MsgState>,
     sched: Scheduler<(usize, u64)>,
+    /// When each physical HPU slot frees up, for span attribution.
+    /// Blocked-RR and cFCFS schedule against an anonymous free-HPU
+    /// *count* (their [`Dispatch::hpu`] is always 0), so the busy
+    /// series assigns each handler the lowest slot free at dispatch;
+    /// dFCFS binds real HPU indices and bypasses this.
+    hpu_busy_until: Vec<Time>,
     dma_queue: TrackedFifo<(usize, DmaWrite)>,
     dma_chan_busy: Vec<bool>,
     link_free: Time,
@@ -298,6 +305,9 @@ struct TrafficWorld {
     stats: Vec<TenantStats>,
     byte_exact: bool,
     t_end: Time,
+    /// Trace sink (component `"traffic"`); disabled handles make every
+    /// emission a no-op, so the closed-loop hot path stays clean.
+    tel: Telemetry,
 }
 
 impl TrafficWorld {
@@ -309,6 +319,8 @@ impl TrafficWorld {
             // Admission rejection: the NIC's packet buffer cannot hold
             // another in-flight message. Back off and re-offer.
             self.stats[m.tenant].dropped += 1;
+            self.tel
+                .counter("traffic", "dropped", m.tenant as u64, sim.now(), 1);
             if attempt < self.rel.max_retries {
                 self.stats[m.tenant].retried += 1;
                 let shift = attempt.min(self.rel.backoff_cap);
@@ -321,6 +333,8 @@ impl TrafficWorld {
                 });
             } else {
                 self.stats[m.tenant].lost += 1;
+                self.tel
+                    .counter("traffic", "lost", m.tenant as u64, sim.now(), 1);
             }
             return;
         }
@@ -345,6 +359,15 @@ impl TrafficWorld {
         let packets = packetize_wire(run as u64, &packed, self.params.payload_size);
         self.inflight_bytes += packed.len() as u64;
         self.stats[m.tenant].admitted += 1;
+        self.tel
+            .counter("traffic", "admitted", m.tenant as u64, sim.now(), 1);
+        self.tel.gauge(
+            "traffic",
+            "inflight_bytes",
+            0,
+            sim.now(),
+            self.inflight_bytes as f64,
+        );
         // Serialize onto the shared ingress link FIFO from now (or from
         // whenever the link frees up).
         let now = sim.now();
@@ -413,6 +436,27 @@ impl TrafficWorld {
         };
         let out = st.proc.on_payload(&ctx);
         let runtime = out.cost.total();
+        // Track the span by *physical* HPU — the busy resource the
+        // utilization block reports on (vHPUs are per-message virtual).
+        // dFCFS dispatches carry a real HPU binding; the pool
+        // disciplines carry `hpu == 0` (anonymous free count), so pick
+        // the lowest slot free at dispatch — handlers are
+        // non-preemptive with runtime known up front, so slot occupancy
+        // is a pure function of sim time and stays deterministic.
+        let now = sim.now();
+        let slot = if self.params.discipline == QueueDiscipline::DFcfs {
+            hpu
+        } else {
+            let s = self
+                .hpu_busy_until
+                .iter()
+                .position(|&free_at| free_at <= now)
+                .unwrap_or(0);
+            self.hpu_busy_until[s] = now + runtime;
+            s
+        };
+        self.tel
+            .span("traffic", "handler", slot as u64, now, now + runtime);
         sim.schedule_in(runtime, move |w, s| w.handler_done(s, key, hpu, out.dma));
     }
 
@@ -447,6 +491,13 @@ impl TrafficWorld {
 
     fn enqueue_dma(&mut self, sim: &mut Sim<TrafficWorld>, run: usize, w: DmaWrite) {
         self.dma_queue.push(sim.now(), (run, w));
+        self.tel.gauge(
+            "traffic",
+            "dma_queue",
+            0,
+            sim.now(),
+            self.dma_queue.len() as f64,
+        );
         self.kick_dma(sim);
     }
 
@@ -464,6 +515,20 @@ impl TrafficWorld {
             self.dma_chan_busy[chan] = true;
             let service = self.params.dma_service_time(w.data.len() as u64);
             let landing = self.params.pcie_latency;
+            self.tel.gauge(
+                "traffic",
+                "dma_queue",
+                0,
+                sim.now(),
+                self.dma_queue.len() as f64,
+            );
+            self.tel.span(
+                "traffic",
+                "dma_chan",
+                chan as u64,
+                sim.now(),
+                sim.now() + service,
+            );
             sim.schedule_in(service, move |world, s| {
                 world.dma_chan_busy[chan] = false;
                 s.schedule_in(landing, move |w2, s2| {
@@ -478,6 +543,7 @@ impl TrafficWorld {
     fn dma_landed(&mut self, t: Time, run: usize, w: &DmaWrite) {
         let st = &mut self.msgs[run];
         if !w.data.is_empty() {
+            let _phase = nca_sim::profile::enter(nca_sim::profile::Phase::DmaCopy);
             let start = (w.host_off - st.host_origin) as usize;
             st.host_buf[start..start + w.data.len()].copy_from_slice(&w.data);
         }
@@ -497,6 +563,8 @@ impl TrafficWorld {
         stats.bytes_completed += c.packed.len() as u64;
         stats.latency.record(t.saturating_sub(st.offered_at));
         self.inflight_bytes -= c.packed.len() as u64;
+        self.tel
+            .counter("traffic", "completed", st.tenant as u64, t, 1);
         self.t_end = self.t_end.max(t);
         // The buffer and packets are dead weight from here; a soak run
         // admits tens of thousands of messages.
@@ -505,8 +573,19 @@ impl TrafficWorld {
     }
 }
 
-/// Run one traffic cell to completion.
+/// Run one traffic cell to completion (no trace).
 pub fn run_traffic(cfg: &TrafficConfig) -> TrafficRunResult {
+    run_traffic_with(cfg, &Telemetry::disabled())
+}
+
+/// Run one traffic cell to completion, emitting the engine's trace
+/// (component `"traffic"`) into `tel`: per-HPU `handler` busy spans,
+/// per-channel `dma_chan` service spans, `dma_queue` / `inflight_bytes`
+/// gauges, per-tenant admission counters and an end-of-run `latency_ps`
+/// histogram per tenant (track = tenant index). Attach a
+/// `StreamingRecorder` to keep the capture bounded-memory however long
+/// the run is; results are identical to [`run_traffic`] either way.
+pub fn run_traffic_with(cfg: &TrafficConfig, tel: &Telemetry) -> TrafficRunResult {
     assert!(!cfg.tenants.is_empty(), "at least one tenant");
     // Instantiate each distinct workload once, shared across tenants.
     let mut cache: Vec<CachedWorkload> = Vec::new();
@@ -562,6 +641,7 @@ pub fn run_traffic(cfg: &TrafficConfig) -> TrafficRunResult {
         rss: IndirectionTable::new(cfg.rss_entries, cfg.params.hpus),
         msgs: Vec::new(),
         sched: Scheduler::new(cfg.params.discipline, cfg.params.hpus),
+        hpu_busy_until: vec![0; cfg.params.hpus.max(1)],
         dma_queue: TrackedFifo::new(false),
         dma_chan_busy: vec![false; cfg.params.dma_channels.max(1)],
         link_free: 0,
@@ -569,6 +649,7 @@ pub fn run_traffic(cfg: &TrafficConfig) -> TrafficRunResult {
         stats,
         byte_exact: true,
         t_end: cfg.horizon_ps,
+        tel: tel.clone(),
     };
     let mut sim: Sim<TrafficWorld> = Sim::new();
     for (i, m) in schedule.iter().enumerate() {
@@ -577,6 +658,11 @@ pub fn run_traffic(cfg: &TrafficConfig) -> TrafficRunResult {
     }
     sim.run(&mut world);
     debug_assert_eq!(world.inflight_bytes, 0, "all admitted work must drain");
+    for (t, st) in world.stats.iter().enumerate() {
+        if st.latency.count() > 0 {
+            tel.histogram("traffic", "latency_ps", t as u64, world.t_end, &st.latency);
+        }
+    }
     TrafficRunResult {
         tenants: world.stats,
         byte_exact: world.byte_exact,

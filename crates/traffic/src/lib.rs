@@ -29,8 +29,8 @@ pub mod sweep;
 
 pub use arrival::{ArrivalProcess, GapSampler};
 pub use engine::{
-    generate_schedule, mean_mix_wire_ps, render_schedule, run_traffic, ScheduledMsg, TenantSpec,
-    TenantStats, TrafficConfig, TrafficRunResult,
+    generate_schedule, mean_mix_wire_ps, render_schedule, run_traffic, run_traffic_with,
+    ScheduledMsg, TenantSpec, TenantStats, TrafficConfig, TrafficRunResult,
 };
 pub use rss::{flow_hash, IndirectionTable};
 pub use sweep::{app_group, traffic_sweep, ArrivalKind, TrafficSweepSpec, APP_GROUPS};

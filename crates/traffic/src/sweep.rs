@@ -13,11 +13,17 @@ use nca_sim::units::throughput_gbit;
 use nca_sim::{Pool, Time};
 use nca_spin::params::NicParams;
 use nca_spin::sched::QueueDiscipline;
-use nca_telemetry::report::{HistSummary, TenantTrafficReport, TrafficCell, TrafficDoc};
+use nca_telemetry::report::{
+    HistSummary, TenantTrafficReport, TrafficCell, TrafficDoc, UtilizationReport,
+};
+use nca_telemetry::{Recorder, StreamingRecorder, Telemetry};
 use nca_workloads::apps::{self, AppWorkload};
+use std::sync::Arc;
 
 use crate::arrival::ArrivalProcess;
-use crate::engine::{mean_mix_wire_ps, run_traffic, TenantSpec, TrafficConfig, TrafficRunResult};
+use crate::engine::{
+    mean_mix_wire_ps, run_traffic_with, TenantSpec, TrafficConfig, TrafficRunResult,
+};
 
 /// Which arrival process the sweep's tenants use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +156,10 @@ pub struct TrafficSweepSpec {
     /// Override the NIC packet-buffer budget (admission-control knob);
     /// `None` keeps the [`NicParams`] default.
     pub pkt_buffer_bytes: Option<u64>,
+    /// Time-series bucket width of the per-cell streaming capture (ps).
+    /// Memory per cell is O(t_end / bucket), independent of message
+    /// count.
+    pub stream_bucket_ps: Time,
 }
 
 impl TrafficSweepSpec {
@@ -171,6 +181,7 @@ impl TrafficSweepSpec {
             flows_per_tenant: 8,
             horizon_ps: nca_sim::us(400),
             pkt_buffer_bytes: None,
+            stream_bucket_ps: nca_sim::us(1),
         }
     }
 
@@ -213,6 +224,7 @@ pub fn cell_report(
         discipline: discipline.label().to_string(),
         offered_load: load,
         byte_exact: r.byte_exact,
+        utilization: None,
         tenants: r
             .tenants
             .iter()
@@ -247,8 +259,20 @@ pub fn traffic_sweep(spec: &TrafficSweepSpec, pool: &Pool) -> TrafficDoc {
         }
     }
     let cells = pool.par_map(grid, |_, (app, load, d)| {
-        let r = run_traffic(&spec.cell_config(&app, load, d));
-        cell_report(&app, d, load, &r)
+        // Each cell streams into its own bounded aggregate — the sweep
+        // never retains raw events, so memory is flat over the horizon.
+        let rec = Arc::new(StreamingRecorder::new(spec.stream_bucket_ps));
+        let tel = Telemetry::with_recorder(rec.clone() as Arc<dyn Recorder>);
+        let r = run_traffic_with(&spec.cell_config(&app, load, d), &tel);
+        let agg = rec.take();
+        let mut cell = cell_report(&app, d, load, &r);
+        cell.utilization = Some(UtilizationReport::from_aggregate(
+            &agg,
+            "traffic",
+            r.t_end,
+            spec.hpus as u64,
+        ));
+        cell
     });
     TrafficDoc {
         version: TrafficDoc::VERSION,

@@ -67,6 +67,7 @@ fn full_document_round_trips_with_the_rwcp_entry() {
     let (rep, exp) = rwcp_report();
     let doc = RunReportDoc {
         version: RunReportDoc::VERSION,
+        trace_dropped_events: 0,
         config: report_config(&exp),
         strategies: vec![rep],
     };

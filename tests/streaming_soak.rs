@@ -1,0 +1,76 @@
+//! Bounded-memory acceptance soak (ISSUE 7): a million-message traffic
+//! run under the streaming sink must hold the aggregate below 32 MiB
+//! while producing latency histograms byte-identical to the retained
+//! ring path. `#[ignore]`d by default — it simulates hundreds of
+//! milliseconds of NIC time; run it in release:
+//!
+//! ```sh
+//! cargo test --release --test streaming_soak -- --ignored
+//! ```
+
+use std::sync::Arc;
+
+use ncmt::sim::us;
+use ncmt::spin::sched::QueueDiscipline;
+use ncmt::telemetry::aggregate::merged_hist;
+use ncmt::telemetry::{Recorder, StreamingRecorder, Telemetry};
+use ncmt::traffic::{generate_schedule, run_traffic_with, TrafficSweepSpec};
+
+#[test]
+#[ignore = "million-message soak; run with --release -- --ignored"]
+fn million_message_run_stays_under_32_mib_with_identical_histograms() {
+    let mut spec = TrafficSweepSpec::new(7);
+    spec.tenants = 4;
+    spec.hpus = 8;
+
+    // Grow the horizon until the offered schedule crosses a million
+    // messages (the offer rate is a pure function of the config, so
+    // this probes the schedule generator only, not the full run).
+    let mut horizon = us(4_000);
+    let cfg = loop {
+        spec.horizon_ps = horizon;
+        let cfg = spec.cell_config("COMB/b", 1.1, QueueDiscipline::DFcfs);
+        let offered = generate_schedule(&cfg).len();
+        if offered >= 1_000_000 {
+            break cfg;
+        }
+        let scale = (1_000_000 / offered.max(1) + 1) as u64;
+        horizon *= scale.clamp(2, 64);
+    };
+
+    let stream = Arc::new(StreamingRecorder::new(us(1)));
+    let tel = Telemetry::with_recorder(stream.clone() as Arc<dyn Recorder>);
+    let r = run_traffic_with(&cfg, &tel);
+    let offered: u64 = r.tenants.iter().map(|t| t.offered).sum();
+    assert!(offered >= 1_000_000, "soak offered only {offered} messages");
+
+    let bytes = stream.approx_bytes();
+    assert!(
+        bytes < 32 << 20,
+        "streaming sink grew to {bytes} bytes over {offered} messages"
+    );
+
+    // Ring arm: the ring is far smaller than the event volume, but the
+    // per-tenant latency histograms are emitted once at the end of the
+    // run as `Hist` snapshots, so eviction cannot touch them — which is
+    // exactly why the comparison must come out byte-identical.
+    let (ring_tel, ring) = Telemetry::ring(1 << 18);
+    let r2 = run_traffic_with(&cfg, &ring_tel);
+    assert_eq!(r.tenants.len(), r2.tenants.len());
+
+    let agg = stream.take();
+    let ring_events = ring.events();
+    let from_ring =
+        merged_hist(&ring_events, "traffic", "latency_ps").expect("ring kept the hist snapshots");
+    let from_stream = agg
+        .merged_hist("traffic", "latency_ps")
+        .expect("stream folded the hist snapshots");
+    assert_eq!(
+        from_stream, &from_ring,
+        "streamed latency histogram diverged from the ring path"
+    );
+    assert_eq!(
+        from_stream.count(),
+        r.tenants.iter().map(|t| t.latency.count()).sum::<u64>()
+    );
+}
