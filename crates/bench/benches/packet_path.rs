@@ -174,11 +174,66 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Leaf copy-kernel microbenchmarks (bytes/sec per kernel variant):
+/// the specialized strided kernels against the per-block generic paths
+/// they replaced. The workload mirrors the strategy benchmarks' wire
+/// shape — 64 KiB moved as fixed-size blocks at a fixed stride — so a
+/// kernel regression shows up here before it blurs into the full
+/// pipeline numbers. `strided_*` are the word-multiple (aligned) fast
+/// paths taken by every vector-like dataloop level; `per_block_*` is
+/// the same byte movement through one kernel call per block; the
+/// `memcpy_128` variant is the pre-kernel reference loop (runtime
+/// length, one `memcpy` dispatch per block).
+fn bench_copy_kernels(c: &mut Criterion) {
+    use nca_ddt::kernels::{copy_block, copy_strided};
+
+    const TOTAL: usize = 64 << 10;
+    let src = pattern(TOTAL);
+    let mut g = c.benchmark_group("copy_kernels");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(TOTAL as u64));
+
+    // 8-byte blocks (a double) scattered at stride 16: the finest
+    // aligned case, where per-block dispatch overhead dominates.
+    let n8 = (TOTAL / 8) as u64;
+    let mut dst = vec![0u8; 2 * TOTAL];
+    g.bench_function(BenchmarkId::from_parameter("strided_8"), |b| {
+        b.iter(|| copy_strided(&mut dst, 0, 16, &src, 0, 8, 8, n8))
+    });
+
+    // 128-byte blocks at stride 256: the strategy benchmarks' datatype
+    // (vector of 16 doubles every 32).
+    let n128 = (TOTAL / 128) as u64;
+    g.bench_function(BenchmarkId::from_parameter("strided_128_aligned"), |b| {
+        b.iter(|| copy_strided(&mut dst, 0, 256, &src, 0, 128, 128, n128))
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("per_block_128"), |b| {
+        b.iter(|| {
+            for i in 0..n128 as usize {
+                copy_block(&mut dst, i * 256, &src, i * 128, 128);
+            }
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("per_block_memcpy_128"), |b| {
+        b.iter(|| {
+            for i in 0..n128 as usize {
+                let (d, s) = (i * 256, i * 128);
+                let len = criterion::black_box(128usize);
+                dst[d..d + len].copy_from_slice(&src[s..s + len]);
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_contig_pkts,
     bench_contig_bytes,
     bench_strategies,
+    bench_copy_kernels,
     bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Traffic-engine wall-clock benchmark: a small open-loop multi-tenant
+//! grid through the full NIC model.
+//!
+//! Third wall of the CI `bench-gate` (next to `packet_path` and
+//! `sweep`): `cargo bench -p nca-bench --bench traffic -- --save-baseline
+//! traffic` writes `target/nca-criterion/traffic.{tsv,json}`; the JSON
+//! is committed as `BENCH_traffic_engine.json` and diffed by
+//! `ncmt_cli bench-diff` on every PR (see EXPERIMENTS.md). The grid is
+//! deliberately small — two loads across one discipline — so the number
+//! tracks engine cost (arrival generation, RSS steering, admission
+//! control, the per-message receive pipeline), not grid size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use nca_sim::Pool;
+use nca_spin::sched::QueueDiscipline;
+use nca_traffic::{traffic_sweep, TrafficSweepSpec};
+
+/// The benchmarked grid: COMB/b at an underloaded and an overloaded
+/// point, blocked-RR, 3 tenants, a 200 us horizon — the golden-gate
+/// traffic workload's shape, halved.
+fn spec() -> TrafficSweepSpec {
+    let mut s = TrafficSweepSpec::new(1);
+    s.apps = vec!["COMB/b".to_string()];
+    s.loads = vec![0.4, 1.0];
+    s.disciplines = vec![QueueDiscipline::BlockedRR];
+    s.tenants = 3;
+    s.hpus = 8;
+    s.horizon_ps = nca_sim::us(200);
+    s
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let spec = spec();
+    let cells = (spec.apps.len() * spec.loads.len() * spec.disciplines.len()) as u64;
+    let pool = Pool::serial();
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function(BenchmarkId::from_parameter("grid"), |b| {
+        b.iter(|| traffic_sweep(&spec, &pool).cells.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -35,12 +35,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every subcommand, for help text and the unknown-subcommand message.
-const SUBCOMMANDS: [&str; 8] = [
+const SUBCOMMANDS: [&str; 9] = [
     "vector",
     "indexed",
     "app",
     "list",
     "report-diff",
+    "bench-diff",
     "fault-sweep",
     "traffic",
     "profile",
@@ -110,6 +111,11 @@ subcommands:
   report-diff <BASE> <NEW> [--threshold T]     compare two --report-out files;
                                                exit 1 when any metric regresses
                                                more than T (default 0.05)
+  bench-diff <BASE> <NEW> [--fail-over P]      compare two nca-criterion-baseline
+             [--warn-over P] [--require A>B]   JSONs (BENCH_*.json) on per_sec;
+                                               exit 1 when any bench is more than
+                                               P% slower (default fail 10, warn 5)
+                                               or a --require assertion fails
   fault-sweep [--seeds N] [fault flags]        run a seed × fault-rate matrix over
                                                all strategies; exit 1 unless every
                                                run is byte-exact & exactly-once
@@ -738,6 +744,45 @@ fn report_diff(args: &[String]) -> ! {
     std::process::exit(if diff.regressions() > 0 { 1 } else { 0 })
 }
 
+/// `bench-diff`: gate a fresh criterion-shim baseline against a
+/// committed one on throughput. This is what the CI `bench-gate` job
+/// runs; the thresholds and the missing-bench policy live in
+/// [`nca_bench::bench_diff`].
+fn bench_diff(args: &[String]) -> ! {
+    use nca_bench::bench_diff::{diff_baselines, parse_baseline, parse_require};
+    let (Some(base_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+        die("bench-diff needs <BASE> <NEW>")
+    };
+    let warn_over = flag_f64(args, "--warn-over", 5.0);
+    let fail_over = flag_f64(args, "--fail-over", 10.0);
+    // Every `--require A>B` occurrence, in order.
+    let requires: Vec<(String, String)> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--require")
+        .map(|(i, _)| {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| die("--require needs a value"));
+            parse_require(v).unwrap_or_else(|| die(&format!("bad --require {v:?} (want A>B)")))
+        })
+        .collect();
+    let load = |path: &String| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2)
+        })
+    };
+    let (base, new) = (load(base_path), load(new_path));
+    let diff = diff_baselines(&base, &new, warn_over, fail_over, &requires);
+    print!("{}", diff.render());
+    std::process::exit(if diff.failures() > 0 { 1 } else { 0 })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `fault-sweep --help` / `traffic --help` / `profile --help` print
@@ -800,6 +845,7 @@ fn main() {
             }
         }
         "report-diff" => report_diff(&args),
+        "bench-diff" => bench_diff(&args),
         "fault-sweep" => fault_sweep(&args),
         "traffic" => traffic(&args),
         "profile" => profile_cmd(&args),

@@ -23,6 +23,7 @@
 //! | Fig. 19 | [`figures::fig19`] | `fig19_fft2d_scaling` |
 //! | Sec. 3.1 | [`figures::sender`] | `sender_strategies` |
 
+pub mod bench_diff;
 pub mod figures;
 
 /// Whether a reduced-size run was requested (`--quick` argument or

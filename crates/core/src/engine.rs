@@ -11,9 +11,14 @@ use nca_ddt::sink::BlockSink;
 use nca_sim::PktView;
 use nca_spin::handler::DmaWrite;
 
-/// Sink that turns emitted blocks into DMA writes carrying real bytes.
-/// Each write is a subview of the packet payload — the block scatter
-/// re-slices the shared wire buffer instead of copying it.
+/// Sink that turns emitted blocks into DMA writes.
+///
+/// Without a direct destination each write is a subview of the packet
+/// payload — the block scatter re-slices the shared wire buffer instead
+/// of copying it. With `direct = Some((buf, origin))` the payload bytes
+/// are copied into the receive buffer on the spot (the eager-DMA
+/// regime, where landed bytes are unobservable until the run ends) and
+/// the collected writes carry lengths only.
 pub struct DmaSink<'a> {
     /// Packet payload (stream bytes `[stream_base, stream_base+len)`).
     pub payload: &'a PktView,
@@ -21,31 +26,81 @@ pub struct DmaSink<'a> {
     pub stream_base: u64,
     /// Collected writes.
     pub writes: Vec<DmaWrite>,
+    /// Direct-scatter destination (receive buffer, datatype origin).
+    pub direct: Option<(&'a mut [u8], i64)>,
 }
 
 impl BlockSink for DmaSink<'_> {
     fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
         let s = (stream_off - self.stream_base) as usize;
-        self.writes.push(DmaWrite::data(
-            buf_off,
-            self.payload.subview(s, len as usize),
-        ));
+        match &mut self.direct {
+            Some((buf, origin)) => {
+                let d = (buf_off - *origin) as usize;
+                nca_ddt::kernels::copy_block(buf, d, self.payload, s, len as usize);
+                self.writes.push(DmaWrite::len_only(buf_off, len));
+            }
+            None => self.writes.push(DmaWrite::data(
+                buf_off,
+                self.payload.subview(s, len as usize),
+            )),
+        }
+    }
+
+    fn strided(&mut self, buf_off: i64, len: u64, stream_off: u64, n: u64, step: i64) {
+        self.writes.reserve(n as usize);
+        let s = (stream_off - self.stream_base) as usize;
+        match &mut self.direct {
+            Some((buf, origin)) => {
+                nca_ddt::kernels::copy_strided(
+                    buf,
+                    buf_off - *origin,
+                    step,
+                    self.payload,
+                    s as i64,
+                    len as i64,
+                    len,
+                    n,
+                );
+                let mut b = buf_off;
+                for _ in 0..n {
+                    self.writes.push(DmaWrite::len_only(b, len));
+                    b += step;
+                }
+            }
+            None => {
+                let mut s = s;
+                let mut b = buf_off;
+                for _ in 0..n {
+                    self.writes
+                        .push(DmaWrite::data(b, self.payload.subview(s, len as usize)));
+                    s += len as usize;
+                    b += step;
+                }
+            }
+        }
     }
 }
 
 /// Process stream range `[first, first+payload.len())` on `seg` with
 /// catch-up/reset semantics, returning the DMA writes and the statistics
-/// delta of this call.
+/// delta of this call. `writes` is the (empty) scatter scratch vector —
+/// strategies feed back the vector the pipeline recycled via
+/// [`nca_spin::handler::MessageProcessor::recycle_dma`] so steady-state
+/// packets allocate nothing.
 pub fn scatter_packet(
     seg: &mut Segment,
     first: u64,
     payload: &PktView,
+    writes: Vec<DmaWrite>,
+    direct: Option<(&mut [u8], i64)>,
 ) -> (Vec<DmaWrite>, SegStats) {
+    debug_assert!(writes.is_empty());
     let before = seg.stats;
     let mut sink = DmaSink {
         payload,
         stream_base: first,
-        writes: Vec::new(),
+        writes,
+        direct,
     };
     seg.process_range(first, first + payload.len() as u64, &mut sink)
         .expect("packet range within message");
@@ -67,9 +122,11 @@ pub fn scatter_packet_seek(
     seg: &mut Segment,
     first: u64,
     payload: &PktView,
+    writes: Vec<DmaWrite>,
+    direct: Option<(&mut [u8], i64)>,
 ) -> (Vec<DmaWrite>, SegStats) {
     seg.seek(first).expect("packet offset within message");
-    scatter_packet(seg, first, payload)
+    scatter_packet(seg, first, payload, writes, direct)
 }
 
 #[cfg(test)]
@@ -84,7 +141,7 @@ mod tests {
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
         let payload: PktView = (0..16u8).collect::<Vec<u8>>().into();
-        let (writes, stats) = scatter_packet(&mut seg, 0, &payload);
+        let (writes, stats) = scatter_packet(&mut seg, 0, &payload, Vec::new(), None);
         assert_eq!(writes.len(), 4);
         assert_eq!(stats.blocks_emitted, 4);
         assert_eq!(writes[1].host_off, 8);
@@ -97,7 +154,7 @@ mod tests {
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
         let payload: PktView = vec![0u8; 8].into();
-        let (_, stats) = scatter_packet(&mut seg, 16, &payload);
+        let (_, stats) = scatter_packet(&mut seg, 16, &payload, Vec::new(), None);
         assert_eq!(stats.catchup_blocks, 4);
         assert_eq!(stats.blocks_emitted, 2);
     }
@@ -108,7 +165,7 @@ mod tests {
         let dl = compile(&dt, 1);
         let mut seg = Segment::new(dl);
         let payload: PktView = vec![0u8; 8].into();
-        let (writes, stats) = scatter_packet_seek(&mut seg, 16, &payload);
+        let (writes, stats) = scatter_packet_seek(&mut seg, 16, &payload, Vec::new(), None);
         assert_eq!(stats.catchup_blocks, 0);
         assert_eq!(writes.len(), 2);
         assert_eq!(writes[0].host_off, 32);

@@ -295,7 +295,7 @@ impl Experiment {
         self.telemetry
             .counter("core", "nic_mem_fallback", 0, report.t_complete, 1);
         report.strategy = strategy.label();
-        report.host_buf = host_buf;
+        report.host_buf = host_buf.into();
         report.host_origin = origin;
         report.t_complete += unpack_cost;
         report.rel.nic_mem_fallback = true;

@@ -13,6 +13,7 @@
 //! report modelled costs per the calibrated [`crate::costmodel`].
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use nca_ddt::checkpoint::CheckpointTable;
@@ -45,6 +46,39 @@ pub enum GeneralKind {
     RwCp,
 }
 
+/// Multiplicative hasher for the small-integer vHPU keys of the per-vHPU
+/// segment maps. The map is touched once per packet on the handler hot
+/// path; SipHash dominates the lookup there, and the keys are dense
+/// sequence-derived ids with no adversarial source, so a single `xor` +
+/// multiply (the fxhash recipe) is both sufficient and ~10x cheaper.
+#[derive(Default)]
+pub struct SmallKeyHasher(u64);
+
+impl Hasher for SmallKeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `HashMap` keyed by small trusted integers (vHPU ids).
+pub type SmallKeyMap<V> = HashMap<u64, V, BuildHasherDefault<SmallKeyHasher>>;
+
+/// Bound on the DMA-scratch stack a processor keeps: at most one vector
+/// per physical HPU can be in flight, and the pipeline caps HPUs well
+/// below this.
+const MAX_SCRATCH: usize = 64;
+
 /// Estimate of the per-packet general handler runtime at the message's
 /// average γ — the `T_PH(γ)` the Δr heuristic needs.
 pub fn estimate_t_ph(p: &NicParams, cyc: &HandlerCycles, dl: &Dataloop) -> Time {
@@ -64,7 +98,9 @@ pub struct GeneralProcessor {
     plan: Option<CheckpointPlan>,
     /// Per-vHPU working segments (HPU-local replicas / RW-CP owned
     /// checkpoints).
-    segs: HashMap<u64, Segment>,
+    segs: SmallKeyMap<Segment>,
+    /// Recycled DMA-write vectors ([`MessageProcessor::recycle_dma`]).
+    scratch: Vec<Vec<nca_spin::handler::DmaWrite>>,
     npkt: u64,
     /// Times an RW-CP checkpoint had to be reverted from its master copy
     /// (out-of-order arrivals).
@@ -103,7 +139,8 @@ impl GeneralProcessor {
             dl,
             table,
             plan,
-            segs: HashMap::new(),
+            segs: SmallKeyMap::default(),
+            scratch: Vec::new(),
             npkt,
             reverts: 0,
             tel: Telemetry::disabled(),
@@ -192,8 +229,10 @@ impl MessageProcessor for GeneralProcessor {
         }
     }
 
-    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
+    fn on_payload(&mut self, ctx: &mut PacketCtx<'_>) -> HandlerOutput {
         let first = ctx.stream_offset;
+        let scratch = self.scratch.pop().unwrap_or_default();
+        let direct = ctx.direct.as_mut().map(|d| (&mut *d.buf, d.origin));
         let out = match self.kind {
             GeneralKind::HpuLocal => {
                 let dl = Arc::clone(&self.dl);
@@ -201,7 +240,7 @@ impl MessageProcessor for GeneralProcessor {
                     .segs
                     .entry(ctx.vhpu)
                     .or_insert_with(|| Segment::new(dl));
-                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                let (dma, stats) = scatter_packet(seg, first, ctx.payload, scratch, direct);
                 self.tel.counter(
                     "core",
                     "catchup_blocks",
@@ -218,7 +257,7 @@ impl MessageProcessor for GeneralProcessor {
                 // Copy the closest checkpoint, process locally, discard.
                 let table = self.table.as_ref().expect("RO-CP table");
                 let mut seg = table.closest(first).materialize();
-                let (dma, stats) = scatter_packet(&mut seg, first, ctx.payload);
+                let (dma, stats) = scatter_packet(&mut seg, first, ctx.payload, scratch, direct);
                 self.tel.counter(
                     "core",
                     "catchup_blocks",
@@ -251,7 +290,7 @@ impl MessageProcessor for GeneralProcessor {
                         v.insert(table.closest(first).materialize())
                     }
                 };
-                let (dma, stats) = scatter_packet(seg, first, ctx.payload);
+                let (dma, stats) = scatter_packet(seg, first, ctx.payload, scratch, direct);
                 if reverted {
                     self.reverts += 1;
                     self.tel
@@ -276,6 +315,13 @@ impl MessageProcessor for GeneralProcessor {
         out
     }
 
+    fn recycle_dma(&mut self, mut scratch: Vec<nca_spin::handler::DmaWrite>) {
+        scratch.clear();
+        if self.scratch.len() < MAX_SCRATCH {
+            self.scratch.push(scratch);
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self.kind {
             GeneralKind::HpuLocal => "HPU-local",
@@ -293,6 +339,8 @@ pub struct SpecializedProcessor {
     seg: Segment,
     shape: Shape,
     nic_mem: u64,
+    /// Recycled DMA-write vectors ([`MessageProcessor::recycle_dma`]).
+    scratch: Vec<Vec<nca_spin::handler::DmaWrite>>,
     tel: Telemetry,
 }
 
@@ -312,6 +360,7 @@ impl SpecializedProcessor {
             seg,
             shape,
             nic_mem,
+            scratch: Vec::new(),
             tel: Telemetry::disabled(),
         }
     }
@@ -366,8 +415,16 @@ impl MessageProcessor for SpecializedProcessor {
         self.params.pcie_bw.time_for(self.nic_mem) + self.params.pcie_latency
     }
 
-    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
-        let (dma, stats) = scatter_packet_seek(&mut self.seg, ctx.stream_offset, ctx.payload);
+    fn on_payload(&mut self, ctx: &mut PacketCtx<'_>) -> HandlerOutput {
+        let scratch = self.scratch.pop().unwrap_or_default();
+        let direct = ctx.direct.as_mut().map(|d| (&mut *d.buf, d.origin));
+        let (dma, stats) = scatter_packet_seek(
+            &mut self.seg,
+            ctx.stream_offset,
+            ctx.payload,
+            scratch,
+            direct,
+        );
         let out = HandlerOutput {
             cost: specialized_handler_cost(
                 &self.params,
@@ -392,6 +449,13 @@ impl MessageProcessor for SpecializedProcessor {
             );
         }
         out
+    }
+
+    fn recycle_dma(&mut self, mut scratch: Vec<nca_spin::handler::DmaWrite>) {
+        scratch.clear();
+        if self.scratch.len() < MAX_SCRATCH {
+            self.scratch.push(scratch);
+        }
     }
 
     fn name(&self) -> &'static str {

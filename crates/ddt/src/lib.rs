@@ -40,6 +40,7 @@ pub mod descr;
 pub mod display;
 pub mod error;
 pub mod flatten;
+pub mod kernels;
 pub mod normalize;
 pub mod pack;
 pub mod segment;

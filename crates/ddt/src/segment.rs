@@ -147,6 +147,33 @@ impl Segment {
                 unreachable!()
             };
             debug_assert!(self.leaf_pos < bytes || bytes == 0);
+            // Strided fast path: whole uniform leaves under a `Count`
+            // parent (the compiled form of vector/contiguous loops, i.e.
+            // the overwhelmingly common leaf parent) are emitted in one
+            // tight loop — offset arithmetic only, no per-block frame
+            // push/pop or dispatch through the loop nest. The emitted
+            // `sink.block` sequence is identical to the generic walk.
+            if self.leaf_pos == 0 && bytes > 0 && remaining >= 2 * bytes && stack.len() >= 2 {
+                if let Body::Count { count, step, .. } = stack[stack.len() - 2].body {
+                    let idx = *self.frames.last().expect("frames nonempty");
+                    let nfull = (remaining / bytes).min(count - idx);
+                    if nfull >= 2 {
+                        sink.strided(origin + offset, bytes, self.stream_pos, nfull, step);
+                        self.stream_pos += nfull * bytes;
+                        self.stats.blocks_emitted += nfull;
+                        self.stats.bytes_emitted += nfull * bytes;
+                        advanced += nfull * bytes;
+                        remaining -= nfull * bytes;
+                        // Land on the last emitted block with its leaf
+                        // fully consumed; the generic pop-and-increment
+                        // below repositions for whatever comes next.
+                        let last = idx + nfull - 1;
+                        origin += (last - idx) as i64 * step;
+                        *self.frames.last_mut().expect("frames nonempty") = last;
+                        self.leaf_pos = bytes;
+                    }
+                }
+            }
             let chunk = remaining.min(bytes - self.leaf_pos);
             if chunk > 0 {
                 sink.block(

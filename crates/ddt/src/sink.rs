@@ -18,6 +18,21 @@
 pub trait BlockSink {
     /// Consume one contiguous region.
     fn block(&mut self, buf_off: i64, len: u64, stream_off: u64);
+
+    /// Consume `n` equal-sized blocks at a fixed buffer stride: block `i`
+    /// is `(buf_off + i*step, len, stream_off + i*len)`. This is the shape
+    /// every `vector`-like dataloop level emits, so sinks that can move
+    /// bytes (or count them) in bulk override it with a specialized
+    /// kernel; the default just replays the per-block path.
+    #[inline]
+    fn strided(&mut self, buf_off: i64, len: u64, stream_off: u64, n: u64, step: i64) {
+        let (mut b, mut s) = (buf_off, stream_off);
+        for _ in 0..n {
+            self.block(b, len, s);
+            b += step;
+            s += len;
+        }
+    }
 }
 
 /// Discards all blocks (catch-up phases).
@@ -27,6 +42,9 @@ pub struct NullSink;
 impl BlockSink for NullSink {
     #[inline]
     fn block(&mut self, _buf_off: i64, _len: u64, _stream_off: u64) {}
+
+    #[inline]
+    fn strided(&mut self, _buf_off: i64, _len: u64, _stream_off: u64, _n: u64, _step: i64) {}
 }
 
 /// Counts blocks and bytes.
@@ -43,6 +61,12 @@ impl BlockSink for CountSink {
     fn block(&mut self, _buf_off: i64, len: u64, _stream_off: u64) {
         self.blocks += 1;
         self.bytes += len;
+    }
+
+    #[inline]
+    fn strided(&mut self, _buf_off: i64, len: u64, _stream_off: u64, n: u64, _step: i64) {
+        self.blocks += n;
+        self.bytes += n * len;
     }
 }
 
@@ -80,8 +104,21 @@ impl BlockSink for CopySink<'_> {
     fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
         let s = (stream_off - self.stream_base) as usize;
         let d = (buf_off - self.origin) as usize;
-        let len = len as usize;
-        self.dst[d..d + len].copy_from_slice(&self.src[s..s + len]);
+        crate::kernels::copy_block(self.dst, d, self.src, s, len as usize);
+    }
+
+    #[inline]
+    fn strided(&mut self, buf_off: i64, len: u64, stream_off: u64, n: u64, step: i64) {
+        crate::kernels::copy_strided(
+            self.dst,
+            buf_off - self.origin,
+            step,
+            self.src,
+            (stream_off - self.stream_base) as i64,
+            len as i64,
+            len,
+            n,
+        );
     }
 }
 
@@ -101,6 +138,22 @@ impl BlockSink for PackSink<'_> {
         let s = (buf_off - self.origin) as usize;
         self.out.extend_from_slice(&self.src[s..s + len as usize]);
     }
+
+    #[inline]
+    fn strided(&mut self, buf_off: i64, len: u64, _stream_off: u64, n: u64, step: i64) {
+        let start = self.out.len();
+        self.out.resize(start + (n * len) as usize, 0);
+        crate::kernels::copy_strided(
+            self.out,
+            start as i64,
+            len as i64,
+            self.src,
+            buf_off - self.origin,
+            step,
+            len,
+            n,
+        );
+    }
 }
 
 /// Fans one block stream out to two sinks (e.g. copy + count).
@@ -116,6 +169,12 @@ impl<A: BlockSink, B: BlockSink> BlockSink for TeeSink<'_, A, B> {
     fn block(&mut self, buf_off: i64, len: u64, stream_off: u64) {
         self.a.block(buf_off, len, stream_off);
         self.b.block(buf_off, len, stream_off);
+    }
+
+    #[inline]
+    fn strided(&mut self, buf_off: i64, len: u64, stream_off: u64, n: u64, step: i64) {
+        self.a.strided(buf_off, len, stream_off, n, step);
+        self.b.strided(buf_off, len, stream_off, n, step);
     }
 }
 

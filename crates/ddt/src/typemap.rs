@@ -98,7 +98,7 @@ pub fn reference_unpack(dt: &Datatype, count: u32, src: &[u8], dst: &mut [u8], o
     for_each_block(dt, count, |off, len| {
         let start = (off - origin) as usize;
         let len = len as usize;
-        dst[start..start + len].copy_from_slice(&src[pos..pos + len]);
+        crate::kernels::copy_block(dst, start, src, pos, len);
         pos += len;
     });
     assert_eq!(pos, src.len(), "stream length mismatch in reference_unpack");

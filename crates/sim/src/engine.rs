@@ -1,34 +1,32 @@
 //! The event queue and run loop.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::calendar::CalendarQueue;
 
 /// Simulated time in picoseconds.
 pub type Time = u64;
 
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+/// A plain-function event body: world, sim, two scalar arguments.
+type Call2Fn<W> = fn(&mut W, &mut Sim<W>, u64, u64);
 
-struct Event<W> {
-    at: Time,
-    seq: u64,
-    f: EventFn<W>,
+/// A boxed-closure event body.
+type BoxedFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+/// An event body. The common hot-path events (packet arrival, HER ready,
+/// handler dispatch, DMA service) carry only a function pointer plus two
+/// scalar arguments, so they queue without touching the allocator; anything
+/// richer (captured `Vec`s, fault-path state) boxes a closure as before.
+enum EventFn<W> {
+    Boxed(BoxedFn<W>),
+    Call2(Call2Fn<W>, u64, u64),
 }
 
-// Ordering for the heap: earliest time, then lowest sequence number.
-impl<W> PartialEq for Event<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Event<W> {}
-impl<W> PartialOrd for Event<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Event<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl<W> EventFn<W> {
+    #[inline]
+    fn invoke(self, world: &mut W, sim: &mut Sim<W>) {
+        match self {
+            EventFn::Boxed(f) => f(world, sim),
+            EventFn::Call2(f, a, b) => f(world, sim, a, b),
+        }
     }
 }
 
@@ -47,7 +45,7 @@ impl<W> Ord for Event<W> {
 /// assert_eq!(world, 11);
 /// assert_eq!(sim.now(), ns(15));
 /// ```
-/// Observer of the event loop itself (dispatch rate, heap depth).
+/// Observer of the event loop itself (dispatch rate, queue depth).
 ///
 /// The engine cannot depend on any metrics crate, so instrumentation is
 /// inverted: a probe is installed by the caller (e.g. an adapter over
@@ -55,14 +53,14 @@ impl<W> Ord for Event<W> {
 /// is installed the loop pays a single `Option` check per event.
 pub trait SimProbe {
     /// Called after an event is popped, before its closure runs.
-    /// `pending` is the heap depth after the pop.
+    /// `pending` is the queue depth after the pop.
     fn event_dispatched(&self, now: Time, executed: u64, pending: usize);
 }
 
 pub struct Sim<W> {
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event<W>>>,
+    queue: CalendarQueue<EventFn<W>>,
     executed: u64,
     probe: Option<Box<dyn SimProbe>>,
 }
@@ -79,7 +77,7 @@ impl<W> Sim<W> {
         Sim {
             now: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             executed: 0,
             probe: None,
         }
@@ -105,9 +103,8 @@ impl<W> Sim<W> {
         self.queue.len()
     }
 
-    /// Schedule `f` at absolute time `at`. Scheduling in the past panics —
-    /// it is always a model bug.
-    pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    #[inline]
+    fn enqueue(&mut self, at: Time, f: EventFn<W>) {
         assert!(
             at >= self.now,
             "event scheduled in the past: {} < {}",
@@ -117,17 +114,45 @@ impl<W> Sim<W> {
         let seq = self.seq;
         self.seq += 1;
         let _phase = crate::profile::enter(crate::profile::Phase::EventQueue);
-        self.queue.push(Reverse(Event {
-            at,
-            seq,
-            f: Box::new(f),
-        }));
+        self.queue.push(at, seq, f);
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past panics —
+    /// it is always a model bug.
+    pub fn schedule(&mut self, at: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.enqueue(at, EventFn::Boxed(Box::new(f)));
     }
 
     /// Schedule `f` `delay` after now.
     pub fn schedule_in(&mut self, delay: Time, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
         let at = self.now + delay;
         self.schedule(at, f);
+    }
+
+    /// Schedule a plain function with two scalar arguments at absolute
+    /// time `at`. Allocation-free: the event is stored inline in the
+    /// queue, so hot paths that fire millions of events avoid one
+    /// `Box` per event.
+    pub fn schedule_call(
+        &mut self,
+        at: Time,
+        f: fn(&mut W, &mut Sim<W>, u64, u64),
+        a: u64,
+        b: u64,
+    ) {
+        self.enqueue(at, EventFn::Call2(f, a, b));
+    }
+
+    /// Allocation-free variant of [`Sim::schedule_in`]; see
+    /// [`Sim::schedule_call`].
+    pub fn schedule_call_in(
+        &mut self,
+        delay: Time,
+        f: fn(&mut W, &mut Sim<W>, u64, u64),
+        a: u64,
+        b: u64,
+    ) {
+        self.schedule_call(self.now + delay, f, a, b);
     }
 
     /// Run until the queue drains. Returns the final time.
@@ -139,8 +164,8 @@ impl<W> Sim<W> {
     /// Run until the queue drains or `deadline` is reached (events at
     /// exactly `deadline` still execute).
     pub fn run_until(&mut self, world: &mut W, deadline: Time) -> Time {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > deadline {
                 break;
             }
             self.step(world);
@@ -155,9 +180,9 @@ impl<W> Sim<W> {
             self.queue.pop()
         };
         match popped {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.at >= self.now, "time went backwards");
-                self.now = ev.at;
+            Some((at, _seq, f)) => {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
                 self.executed += 1;
                 if let Some(p) = &self.probe {
                     p.event_dispatched(self.now, self.executed, self.queue.len());
@@ -166,7 +191,7 @@ impl<W> Sim<W> {
                 // dominated by sPIN handler work — is the `Handler`
                 // phase; nested DMA/telemetry/alloc slices pause it.
                 let _phase = crate::profile::enter(crate::profile::Phase::Handler);
-                (ev.f)(world, self);
+                f.invoke(world, self);
                 true
             }
             None => false,
@@ -229,6 +254,24 @@ mod tests {
         assert_eq!(n, 5); // events at 0,10,20,30,40
         sim.run(&mut n);
         assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn schedule_call_interleaves_with_closures() {
+        fn bump(w: &mut Vec<u64>, _s: &mut Sim<Vec<u64>>, a: u64, b: u64) {
+            w.push(a * 100 + b);
+        }
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule_call(20, bump, 2, 7);
+        sim.schedule(10, |w, s| {
+            w.push(1);
+            s.schedule_call_in(5, bump, 9, 9);
+        });
+        sim.schedule(20, |w, _| w.push(3));
+        let mut trace = Vec::new();
+        sim.run(&mut trace);
+        // t=10 closure, t=15 call, t=20 call (earlier seq) then closure.
+        assert_eq!(trace, vec![1, 909, 207, 3]);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * Ties are broken by insertion sequence number — identical runs replay
 //!   identically.
 
+pub mod arena;
+pub mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod fifo;
@@ -23,6 +25,8 @@ pub mod stats;
 pub mod units;
 pub mod wire;
 
+pub use arena::PooledBuf;
+pub use calendar::CalendarQueue;
 pub use engine::{Sim, SimProbe, Time};
 pub use fault::{DeliveredCopy, FaultInjector, FaultSpec, Verdict};
 pub use fifo::TrackedFifo;

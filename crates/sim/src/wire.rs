@@ -22,7 +22,15 @@
 //! provably untouched no matter what the wire does to the packet.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The interned zero-length buffer: empty views are created on hot
+/// paths (length-only DMA writes, completion signals), and `Arc::from`
+/// on an empty slice still pays a heap allocation per call.
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
+}
 
 /// An immutable packed wire stream shared by every layer that sees it.
 ///
@@ -37,9 +45,7 @@ pub struct WireBuf {
 impl WireBuf {
     /// An empty stream.
     pub fn empty() -> Self {
-        WireBuf {
-            bytes: Arc::from(Vec::new()),
-        }
+        WireBuf { bytes: empty_arc() }
     }
 
     /// Length of the packed stream in bytes.
@@ -63,7 +69,7 @@ impl WireBuf {
             self.bytes.len()
         );
         PktView {
-            buf: self.bytes.clone(),
+            buf: Some(self.bytes.clone()),
             off: offset,
             len,
         }
@@ -137,9 +143,13 @@ impl fmt::Debug for WireBuf {
 }
 
 /// A packet's payload: a cheap handle into a shared [`WireBuf`].
+///
+/// The backing buffer is optional so the empty view — constructed per
+/// length-only DMA write and completion signal on the hot path — costs
+/// nothing: no allocation, no refcount traffic.
 #[derive(Clone)]
 pub struct PktView {
-    buf: Arc<[u8]>,
+    buf: Option<Arc<[u8]>>,
     off: usize,
     len: usize,
 }
@@ -148,7 +158,7 @@ impl PktView {
     /// A view of zero bytes (completion signals, zero-length messages).
     pub fn empty() -> Self {
         PktView {
-            buf: Arc::from(Vec::new()),
+            buf: None,
             off: 0,
             len: 0,
         }
@@ -178,6 +188,9 @@ impl PktView {
             rel_off + len,
             self.len
         );
+        if len == 0 {
+            return PktView::empty();
+        }
         PktView {
             buf: self.buf.clone(),
             off: self.off + rel_off,
@@ -190,7 +203,7 @@ impl From<Vec<u8>> for PktView {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         PktView {
-            buf: Arc::from(v),
+            buf: Some(Arc::from(v)),
             off: 0,
             len,
         }
@@ -201,7 +214,7 @@ impl From<&[u8]> for PktView {
     fn from(v: &[u8]) -> Self {
         let len = v.len();
         PktView {
-            buf: Arc::from(v),
+            buf: Some(Arc::from(v)),
             off: 0,
             len,
         }
@@ -212,7 +225,7 @@ impl From<WireBuf> for PktView {
     fn from(w: WireBuf) -> Self {
         let len = w.len();
         PktView {
-            buf: w.bytes,
+            buf: Some(w.bytes),
             off: 0,
             len,
         }
@@ -222,7 +235,10 @@ impl From<WireBuf> for PktView {
 impl std::ops::Deref for PktView {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf[self.off..self.off + self.len]
+        match &self.buf {
+            Some(b) => &b[self.off..self.off + self.len],
+            None => &[],
+        }
     }
 }
 
@@ -259,7 +275,7 @@ impl fmt::Debug for PktView {
             "PktView({}..{} of {} bytes)",
             self.off,
             self.off + self.len,
-            self.buf.len()
+            self.buf.as_ref().map_or(0, |b| b.len())
         )
     }
 }

@@ -1,0 +1,110 @@
+//! Property proof that the calendar queue is event-order-identical to a
+//! `BinaryHeap` ordered by `(timestamp, insertion seq)` — the contract the
+//! engine's determinism rests on. Covers same-timestamp ties, far-future
+//! rollover into overflow days, and interleaved push/pop schedules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use nca_sim::CalendarQueue;
+
+/// Timestamps spanning sub-bucket ties up to far-future days (the default
+/// bucket width is 2^13 ps × 512 buckets per day, so anything beyond
+/// ~4.2e6 ps exercises overflow; the u64::MAX-scale values force width
+/// retuning at rotation).
+fn timestamp() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..5_000u64,      // dense ties within day 0
+        0u64..10_000_000u64, // several days
+        0u64..u64::MAX / 2,  // far-future rollover
+        Just(u64::MAX - 1),  // extreme retune
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pop_order_identical_to_heap(times in proptest::collection::vec(timestamp(), 1..300)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeap::new();
+        for (seq, &at) in times.iter().enumerate() {
+            cal.push(at, seq as u64, seq);
+            heap.push(Reverse((at, seq as u64, seq)));
+        }
+        prop_assert_eq!(cal.len(), heap.len());
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (Some(c), Some(Reverse(h))) => prop_assert_eq!(c, h),
+                (None, None) => break,
+                (c, h) => prop_assert!(false, "length mismatch: cal={:?} heap={:?}", c, h.map(|Reverse(x)| x)),
+            }
+        }
+    }
+
+    /// Interleave pushes with pops the way a simulator does: every push
+    /// after a pop is at-or-after the popped time (no scheduling in the
+    /// past), and future times are offsets from "now".
+    #[test]
+    fn interleaved_schedule_identical_to_heap(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..20_000_000u64), 1..300),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for &(pop, delay) in &ops {
+            if pop {
+                let c = cal.pop();
+                let h = heap.pop().map(|Reverse(x)| x);
+                prop_assert_eq!(c, h);
+                if let Some((at, _, _)) = c {
+                    now = at;
+                }
+            } else {
+                let at = now.saturating_add(delay);
+                cal.push(at, seq, seq);
+                heap.push(Reverse((at, seq, seq)));
+                seq += 1;
+            }
+        }
+        // Drain the remainder.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (Some(c), Some(Reverse(h))) => prop_assert_eq!(c, h),
+                (None, None) => break,
+                _ => prop_assert!(false, "length mismatch"),
+            }
+        }
+    }
+
+    /// Ties at a single timestamp must pop in insertion order even when
+    /// interleaved with pops (some pushed before the cursor reaches the
+    /// bucket, some after).
+    #[test]
+    fn ties_pop_in_insertion_order(
+        at in timestamp(),
+        before in 1usize..40,
+        after in 0usize..40,
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0u64;
+        for _ in 0..before {
+            cal.push(at, seq, seq);
+            seq += 1;
+        }
+        let first = cal.pop().expect("nonempty");
+        prop_assert_eq!(first.1, 0);
+        for _ in 0..after {
+            cal.push(at, seq, seq);
+            seq += 1;
+        }
+        let mut prev = first.1;
+        while let Some((t, s, _)) = cal.pop() {
+            prop_assert_eq!(t, at);
+            prop_assert!(s > prev);
+            prev = s;
+        }
+        prop_assert_eq!(prev, (before + after) as u64 - 1);
+    }
+}

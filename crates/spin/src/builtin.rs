@@ -35,17 +35,25 @@ impl MessageProcessor for ContigProcessor {
         0
     }
 
-    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput {
+    fn on_payload(&mut self, ctx: &mut PacketCtx<'_>) -> HandlerOutput {
+        let host_off = self.base + ctx.stream_offset as i64;
+        let w = match &mut ctx.direct {
+            Some(d) => {
+                // One whole-payload block: copy it now, length-only write.
+                let start = (host_off - d.origin) as usize;
+                let len = ctx.payload.len();
+                d.buf[start..start + len].copy_from_slice(ctx.payload);
+                DmaWrite::len_only(host_off, len as u64)
+            }
+            None => DmaWrite::data(host_off, ctx.payload.clone()),
+        };
         HandlerOutput {
             cost: HandlerCost {
                 init: self.handler_time,
                 setup: 0,
                 processing: 0,
             },
-            dma: vec![DmaWrite::data(
-                self.base + ctx.stream_offset as i64,
-                ctx.payload.clone(),
-            )],
+            dma: vec![w],
         }
     }
 

@@ -21,6 +21,11 @@ pub struct DmaWrite {
     /// the shared wire buffer — handlers scatter by re-slicing the
     /// packet's payload, never by copying it.
     pub data: PktView,
+    /// Write length in bytes — what the DMA timing model charges. Equals
+    /// `data.len()` for view-carrying writes; length-only writes (bytes
+    /// already landed by a direct scatter, see [`PacketCtx::direct`])
+    /// have empty `data` but a nonzero `len`.
+    pub len: u64,
     /// Whether completion generates a full event (the paper's handlers
     /// pass `NO_EVENT` for all but the final zero-byte write).
     pub event: bool,
@@ -29,9 +34,22 @@ pub struct DmaWrite {
 impl DmaWrite {
     /// A data write without completion event.
     pub fn data(host_off: i64, data: impl Into<PktView>) -> Self {
+        let data = data.into();
         DmaWrite {
             host_off,
-            data: data.into(),
+            len: data.len() as u64,
+            data,
+            event: false,
+        }
+    }
+
+    /// A write whose bytes were already scattered directly into the
+    /// receive buffer: carries only the length the timing model needs.
+    pub fn len_only(host_off: i64, len: u64) -> Self {
+        DmaWrite {
+            host_off,
+            data: PktView::empty(),
+            len,
             event: false,
         }
     }
@@ -41,6 +59,7 @@ impl DmaWrite {
         DmaWrite {
             host_off: 0,
             data: PktView::empty(),
+            len: 0,
             event: true,
         }
     }
@@ -81,6 +100,22 @@ pub struct HandlerOutput {
     pub dma: Vec<DmaWrite>,
 }
 
+/// Direct-scatter destination: the pipeline's host receive buffer.
+///
+/// When the DMA engine resolves service times eagerly (telemetry off, no
+/// occupancy series — every benchmark hot loop), the landed bytes are
+/// observable only at the end of the run, so handlers may copy payload
+/// bytes into the receive buffer *immediately* and emit length-only DMA
+/// writes for the timing model. That skips one wire-buffer view per
+/// contiguous block plus a second pass over the data at landing time.
+pub struct DirectDst<'a> {
+    /// The receive buffer.
+    pub buf: &'a mut [u8],
+    /// Buffer offset of `buf[0]` (the datatype origin; `host_off -
+    /// origin` indexes the slice).
+    pub origin: i64,
+}
+
 /// Per-packet context handed to the payload handler.
 pub struct PacketCtx<'a> {
     /// The packet payload: a view into the shared wire buffer. Derefs to
@@ -98,6 +133,9 @@ pub struct PacketCtx<'a> {
     /// Simulated time the handler starts (ps), so strategies can stamp
     /// their own telemetry without a side channel to the engine.
     pub now: Time,
+    /// `Some` when the engine wants bytes scattered directly (see
+    /// [`DirectDst`]); `None` demands view-carrying DMA writes.
+    pub direct: Option<DirectDst<'a>>,
 }
 
 /// Packet scheduling policy (paper Sec. 3.2.1).
@@ -147,8 +185,9 @@ pub trait MessageProcessor {
         0
     }
 
-    /// Process one payload-bearing packet.
-    fn on_payload(&mut self, ctx: &PacketCtx<'_>) -> HandlerOutput;
+    /// Process one payload-bearing packet. The context is `&mut` so the
+    /// handler can scatter through [`PacketCtx::direct`].
+    fn on_payload(&mut self, ctx: &mut PacketCtx<'_>) -> HandlerOutput;
 
     /// The completion handler: runs after every payload handler of the
     /// message finished; must end with an event-generating DMA write.
@@ -158,6 +197,13 @@ pub trait MessageProcessor {
             dma: vec![DmaWrite::completion_signal()],
         }
     }
+
+    /// The pipeline hands back the (drained) DMA scratch vector after the
+    /// writes of [`MessageProcessor::on_payload`] are enqueued, so
+    /// strategies can reuse its capacity for the next packet instead of
+    /// allocating a fresh vector per handler invocation. The default
+    /// drops it.
+    fn recycle_dma(&mut self, _scratch: Vec<DmaWrite>) {}
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

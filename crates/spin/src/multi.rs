@@ -141,15 +141,16 @@ impl MultiWorld {
         let (m, vhpu) = key;
         let st = &mut self.msgs[m];
         let hdr = st.packets[idx].hdr;
-        let ctx = PacketCtx {
+        let mut ctx = PacketCtx {
             payload: &st.packets[idx].payload,
             stream_offset: hdr.offset,
             seq: hdr.seq,
             npkt: st.packets.len() as u64,
             vhpu,
             now: sim.now(),
+            direct: None,
         };
-        let out = st.proc.on_payload(&ctx);
+        let out = st.proc.on_payload(&mut ctx);
         st.handler_costs.push(out.cost);
         let runtime = out.cost.total();
         self.tel
@@ -203,7 +204,7 @@ impl MultiWorld {
                 return;
             };
             self.dma_chan_busy[chan] = true;
-            let service = self.params.dma_service_time(w.data.len() as u64);
+            let service = self.params.dma_service_time(w.len);
             let landing = self.params.pcie_latency;
             self.tel.span(
                 "spin",

@@ -18,7 +18,7 @@
 //! byte landing in the receive buffer (signalled by the completion
 //! handler's event-generating zero-byte DMA).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use nca_portals::event::{EventKind, EventQueue, FullEvent};
 use nca_portals::matching::{MatchOutcome, MatchingUnit};
@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::handler::{DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
+use crate::handler::{DirectDst, DmaWrite, HandlerCost, MessageProcessor, PacketCtx};
 use crate::params::{NicParams, ReliabilityParams};
 use crate::sched::Scheduler;
 
@@ -159,7 +159,9 @@ pub struct RunReport {
     /// Completion event time (last byte in receive buffer, ps).
     pub t_complete: Time,
     /// The receive buffer after the run (index 0 ↔ `host_origin`).
-    pub host_buf: Vec<u8>,
+    /// A pooled buffer (derefs to `Vec<u8>`): dropping the report returns
+    /// the storage to the worker's arena for the next run.
+    pub host_buf: nca_sim::PooledBuf,
     /// Host-buffer offset of index 0.
     pub host_origin: i64,
     /// Total DMA writes issued (data writes + completion signal).
@@ -226,6 +228,30 @@ struct DmaEngine {
     queue: TrackedFifo<DmaWrite>,
     /// Per-channel busy flags (index = channel, i.e. the trace track).
     chan_busy: Vec<bool>,
+    /// The write each busy channel is currently servicing. Parking the
+    /// write here (instead of capturing it in a closure) lets the
+    /// service-done event be a plain allocation-free function call.
+    chan_slot: Vec<Option<DmaWrite>>,
+    /// Batched mode: with telemetry off and no occupancy time series
+    /// requested, the multi-channel FIFO service discipline is computed
+    /// algebraically at enqueue time — service start is `max(now, earliest
+    /// channel availability)` (all channels for the ordered completion
+    /// write) — and the bytes land immediately, so the engine emits no
+    /// simulator events at all. Timing is exact: landing time is service
+    /// completion plus the constant PCIe latency either way.
+    eager: bool,
+    /// Eager mode: per-channel service-completion times.
+    free_at: Vec<Time>,
+    /// Eager mode: service-start (= queue-leave) times not yet folded
+    /// into the occupancy model. Service starts are provably
+    /// nondecreasing (arrivals are FIFO at nondecreasing times and the
+    /// earliest-free-channel bound never moves backwards), so a deque
+    /// suffices — no heap.
+    starts: VecDeque<Time>,
+    /// Eager mode: modelled queue occupancy and its high-water mark
+    /// (`dma_max_queue` must match the event-driven engine).
+    occ: usize,
+    max_occ: usize,
     writes: u64,
     bytes: u64,
 }
@@ -240,6 +266,9 @@ impl DmaEngine {
     }
 }
 
+/// Parked `handler_done` arguments: `(vhpu, packet index, hpu, writes)`.
+type DoneArgs = (u64, usize, usize, Vec<DmaWrite>);
+
 struct World {
     params: NicParams,
     packets: Vec<Packet>,
@@ -247,7 +276,7 @@ struct World {
     proc: Box<dyn MessageProcessor>,
     sched: Scheduler<u64>,
     dma: DmaEngine,
-    host_buf: Vec<u8>,
+    host_buf: nca_sim::PooledBuf,
     host_origin: i64,
     pending_payload: u64,
     completion_dispatched: bool,
@@ -262,6 +291,12 @@ struct World {
     /// Packet idx → time it entered its vHPU queue (flight-recorder
     /// bookkeeping; only populated when telemetry is enabled).
     enq_time: HashMap<usize, Time>,
+    /// Parked arguments of in-flight `handler_done` events: the slot
+    /// index rides in the event's scalar payload, so the per-packet
+    /// completion event needs no boxed closure. Slots are recycled
+    /// through a free list.
+    done_slots: Vec<Option<DoneArgs>>,
+    done_free: Vec<u32>,
     /// Latency distributions accumulated over the run and emitted as
     /// single `Hist` events at the end (they survive ring eviction).
     hist_handler: LogHistogram,
@@ -419,7 +454,7 @@ impl World {
                 let inbound = self.params.nic_passthrough + self.params.nicmem_copy_time(hdr.len);
                 self.tel
                     .span("spin", "inbound", 0, sim.now(), sim.now() + inbound);
-                sim.schedule_in(inbound, move |w, s| w.her_ready(s, idx));
+                sim.schedule_call_in(inbound, ev_her_ready, idx as u64, 0);
             }
             MsgPath::NonProcessing | MsgPath::Unexpected => {
                 // RDMA landing: one contiguous DMA write per packet at its
@@ -491,29 +526,51 @@ impl World {
             let (vhpu, idx, hpu) = (d.key, d.pkt, d.hpu);
             let dispatch = self.params.sched_dispatch;
             let now = sim.now();
-            if let Some(enq) = self.enq_time.remove(&idx) {
-                self.hist_queue_wait.record(now - enq);
-                if now > enq {
-                    self.tel.span("spin", "queue_wait", vhpu, enq, now);
+            // Only populated when telemetry is on; skip the hash when
+            // provably empty.
+            if !self.enq_time.is_empty() {
+                if let Some(enq) = self.enq_time.remove(&idx) {
+                    self.hist_queue_wait.record(now - enq);
+                    if now > enq {
+                        self.tel.span("spin", "queue_wait", vhpu, enq, now);
+                    }
                 }
             }
             self.tel.instant("spin", "dispatch", vhpu, now);
             self.tel.span("spin", "sched", vhpu, now, now + dispatch);
-            sim.schedule_in(dispatch, move |w, s| w.run_handler(s, vhpu, idx, hpu));
+            sim.schedule_call_in(
+                dispatch,
+                ev_run_handler,
+                vhpu,
+                ((idx as u64) << 32) | hpu as u64,
+            );
         }
     }
 
     fn run_handler(&mut self, sim: &mut Sim<World>, vhpu: u64, idx: usize, hpu: usize) {
         let hdr = self.packets[idx].hdr;
-        let ctx = PacketCtx {
+        // In the eager-DMA regime the handler scatters payload bytes
+        // straight into the receive buffer (length-only DMA writes);
+        // the event-driven engine needs view-carrying writes so the
+        // bytes land at their simulated DMA times.
+        let direct = if self.dma.eager {
+            Some(DirectDst {
+                buf: &mut self.host_buf[..],
+                origin: self.host_origin,
+            })
+        } else {
+            None
+        };
+        let mut ctx = PacketCtx {
             payload: &self.packets[idx].payload,
             stream_offset: hdr.offset,
             seq: hdr.seq,
             npkt: self.packets.len() as u64,
             vhpu,
             now: sim.now(),
+            direct,
         };
-        let out = self.proc.on_payload(&ctx);
+        let out = self.proc.on_payload(&mut ctx);
         self.handler_costs.push(out.cost);
         let runtime = out.cost.total();
         if self.tel.is_enabled() {
@@ -521,9 +578,18 @@ impl World {
         }
         self.tel
             .span("spin", "handler", vhpu, sim.now(), sim.now() + runtime);
-        sim.schedule_in(runtime, move |w, s| {
-            w.handler_done(s, vhpu, idx, hpu, out.dma)
-        });
+        let args = (vhpu, idx, hpu, out.dma);
+        let slot = match self.done_free.pop() {
+            Some(i) => {
+                self.done_slots[i as usize] = Some(args);
+                i
+            }
+            None => {
+                self.done_slots.push(Some(args));
+                (self.done_slots.len() - 1) as u32
+            }
+        };
+        sim.schedule_call_in(runtime, ev_handler_done, slot as u64, 0);
     }
 
     fn handler_done(
@@ -532,7 +598,7 @@ impl World {
         vhpu: u64,
         idx: usize,
         hpu: usize,
-        dma: Vec<DmaWrite>,
+        mut dma: Vec<DmaWrite>,
     ) {
         // The handler consumed the packet: its payload leaves NIC memory.
         self.resident_payload -= self.packets[idx].len;
@@ -543,9 +609,17 @@ impl World {
             sim.now(),
             (self.nic_mem + self.resident_payload) as f64,
         );
-        for w in dma {
-            self.enqueue_dma(sim, w);
+        if self.dma.eager {
+            self.eager_dma_batch(sim.now(), &mut dma);
+            dma.clear();
+        } else {
+            for w in dma.drain(..) {
+                self.enqueue_dma(sim, w);
+            }
         }
+        // Hand the emptied scratch vector back to the strategy so the
+        // next handler invocation reuses its capacity.
+        self.proc.recycle_dma(dma);
         self.sched.done(vhpu, hpu);
         self.pending_payload -= 1;
         if self.pending_payload == 0 && !self.completion_dispatched {
@@ -565,6 +639,10 @@ impl World {
     }
 
     fn enqueue_dma(&mut self, sim: &mut Sim<World>, w: DmaWrite) {
+        if self.dma.eager {
+            self.eager_dma(sim.now(), &w);
+            return;
+        }
         self.dma.queue.push(sim.now(), w);
         // Sampled at exactly the FIFO's own history points (occupancy
         // after the push/pop) so a trace-driven Fig. 15 reproduces
@@ -577,6 +655,66 @@ impl World {
             self.dma.queue.len() as f64,
         );
         self.kick_dma(sim);
+    }
+
+    /// Eager DMA service: resolve the write's service window now instead
+    /// of round-tripping through per-write simulator events. Arrivals are
+    /// FIFO at nondecreasing sim times, so "the write starts on the
+    /// earliest-free channel, no earlier than now" reproduces the
+    /// event-driven engine's multi-server schedule exactly; the ordered
+    /// completion write instead waits for every channel to drain (the
+    /// `kick_dma` Portals-ordering guard). The occupancy model replays
+    /// queue-leave (service-start) times against push times so
+    /// `dma_max_queue` matches the event-driven engine.
+    fn eager_dma(&mut self, now: Time, w: &DmaWrite) {
+        let land = self.eager_schedule(now, w);
+        self.dma_landed(land, w);
+    }
+
+    /// Batched variant for a handler's whole write list: one profiled
+    /// pass copies all landed bytes, with no per-write event machinery.
+    fn eager_dma_batch(&mut self, now: Time, writes: &mut Vec<DmaWrite>) {
+        let _phase = nca_sim::profile::enter(nca_sim::profile::Phase::DmaCopy);
+        for w in writes.drain(..) {
+            let land = self.eager_schedule(now, &w);
+            if !w.data.is_empty() {
+                let start = (w.host_off - self.host_origin) as usize;
+                nca_ddt::kernels::copy_block(&mut self.host_buf, start, &w.data, 0, w.data.len());
+            }
+            if w.event {
+                self.t_complete = Some(land);
+                self.tel.instant("spin", "message_complete", 0, land);
+            }
+        }
+    }
+
+    /// Resolve one write's service window against the channel states;
+    /// shared core of the eager paths. Returns the landing time.
+    #[inline]
+    fn eager_schedule(&mut self, now: Time, w: &DmaWrite) -> Time {
+        let d = &mut self.dma;
+        // Writes whose service started by `now` have left the queue —
+        // the event engine's `kick_dma` pops them before this push.
+        while d.starts.front().is_some_and(|&t| t <= now) {
+            d.starts.pop_front();
+            d.occ -= 1;
+        }
+        d.occ += 1;
+        d.max_occ = d.max_occ.max(d.occ);
+        let chan = if w.event {
+            // Completion: all channels idle first.
+            (0..d.free_at.len()).max_by_key(|&i| d.free_at[i]).unwrap()
+        } else {
+            (0..d.free_at.len()).min_by_key(|&i| d.free_at[i]).unwrap()
+        };
+        let service = self.params.dma_service_time(w.len);
+        let start = now.max(d.free_at[chan]);
+        d.free_at[chan] = start + service;
+        debug_assert!(d.starts.back().is_none_or(|&b| b <= start));
+        d.starts.push_back(start);
+        d.writes += 1;
+        d.bytes += w.len;
+        start + service + self.params.pcie_latency
     }
 
     fn kick_dma(&mut self, sim: &mut Sim<World>) {
@@ -600,8 +738,7 @@ impl World {
                 self.dma.queue.len() as f64,
             );
             self.dma.chan_busy[chan] = true;
-            let service = self.params.dma_service_time(w.data.len() as u64);
-            let landing = self.params.pcie_latency;
+            let service = self.params.dma_service_time(w.len);
             if self.tel.is_enabled() {
                 self.hist_dma.record(service);
                 // Busy-interval span on the channel's own track (the
@@ -614,26 +751,49 @@ impl World {
                     sim.now() + service,
                 );
             }
-            sim.schedule_in(service, move |world, s| {
-                // A channel is free once the write is on the wire; it
-                // lands in host memory one PCIe latency later.
-                world.dma.chan_busy[chan] = false;
-                world.dma.writes += 1;
-                world.dma.bytes += w.data.len() as u64;
-                if w.event {
-                    // The completion drain: everything is on the wire,
-                    // the run now waits for the final PCIe landing.
-                    world
-                        .tel
-                        .span("spin", "dma_drain", chan as u64, s.now(), s.now() + landing);
-                }
-                s.schedule_in(landing, move |w2, s2| {
-                    let t = s2.now();
-                    w2.dma_landed(t, &w);
-                });
-                world.kick_dma(s);
-            });
+            self.dma.chan_slot[chan] = Some(w);
+            sim.schedule_call_in(service, ev_dma_service_done, chan as u64, 0);
         }
+    }
+
+    /// A channel finished putting its write on the wire. The write lands
+    /// in host memory one PCIe latency later.
+    fn dma_service_done(&mut self, sim: &mut Sim<World>, chan: usize) {
+        let w = self.dma.chan_slot[chan]
+            .take()
+            .expect("service-done on idle channel");
+        self.dma.chan_busy[chan] = false;
+        self.dma.writes += 1;
+        self.dma.bytes += w.len;
+        let landing = self.params.pcie_latency;
+        if self.tel.is_enabled() {
+            // Telemetry path: keep the landing as its own event so the
+            // per-event probe stream and span timeline stay identical to
+            // the reference pipeline.
+            if w.event {
+                // The completion drain: everything is on the wire, the
+                // run now waits for the final PCIe landing.
+                self.tel.span(
+                    "spin",
+                    "dma_drain",
+                    chan as u64,
+                    sim.now(),
+                    sim.now() + landing,
+                );
+            }
+            sim.schedule_in(landing, move |w2, s2| {
+                let t = s2.now();
+                w2.dma_landed(t, &w);
+            });
+        } else {
+            // Fast path: land the bytes now. Every write's landing time
+            // is its service-done time plus a constant, so landing order
+            // equals service order and the final buffer is byte-identical;
+            // the completion timestamp still accounts the PCIe latency.
+            let t_land = sim.now() + landing;
+            self.dma_landed(t_land, &w);
+        }
+        self.kick_dma(sim);
     }
 
     fn dma_landed(&mut self, t: Time, w: &DmaWrite) {
@@ -648,6 +808,37 @@ impl World {
             self.tel.instant("spin", "message_complete", 0, t);
         }
     }
+}
+
+// Allocation-free event bodies for the per-packet hot path (scheduled via
+// `Sim::schedule_call`): a function pointer plus two scalars instead of a
+// boxed closure per event.
+
+fn ev_packet_arrival(w: &mut World, s: &mut Sim<World>, idx: u64, _b: u64) {
+    w.packet_arrival(s, idx as usize);
+}
+
+fn ev_her_ready(w: &mut World, s: &mut Sim<World>, idx: u64, _b: u64) {
+    w.her_ready(s, idx as usize);
+}
+
+fn ev_run_handler(w: &mut World, s: &mut Sim<World>, vhpu: u64, idx_hpu: u64) {
+    w.run_handler(
+        s,
+        vhpu,
+        (idx_hpu >> 32) as usize,
+        (idx_hpu & 0xFFFF_FFFF) as usize,
+    );
+}
+
+fn ev_dma_service_done(w: &mut World, s: &mut Sim<World>, chan: u64, _b: u64) {
+    w.dma_service_done(s, chan as usize);
+}
+
+fn ev_handler_done(w: &mut World, s: &mut Sim<World>, slot: u64, _b: u64) {
+    let (vhpu, idx, hpu, dma) = w.done_slots[slot as usize].take().expect("armed done slot");
+    w.done_free.push(slot as u32);
+    w.handler_done(s, vhpu, idx, hpu, dma);
 }
 
 /// The receive-pipeline runner.
@@ -708,10 +899,16 @@ impl ReceiveSim {
             dma: DmaEngine {
                 queue: TrackedFifo::new(cfg.record_dma_history),
                 chan_busy: vec![false; params.dma_channels.max(1)],
+                chan_slot: (0..params.dma_channels.max(1)).map(|_| None).collect(),
+                eager: !cfg.telemetry.is_enabled() && !cfg.record_dma_history,
+                free_at: vec![0; params.dma_channels.max(1)],
+                starts: VecDeque::new(),
+                occ: 0,
+                max_occ: 0,
                 writes: 0,
                 bytes: 0,
             },
-            host_buf: vec![0u8; host_span as usize],
+            host_buf: nca_sim::arena::take_zeroed(host_span as usize),
             host_origin,
             pending_payload: npkt,
             completion_dispatched: false,
@@ -724,6 +921,8 @@ impl ReceiveSim {
             arrived: 0,
             tel: cfg.telemetry.clone(),
             enq_time: HashMap::new(),
+            done_slots: Vec::new(),
+            done_free: Vec::new(),
             hist_handler: LogHistogram::new(),
             hist_queue_wait: LogHistogram::new(),
             hist_dma: LogHistogram::new(),
@@ -778,7 +977,7 @@ impl ReceiveSim {
                 let wire = params.pkt_wire_time(world.packets[pkt_idx].len);
                 world.tel.span("spin", "wire", 0, t, t + wire);
                 t += wire;
-                sim.schedule(t, move |w, s| w.packet_arrival(s, pkt_idx));
+                sim.schedule_call(t, ev_packet_arrival, pkt_idx as u64, 0);
             }
         }
         sim.run(&mut world);
@@ -821,7 +1020,7 @@ impl ReceiveSim {
             host_origin,
             dma_writes: world.dma.writes,
             dma_bytes: world.dma.bytes,
-            dma_max_queue: world.dma.queue.max_occupancy(),
+            dma_max_queue: world.dma.queue.max_occupancy().max(world.dma.max_occ),
             dma_history: world.dma.queue.take_history(),
             handler_costs: world.handler_costs,
             nic_mem_bytes: nic_mem,

@@ -426,15 +426,16 @@ impl TrafficWorld {
         let (run, vhpu) = key;
         let st = &mut self.msgs[run];
         let hdr = st.packets[idx].hdr;
-        let ctx = nca_spin::handler::PacketCtx {
+        let mut ctx = nca_spin::handler::PacketCtx {
             payload: &st.packets[idx].payload,
             stream_offset: hdr.offset,
             seq: hdr.seq,
             npkt: st.packets.len() as u64,
             vhpu,
             now: sim.now(),
+            direct: None,
         };
-        let out = st.proc.on_payload(&ctx);
+        let out = st.proc.on_payload(&mut ctx);
         let runtime = out.cost.total();
         // Track the span by *physical* HPU — the busy resource the
         // utilization block reports on (vHPUs are per-message virtual).
@@ -513,7 +514,7 @@ impl TrafficWorld {
                 return;
             };
             self.dma_chan_busy[chan] = true;
-            let service = self.params.dma_service_time(w.data.len() as u64);
+            let service = self.params.dma_service_time(w.len);
             let landing = self.params.pcie_latency;
             self.tel.gauge(
                 "traffic",

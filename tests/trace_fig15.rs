@@ -101,24 +101,26 @@ fn rwcp_revert_is_traced() {
     let (tel, sink) = Telemetry::ring(256);
     let mut p =
         GeneralProcessor::new(GeneralKind::RwCp, &dt, count, params, 0.2).with_telemetry(tel);
-    let later = PacketCtx {
+    let mut later = PacketCtx {
         payload: &packed.view(ps, ps),
         stream_offset: ps as u64,
         seq: 1,
         npkt: 2,
         vhpu: 0,
         now: 10,
+        direct: None,
     };
-    p.on_payload(&later);
-    let earlier = PacketCtx {
+    p.on_payload(&mut later);
+    let mut earlier = PacketCtx {
         payload: &packed.view(0, ps),
         stream_offset: 0,
         seq: 0,
         npkt: 2,
         vhpu: 0,
         now: 20,
+        direct: None,
     };
-    p.on_payload(&earlier);
+    p.on_payload(&mut earlier);
     assert_eq!(p.reverts, 1);
     let roll = aggregate::rollup(&sink.events());
     assert_eq!(roll["core"].counters["checkpoint_reverts"], 1);
