@@ -40,6 +40,12 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BenchEntry>, String> {
         Some(other) => return Err(format!("not a bench baseline (kind = {other:?})")),
         None => return Err("not a bench baseline (no `kind` field)".into()),
     }
+    // Committed baselines predate the `version` field; absent means v1.
+    match json.path("version").and_then(Json::as_f64) {
+        None => {}
+        Some(1.0) => {}
+        Some(v) => return Err(format!("unsupported bench-baseline version {v}")),
+    }
     let benches = json
         .path("benches")
         .and_then(Json::as_arr)
@@ -334,6 +340,19 @@ mod tests {
     fn rejects_non_baseline_documents() {
         assert!(parse_baseline(r#"{"kind": "ncmt-run-report"}"#).is_err());
         assert!(parse_baseline(r#"{"benches": []}"#).is_err());
+    }
+
+    #[test]
+    fn version_field_is_enforced_when_present() {
+        // The nca-criterion shim now stamps `"version": 1`; committed
+        // baselines without the field stay readable as v1.
+        let versioned =
+            r#"{"kind": "nca-criterion-baseline", "version": 1, "baseline": "t", "benches": []}"#;
+        assert!(parse_baseline(versioned).unwrap().is_empty());
+        let future =
+            r#"{"kind": "nca-criterion-baseline", "version": 2, "baseline": "t", "benches": []}"#;
+        let err = parse_baseline(future).unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
     }
 
     #[test]

@@ -12,40 +12,100 @@
 //! # one of the Fig. 16 application workloads
 //! ncmt_cli app MILC/b
 //!
-//! # list application workloads
-//! ncmt_cli list
+//! # a declarative scenario file (see scenarios/)
+//! ncmt_cli run scenarios/fig16.json --report-out fig16.tsv
 //! ```
+//!
+//! Every experiment family compiles down to [`nca_scenario`]: the
+//! `vector`/`indexed`/`app`/`fault-sweep`/`traffic` subcommands are
+//! thin flag-to-[`Scenario`] wrappers over the same execution layer
+//! `run <scenario.json>` uses, so both entry points produce
+//! byte-identical tables and artifacts.
 
-use nca_core::report::{report_config, strategy_report, UTILIZATION_BUCKET_PS};
+use nca_core::report::UTILIZATION_BUCKET_PS;
 use nca_core::runner::{CaptureSpec, Experiment, Strategy};
-use nca_core::sweep::{cell_ok, FaultSweepSpec};
-use nca_ddt::normalize::classify;
 use nca_ddt::types::{elem, Datatype, DatatypeExt};
+use nca_scenario::{
+    parse_scenario, parse_strategy, FaultsSpec, RunOptions, Scenario, ScenarioKind, TrafficSpec,
+    WorkloadSpec,
+};
 use nca_sim::{profile, FaultSpec, Pool};
+use nca_spin::nic::EngineMode;
 use nca_spin::params::NicParams;
 use nca_spin::sched::QueueDiscipline;
-use nca_telemetry::export;
 use nca_telemetry::report::{
-    diff_reports, FaultSweepDoc, Json, ProfileDoc, ProfilePhase, ProfileWorker, RunReportDoc,
-    DEFAULT_THRESHOLD,
+    diff_reports, Json, ProfileDoc, ProfilePhase, ProfileWorker, DEFAULT_THRESHOLD,
 };
-use nca_traffic::{app_group, traffic_sweep, ArrivalKind, TrafficSweepSpec, APP_GROUPS};
+use nca_traffic::{app_group, ArrivalKind, APP_GROUPS};
 use nca_workloads::apps::all_workloads;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// Every subcommand, for help text and the unknown-subcommand message.
-const SUBCOMMANDS: [&str; 9] = [
-    "vector",
-    "indexed",
-    "app",
-    "list",
-    "report-diff",
-    "bench-diff",
-    "fault-sweep",
-    "traffic",
-    "profile",
+/// One dispatch-table entry: every subcommand is a diverging function,
+/// with an optional dedicated `--help` renderer (commands without one
+/// fall back to the global usage).
+struct Cmd {
+    name: &'static str,
+    help: Option<fn() -> !>,
+    run: fn(&[String]) -> !,
+}
+
+/// The single subcommand table: lookup, help dispatch and the
+/// unknown-subcommand message all derive from it.
+const COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "vector",
+        help: None,
+        run: vector_cmd,
+    },
+    Cmd {
+        name: "indexed",
+        help: None,
+        run: indexed_cmd,
+    },
+    Cmd {
+        name: "app",
+        help: None,
+        run: app_cmd,
+    },
+    Cmd {
+        name: "list",
+        help: None,
+        run: list_cmd,
+    },
+    Cmd {
+        name: "run",
+        help: Some(run_usage),
+        run: run_cmd,
+    },
+    Cmd {
+        name: "report-diff",
+        help: None,
+        run: report_diff,
+    },
+    Cmd {
+        name: "bench-diff",
+        help: None,
+        run: bench_diff,
+    },
+    Cmd {
+        name: "fault-sweep",
+        help: Some(fault_sweep_usage),
+        run: fault_sweep,
+    },
+    Cmd {
+        name: "traffic",
+        help: Some(traffic_usage),
+        run: traffic,
+    },
+    Cmd {
+        name: "profile",
+        help: Some(profile_usage),
+        run: profile_cmd,
+    },
 ];
+
+fn names() -> Vec<&'static str> {
+    COMMANDS.iter().map(|c| c.name).collect()
+}
 
 /// Whether the args ask for help (`--help`/`-h` anywhere).
 fn wants_help(args: &[String]) -> bool {
@@ -90,11 +150,23 @@ fn fault_spec(args: &[String]) -> FaultSpec {
     }
 }
 
+/// The scenario-schema faults section for the same flags.
+fn faults_section(args: &[String]) -> FaultsSpec {
+    let f = fault_spec(args);
+    FaultsSpec {
+        drop: f.drop,
+        duplicate: f.duplicate,
+        corrupt: f.corrupt,
+        reorder_ns: f.reorder_window / 1_000,
+        seed: f.seed,
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: ncmt_cli <{}> [flags]  (see --help)",
-        SUBCOMMANDS.join("|")
+        names().join("|")
     );
     std::process::exit(2)
 }
@@ -108,6 +180,10 @@ subcommands:
   indexed  --blocks N --blocklen B --seed K    irregular fixed-size blocks
   app      <LABEL>                             a Fig. 16 workload (see `ncmt_cli list`)
   list                                         list application workloads
+  run      <SCENARIO.json>                     compile and run a declarative
+                                               scenario file (workload × traffic ×
+                                               faults × scheduling × sweep; see
+                                               scenarios/ and `ncmt_cli run --help`)
   report-diff <BASE> <NEW> [--threshold T]     compare two --report-out files;
                                                exit 1 when any metric regresses
                                                more than T (default 0.05)
@@ -128,8 +204,9 @@ subcommands:
                                                copies, telemetry, allocation) and
                                                write an ncmt-profile JSON artifact
 
-`ncmt_cli fault-sweep --help` / `ncmt_cli traffic --help` /
-`ncmt_cli profile --help` print the full per-subcommand flag reference.
+`ncmt_cli run --help` / `ncmt_cli fault-sweep --help` /
+`ncmt_cli traffic --help` / `ncmt_cli profile --help` print the full
+per-subcommand flag reference.
 
 fault flags (vector/indexed/app/fault-sweep):
   --drop P        per-packet drop probability (default 0)
@@ -145,6 +222,9 @@ common flags:
   --hpus N        handler processing units (default 16)
   --copies N      datatype repetition count (default 1)
   --ooo SEED      shuffle payload-packet arrival order
+  --engine M      DMA engine: auto | event | eager (default auto; an
+                  eager request under telemetry capture falls back to
+                  the event engine and flags it in the run report)
   --epsilon E     RW-CP scheduling-overhead bound (default 0.2)
   --trace-out F   write a Chrome/Perfetto trace of all strategy runs to F
                   (load at https://ui.perfetto.dev; one process per
@@ -156,144 +236,148 @@ common flags:
     std::process::exit(0)
 }
 
-fn run_experiment(dt: Datatype, copies: u32, args: &[String]) {
-    let hpus = flag_u64(args, "--hpus", 16) as usize;
-    let epsilon: f64 = flag(args, "--epsilon")
-        .map(|v| v.parse().unwrap_or(0.2))
-        .unwrap_or(0.2);
-    let ooo = flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
+/// Shared tail of the `vector`/`indexed`/`app` wrappers: fold the
+/// common flags into the scenario, compile, run, emit.
+fn strategy_cmd(mut scn: Scenario, args: &[String]) -> ! {
+    scn.scheduling.hpus = flag_u64(args, "--hpus", 16);
+    scn.scheduling.epsilon = flag_f64(args, "--epsilon", 0.2);
+    scn.scheduling.copies = flag_u64(args, "--copies", 1) as u32;
+    scn.scheduling.out_of_order =
+        flag(args, "--ooo").map(|v| v.parse().unwrap_or_else(|_| die("bad --ooo")));
+    scn.scheduling.engine = flag(args, "--engine")
+        .map(|s| EngineMode::parse(&s).unwrap_or_else(|| die(&format!("bad --engine {s:?}"))))
+        .unwrap_or(EngineMode::Auto);
+    scn.faults = faults_section(args);
+    run_scenario(&scn, args)
+}
+
+/// Compile and run a scenario, then print/write/exit like the legacy
+/// subcommands always did.
+fn run_scenario(scn: &Scenario, args: &[String]) -> ! {
     let trace_out = flag(args, "--trace-out");
     let report_out = flag(args, "--report-out");
-    // Per-strategy rings merged after the barrier reproduce exactly
-    // what one shared ring would capture from the serial loop;
-    // per-strategy scopes keep the overlapping runs apart.
-    let capture = (trace_out.is_some() || report_out.is_some()).then_some(1usize << 22);
-    let jobs = pool(args);
-
-    let mut exp = Experiment::new(dt.clone(), copies, NicParams::with_hpus(hpus));
-    exp.epsilon = epsilon;
-    exp.out_of_order = ooo;
-    exp.verify = dt.size * copies as u64 <= 16 << 20;
-    exp.faults = fault_spec(args);
-    let faulty = !exp.faults.is_inert();
-
-    println!("datatype : {}", dt.signature());
-    println!("shape    : {:?}", classify(&dt));
-    println!(
-        "message  : {:.1} KiB in {} regions (gamma = {:.1}), {} HPUs{}",
-        dt.size as f64 * copies as f64 / 1024.0,
-        nca_ddt::dataloop::compile(&dt, copies).blocks,
-        exp.gamma(),
-        hpus,
-        if ooo.is_some() { ", out-of-order" } else { "" }
-    );
-    println!();
-    println!(
-        "{:<14} {:>12} {:>10} {:>12}",
-        "method", "time (us)", "Gbit/s", "NIC KiB"
-    );
-    // All strategies run as independent pool jobs; printing happens
-    // after the barrier, in Strategy::ALL order, from the merged sweep.
-    // Alongside the raw ring, each job folds its events into a
-    // bounded streaming aggregate (utilization block, counter tracks).
-    let sweep = exp.run_all_captured(
-        &jobs,
-        CaptureSpec {
-            ring_capacity: capture,
-            stream_bucket_ps: capture.is_some().then_some(UTILIZATION_BUCKET_PS),
+    let plan = scn.compile().unwrap_or_else(|e| die(&e));
+    let out = plan.run(
+        &pool(args),
+        &RunOptions {
+            want_trace: trace_out.is_some(),
+            want_report: report_out.is_some(),
         },
     );
-    for (s, run) in &sweep.runs {
-        let rel = if faulty {
-            let r = &run.report.rel;
-            format!(
-                "  rtx {} drop {} dup {} corrupt {} fallback {}",
-                r.retransmissions,
-                r.drops_injected,
-                r.dups_suppressed,
-                r.corrupts_rejected,
-                r.host_fallback_packets
-            )
-        } else {
-            String::new()
-        };
+    emit(out, trace_out.as_ref(), report_out.as_ref())
+}
+
+/// Print the run's table, write any requested artifacts, and exit
+/// with the run's status.
+fn emit(out: nca_scenario::Outcome, trace_out: Option<&String>, report_out: Option<&String>) -> ! {
+    print!("{}", out.stdout);
+    if let Some(w) = &out.warn {
+        eprintln!("{w}");
+    }
+    if let (Some(t), Some(path)) = (&out.trace, trace_out) {
+        std::fs::write(path, &t.text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("{}", t.line.replace("{path}", path));
+    }
+    if let (Some(a), Some(path)) = (&out.artifact, report_out) {
+        std::fs::write(path, &a.text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("{}", a.line.replace("{path}", path));
+    }
+    if let Some(f) = &out.fail {
+        eprintln!("{f}");
+        std::process::exit(1)
+    }
+    if let Some(v) = &out.verdict {
+        println!("{v}");
+    }
+    std::process::exit(0)
+}
+
+fn vector_cmd(args: &[String]) -> ! {
+    let mut scn = Scenario::new("cli-vector", ScenarioKind::StrategyRun);
+    scn.workload = Some(WorkloadSpec::Vector {
+        count: flag_u64(args, "--count", 4096) as u32,
+        blocklen: flag_u64(args, "--blocklen", 32) as u32,
+        stride: flag_u64(args, "--stride", 64) as i64,
+    });
+    strategy_cmd(scn, args)
+}
+
+fn indexed_cmd(args: &[String]) -> ! {
+    let mut scn = Scenario::new("cli-indexed", ScenarioKind::StrategyRun);
+    scn.workload = Some(WorkloadSpec::Indexed {
+        blocks: flag_u64(args, "--blocks", 8192),
+        blocklen: flag_u64(args, "--blocklen", 4) as u32,
+        seed: flag_u64(args, "--seed", 1),
+    });
+    strategy_cmd(scn, args)
+}
+
+fn app_cmd(args: &[String]) -> ! {
+    let label = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| die("app needs a label"));
+    if !all_workloads().iter().any(|w| w.label() == label) {
+        die(&format!("unknown workload {label}; try `ncmt_cli list`"));
+    }
+    let mut scn = Scenario::new("cli-app", ScenarioKind::StrategyRun);
+    scn.workload = Some(WorkloadSpec::App { label });
+    strategy_cmd(scn, args)
+}
+
+fn list_cmd(_args: &[String]) -> ! {
+    println!(
+        "{:<14} {:<20} {:>10} {:>8}",
+        "workload", "class", "size KiB", "gamma"
+    );
+    for w in all_workloads() {
         println!(
-            "{:<14} {:>12.1} {:>10.1} {:>12.2}{}",
-            s.label(),
-            run.report.processing_time() as f64 / 1e6,
-            run.report.throughput_gbit(),
-            run.report.nic_mem_bytes as f64 / 1024.0,
-            rel
+            "{:<14} {:<20} {:>10.1} {:>8.1}",
+            w.label(),
+            w.ddt_class,
+            w.msg_bytes() as f64 / 1024.0,
+            w.gamma(2048)
         );
     }
-    let host = exp.run_host();
+    std::process::exit(0)
+}
+
+fn run_usage() -> ! {
     println!(
-        "{:<14} {:>12.1} {:>10.1} {:>12.2}",
-        "Host unpack",
-        host.processing_time as f64 / 1e6,
-        host.throughput_gbit(),
-        0.0
+        "ncmt_cli run — compile and run a declarative scenario file
+
+A scenario is one JSON document naming the workload, fault model,
+scheduling setup, telemetry capture, traffic mix and sweep axes; the
+strict parser rejects unknown keys with the offending path. Scenario
+kinds: strategy-run, fault-sweep, traffic, fig16, ddt-host-compare.
+Shipped scenarios live in scenarios/; the full schema reference is in
+EXPERIMENTS.md.
+
+usage: ncmt_cli run <SCENARIO.json> [flags]
+
+flags:
+  --jobs N        worker threads (default: NCMT_JOBS, else cores;
+                  artifacts are byte-identical at any N)
+  --report-out F  write the scenario's machine-readable artifact to F
+                  (run report, fault-sweep matrix, traffic document,
+                  figure table or ddt-compare document, by kind)
+  --trace-out F   strategy-run scenarios: write a Perfetto trace to F
+
+exit status follows the scenario's own verification (e.g. 1 when a
+fault-sweep cell is not byte-exact exactly-once)."
     );
-    let iov = exp.run_iovec();
-    println!(
-        "{:<14} {:>12.1} {:>10.1} {:>12.2}",
-        "Portals iovec",
-        iov.processing_time as f64 / 1e6,
-        iov.throughput_gbit(),
-        iov.nic_bytes as f64 / 1024.0
-    );
-    if exp.verify {
-        println!("\nreceive buffers byte-verified ✓");
-    }
-    if capture.is_some() {
-        if sweep.dropped > 0 {
-            eprintln!(
-                "warning: trace ring dropped {} event(s); the exported trace is a \
-                 suffix of the run (see trace_dropped_events in the report)",
-                sweep.dropped
-            );
-        }
-        let events = sweep.events;
-        if let Some(path) = &trace_out {
-            // Streaming time series ride along as Perfetto counter
-            // tracks, scoped per strategy like the raw events.
-            let aggs: Vec<(&str, &nca_telemetry::StreamAggregate)> = sweep
-                .aggregates
-                .iter()
-                .map(|(s, a)| (s.label(), a))
-                .collect();
-            std::fs::write(
-                path,
-                export::chrome_trace_json_with_aggregates(&events, &aggs),
-            )
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-            let dropped = sweep.dropped;
-            println!(
-                "\ntrace    : {} events → {path} (Perfetto/chrome://tracing){}",
-                events.len(),
-                if dropped > 0 {
-                    format!(", {dropped} oldest dropped")
-                } else {
-                    String::new()
-                }
-            );
-        }
-        if let Some(path) = &report_out {
-            let doc = RunReportDoc {
-                version: RunReportDoc::VERSION,
-                trace_dropped_events: sweep.dropped,
-                config: report_config(&exp),
-                strategies: sweep
-                    .runs
-                    .iter()
-                    .map(|(s, run)| strategy_report(&exp, run, &events, s.label()))
-                    .collect(),
-            };
-            std::fs::write(path, doc.to_json())
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-            println!("report   : {} strategies → {path}", doc.strategies.len());
-        }
-    }
+    std::process::exit(0)
+}
+
+fn run_cmd(args: &[String]) -> ! {
+    let path = args
+        .get(1)
+        .filter(|p| !p.starts_with("--"))
+        .unwrap_or_else(|| die("run needs a scenario file; see `ncmt_cli run --help`"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let scn = parse_scenario(&text).unwrap_or_else(|e| die(&e));
+    run_scenario(&scn, args)
 }
 
 fn fault_sweep_usage() -> ! {
@@ -302,7 +386,8 @@ fn fault_sweep_usage() -> ! {
 
 Runs every strategy at fault scales 0.0/0.5/1.0 of the given rates for
 each seed and verifies byte-exact, exactly-once delivery in every cell.
-Exits 1 when any cell fails.
+Exits 1 when any cell fails. Equivalent to a `fault-sweep` scenario
+(see `ncmt_cli run --help`).
 
 flags:
   --seeds N       number of fault seeds (default 4; uses K..K+N-1)
@@ -323,106 +408,24 @@ at least one of --drop/--dup/--corrupt/--reorder-ns must be nonzero."
     std::process::exit(0)
 }
 
-/// `fault-sweep`: run every strategy across a seed × fault-scale matrix
-/// and verify byte-exact, exactly-once delivery in every cell. Exits 1
-/// when any cell fails; `--report-out` writes the machine-readable
-/// matrix (`ncmt-fault-sweep` schema).
+/// `fault-sweep`: thin wrapper building a `fault-sweep` scenario from
+/// the legacy flags; the matrix itself runs in [`nca_scenario::exec`].
 fn fault_sweep(args: &[String]) -> ! {
-    if wants_help(args) {
-        fault_sweep_usage();
-    }
-    let seeds = flag_u64(args, "--seeds", 4);
-    let seed0 = flag_u64(args, "--fault-seed", 1);
-    let hpus = flag_u64(args, "--hpus", 16) as usize;
-    let count = flag_u64(args, "--count", 512) as u32;
-    let blocklen = flag_u64(args, "--blocklen", 16) as u32;
-    let stride = flag_u64(args, "--stride", 32) as i64;
-    let report_out = flag(args, "--report-out");
     let base = fault_spec(args);
     if base.is_inert() {
         die("fault-sweep needs at least one nonzero fault rate (--drop/--dup/--corrupt/--reorder-ns)");
     }
-    // Scale 0.0 doubles as the lossless control: its cells must match
-    // the fault-free pipeline (no reliability machinery engaged).
-    const SCALES: [f64; 3] = [0.0, 0.5, 1.0];
-
-    let dt = Datatype::vector(count, blocklen, stride, &elem::double());
-    let spec = FaultSweepSpec {
-        dt: dt.clone(),
-        count: 1,
-        params: NicParams::with_hpus(hpus),
-        base,
-        seed0,
-        seeds,
-        scales: SCALES.to_vec(),
-        ring_capacity: 1 << 20,
-    };
-    println!(
-        "fault-sweep: {} over {} seeds × {:?} scales × {} strategies",
-        dt.signature(),
-        seeds,
-        SCALES,
-        nca_core::runner::Strategy::ALL.len()
-    );
-    println!(
-        "rates at 1.0: drop {} dup {} corrupt {} reorder {} ns\n",
-        base.drop,
-        base.duplicate,
-        base.corrupt,
-        base.reorder_window / 1_000
-    );
-    println!(
-        "{:<6} {:>6} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
-        "seed", "scale", "strategy", "exact", "tx", "rtx", "rejected", "fallback", "rcvry"
-    );
-
-    // The matrix runs in parallel at (seed, scale)-cell granularity;
-    // cells come back in serial order, so the table and the report
-    // below are byte-identical at any --jobs value.
-    let cells = nca_core::sweep::fault_sweep(&spec, &pool(args));
-    let mut failures = 0u64;
-    for cell in &cells {
-        let ok = cell_ok(cell);
-        if !ok {
-            failures += 1;
-        }
-        let f = &cell.faults;
-        println!(
-            "{:<6} {:>6.1} {:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
-            cell.seed,
-            cell.scale,
-            cell.strategy,
-            if ok { "yes" } else { "NO" },
-            f.transmissions,
-            f.retransmissions,
-            f.corrupts_rejected,
-            f.host_fallback_packets,
-            f.checkpoint_reverts + f.catchup_blocks
-        );
-    }
-
-    let doc = FaultSweepDoc {
-        version: FaultSweepDoc::VERSION,
-        drop: base.drop,
-        duplicate: base.duplicate,
-        corrupt: base.corrupt,
-        reorder_ns: base.reorder_window / 1_000,
-        cells,
-    };
-    if let Some(path) = &report_out {
-        std::fs::write(path, doc.to_json())
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        println!("\nsweep report → {path}");
-    }
-    if failures > 0 {
-        eprintln!("\nFAIL: {failures} cell(s) were not byte-exact exactly-once");
-        std::process::exit(1)
-    }
-    println!(
-        "\nall {} cells byte-exact, delivered exactly once ✓",
-        doc.cells.len()
-    );
-    std::process::exit(0)
+    let mut scn = Scenario::new("cli-fault-sweep", ScenarioKind::FaultSweep);
+    scn.workload = Some(WorkloadSpec::Vector {
+        count: flag_u64(args, "--count", 512) as u32,
+        blocklen: flag_u64(args, "--blocklen", 16) as u32,
+        stride: flag_u64(args, "--stride", 32) as i64,
+    });
+    scn.scheduling.hpus = flag_u64(args, "--hpus", 16);
+    scn.faults = faults_section(args);
+    scn.sweep.seeds = flag_u64(args, "--seeds", 4);
+    scn.sweep.seed0 = flag_u64(args, "--fault-seed", 1);
+    run_scenario(&scn, args)
 }
 
 fn traffic_usage() -> ! {
@@ -434,7 +437,8 @@ and reports per-tenant p50/p99/p999 offer→completion latency, drops and
 goodput for each (app × load × discipline) grid cell. All cells of one
 (app, load) point share the arrival schedule, so latency differences
 between disciplines are attributable to scheduling alone. The artifact
-is byte-identical at any --jobs count.
+is byte-identical at any --jobs count. Equivalent to a `traffic`
+scenario (see `ncmt_cli run --help`).
 
 flags:
   --apps A,B      application mixes: a Fig. 16 family ({}),
@@ -465,13 +469,6 @@ exit status is 1 when any completed message failed byte verification.",
     std::process::exit(0)
 }
 
-fn parse_strategy(s: &str) -> Option<Strategy> {
-    let t = s.to_ascii_lowercase().replace(['-', '_'], "");
-    Strategy::ALL
-        .into_iter()
-        .find(|st| st.label().to_ascii_lowercase().replace('-', "") == t)
-}
-
 /// Parse a comma-separated flag value through `parse`, with a default.
 fn flag_csv<T>(
     args: &[String],
@@ -488,98 +485,40 @@ fn flag_csv<T>(
         .collect()
 }
 
-/// `traffic`: offered-load × discipline × app sweep with per-tenant
-/// tail-latency accounting (`ncmt-traffic` schema).
+/// `traffic`: thin wrapper building a `traffic` scenario from the
+/// legacy flags; the grid itself runs in [`nca_scenario::exec`].
 fn traffic(args: &[String]) -> ! {
-    if wants_help(args) {
-        traffic_usage();
-    }
-    let mut spec = TrafficSweepSpec::new(flag_u64(args, "--seed", 1));
-    spec.apps = flag_csv(args, "--apps", "milc,comb,fft2d", |s| {
-        app_group(s).map(|_| s.to_string())
+    let mut scn = Scenario::new("cli-traffic", ScenarioKind::Traffic);
+    scn.scheduling.hpus = flag_u64(args, "--hpus", 16);
+    scn.traffic = Some(TrafficSpec {
+        apps: flag_csv(args, "--apps", "milc,comb,fft2d", |s| {
+            app_group(s).map(|_| s.to_string())
+        }),
+        loads: flag_csv(args, "--loads", "0.3,0.6,0.9,1.2", |s| {
+            s.parse::<f64>().ok().filter(|l| *l > 0.0)
+        }),
+        disciplines: flag_csv(
+            args,
+            "--disciplines",
+            "blocked-rr,cfcfs,dfcfs",
+            QueueDiscipline::parse,
+        ),
+        tenants: flag_u64(args, "--tenants", 4),
+        strategy: flag(args, "--strategy")
+            .map(|s| parse_strategy(&s).unwrap_or_else(|| die(&format!("bad --strategy {s:?}"))))
+            .unwrap_or(Strategy::RwCp),
+        arrival: flag(args, "--arrival")
+            .map(|s| ArrivalKind::parse(&s).unwrap_or_else(|| die(&format!("bad --arrival {s:?}"))))
+            .unwrap_or(ArrivalKind::Poisson),
+        sigma: flag_f64(args, "--sigma", 1.5),
+        flows_per_tenant: flag_u64(args, "--flows", 8),
+        rss_entries: flag_u64(args, "--rss", 64),
+        horizon_us: flag_u64(args, "--horizon-us", 400),
+        buffer_kib: flag(args, "--buffer-kib")
+            .map(|v| v.parse::<u64>().unwrap_or_else(|_| die("bad --buffer-kib"))),
+        seed: flag_u64(args, "--seed", 1),
     });
-    spec.loads = flag_csv(args, "--loads", "0.3,0.6,0.9,1.2", |s| {
-        s.parse::<f64>().ok().filter(|l| *l > 0.0)
-    });
-    spec.disciplines = flag_csv(
-        args,
-        "--disciplines",
-        "blocked-rr,cfcfs,dfcfs",
-        QueueDiscipline::parse,
-    );
-    spec.tenants = flag_u64(args, "--tenants", 4) as usize;
-    spec.strategy = flag(args, "--strategy")
-        .map(|s| parse_strategy(&s).unwrap_or_else(|| die(&format!("bad --strategy {s:?}"))))
-        .unwrap_or(Strategy::RwCp);
-    spec.arrival = flag(args, "--arrival")
-        .map(|s| ArrivalKind::parse(&s).unwrap_or_else(|| die(&format!("bad --arrival {s:?}"))))
-        .unwrap_or(ArrivalKind::Poisson);
-    spec.sigma = flag_f64(args, "--sigma", 1.5);
-    spec.flows_per_tenant = flag_u64(args, "--flows", 8);
-    spec.rss_entries = flag_u64(args, "--rss", 64) as usize;
-    spec.horizon_ps = nca_sim::us(flag_u64(args, "--horizon-us", 400));
-    spec.hpus = flag_u64(args, "--hpus", 16) as usize;
-    spec.pkt_buffer_bytes = flag(args, "--buffer-kib")
-        .map(|v| v.parse::<u64>().unwrap_or_else(|_| die("bad --buffer-kib")) << 10);
-    let report_out = flag(args, "--report-out");
-
-    println!(
-        "traffic: {} × {:?} loads × {} disciplines, {} {} tenants ({} arrivals), {} HPUs",
-        spec.apps.join("/"),
-        spec.loads,
-        spec.disciplines.len(),
-        spec.tenants,
-        spec.strategy.label(),
-        spec.arrival.label(),
-        spec.hpus
-    );
-    println!();
-    println!(
-        "{:<8} {:<11} {:>5} {:<4} {:>7} {:>7} {:>6} {:>5} {:>9} {:>9} {:>9} {:>8}",
-        "app",
-        "discipline",
-        "load",
-        "ten",
-        "offered",
-        "compl",
-        "drop",
-        "lost",
-        "p50 us",
-        "p99 us",
-        "p999 us",
-        "Gbit/s"
-    );
-    let doc = traffic_sweep(&spec, &pool(args));
-    for c in &doc.cells {
-        for t in &c.tenants {
-            println!(
-                "{:<8} {:<11} {:>5.2} {:<4} {:>7} {:>7} {:>6} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>8.1}",
-                c.app,
-                c.discipline,
-                c.offered_load,
-                t.tenant,
-                t.offered,
-                t.completed,
-                t.dropped,
-                t.lost,
-                t.latency.p50 as f64 / 1e6,
-                t.latency.p99 as f64 / 1e6,
-                t.latency.p999 as f64 / 1e6,
-                t.goodput_gbit
-            );
-        }
-    }
-    if let Some(path) = &report_out {
-        std::fs::write(path, doc.to_json())
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        println!("\ntraffic report → {path}");
-    }
-    if !doc.all_byte_exact() {
-        eprintln!("\nFAIL: a completed message was not byte-exact");
-        std::process::exit(1)
-    }
-    println!("\nall completed messages byte-verified ✓");
-    std::process::exit(0)
+    run_scenario(&scn, args)
 }
 
 fn profile_usage() -> ! {
@@ -611,9 +550,6 @@ nca-bench build turns it on); otherwise the subcommand exits 2."
 /// `profile`: run the strategy sweep serially under the self-profiler
 /// and render/write the `ncmt-profile` phase attribution.
 fn profile_cmd(args: &[String]) -> ! {
-    if wants_help(args) {
-        profile_usage();
-    }
     if !profile::is_compiled() {
         die("this binary was built without the nca-sim `self-profile` feature");
     }
@@ -785,73 +721,26 @@ fn bench_diff(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `fault-sweep --help` / `traffic --help` / `profile --help` print
-    // their own flag reference; everywhere else help falls through to
-    // the global usage.
-    if args.is_empty()
-        || (wants_help(&args) && !matches!(args[0].as_str(), "fault-sweep" | "traffic" | "profile"))
-    {
+    if args.is_empty() {
         usage();
     }
-    let copies = |a: &[String]| flag_u64(a, "--copies", 1) as u32;
-    match args[0].as_str() {
-        "vector" => {
-            let count = flag_u64(&args, "--count", 4096) as u32;
-            let blocklen = flag_u64(&args, "--blocklen", 32) as u32;
-            let stride = flag_u64(&args, "--stride", 64) as i64;
-            let dt = Datatype::vector(count, blocklen, stride, &elem::double());
-            run_experiment(dt, copies(&args), &args);
+    let Some(cmd) = COMMANDS.iter().find(|c| c.name == args[0]) else {
+        if wants_help(&args) {
+            usage();
         }
-        "indexed" => {
-            let blocks = flag_u64(&args, "--blocks", 8192);
-            let blocklen = flag_u64(&args, "--blocklen", 4) as u32;
-            let seed = flag_u64(&args, "--seed", 1);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut displs = Vec::with_capacity(blocks as usize);
-            let mut at = 0i64;
-            for _ in 0..blocks {
-                displs.push(at);
-                at += blocklen as i64 + rng.random_range(1..=4i64);
-            }
-            let dt = Datatype::indexed_block(blocklen, &displs, &elem::double())
-                .unwrap_or_else(|e| die(&e.to_string()));
-            run_experiment(dt, copies(&args), &args);
+        die(&format!(
+            "unknown subcommand {}; valid subcommands: {}",
+            args[0],
+            names().join(", ")
+        ))
+    };
+    if wants_help(&args) {
+        // Commands with a dedicated flag reference print it; the rest
+        // fall back to the global usage — no special-case name list.
+        match cmd.help {
+            Some(help) => help(),
+            None => usage(),
         }
-        "app" => {
-            let label = args
-                .get(1)
-                .cloned()
-                .unwrap_or_else(|| die("app needs a label"));
-            let w = all_workloads()
-                .into_iter()
-                .find(|w| w.label() == label)
-                .unwrap_or_else(|| die(&format!("unknown workload {label}; try `ncmt_cli list`")));
-            println!("workload : {} ({})", w.label(), w.ddt_class);
-            run_experiment(w.dt.clone(), w.count, &args);
-        }
-        "list" => {
-            println!(
-                "{:<14} {:<20} {:>10} {:>8}",
-                "workload", "class", "size KiB", "gamma"
-            );
-            for w in all_workloads() {
-                println!(
-                    "{:<14} {:<20} {:>10.1} {:>8.1}",
-                    w.label(),
-                    w.ddt_class,
-                    w.msg_bytes() as f64 / 1024.0,
-                    w.gamma(2048)
-                );
-            }
-        }
-        "report-diff" => report_diff(&args),
-        "bench-diff" => bench_diff(&args),
-        "fault-sweep" => fault_sweep(&args),
-        "traffic" => traffic(&args),
-        "profile" => profile_cmd(&args),
-        other => die(&format!(
-            "unknown subcommand {other}; valid subcommands: {}",
-            SUBCOMMANDS.join(", ")
-        )),
     }
+    (cmd.run)(&args)
 }

@@ -1,106 +1,9 @@
 //! Fig. 16 — message-processing-time speedup over host-based unpacking
-//! for the thirteen application DDTs, for RW-CP, specialized handlers,
-//! and the Portals 4 iovec baseline; annotated with γ, the host baseline
-//! time T, the message size S, and the data moved to the NIC.
+//! for the thirteen application DDTs.
+//!
+//! The implementation lives in [`nca_scenario::fig16`] so the
+//! `fig16` scenario and the `fig16_applications` binary render the one
+//! table from one code path; this module re-exports it for the bench
+//! harnesses and tests that address it as `figures::fig16`.
 
-use nca_core::runner::{Experiment, Strategy};
-use nca_sim::Pool;
-use nca_spin::params::NicParams;
-use nca_workloads::apps::all_workloads;
-
-/// One application/input row.
-pub struct Row {
-    /// e.g. `MILC/b`.
-    pub label: String,
-    /// Datatype constructor class.
-    pub class: &'static str,
-    /// Average regions per packet.
-    pub gamma: f64,
-    /// Host baseline message processing time (ms) — the figure's `T`.
-    pub host_ms: f64,
-    /// Message size in KiB — the figure's `S`.
-    pub size_kib: f64,
-    /// Speedups over host: RW-CP, Specialized, Portals-4 iovec.
-    pub speedup: [f64; 3],
-    /// Data moved to the NIC (KiB): RW-CP, Specialized, iovec.
-    pub nic_kib: [f64; 3],
-}
-
-/// Compute the figure (quick mode keeps only messages ≤ 512 KiB).
-/// Workload experiments are independent and deterministic; `pool`
-/// bounds the concurrency and results keep figure order.
-pub fn rows_on(quick: bool, pool: &Pool) -> Vec<Row> {
-    let workloads: Vec<_> = all_workloads()
-        .into_iter()
-        .filter(|w| !quick || w.msg_bytes() <= 512 << 10)
-        .collect();
-    pool.par_map(workloads, |_, w| compute_row(&w))
-}
-
-/// [`rows_on`] with a pool sized from `NCMT_JOBS`/core count.
-pub fn rows(quick: bool) -> Vec<Row> {
-    rows_on(quick, &Pool::from_env(None))
-}
-
-fn compute_row(w: &nca_workloads::AppWorkload) -> Row {
-    let params = NicParams::with_hpus(16);
-    let mut exp = Experiment::new(w.dt.clone(), w.count, params);
-    exp.verify = false;
-    let host = exp.run_host();
-    let iovec = exp.run_iovec();
-    let rwcp = exp.run(Strategy::RwCp);
-    let spec = exp.run(Strategy::Specialized);
-    let host_t = host.processing_time as f64;
-    Row {
-        label: w.label(),
-        class: w.ddt_class,
-        gamma: w.gamma(2048),
-        host_ms: host_t / 1e9,
-        size_kib: w.msg_bytes() as f64 / 1024.0,
-        speedup: [
-            host_t / rwcp.processing_time() as f64,
-            host_t / spec.processing_time() as f64,
-            host_t / iovec.processing_time as f64,
-        ],
-        nic_kib: [
-            rwcp.nic_mem_bytes as f64 / 1024.0,
-            spec.nic_mem_bytes as f64 / 1024.0,
-            iovec.nic_bytes as f64 / 1024.0,
-        ],
-    }
-}
-
-/// Print the figure table, computing rows on `pool`.
-pub fn print_on(quick: bool, pool: &Pool) {
-    println!("# Fig. 16 — speedup over host-based unpacking (13 app DDTs)");
-    println!("app\tclass\tgamma\tT_host_ms\tS_kib\tRW-CP\tSpecialized\tPortals4-iovec\tnic_rwcp_kib\tnic_spec_kib\tnic_iovec_kib");
-    let rows = rows_on(quick, pool);
-    for r in &rows {
-        println!(
-            "{}\t{}\t{:.1}\t{:.3}\t{:.1}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
-            r.label,
-            r.class,
-            r.gamma,
-            r.host_ms,
-            r.size_kib,
-            r.speedup[0],
-            r.speedup[1],
-            r.speedup[2],
-            r.nic_kib[0],
-            r.nic_kib[1],
-            r.nic_kib[2]
-        );
-    }
-    // Reuse the rows just computed — the old code recomputed the whole
-    // figure a second time for this one summary line.
-    let best = rows
-        .iter()
-        .map(|r| r.speedup[0].max(r.speedup[1]))
-        .fold(0.0f64, f64::max);
-    println!("# max offload speedup: {best:.1}x (paper: up to ~12x)");
-}
-
-/// Print the figure table.
-pub fn print(quick: bool) {
-    print_on(quick, &Pool::from_env(None));
-}
+pub use nca_scenario::fig16::{print, print_on, render, rows, rows_filtered, rows_on, Row};

@@ -8,7 +8,7 @@ use nca_ddt::types::Datatype;
 use nca_sim::{FaultSpec, Pool, Time, WireBuf};
 use nca_spin::builtin::ContigProcessor;
 use nca_spin::handler::MessageProcessor;
-use nca_spin::nic::{ReceiveSim, RunConfig, RunReport};
+use nca_spin::nic::{EngineMode, ReceiveSim, RunConfig, RunReport};
 use nca_spin::params::{NicParams, ReliabilityParams};
 use std::sync::Arc;
 
@@ -154,6 +154,10 @@ pub struct Experiment {
     /// `params.nic_mem_capacity`; instead degrade gracefully to a
     /// contiguous landing + host unpack (still byte-exact).
     pub enforce_nic_capacity: bool,
+    /// DMA/handler engine selection. [`EngineMode::Auto`] (the default)
+    /// keeps the historical behaviour: eager whenever no telemetry
+    /// capture needs per-event timing.
+    pub engine: EngineMode,
 }
 
 impl Experiment {
@@ -171,6 +175,7 @@ impl Experiment {
             faults: FaultSpec::inert(),
             reliability: ReliabilityParams::default(),
             enforce_nic_capacity: false,
+            engine: EngineMode::Auto,
         }
     }
 
@@ -249,6 +254,7 @@ impl Experiment {
             telemetry: self.telemetry.clone(),
             faults: self.faults,
             reliability: self.reliability.clone(),
+            engine: self.engine,
         };
         if self.enforce_nic_capacity && proc_.nic_mem_bytes() > self.params.nic_mem_capacity {
             return self.execute_host_fallback(strategy, &packed, origin, span, &cfg);

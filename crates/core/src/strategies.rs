@@ -497,6 +497,7 @@ mod tests {
             telemetry: Telemetry::disabled(),
             faults: nca_sim::FaultSpec::inert(),
             reliability: nca_spin::params::ReliabilityParams::default(),
+            engine: nca_spin::nic::EngineMode::Auto,
         };
         let name = proc_.name();
         let report = ReceiveSim::run(proc_, packed, origin, span, &cfg);

@@ -348,6 +348,7 @@ pub fn save_baseline_json_entry(
     let mut doc = String::new();
     doc.push_str("{\n");
     doc.push_str("  \"kind\": \"nca-criterion-baseline\",\n");
+    doc.push_str("  \"version\": 1,\n");
     doc.push_str(&format!("  \"baseline\": \"{}\",\n", json_escape(baseline)));
     doc.push_str("  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -727,6 +728,7 @@ mod tests {
         save_baseline_json_entry(&dir, "j", "grp/one", &s, Some(Throughput::Bytes(64))).unwrap();
         let text = std::fs::read_to_string(dir.join("j.json")).unwrap();
         assert!(text.contains("\"kind\": \"nca-criterion-baseline\""));
+        assert!(text.contains("\"version\": 1"));
         assert!(text.contains("\"baseline\": \"j\""));
         assert_eq!(text.matches("grp/one").count(), 1, "no duplicate entries");
         assert!(text.contains("\"unit\": \"bytes\", \"per_iter\": 64"));

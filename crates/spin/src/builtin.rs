@@ -102,6 +102,7 @@ mod tests {
                 telemetry: nca_telemetry::Telemetry::disabled(),
                 faults: nca_sim::FaultSpec::inert(),
                 reliability: crate::params::ReliabilityParams::default(),
+                engine: crate::nic::EngineMode::Auto,
             };
             let report = ReceiveSim::run(proc, msg.clone(), 0, msg.len() as u64, &cfg);
             assert_eq!(report.host_buf, msg, "seed {seed}");

@@ -57,6 +57,48 @@ pub enum MsgPath {
     Discarded,
 }
 
+/// Which DMA/handler engine a run uses (PR 8's eager batched-DMA mode
+/// vs the fully event-driven engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Pick automatically: eager whenever nothing needs per-event DMA
+    /// timing (no telemetry capture, no DMA-history recording),
+    /// event-driven otherwise. This is the historical behaviour.
+    #[default]
+    Auto,
+    /// Always the event-driven engine.
+    Event,
+    /// Request the eager engine. When telemetry capture or DMA-history
+    /// recording needs per-event times the run silently *cannot* honour
+    /// the request: it falls back to the event engine, warns once on
+    /// stderr, and sets [`RunReport::eager_fallback`].
+    Eager,
+}
+
+impl EngineMode {
+    /// Every mode, declaration order.
+    pub const ALL: [EngineMode; 3] = [EngineMode::Auto, EngineMode::Event, EngineMode::Eager];
+
+    /// Stable label used in scenario files and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineMode::Auto => "auto",
+            EngineMode::Event => "event",
+            EngineMode::Eager => "eager",
+        }
+    }
+
+    /// Parse a scenario/CLI label.
+    pub fn parse(s: &str) -> Option<EngineMode> {
+        match s {
+            "auto" => Some(EngineMode::Auto),
+            "event" => Some(EngineMode::Event),
+            "eager" => Some(EngineMode::Eager),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of one simulated receive.
 pub struct RunConfig {
     /// NIC parameters.
@@ -80,6 +122,8 @@ pub struct RunConfig {
     /// Retransmission/ack protocol parameters (consulted only when
     /// `faults` is not inert).
     pub reliability: ReliabilityParams,
+    /// DMA/handler engine selection ([`EngineMode::Auto`] by default).
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -93,6 +137,7 @@ impl RunConfig {
             telemetry: Telemetry::disabled(),
             faults: FaultSpec::inert(),
             reliability: ReliabilityParams::default(),
+            engine: EngineMode::Auto,
         }
     }
 }
@@ -189,6 +234,10 @@ pub struct RunReport {
     pub events: Vec<FullEvent>,
     /// Fault-injection and reliable-delivery outcome.
     pub rel: ReliabilityStats,
+    /// The eager engine was explicitly requested
+    /// ([`EngineMode::Eager`]) but telemetry capture / DMA-history
+    /// recording forced the event-driven engine instead.
+    pub eager_fallback: bool,
 }
 
 impl RunReport {
@@ -890,6 +939,26 @@ impl ReceiveSim {
         let nic_mem = proc.nic_mem_bytes();
         let host_setup = proc.host_setup_time();
 
+        // The eager engine resolves DMA service windows arithmetically,
+        // so it cannot emit per-event DMA timing: telemetry capture and
+        // DMA-history recording force the event-driven engine.
+        let needs_events = cfg.telemetry.is_enabled() || cfg.record_dma_history;
+        let eager_fallback = cfg.engine == EngineMode::Eager && needs_events;
+        if eager_fallback {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: eager DMA engine requested, but telemetry capture or \
+                     DMA-history recording needs per-event timing; falling back to the \
+                     event-driven engine (recorded as eager_fallback in the run report)"
+                );
+            });
+        }
+        let eager = match cfg.engine {
+            EngineMode::Event => false,
+            EngineMode::Auto | EngineMode::Eager => !needs_events,
+        };
+
         let mut world = World {
             params: params.clone(),
             packets,
@@ -900,7 +969,7 @@ impl ReceiveSim {
                 queue: TrackedFifo::new(cfg.record_dma_history),
                 chan_busy: vec![false; params.dma_channels.max(1)],
                 chan_slot: (0..params.dma_channels.max(1)).map(|_| None).collect(),
-                eager: !cfg.telemetry.is_enabled() && !cfg.record_dma_history,
+                eager,
                 free_at: vec![0; params.dma_channels.max(1)],
                 starts: VecDeque::new(),
                 occ: 0,
@@ -1029,6 +1098,7 @@ impl ReceiveSim {
             path: world.path,
             events: world.events.into_all(),
             rel,
+            eager_fallback,
         }
     }
 }
@@ -1068,8 +1138,41 @@ mod tests {
             telemetry: Telemetry::disabled(),
             faults: FaultSpec::inert(),
             reliability: ReliabilityParams::default(),
+            engine: EngineMode::Auto,
         };
         ReceiveSim::run(proc_, msg(n), 0, n as u64, &cfg)
+    }
+
+    #[test]
+    fn explicit_eager_request_under_telemetry_falls_back_and_flags_it() {
+        let params = NicParams::with_hpus(4);
+        let handler = params.spin_min_handler();
+        let (tel, _sink) = Telemetry::ring(1 << 16);
+        let mut cfg = RunConfig::new(params.clone());
+        cfg.engine = EngineMode::Eager;
+        cfg.telemetry = tel;
+        let proc_ = Box::new(ContigProcessor::new(0, handler));
+        let r = ReceiveSim::run(proc_, msg(8192), 0, 8192, &cfg);
+        assert!(r.eager_fallback, "telemetry must force the event engine");
+
+        // Without capture the request is honoured: no fallback, and the
+        // result is observationally identical either way (pinned more
+        // broadly in tests/dma_engine_equiv.rs).
+        let mut cfg2 = RunConfig::new(params);
+        cfg2.engine = EngineMode::Eager;
+        let proc2 = Box::new(ContigProcessor::new(0, handler));
+        let r2 = ReceiveSim::run(proc2, msg(8192), 0, 8192, &cfg2);
+        assert!(!r2.eager_fallback);
+        assert_eq!(r2.t_complete, r.t_complete);
+        assert_eq!(r2.host_buf, r.host_buf);
+    }
+
+    #[test]
+    fn engine_mode_labels_round_trip() {
+        for m in [EngineMode::Auto, EngineMode::Event, EngineMode::Eager] {
+            assert_eq!(EngineMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(EngineMode::parse("lazy"), None);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`workloads`] — the thirteen application datatypes of Fig. 16.
 //! * [`traffic`] — open-loop multi-tenant traffic engine with
 //!   per-tenant tail-latency accounting over the queue disciplines.
+//! * [`scenario`] — declarative scenario configs: one JSON document
+//!   compiling workload × traffic × faults × scheduling × sweep into
+//!   the same deterministic pool jobs the CLI subcommands run.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use nca_memsim as memsim;
 pub use nca_mpi as mpi;
 pub use nca_portals as portals;
 pub use nca_pulp as pulp;
+pub use nca_scenario as scenario;
 pub use nca_sim as sim;
 pub use nca_spin as spin;
 pub use nca_telemetry as telemetry;

@@ -1,0 +1,135 @@
+//! End-to-end tests of the declarative scenario layer through the
+//! `ncmt` facade: every shipped `scenarios/*.json` parses, compiles
+//! and runs; the `traffic` and `ddt-host-compare` scenarios reproduce
+//! their committed goldens byte-for-byte; and scenario runs stay
+//! byte-identical at any worker count.
+
+use ncmt::scenario::{parse_scenario, Plan, RunOptions, Scenario};
+use ncmt::sim::Pool;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn shipped(name: &str) -> Scenario {
+    let path = repo_path(&format!("scenarios/{name}"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing scenario {path}: {e}"));
+    parse_scenario(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn shipped_names() -> Vec<String> {
+    let dir = repo_path("scenarios");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing {dir}: {e}"))
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8 name")
+        })
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_shipped_scenario_parses_and_compiles() {
+    let names = shipped_names();
+    assert!(
+        names.len() >= 4,
+        "expected the shipped scenario set, found {names:?}"
+    );
+    for name in names {
+        let scn = shipped(&name);
+        scn.compile()
+            .unwrap_or_else(|e| panic!("scenarios/{name}: {e}"));
+    }
+}
+
+#[test]
+fn shipped_scenarios_are_byte_identical_at_any_worker_count() {
+    // traffic.json and ddt_host_compare.json are pinned byte-for-byte
+    // by their golden tests below at whatever NCMT_JOBS is in effect
+    // (and the CI scenario-matrix job cmp-gates every shipped file at
+    // --jobs 1 vs --jobs 4 in release), so the debug-build double-run
+    // here covers the two cheap scenarios only.
+    for name in ["fault_sweep.json", "fig16.json"] {
+        let plan = shipped(name).compile().expect("compiles");
+        let opts = RunOptions {
+            want_trace: false,
+            want_report: true,
+        };
+        let serial = plan.run(&Pool::serial(), &opts);
+        let parallel = plan.run(&Pool::new(4), &opts);
+        assert_eq!(
+            serial.stdout, parallel.stdout,
+            "scenarios/{name}: stdout differs between --jobs 1 and --jobs 4"
+        );
+        assert_eq!(
+            serial.artifact.as_ref().map(|a| &a.text),
+            parallel.artifact.as_ref().map(|a| &a.text),
+            "scenarios/{name}: artifact differs between --jobs 1 and --jobs 4"
+        );
+    }
+}
+
+#[test]
+fn traffic_scenario_reproduces_the_traffic_golden() {
+    let plan = shipped("traffic.json").compile().expect("compiles");
+    assert!(matches!(plan, Plan::Traffic(_)));
+    let out = plan.run(&Pool::from_env(None), &RunOptions::default());
+    let golden = std::fs::read_to_string(repo_path("tests/golden/traffic_baseline.json"))
+        .expect("committed golden");
+    assert_eq!(
+        out.artifact.expect("traffic artifact").text,
+        golden,
+        "scenarios/traffic.json drifted from tests/golden/traffic_baseline.json \
+         (the scenario mirrors the golden-gate traffic flags; regenerate the \
+         golden with `cargo test --test traffic_engine -- --ignored regenerate` \
+         only for an intended model change)"
+    );
+}
+
+#[test]
+fn ddt_host_compare_reproduces_its_golden() {
+    let plan = shipped("ddt_host_compare.json")
+        .compile()
+        .expect("compiles");
+    let out = plan.run(&Pool::from_env(None), &RunOptions::default());
+    assert!(out.fail.is_none(), "{:?}", out.fail);
+    let path = repo_path("tests/golden/ddt_host_compare.json");
+    let golden =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    assert_eq!(
+        out.artifact.expect("ddt-compare artifact").text,
+        golden,
+        "ddt-host-compare drifted from its golden; if the cost model or \
+         datatype change is intended, regenerate with \
+         `cargo test --test scenario_run -- --ignored regenerate` and commit {path}"
+    );
+}
+
+/// Not a test: rewrites the ddt-host-compare golden. Run explicitly via
+/// `cargo test --test scenario_run -- --ignored regenerate`.
+#[test]
+#[ignore]
+fn regenerate_golden_ddt_host_compare() {
+    let plan = shipped("ddt_host_compare.json")
+        .compile()
+        .expect("compiles");
+    let out = plan.run(&Pool::from_env(None), &RunOptions::default());
+    let path = repo_path("tests/golden/ddt_host_compare.json");
+    std::fs::write(&path, out.artifact.expect("artifact").text).expect("write golden");
+}
+
+#[test]
+fn fig16_scenario_renders_the_quick_figure_table() {
+    let plan = shipped("fig16.json").compile().expect("compiles");
+    let out = plan.run(&Pool::from_env(None), &RunOptions::default());
+    let table = ncmt::scenario::fig16::render(Some(512), &Pool::from_env(None));
+    let art = out.artifact.expect("figure artifact");
+    assert_eq!(art.text, table);
+    assert_eq!(out.stdout, table, "the figure table is also the stdout");
+}
